@@ -1,0 +1,87 @@
+// Command oblivbench regenerates the tables and figures of the paper's
+// evaluation section.
+//
+// Usage:
+//
+//	oblivbench -exp table1|table2|table3|fig7|fig8|all [flags]
+//
+//	-n int        input size for table1/table3 (default 4096 / 65536)
+//	-sizes list   comma-separated n values for fig8
+//	-pgm path     also write Figure 7 as a PGM image
+//
+// Absolute timings depend on the host; the reproduction targets are the
+// orderings and growth shapes (see EXPERIMENTS.md).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"oblivjoin/internal/exp"
+)
+
+func main() {
+	which := flag.String("exp", "all", "experiment: table1, table2, table3, fig7, fig8, circuit, all")
+	n := flag.Int("n", 0, "input size for table1/table3 (defaults: 4096, 65536)")
+	sizes := flag.String("sizes", "25000,50000,100000,200000", "comma-separated input sizes for fig8")
+	pgm := flag.String("pgm", "", "write Figure 7 as a PGM image to this path")
+	nlCap := flag.Int("nlcap", 2048, "largest n for the quadratic nested-loop baseline")
+	flag.Parse()
+
+	run := func(name string, f func() error) {
+		if *which != "all" && *which != name {
+			return
+		}
+		if err := f(); err != nil {
+			fmt.Fprintf(os.Stderr, "oblivbench: %s: %v\n", name, err)
+			os.Exit(1)
+		}
+		fmt.Println()
+	}
+
+	run("table1", func() error {
+		size := *n
+		if size == 0 {
+			size = 4096
+		}
+		return exp.Table1(os.Stdout, size, *nlCap)
+	})
+	run("table2", func() error { return exp.Table2(os.Stdout) })
+	run("table3", func() error {
+		size := *n
+		if size == 0 {
+			size = 65536
+		}
+		return exp.Table3(os.Stdout, size)
+	})
+	run("fig7", func() error {
+		ascii, img := exp.Fig7()
+		fmt.Println("Figure 7 — memory access pattern, n1=n2=4 → m=8")
+		fmt.Print(ascii)
+		if *pgm != "" {
+			if err := os.WriteFile(*pgm, []byte(img), 0o644); err != nil {
+				return err
+			}
+			fmt.Printf("(PGM image written to %s)\n", *pgm)
+		}
+		return nil
+	})
+	run("circuit", func() error {
+		return exp.Circuit(os.Stdout, []int{4, 8, 16, 32}, 16)
+	})
+	run("fig8", func() error {
+		var ns []int
+		for _, s := range strings.Split(*sizes, ",") {
+			v, err := strconv.Atoi(strings.TrimSpace(s))
+			if err != nil {
+				return fmt.Errorf("bad -sizes entry %q: %w", s, err)
+			}
+			ns = append(ns, v)
+		}
+		_, err := exp.Fig8(os.Stdout, ns)
+		return err
+	})
+}

@@ -1,0 +1,91 @@
+// Command osql runs oblivious SQL over CSV files.
+//
+// Each -t flag registers a table from a CSV file whose first column is
+// an unsigned-integer key and second column a data payload (≤16 bytes).
+// The remaining arguments form one SQL statement; with -explain, the
+// oblivious plan is printed instead of executing.
+//
+// Usage:
+//
+//	osql -t users=users.csv -t orders=orders.csv \
+//	     "SELECT key, left.data, right.data FROM users JOIN orders USING (key)"
+//
+// Supported grammar: SELECT [DISTINCT] items FROM t [JOIN t2 USING
+// (key)] [WHERE pred] [GROUP BY key] [ORDER BY key] [LIMIT n]; see the
+// library documentation for details.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"oblivjoin"
+)
+
+type tableFlags map[string]string
+
+func (t tableFlags) String() string { return fmt.Sprint(map[string]string(t)) }
+
+func (t tableFlags) Set(v string) error {
+	name, path, ok := strings.Cut(v, "=")
+	if !ok {
+		return fmt.Errorf("want name=path, got %q", v)
+	}
+	t[name] = path
+	return nil
+}
+
+func main() {
+	tables := tableFlags{}
+	flag.Var(tables, "t", "register a table: name=path.csv (repeatable)")
+	header := flag.Bool("header", false, "CSV files have a header row")
+	explain := flag.Bool("explain", false, "print the oblivious plan instead of executing")
+	flag.Parse()
+
+	if flag.NArg() == 0 || len(tables) == 0 {
+		fmt.Fprintln(os.Stderr, "usage: osql -t name=file.csv [-t ...] \"SELECT ...\"")
+		flag.PrintDefaults()
+		os.Exit(2)
+	}
+	sql := strings.Join(flag.Args(), " ")
+
+	eng := oblivjoin.NewEngine()
+	for name, path := range tables {
+		f, err := os.Open(path)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "osql: %v\n", err)
+			os.Exit(1)
+		}
+		t, err := oblivjoin.ReadCSV(f, 0, 1, *header)
+		f.Close()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "osql: %s: %v\n", path, err)
+			os.Exit(1)
+		}
+		if err := eng.Register(name, t); err != nil {
+			fmt.Fprintf(os.Stderr, "osql: %v\n", err)
+			os.Exit(1)
+		}
+	}
+
+	if *explain {
+		plan, err := eng.Explain(sql)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "osql: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Println(plan)
+		return
+	}
+	res, err := eng.Query(sql)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "osql: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Println(strings.Join(res.Columns, ","))
+	for _, row := range res.Rows {
+		fmt.Println(strings.Join(row, ","))
+	}
+}

@@ -1,0 +1,55 @@
+package oblivjoin
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// ReadCSV loads a table from CSV data. keyCol and dataCol are 0-based
+// column indices; the key column must parse as an unsigned integer and
+// the data column must fit MaxDataLen bytes. A header row is skipped
+// when header is true.
+func ReadCSV(r io.Reader, keyCol, dataCol int, header bool) (*Table, error) {
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = -1
+	t := NewTable()
+	line := 0
+	for {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			return t, nil
+		}
+		if err != nil {
+			return nil, fmt.Errorf("oblivjoin: csv line %d: %w", line+1, err)
+		}
+		line++
+		if header && line == 1 {
+			continue
+		}
+		if keyCol >= len(rec) || dataCol >= len(rec) {
+			return nil, fmt.Errorf("oblivjoin: csv line %d: need columns %d and %d, have %d",
+				line, keyCol, dataCol, len(rec))
+		}
+		key, err := strconv.ParseUint(rec[keyCol], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("oblivjoin: csv line %d: key %q: %w", line, rec[keyCol], err)
+		}
+		if err := t.Append(key, rec[dataCol]); err != nil {
+			return nil, fmt.Errorf("oblivjoin: csv line %d: %w", line, err)
+		}
+	}
+}
+
+// WriteCSV writes a join result as two-column CSV.
+func WriteCSV(w io.Writer, res *Result) error {
+	cw := csv.NewWriter(w)
+	for _, p := range res.Pairs {
+		if err := cw.Write([]string{p.Left, p.Right}); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

@@ -1,0 +1,54 @@
+package oblivjoin
+
+import (
+	"oblivjoin/internal/query"
+)
+
+// Engine is an oblivious SQL engine over registered tables: a small
+// SELECT dialect whose every plan stage (filter, join, semijoin, group
+// by, distinct, sort) is data-oblivious. See the package documentation
+// of internal/query for the grammar.
+//
+//	eng := oblivjoin.NewEngine()
+//	eng.Register("users", users)
+//	eng.Register("orders", orders)
+//	res, err := eng.Query(
+//	    "SELECT key, left.data, right.data FROM users JOIN orders USING (key)")
+//
+// An Engine is not safe for concurrent use.
+type Engine struct {
+	inner *query.Engine
+}
+
+// NewEngine returns an empty engine.
+func NewEngine() *Engine {
+	return &Engine{inner: query.NewEngine()}
+}
+
+// Register makes a table queryable under name (folded to lower case;
+// letters, digits and underscores only).
+func (e *Engine) Register(name string, t *Table) error {
+	return e.inner.Register(name, t.rows)
+}
+
+// QueryResult is a query result: column names and stringified rows.
+type QueryResult struct {
+	Columns []string
+	Rows    [][]string
+}
+
+// Query parses and executes a SELECT statement obliviously.
+func (e *Engine) Query(sql string) (*QueryResult, error) {
+	res, err := e.inner.Query(sql)
+	if err != nil {
+		return nil, err
+	}
+	return &QueryResult{Columns: res.Columns, Rows: res.Rows}, nil
+}
+
+// Explain returns the oblivious plan Query would run — e.g.
+// "scan(users) → semijoin(vips) → filter[branch-free] → project". The
+// plan depends only on the query shape, never on table contents.
+func (e *Engine) Explain(sql string) (string, error) {
+	return e.inner.Explain(sql)
+}

@@ -1,0 +1,63 @@
+package oblivjoin
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func newEngineFixture(t *testing.T) *Engine {
+	t.Helper()
+	eng := NewEngine()
+	users := NewTable()
+	users.MustAppend(1, "ann")
+	users.MustAppend(2, "ben")
+	orders := NewTable()
+	orders.MustAppend(2, "gpu")
+	orders.MustAppend(2, "ram")
+	if err := eng.Register("users", users); err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.Register("orders", orders); err != nil {
+		t.Fatal(err)
+	}
+	return eng
+}
+
+func TestEngineQuery(t *testing.T) {
+	eng := newEngineFixture(t)
+	res, err := eng.Query("SELECT key, left.data, right.data FROM users JOIN orders USING (key)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(res.Columns, []string{"key", "left.data", "right.data"}) {
+		t.Fatalf("columns = %v", res.Columns)
+	}
+	if len(res.Rows) != 2 || res.Rows[0][1] != "ben" {
+		t.Fatalf("rows = %v", res.Rows)
+	}
+}
+
+func TestEngineExplain(t *testing.T) {
+	eng := newEngineFixture(t)
+	plan, err := eng.Explain("SELECT key FROM users WHERE key = 1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(plan, "filter[branch-free]") {
+		t.Fatalf("plan = %q", plan)
+	}
+}
+
+func TestEngineErrors(t *testing.T) {
+	eng := newEngineFixture(t)
+	if _, err := eng.Query("SELECT key FROM nope"); err == nil {
+		t.Fatal("unknown table accepted")
+	}
+	if _, err := eng.Query("SELEC key"); err == nil {
+		t.Fatal("garbage accepted")
+	}
+	if err := eng.Register("bad name", NewTable()); err == nil {
+		t.Fatal("bad table name accepted")
+	}
+}

@@ -1,0 +1,52 @@
+// Enclave: the SGX cost simulation behind Figure 8's enclave curves.
+//
+// The join is executed against the enclave cost model at several input
+// sizes, twice each: once with a generous Enclave Page Cache and once
+// with a deliberately tiny one, so the paging penalty the paper
+// anticipates ("we anticipate a drop in performance for input sizes
+// where the EPC size is insufficient") appears at laptop scale.
+//
+// Run with:
+//
+//	go run ./examples/enclave
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"oblivjoin"
+	"oblivjoin/internal/workload"
+)
+
+func run(n int, epc int64) (time.Duration, uint64, uint64) {
+	t1, t2 := workload.MatchingPairs(n)
+	res, err := oblivjoin.Join(oblivjoin.FromRows(t1), oblivjoin.FromRows(t2),
+		&oblivjoin.Options{SGXSim: true, EPCBytes: epc, CollectStats: true})
+	if err != nil {
+		log.Fatal(err)
+	}
+	return res.SimulatedTime, res.Stats.Accesses, res.Stats.Faults
+}
+
+func main() {
+	fmt.Println("simulated enclave execution (join, m ≈ n1 = n2 = n/2)")
+	fmt.Printf("%8s | %12s %12s %8s | %12s %12s %10s\n",
+		"n", "roomy EPC", "accesses", "faults", "tiny EPC", "accesses", "faults")
+	for _, n := range []int{2000, 8000, 32000} {
+		bigT, bigA, bigF := run(n, 1<<30)         // 1 GiB: never pages
+		smallT, smallA, smallF := run(n, 256<<10) // 256 KiB: pages heavily
+		fmt.Printf("%8d | %12v %12d %8d | %12v %12d %10d\n",
+			n, bigT.Round(time.Microsecond), bigA, bigF,
+			smallT.Round(time.Microsecond), smallA, smallF)
+		if smallF == 0 && n >= 8000 {
+			log.Fatal("expected page faults with a 256 KiB EPC")
+		}
+	}
+	fmt.Println()
+	fmt.Println("the right-hand columns show the Figure 8 'bend': once the working")
+	fmt.Println("set exceeds the EPC, every fresh page costs a simulated swap, and")
+	fmt.Println("simulated time jumps even though the access COUNT is identical —")
+	fmt.Println("the access PATTERN is oblivious either way, only its price changes.")
+}

@@ -1,0 +1,45 @@
+// Quickstart: the smallest possible oblivious join.
+//
+// Run with:
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"oblivjoin"
+)
+
+func main() {
+	// A toy users table keyed by user id…
+	users := oblivjoin.NewTable()
+	users.MustAppend(1, "alice")
+	users.MustAppend(2, "bob")
+	users.MustAppend(3, "carol")
+
+	// …and an orders table keyed by the purchasing user.
+	orders := oblivjoin.NewTable()
+	orders.MustAppend(2, "keyboard")
+	orders.MustAppend(2, "mouse")
+	orders.MustAppend(3, "monitor")
+	orders.MustAppend(9, "stapler") // no matching user
+
+	// Join them. The nil options select the paper's oblivious join: the
+	// memory access pattern of this call depends only on the table sizes
+	// and the output size, never on who bought what.
+	res, err := oblivjoin.Join(users, orders, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("%d matching pairs:\n", len(res.Pairs))
+	for _, p := range res.Pairs {
+		fmt.Printf("  %-8s bought %s\n", p.Left, p.Right)
+	}
+
+	// The output size is public by design; everything else is not.
+	fmt.Printf("output size m = %d (the only thing the server learns beyond n1, n2)\n",
+		oblivjoin.OutputSize(users, orders))
+}

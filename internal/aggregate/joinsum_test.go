@@ -1,0 +1,136 @@
+package aggregate
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"oblivjoin/internal/core"
+	"oblivjoin/internal/memory"
+	"oblivjoin/internal/table"
+	"oblivjoin/internal/trace"
+)
+
+// rowWithValue builds a row whose payload front carries a tag and whose
+// value the ValueFunc below extracts from a side table.
+func valueRows(vals []uint64, key []uint64, tid int) ([]table.Row, map[string]uint64) {
+	rows := make([]table.Row, len(vals))
+	lookup := map[string]uint64{}
+	for i := range vals {
+		tag := fmt.Sprintf("%d.%d", tid, i)
+		var d table.Data
+		copy(d[:], tag)
+		rows[i] = table.Row{J: key[i], D: d}
+		lookup[tag] = vals[i]
+	}
+	return rows, lookup
+}
+
+func TestJoinGroupSumsFixed(t *testing.T) {
+	// Group 1: T1 values {10, 20} (α1=2), T2 values {3} (α2=1).
+	// Group 2: T1 {5} (α1=1), T2 {7, 8} (α2=2).
+	r1, look1 := valueRows([]uint64{10, 20, 5}, []uint64{1, 1, 2}, 1)
+	r2, look2 := valueRows([]uint64{3, 7, 8}, []uint64{1, 2, 2}, 2)
+	value := func(r table.Row) uint64 {
+		if v, ok := look1[table.DataString(r.D)[:3]]; ok {
+			return v
+		}
+		return look2[table.DataString(r.D)[:3]]
+	}
+	sums := JoinGroupSums(plainCfg(), r1, r2, value)
+	if len(sums) != 2 {
+		t.Fatalf("sums = %+v", sums)
+	}
+	g1, g2 := sums[0], sums[1]
+	if g1.J != 1 || g1.SumLeft != 30 || g1.SumRight != 3 || g1.Pairs != 2 {
+		t.Fatalf("group 1 = %+v", g1)
+	}
+	if g2.J != 2 || g2.SumLeft != 5 || g2.SumRight != 15 || g2.Pairs != 2 {
+		t.Fatalf("group 2 = %+v", g2)
+	}
+	// SUM(left value over join) = α2·SumLeft per group: 1·30 + 2·5 = 40.
+	if g1.LeftTotal()+g2.LeftTotal() != 40 {
+		t.Fatalf("left total = %d", g1.LeftTotal()+g2.LeftTotal())
+	}
+	// SUM(right value over join) = α1·SumRight: 2·3 + 1·15 = 21.
+	if g1.RightTotal()+g2.RightTotal() != 21 {
+		t.Fatalf("right total = %d", g1.RightTotal()+g2.RightTotal())
+	}
+}
+
+// TestJoinGroupSumsAgainstMaterializedJoin cross-checks the no-expansion
+// totals against actually materializing the join.
+func TestJoinGroupSumsAgainstMaterializedJoin(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for trial := 0; trial < 8; trial++ {
+		n1, n2 := 10+rng.Intn(30), 10+rng.Intn(30)
+		keys1 := make([]uint64, n1)
+		vals1 := make([]uint64, n1)
+		for i := range keys1 {
+			keys1[i] = uint64(rng.Intn(6))
+			vals1[i] = uint64(rng.Intn(50))
+		}
+		keys2 := make([]uint64, n2)
+		vals2 := make([]uint64, n2)
+		for i := range keys2 {
+			keys2[i] = uint64(rng.Intn(6))
+			vals2[i] = uint64(rng.Intn(50))
+		}
+		r1, look1 := valueRows(vals1, keys1, 1)
+		r2, look2 := valueRows(vals2, keys2, 2)
+		value := func(r table.Row) uint64 {
+			s := table.DataString(r.D)
+			if v, ok := look1[s]; ok {
+				return v
+			}
+			return look2[s]
+		}
+
+		sums := JoinGroupSums(plainCfg(), r1, r2, value)
+		var gotLeft, gotRight uint64
+		for _, s := range sums {
+			gotLeft += s.LeftTotal()
+			gotRight += s.RightTotal()
+		}
+
+		var wantLeft, wantRight uint64
+		for i := range r1 {
+			for j := range r2 {
+				if keys1[i] == keys2[j] {
+					wantLeft += vals1[i]
+					wantRight += vals2[j]
+				}
+			}
+		}
+		if gotLeft != wantLeft || gotRight != wantRight {
+			t.Fatalf("trial %d: totals (%d,%d), want (%d,%d)",
+				trial, gotLeft, gotRight, wantLeft, wantRight)
+		}
+	}
+}
+
+func TestJoinGroupSumsOblivious(t *testing.T) {
+	run := func(k1, k2 []uint64) string {
+		v1 := make([]uint64, len(k1))
+		v2 := make([]uint64, len(k2))
+		r1, _ := valueRows(v1, k1, 1)
+		r2, _ := valueRows(v2, k2, 2)
+		h := trace.NewHasher()
+		sp := memory.NewSpace(h, nil)
+		JoinGroupSums(&core.Config{Alloc: table.PlainAlloc(sp)},
+			r1, r2, func(table.Row) uint64 { return 0 })
+		return h.Hex()
+	}
+	// Same sizes, same per-side joinable group counts.
+	a := run([]uint64{1, 1, 2, 3}, []uint64{1, 2, 2, 9})
+	b := run([]uint64{5, 6, 6, 6}, []uint64{5, 5, 5, 6}) // 2 joinable groups both sides
+	if a != b {
+		t.Fatal("JoinGroupSums trace depends on structure")
+	}
+}
+
+func TestJoinGroupSumsEmpty(t *testing.T) {
+	if got := JoinGroupSums(plainCfg(), nil, nil, func(table.Row) uint64 { return 0 }); len(got) != 0 {
+		t.Fatalf("got %+v", got)
+	}
+}

@@ -1,0 +1,213 @@
+package baseline
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"oblivjoin/internal/memory"
+	"oblivjoin/internal/table"
+	"oblivjoin/internal/trace"
+)
+
+func referenceJoin(rows1, rows2 []table.Row) []table.Pair {
+	var out []table.Pair
+	for _, r1 := range rows1 {
+		for _, r2 := range rows2 {
+			if r1.J == r2.J {
+				out = append(out, table.Pair{D1: r1.D, D2: r2.D})
+			}
+		}
+	}
+	return out
+}
+
+func samePairs(a, b []table.Pair) bool {
+	key := func(p table.Pair) string { return string(p.D1[:]) + "|" + string(p.D2[:]) }
+	ka := make([]string, len(a))
+	kb := make([]string, len(b))
+	for i := range a {
+		ka[i] = key(a[i])
+	}
+	for i := range b {
+		kb[i] = key(b[i])
+	}
+	sort.Strings(ka)
+	sort.Strings(kb)
+	if len(ka) != len(kb) {
+		return false
+	}
+	for i := range ka {
+		if ka[i] != kb[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func rows(pairs ...[2]uint64) []table.Row {
+	out := make([]table.Row, len(pairs))
+	for i, p := range pairs {
+		out[i] = table.Row{J: p[0], D: table.MustData(fmt.Sprintf("r%d.%d", p[0], p[1]))}
+	}
+	return out
+}
+
+func randomRows(rng *rand.Rand, n, keySpace int, tag string) []table.Row {
+	out := make([]table.Row, n)
+	for i := range out {
+		j := uint64(rng.Intn(keySpace))
+		out[i] = table.Row{J: j, D: table.MustData(fmt.Sprintf("%s%d.%d", tag, j, i))}
+	}
+	return out
+}
+
+func TestSortMergeJoinMatchesReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 20; trial++ {
+		t1 := randomRows(rng, rng.Intn(30), 8, "a")
+		t2 := randomRows(rng, rng.Intn(30), 8, "b")
+		sp := memory.NewSpace(nil, nil)
+		got := SortMergeJoin(sp, t1, t2)
+		if !samePairs(got, referenceJoin(t1, t2)) {
+			t.Fatalf("trial %d mismatch (n1=%d n2=%d)", trial, len(t1), len(t2))
+		}
+	}
+}
+
+func TestSortMergeJoinDuplicateGroups(t *testing.T) {
+	t1 := rows([2]uint64{1, 0}, [2]uint64{1, 1}, [2]uint64{2, 0})
+	t2 := rows([2]uint64{1, 2}, [2]uint64{1, 3}, [2]uint64{1, 4}, [2]uint64{3, 0})
+	sp := memory.NewSpace(nil, nil)
+	got := SortMergeJoin(sp, t1, t2)
+	if len(got) != 6 {
+		t.Fatalf("m = %d, want 6", len(got))
+	}
+	if !samePairs(got, referenceJoin(t1, t2)) {
+		t.Fatal("pairs wrong")
+	}
+}
+
+func TestSortMergeJoinEmpty(t *testing.T) {
+	sp := memory.NewSpace(nil, nil)
+	if got := SortMergeJoin(sp, nil, nil); len(got) != 0 {
+		t.Fatalf("empty join returned %d pairs", len(got))
+	}
+}
+
+func TestNestedLoopJoinMatchesReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 15; trial++ {
+		t1 := randomRows(rng, 1+rng.Intn(12), 5, "a")
+		t2 := randomRows(rng, 1+rng.Intn(12), 5, "b")
+		sp := memory.NewSpace(nil, nil)
+		got := NestedLoopJoin(sp, t1, t2)
+		if !samePairs(got, referenceJoin(t1, t2)) {
+			t.Fatalf("trial %d mismatch", trial)
+		}
+	}
+}
+
+func TestNestedLoopJoinOblivious(t *testing.T) {
+	run := func(t1, t2 []table.Row) string {
+		h := trace.NewHasher()
+		sp := memory.NewSpace(h, nil)
+		NestedLoopJoin(sp, t1, t2)
+		return h.Hex()
+	}
+	// Same sizes, same m, different structure.
+	a := run(rows([2]uint64{1, 0}, [2]uint64{2, 0}), rows([2]uint64{1, 1}, [2]uint64{2, 1}))
+	b := run(rows([2]uint64{5, 0}, [2]uint64{5, 1}), rows([2]uint64{5, 2}, [2]uint64{9, 0}))
+	if a != b {
+		t.Fatal("nested-loop trace depends on data")
+	}
+}
+
+func TestOpaqueJoinPKFK(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 15; trial++ {
+		nPK := 1 + rng.Intn(10)
+		var t1 []table.Row
+		for j := 0; j < nPK; j++ {
+			t1 = append(t1, table.Row{J: uint64(j), D: table.MustData(fmt.Sprintf("pk%d", j))})
+		}
+		t2 := randomRows(rng, rng.Intn(25), nPK+3, "fk") // some unmatched FKs
+		sp := memory.NewSpace(nil, nil)
+		got, err := OpaqueJoin(sp, t1, t2)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if !samePairs(got, referenceJoin(t1, t2)) {
+			t.Fatalf("trial %d mismatch", trial)
+		}
+	}
+}
+
+func TestOpaqueJoinRejectsDuplicatePrimary(t *testing.T) {
+	t1 := rows([2]uint64{1, 0}, [2]uint64{1, 1})
+	t2 := rows([2]uint64{1, 2})
+	sp := memory.NewSpace(nil, nil)
+	if _, err := OpaqueJoin(sp, t1, t2); err != ErrNotPrimaryKey {
+		t.Fatalf("err = %v, want ErrNotPrimaryKey", err)
+	}
+}
+
+func TestOpaqueJoinOblivious(t *testing.T) {
+	run := func(t1, t2 []table.Row) string {
+		h := trace.NewHasher()
+		sp := memory.NewSpace(h, nil)
+		if _, err := OpaqueJoin(sp, t1, t2); err != nil {
+			t.Fatal(err)
+		}
+		return h.Hex()
+	}
+	// n1=2, n2=3, m=3 in both: different which-PK-matches structure.
+	a := run(rows([2]uint64{1, 0}, [2]uint64{2, 0}),
+		rows([2]uint64{1, 1}, [2]uint64{1, 2}, [2]uint64{2, 1}))
+	b := run(rows([2]uint64{7, 0}, [2]uint64{8, 0}),
+		rows([2]uint64{8, 1}, [2]uint64{8, 2}, [2]uint64{8, 3}))
+	if a != b {
+		t.Fatal("opaque join trace depends on data")
+	}
+}
+
+func TestORAMJoinMatchesReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	for trial := 0; trial < 6; trial++ {
+		t1 := randomRows(rng, 1+rng.Intn(12), 6, "a")
+		t2 := randomRows(rng, 1+rng.Intn(12), 6, "b")
+		sp := memory.NewSpace(nil, nil)
+		got := ORAMJoin(sp, t1, t2, int64(trial))
+		if !samePairs(got, referenceJoin(t1, t2)) {
+			t.Fatalf("trial %d mismatch", trial)
+		}
+	}
+}
+
+func TestORAMJoinEmptySides(t *testing.T) {
+	sp := memory.NewSpace(nil, nil)
+	if got := ORAMJoin(sp, nil, rows([2]uint64{1, 0}), 1); len(got) != 0 {
+		t.Fatalf("got %d pairs", len(got))
+	}
+}
+
+func TestORAMJoinCostlierThanPlain(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	t1 := randomRows(rng, 32, 8, "a")
+	t2 := randomRows(rng, 32, 8, "b")
+	var plain, viaORAM trace.Counter
+	SortMergeJoin(memory.NewSpace(&plain, nil), t1, t2)
+	ORAMJoin(memory.NewSpace(&viaORAM, nil), t1, t2, 7)
+	if viaORAM.Total() < plain.Total()*10 {
+		t.Fatalf("ORAM join suspiciously cheap: %d vs %d physical accesses",
+			viaORAM.Total(), plain.Total())
+	}
+}
+
+func TestRowCodecRoundTrip(t *testing.T) {
+	r := table.Row{J: 0xdeadbeefcafe, D: table.MustData("blob")}
+	if got := decodeRow(encodeRow(r)); got != r {
+		t.Fatalf("round trip: %+v", got)
+	}
+}

@@ -1,0 +1,188 @@
+// Package bitonic implements data-oblivious sorting networks.
+//
+// The primary network is Batcher's bitonic sorter (§3.5 of the paper),
+// generalized to arbitrary input lengths with the standard recursive
+// construction: the comparator schedule depends only on the input length
+// n, never on the data. Every compare–exchange reads both elements,
+// conditionally swaps them without branching, and writes both back, so
+// the public memory trace is a fixed function of n.
+//
+// Batcher's merge-exchange sort (Knuth 5.2.2M, the odd-even network) is
+// provided as an alternative with fewer comparators; the repository's
+// ablation benchmarks compare the two.
+//
+// Comparators are supplied by the caller as branch-free Less functions
+// returning 0/1 words (see internal/obliv and internal/table); the
+// conditional swap is likewise supplied so element types control their
+// own constant-time swapping.
+package bitonic
+
+import (
+	"oblivjoin/internal/memory"
+	"oblivjoin/internal/obliv"
+)
+
+// Array is the storage a sorting network operates on: indexed element
+// access with public indices. *memory.Array[T] implements it directly;
+// encrypted stores (internal/table) implement it with transparent
+// re-encryption on every write.
+type Array[T any] interface {
+	Len() int
+	Get(i int) T
+	Set(i int, v T)
+}
+
+// LessFunc reports, in constant time, whether x orders strictly before y:
+// it must return 1 or 0 and must not branch on its arguments.
+type LessFunc[T any] func(x, y T) uint64
+
+// CondSwapFunc swaps x and y in constant time when c == 1 and must touch
+// both regardless of c.
+type CondSwapFunc[T any] func(c uint64, x, y *T)
+
+// Stats accumulates comparator counts across sorts; pass nil to skip
+// counting. The counts feed the comparison columns of Table 3.
+type Stats struct {
+	CompareExchanges uint64
+}
+
+func (s *Stats) bump() {
+	if s != nil {
+		s.CompareExchanges++
+	}
+}
+
+// Sort sorts a ascending by less using the bitonic network. It performs
+// O(n log² n) compare–exchanges with a schedule depending only on
+// a.Len().
+func Sort[T any](a Array[T], less LessFunc[T], swap CondSwapFunc[T], st *Stats) {
+	s := sorter[T]{a: a, less: less, swap: swap, st: st}
+	s.sort(0, a.Len(), 1)
+}
+
+// SortSlice sorts a plain slice through a throwaway untraced space; a
+// convenience for callers that need oblivious ordering semantics without
+// trace plumbing.
+func SortSlice[T any](data []T, less LessFunc[T], swap CondSwapFunc[T], st *Stats) {
+	sp := memory.NewSpace(nil, nil)
+	Sort(memory.FromSlice(sp, data, 1), less, swap, st)
+}
+
+type sorter[T any] struct {
+	a    Array[T]
+	less LessFunc[T]
+	swap CondSwapFunc[T]
+	st   *Stats
+}
+
+// sort produces a sequence ordered ascending when dir == 1, descending
+// when dir == 0, over [lo, lo+n).
+func (s *sorter[T]) sort(lo, n int, dir uint64) {
+	if n <= 1 {
+		return
+	}
+	m := n / 2
+	s.sort(lo, m, dir^1)
+	s.sort(lo+m, n-m, dir)
+	s.merge(lo, n, dir)
+}
+
+// merge merges a bitonic sequence over [lo, lo+n) into dir order.
+func (s *sorter[T]) merge(lo, n int, dir uint64) {
+	if n <= 1 {
+		return
+	}
+	m := greatestPowerOfTwoLessThan(n)
+	for i := lo; i < lo+n-m; i++ {
+		s.compareExchange(i, i+m, dir)
+	}
+	s.merge(lo, m, dir)
+	s.merge(lo+m, n-m, dir)
+}
+
+// compareExchange orders elements i and j (i < j) so that they respect
+// dir. Both elements are always read and written back.
+func (s *sorter[T]) compareExchange(i, j int, dir uint64) {
+	x := s.a.Get(i)
+	y := s.a.Get(j)
+	// Ascending (dir=1): out of order when y < x.
+	// Descending (dir=0): out of order when x < y.
+	c := obliv.Select(dir, s.less(y, x), s.less(x, y))
+	s.swap(c, &x, &y)
+	s.a.Set(i, x)
+	s.a.Set(j, y)
+	s.st.bump()
+}
+
+func greatestPowerOfTwoLessThan(n int) int {
+	k := 1
+	for k < n {
+		k <<= 1
+	}
+	return k >> 1
+}
+
+// MergeExchangeSort sorts a ascending using Batcher's merge-exchange
+// network (Knuth, TAOCP 5.2.2, Algorithm M). It performs roughly half
+// the compare–exchanges of the bitonic network and is likewise
+// data-independent for a fixed length; it is less regular and harder to
+// parallelize, which is why the paper's implementation (and ours)
+// defaults to bitonic.
+func MergeExchangeSort[T any](a Array[T], less LessFunc[T], swap CondSwapFunc[T], st *Stats) {
+	n := a.Len()
+	if n <= 1 {
+		return
+	}
+	s := sorter[T]{a: a, less: less, swap: swap, st: st}
+	t := 0
+	for 1<<t < n {
+		t++
+	}
+	for p := 1 << (t - 1); p > 0; p >>= 1 {
+		q := 1 << (t - 1)
+		r := 0
+		d := p
+		for {
+			for i := 0; i < n-d; i++ {
+				if i&p == r {
+					s.compareExchange(i, i+d, 1)
+				}
+			}
+			if q == p {
+				break
+			}
+			d = q - p
+			q >>= 1
+			r = p
+		}
+	}
+}
+
+// Comparators returns the exact number of compare–exchanges the bitonic
+// network performs on an input of length n; useful for cross-checking
+// Table 3's analytic counts without running a sort.
+func Comparators(n int) uint64 {
+	var c uint64
+	var sort func(n int)
+	var merge func(n int)
+	merge = func(n int) {
+		if n <= 1 {
+			return
+		}
+		m := greatestPowerOfTwoLessThan(n)
+		c += uint64(n - m)
+		merge(m)
+		merge(n - m)
+	}
+	sort = func(n int) {
+		if n <= 1 {
+			return
+		}
+		m := n / 2
+		sort(m)
+		sort(n - m)
+		merge(n)
+	}
+	sort(n)
+	return c
+}

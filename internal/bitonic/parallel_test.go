@@ -1,0 +1,59 @@
+package bitonic
+
+import (
+	"math/rand"
+	"testing"
+
+	"oblivjoin/internal/memory"
+)
+
+func TestSortParallelMatchesSequential(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	sp := memory.NewSpace(nil, nil)
+	for _, n := range []int{0, 1, 100, 1000, 5000, 8192} {
+		seq := make([]uint64, n)
+		for i := range seq {
+			seq[i] = uint64(rng.Intn(1000))
+		}
+		par := append([]uint64(nil), seq...)
+		Sort(memory.FromSlice(sp, seq, 8), lessU64, swapU64, nil)
+		SortParallel(memory.FromSlice(sp, par, 8), lessU64, swapU64)
+		if !equal(seq, par) {
+			t.Fatalf("n=%d: parallel result differs from sequential", n)
+		}
+	}
+}
+
+func TestSortParallelStress(t *testing.T) {
+	// Large enough to actually fan out across goroutines (grain 1024).
+	rng := rand.New(rand.NewSource(23))
+	sp := memory.NewSpace(nil, nil)
+	n := 64 * 1024
+	data := make([]uint64, n)
+	for i := range data {
+		data[i] = rng.Uint64()
+	}
+	want := sortedCopy(data)
+	SortParallel(memory.FromSlice(sp, data, 8), lessU64, swapU64)
+	if !equal(data, want) {
+		t.Fatal("parallel sort produced wrong order")
+	}
+}
+
+func BenchmarkBitonicParallel64k(b *testing.B) {
+	benchSort(b, 64*1024, func(a *memory.Array[uint64]) {
+		SortParallel[uint64](a, lessU64, swapU64)
+	})
+}
+
+func BenchmarkBitonicParallel256k(b *testing.B) {
+	benchSort(b, 256*1024, func(a *memory.Array[uint64]) {
+		SortParallel[uint64](a, lessU64, swapU64)
+	})
+}
+
+func BenchmarkBitonicSequential256k(b *testing.B) {
+	benchSort(b, 256*1024, func(a *memory.Array[uint64]) {
+		Sort[uint64](a, lessU64, swapU64, nil)
+	})
+}

@@ -1,0 +1,364 @@
+// Package circuit lowers straight-line programs of the Figure 6
+// language (after the §3.4 transformation, see internal/typesys) to
+// boolean circuits — the representation secure multiparty computation
+// and FHE actually evaluate (§2 of the paper). Having a concrete gate
+// count substantiates the paper's claim that the join has "very low
+// circuit complexity": the algorithm is a fixed composition of
+// comparators and multiplexers, with no ORAM machinery inflating it.
+//
+// The package provides a gate-level builder (AND/XOR/NOT over wires,
+// with ripple-carry adders, subtractors, comparators, equality and
+// word multiplexers), a compiler from straight-line typesys programs,
+// an evaluator, and gate/depth statistics.
+package circuit
+
+import "fmt"
+
+// GateKind enumerates the gate basis. XOR is free in many SMC
+// protocols, so counts are reported per kind.
+type GateKind uint8
+
+const (
+	// GateInput marks an input wire.
+	GateInput GateKind = iota
+	// GateConst is a constant 0 or 1 (B holds the bit).
+	GateConst
+	// GateAnd, GateXor and GateNot are the logic basis.
+	GateAnd
+	GateXor
+	GateNot
+)
+
+// Wire identifies the output of a gate.
+type Wire int32
+
+// gate is one node: Kind plus input wires (B unused for NOT, holds the
+// constant for CONST).
+type gate struct {
+	kind GateKind
+	a, b Wire
+}
+
+// Builder constructs a circuit incrementally with structural hashing of
+// repeated gates.
+type Builder struct {
+	gates  []gate
+	nIn    int
+	zero   Wire
+	one    Wire
+	inited bool
+	cache  map[gate]Wire
+}
+
+// NewBuilder returns an empty builder.
+func NewBuilder() *Builder {
+	b := &Builder{cache: map[gate]Wire{}}
+	b.zero = b.emit(gate{kind: GateConst, b: 0})
+	b.one = b.emit(gate{kind: GateConst, b: 1})
+	b.inited = true
+	return b
+}
+
+func (b *Builder) emit(g gate) Wire {
+	if b.inited {
+		if w, ok := b.cache[g]; ok && g.kind != GateInput {
+			return w
+		}
+	}
+	b.gates = append(b.gates, g)
+	w := Wire(len(b.gates) - 1)
+	if b.inited && g.kind != GateInput {
+		b.cache[g] = w
+	}
+	return w
+}
+
+// Input adds a fresh input wire.
+func (b *Builder) Input() Wire {
+	b.nIn++
+	return b.emit(gate{kind: GateInput})
+}
+
+// Const returns the constant wire for bit v.
+func (b *Builder) Const(v uint64) Wire {
+	if v&1 == 1 {
+		return b.one
+	}
+	return b.zero
+}
+
+// And returns a ∧ b.
+func (b *Builder) And(x, y Wire) Wire {
+	if x == b.zero || y == b.zero {
+		return b.zero
+	}
+	if x == b.one {
+		return y
+	}
+	if y == b.one {
+		return x
+	}
+	if x > y {
+		x, y = y, x
+	}
+	return b.emit(gate{kind: GateAnd, a: x, b: y})
+}
+
+// Xor returns a ⊕ b.
+func (b *Builder) Xor(x, y Wire) Wire {
+	if x == b.zero {
+		return y
+	}
+	if y == b.zero {
+		return x
+	}
+	if x == y {
+		return b.zero
+	}
+	if x > y {
+		x, y = y, x
+	}
+	return b.emit(gate{kind: GateXor, a: x, b: y})
+}
+
+// Not returns ¬a.
+func (b *Builder) Not(x Wire) Wire {
+	if x == b.zero {
+		return b.one
+	}
+	if x == b.one {
+		return b.zero
+	}
+	return b.emit(gate{kind: GateNot, a: x})
+}
+
+// Or returns a ∨ b (derived: a⊕b⊕ab).
+func (b *Builder) Or(x, y Wire) Wire {
+	return b.Xor(b.Xor(x, y), b.And(x, y))
+}
+
+// MuxBit returns c ? t : f using the 1-AND construction
+// f ⊕ c·(t⊕f).
+func (b *Builder) MuxBit(c, t, f Wire) Wire {
+	return b.Xor(f, b.And(c, b.Xor(t, f)))
+}
+
+// Word is a little-endian bundle of wires representing an unsigned
+// integer modulo 2^len.
+type Word []Wire
+
+// InputWord adds w fresh input wires.
+func (b *Builder) InputWord(w int) Word {
+	out := make(Word, w)
+	for i := range out {
+		out[i] = b.Input()
+	}
+	return out
+}
+
+// ConstWord encodes v into w bits.
+func (b *Builder) ConstWord(v uint64, w int) Word {
+	out := make(Word, w)
+	for i := range out {
+		out[i] = b.Const(v >> i)
+	}
+	return out
+}
+
+func sameLen(x, y Word) {
+	if len(x) != len(y) {
+		panic(fmt.Sprintf("circuit: word widths differ (%d vs %d)", len(x), len(y)))
+	}
+}
+
+// Add returns x + y mod 2^w (ripple carry).
+func (b *Builder) Add(x, y Word) Word {
+	sameLen(x, y)
+	out := make(Word, len(x))
+	carry := b.zero
+	for i := range x {
+		s := b.Xor(x[i], y[i])
+		out[i] = b.Xor(s, carry)
+		carry = b.Or(b.And(x[i], y[i]), b.And(s, carry))
+	}
+	return out
+}
+
+// Sub returns x − y mod 2^w and the final borrow bit (1 when x < y).
+func (b *Builder) Sub(x, y Word) (Word, Wire) {
+	sameLen(x, y)
+	out := make(Word, len(x))
+	borrow := b.zero
+	for i := range x {
+		d := b.Xor(x[i], y[i])
+		out[i] = b.Xor(d, borrow)
+		// borrow' = (¬x ∧ y) ∨ (¬(x⊕y) ∧ borrow)
+		borrow = b.Or(b.And(b.Not(x[i]), y[i]), b.And(b.Not(d), borrow))
+	}
+	return out, borrow
+}
+
+// Lt returns the bit x < y (unsigned).
+func (b *Builder) Lt(x, y Word) Wire {
+	_, borrow := b.Sub(x, y)
+	return borrow
+}
+
+// Eq returns the bit x == y.
+func (b *Builder) Eq(x, y Word) Wire {
+	sameLen(x, y)
+	acc := b.one
+	for i := range x {
+		acc = b.And(acc, b.Not(b.Xor(x[i], y[i])))
+	}
+	return acc
+}
+
+// Mul returns x·y mod 2^w (shift-and-add).
+func (b *Builder) Mul(x, y Word) Word {
+	sameLen(x, y)
+	w := len(x)
+	acc := b.ConstWord(0, w)
+	for i := 0; i < w; i++ {
+		// Partial product: (x << i) masked by y[i].
+		part := make(Word, w)
+		for j := 0; j < w; j++ {
+			if j < i {
+				part[j] = b.zero
+			} else {
+				part[j] = b.And(x[j-i], y[i])
+			}
+		}
+		acc = b.Add(acc, part)
+	}
+	return acc
+}
+
+// MuxWord returns c ? t : f bitwise.
+func (b *Builder) MuxWord(c Wire, t, f Word) Word {
+	sameLen(t, f)
+	out := make(Word, len(t))
+	for i := range t {
+		out[i] = b.MuxBit(c, t[i], f[i])
+	}
+	return out
+}
+
+// AndWord, OrWord and XorWord apply bitwise logic.
+func (b *Builder) AndWord(x, y Word) Word {
+	sameLen(x, y)
+	out := make(Word, len(x))
+	for i := range x {
+		out[i] = b.And(x[i], y[i])
+	}
+	return out
+}
+
+// OrWord is bitwise OR.
+func (b *Builder) OrWord(x, y Word) Word {
+	sameLen(x, y)
+	out := make(Word, len(x))
+	for i := range x {
+		out[i] = b.Or(x[i], y[i])
+	}
+	return out
+}
+
+// XorWord is bitwise XOR.
+func (b *Builder) XorWord(x, y Word) Word {
+	sameLen(x, y)
+	out := make(Word, len(x))
+	for i := range x {
+		out[i] = b.Xor(x[i], y[i])
+	}
+	return out
+}
+
+// BoolToWord zero-extends a bit into a word.
+func (b *Builder) BoolToWord(c Wire, w int) Word {
+	out := b.ConstWord(0, w)
+	out[0] = c
+	return out
+}
+
+// Stats summarizes a built circuit.
+type Stats struct {
+	Inputs int
+	Gates  int // total non-input, non-const gates
+	And    int
+	Xor    int
+	Not    int
+	Depth  int // longest input→output path over all gates
+}
+
+// Stats computes circuit statistics.
+func (b *Builder) Stats() Stats {
+	st := Stats{Inputs: b.nIn}
+	depth := make([]int, len(b.gates))
+	maxDepth := 0
+	for i, g := range b.gates {
+		switch g.kind {
+		case GateAnd:
+			st.And++
+			st.Gates++
+			depth[i] = 1 + max(depth[g.a], depth[g.b])
+		case GateXor:
+			st.Xor++
+			st.Gates++
+			depth[i] = 1 + max(depth[g.a], depth[g.b])
+		case GateNot:
+			st.Not++
+			st.Gates++
+			depth[i] = 1 + depth[g.a]
+		}
+		if depth[i] > maxDepth {
+			maxDepth = depth[i]
+		}
+	}
+	st.Depth = maxDepth
+	return st
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// Eval computes all wire values for the given input bits (in Input()
+// order) and returns a lookup function.
+func (b *Builder) Eval(inputs []bool) func(Wire) bool {
+	if len(inputs) != b.nIn {
+		panic(fmt.Sprintf("circuit: %d inputs provided, circuit has %d", len(inputs), b.nIn))
+	}
+	vals := make([]bool, len(b.gates))
+	next := 0
+	for i, g := range b.gates {
+		switch g.kind {
+		case GateInput:
+			vals[i] = inputs[next]
+			next++
+		case GateConst:
+			vals[i] = g.b == 1
+		case GateAnd:
+			vals[i] = vals[g.a] && vals[g.b]
+		case GateXor:
+			vals[i] = vals[g.a] != vals[g.b]
+		case GateNot:
+			vals[i] = !vals[g.a]
+		}
+	}
+	return func(w Wire) bool { return vals[w] }
+}
+
+// WordValue decodes a word under an evaluation.
+func WordValue(get func(Wire) bool, w Word) uint64 {
+	var v uint64
+	for i, wire := range w {
+		if get(wire) {
+			v |= 1 << i
+		}
+	}
+	return v
+}

@@ -1,0 +1,299 @@
+package circuit
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"oblivjoin/internal/typesys"
+)
+
+const testWidth = 16
+
+func evalWord2(t *testing.T, f func(b *Builder, x, y Word) Word, a, bVal uint64) uint64 {
+	t.Helper()
+	b := NewBuilder()
+	x := b.InputWord(testWidth)
+	y := b.InputWord(testWidth)
+	out := f(b, x, y)
+	var bits []bool
+	for i := 0; i < testWidth; i++ {
+		bits = append(bits, (a>>i)&1 == 1)
+	}
+	for i := 0; i < testWidth; i++ {
+		bits = append(bits, (bVal>>i)&1 == 1)
+	}
+	get := b.Eval(bits)
+	return WordValue(get, out)
+}
+
+func TestAdderSubtractorMultiplier(t *testing.T) {
+	mask := uint64(1<<testWidth - 1)
+	f := func(a, b uint16) bool {
+		av, bv := uint64(a), uint64(b)
+		sum := evalWord2(t, func(bb *Builder, x, y Word) Word { return bb.Add(x, y) }, av, bv)
+		if sum != (av+bv)&mask {
+			return false
+		}
+		diff := evalWord2(t, func(bb *Builder, x, y Word) Word {
+			d, _ := bb.Sub(x, y)
+			return d
+		}, av, bv)
+		if diff != (av-bv)&mask {
+			return false
+		}
+		prod := evalWord2(t, func(bb *Builder, x, y Word) Word { return bb.Mul(x, y) }, av, bv)
+		return prod == (av*bv)&mask
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestComparatorsAndEquality(t *testing.T) {
+	f := func(a, b uint16) bool {
+		av, bv := uint64(a), uint64(b)
+		lt := evalWord2(t, func(bb *Builder, x, y Word) Word {
+			return bb.BoolToWord(bb.Lt(x, y), testWidth)
+		}, av, bv)
+		eq := evalWord2(t, func(bb *Builder, x, y Word) Word {
+			return bb.BoolToWord(bb.Eq(x, y), testWidth)
+		}, av, bv)
+		wantLt := uint64(0)
+		if av < bv {
+			wantLt = 1
+		}
+		wantEq := uint64(0)
+		if av == bv {
+			wantEq = 1
+		}
+		return lt == wantLt && eq == wantEq
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBitwiseOpsAndMux(t *testing.T) {
+	f := func(a, b uint16, c bool) bool {
+		av, bv := uint64(a), uint64(b)
+		and := evalWord2(t, func(bb *Builder, x, y Word) Word { return bb.AndWord(x, y) }, av, bv)
+		or := evalWord2(t, func(bb *Builder, x, y Word) Word { return bb.OrWord(x, y) }, av, bv)
+		xor := evalWord2(t, func(bb *Builder, x, y Word) Word { return bb.XorWord(x, y) }, av, bv)
+		if and != av&bv || or != av|bv || xor != av^bv {
+			return false
+		}
+		cv := uint64(0)
+		if c {
+			cv = 1
+		}
+		mux := evalWord2(t, func(bb *Builder, x, y Word) Word {
+			cw := bb.ConstWord(cv, testWidth)
+			return bb.MuxWord(cw[0], x, y)
+		}, av, bv)
+		want := bv
+		if c {
+			want = av
+		}
+		return mux == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStatsCounts(t *testing.T) {
+	b := NewBuilder()
+	x := b.Input()
+	y := b.Input()
+	_ = b.And(x, y)
+	_ = b.Xor(x, y)
+	_ = b.Not(x)
+	st := b.Stats()
+	if st.Inputs != 2 || st.And != 1 || st.Xor != 1 || st.Not != 1 || st.Gates != 3 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if st.Depth != 1 {
+		t.Fatalf("depth = %d", st.Depth)
+	}
+}
+
+func TestStructuralHashingDeduplicates(t *testing.T) {
+	b := NewBuilder()
+	x := b.Input()
+	y := b.Input()
+	g1 := b.And(x, y)
+	g2 := b.And(y, x) // commuted — must hit the cache
+	if g1 != g2 {
+		t.Fatal("structural hashing missed commuted AND")
+	}
+}
+
+func TestCompileCompareExchange(t *testing.T) {
+	p, err := typesys.Transform(typesys.CompareExchange(0, 1), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	comp, err := Compile(p, map[string]int{"a": 2}, testWidth)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := [][2]uint64{{3, 9}, {9, 3}, {5, 5}, {0, 1}, {1, 0}}
+	for _, in := range cases {
+		out, err := comp.Run(map[string][]uint64{"a": in[:]})
+		if err != nil {
+			t.Fatal(err)
+		}
+		lo, hi := in[0], in[1]
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+		if out["a"][0] != lo || out["a"][1] != hi {
+			t.Fatalf("in %v: out %v", in, out["a"])
+		}
+	}
+}
+
+func TestCompileBitonicSortCircuit(t *testing.T) {
+	const n = 6
+	flat, err := typesys.Transform(typesys.BuildBitonicProgram(n), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	comp, err := Compile(flat, map[string]int{"a": n}, testWidth)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 10; trial++ {
+		in := make([]uint64, n)
+		for i := range in {
+			in[i] = uint64(rng.Intn(100))
+		}
+		out, err := comp.Run(map[string][]uint64{"a": in})
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := out["a"]
+		for i := 1; i < n; i++ {
+			if got[i-1] > got[i] {
+				t.Fatalf("circuit did not sort: %v → %v", in, got)
+			}
+		}
+	}
+	st := comp.B.Stats()
+	if st.Gates == 0 || st.Depth == 0 {
+		t.Fatalf("implausible stats %+v", st)
+	}
+	t.Logf("bitonic n=%d, %d-bit words: %d gates (%d AND), depth %d",
+		n, testWidth, st.Gates, st.And, st.Depth)
+}
+
+func TestCompileAgreesWithInterpreter(t *testing.T) {
+	// Random straight-line-able program: the linear scan, transformed.
+	p := typesys.LinearScan()
+	flat, err := typesys.Transform(p, map[string]uint64{"n": 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	comp, err := Compile(flat, map[string]int{"a": 5}, testWidth)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 10; trial++ {
+		in := make([]uint64, 5)
+		for i := range in {
+			in[i] = uint64(rng.Intn(8))
+		}
+		got, err := comp.Run(map[string][]uint64{"a": in})
+		if err != nil {
+			t.Fatal(err)
+		}
+		interp := typesys.NewInterp(map[string][]uint64{"a": in}, nil)
+		interp.Vars["n"] = 5
+		if err := interp.Run(flat); err != nil {
+			t.Fatal(err)
+		}
+		for i := range in {
+			if got["a"][i] != interp.Arrays["a"][i] {
+				t.Fatalf("cell %d: circuit %d, interpreter %d", i, got["a"][i], interp.Arrays["a"][i])
+			}
+		}
+	}
+}
+
+func TestCompileRejects(t *testing.T) {
+	if _, err := Compile(typesys.CompareExchange(0, 1), map[string]int{"a": 2}, testWidth); err == nil {
+		t.Fatal("accepted program with control flow")
+	}
+	flat, _ := typesys.Transform(typesys.CompareExchange(0, 1), nil)
+	if _, err := Compile(flat, map[string]int{"a": 2}, 0); err == nil {
+		t.Fatal("accepted zero width")
+	}
+	if _, err := Compile(flat, map[string]int{"a": 1}, testWidth); err == nil {
+		t.Fatal("accepted out-of-bounds array size")
+	}
+}
+
+func TestRunRejectsOversizedInputs(t *testing.T) {
+	flat, _ := typesys.Transform(typesys.CompareExchange(0, 1), nil)
+	comp, err := Compile(flat, map[string]int{"a": 2}, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := comp.Run(map[string][]uint64{"a": {300, 1}}); err == nil {
+		t.Fatal("accepted input exceeding word width")
+	}
+}
+
+func TestMuxPatternLowering(t *testing.T) {
+	// The §3.4 mux must not expand into multipliers: compare gate
+	// counts of a compiled mux against a compiled multiplication.
+	mkProg := func(e typesys.Expr) *typesys.Program {
+		return &typesys.Program{
+			Vars:   map[string]typesys.Label{"c": typesys.H, "x": typesys.H, "y": typesys.H, "z": typesys.H},
+			Arrays: map[string]typesys.Label{"a": typesys.H},
+			Body: []typesys.Stmt{
+				typesys.Read{X: "x", Array: "a", Index: typesys.Const{Value: 0}},
+				typesys.Read{X: "y", Array: "a", Index: typesys.Const{Value: 1}},
+				typesys.Assign{X: "c", E: typesys.Op{Kind: "<", A: typesys.Var{Name: "x"}, B: typesys.Var{Name: "y"}}},
+				typesys.Write{Array: "a", Index: typesys.Const{Value: 0}, E: e},
+			},
+		}
+	}
+	mux := typesys.Op{Kind: "+",
+		A: typesys.Op{Kind: "*", A: typesys.Var{Name: "x"}, B: typesys.Var{Name: "c"}},
+		B: typesys.Op{Kind: "*", A: typesys.Var{Name: "y"},
+			B: typesys.Op{Kind: "-", A: typesys.Const{Value: 1}, B: typesys.Var{Name: "c"}}},
+	}
+	mul := typesys.Op{Kind: "*", A: typesys.Var{Name: "x"}, B: typesys.Var{Name: "y"}}
+
+	cMux, err := Compile(mkProg(mux), map[string]int{"a": 2}, testWidth)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cMul, err := Compile(mkProg(mul), map[string]int{"a": 2}, testWidth)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cMux.B.Stats().Gates*2 >= cMul.B.Stats().Gates {
+		t.Fatalf("mux lowering not optimized: mux %d gates vs mul %d gates",
+			cMux.B.Stats().Gates, cMul.B.Stats().Gates)
+	}
+	// And it must still compute a correct select.
+	out, err := cMux.Run(map[string][]uint64{"a": {3, 9}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out["a"][0] != 3 { // x<y → keep x
+		t.Fatalf("mux circuit wrong: %v", out["a"])
+	}
+	out, err = cMux.Run(map[string][]uint64{"a": {9, 3}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out["a"][0] != 3 { // x≥y → take y
+		t.Fatalf("mux circuit wrong: %v", out["a"])
+	}
+}

@@ -1,0 +1,272 @@
+package circuit
+
+import (
+	"fmt"
+	"sort"
+
+	"oblivjoin/internal/typesys"
+)
+
+// Compiled is a program lowered to a boolean circuit: the builder plus
+// the layout of inputs and outputs.
+type Compiled struct {
+	B *Builder
+	// Width is the word width in bits.
+	Width int
+	// InputOrder lists (array, index) cells in the order their bits
+	// appear in the input vector.
+	InputOrder []Cell
+	// Outputs maps each array cell to the word holding its final value.
+	Outputs map[Cell]Word
+}
+
+// Cell names one array slot.
+type Cell struct {
+	Array string
+	Index int
+}
+
+// Compile lowers a straight-line typesys program (run Transform first
+// if it has control flow) to a boolean circuit over words of the given
+// width. Array sizes give the public lengths; every cell becomes Width
+// input bits and Width output bits. Variables start at zero.
+//
+// The compiler recognizes the multiplexer pattern the §3.4
+// transformation emits — t·c + f·(1−c) with c ∈ {0,1} — and lowers it
+// to a proper w-bit mux (one AND and two XORs per bit) instead of two
+// full multipliers, exactly as a production circuit compiler would.
+func Compile(p *typesys.Program, arraySizes map[string]int, width int) (*Compiled, error) {
+	if !typesys.IsStraightLine(p) {
+		return nil, fmt.Errorf("circuit: program has control flow; apply typesys.Transform first")
+	}
+	if width <= 0 || width > 64 {
+		return nil, fmt.Errorf("circuit: width %d out of range (1..64)", width)
+	}
+	c := &Compiled{
+		B:       NewBuilder(),
+		Width:   width,
+		Outputs: map[Cell]Word{},
+	}
+	// Deterministic input layout: arrays sorted by name, cells in order.
+	names := make([]string, 0, len(arraySizes))
+	for n := range arraySizes {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	arrays := map[string][]Word{}
+	for _, n := range names {
+		size := arraySizes[n]
+		cells := make([]Word, size)
+		for i := range cells {
+			cells[i] = c.B.InputWord(width)
+			c.InputOrder = append(c.InputOrder, Cell{Array: n, Index: i})
+		}
+		arrays[n] = cells
+	}
+	vars := map[string]Word{}
+
+	env := &compileEnv{b: c.B, width: width, vars: vars, arrays: arrays}
+	for _, s := range p.Body {
+		if err := env.stmt(s); err != nil {
+			return nil, err
+		}
+	}
+	for name, cells := range arrays {
+		for i, w := range cells {
+			c.Outputs[Cell{Array: name, Index: i}] = w
+		}
+	}
+	return c, nil
+}
+
+type compileEnv struct {
+	b      *Builder
+	width  int
+	vars   map[string]Word
+	arrays map[string][]Word
+}
+
+func (e *compileEnv) varWord(name string) Word {
+	if w, ok := e.vars[name]; ok {
+		return w
+	}
+	w := e.b.ConstWord(0, e.width)
+	e.vars[name] = w
+	return w
+}
+
+func (e *compileEnv) stmt(s typesys.Stmt) error {
+	switch v := s.(type) {
+	case typesys.Assign:
+		w, err := e.expr(v.E)
+		if err != nil {
+			return err
+		}
+		e.vars[v.X] = w
+		return nil
+	case typesys.Read:
+		idx, ok := constIndex(v.Index)
+		if !ok {
+			return fmt.Errorf("circuit: read index %v not constant; transform first", v.Index)
+		}
+		cells, ok := e.arrays[v.Array]
+		if !ok || idx >= len(cells) {
+			return fmt.Errorf("circuit: read %s[%d] out of declared bounds", v.Array, idx)
+		}
+		e.vars[v.X] = cells[idx]
+		return nil
+	case typesys.Write:
+		idx, ok := constIndex(v.Index)
+		if !ok {
+			return fmt.Errorf("circuit: write index %v not constant; transform first", v.Index)
+		}
+		cells, ok := e.arrays[v.Array]
+		if !ok || idx >= len(cells) {
+			return fmt.Errorf("circuit: write %s[%d] out of declared bounds", v.Array, idx)
+		}
+		w, err := e.expr(v.E)
+		if err != nil {
+			return err
+		}
+		cells[idx] = w
+		return nil
+	default:
+		return fmt.Errorf("circuit: unsupported statement %T (not straight-line?)", s)
+	}
+}
+
+func constIndex(e typesys.Expr) (int, bool) {
+	c, ok := e.(typesys.Const)
+	if !ok {
+		return 0, false
+	}
+	return int(c.Value), true
+}
+
+// matchMux recognizes t*c + f*(1-c) (either operand order) and returns
+// (c, t, f) expressions.
+func matchMux(e typesys.Expr) (cond, t, f typesys.Expr, ok bool) {
+	add, isAdd := e.(typesys.Op)
+	if !isAdd || add.Kind != "+" {
+		return nil, nil, nil, false
+	}
+	side := func(x typesys.Expr) (val, c typesys.Expr, neg bool, ok bool) {
+		m, isMul := x.(typesys.Op)
+		if !isMul || m.Kind != "*" {
+			return nil, nil, false, false
+		}
+		// val * cond-ish: cond-ish is Var or (1 - Var).
+		for _, ord := range [2][2]typesys.Expr{{m.A, m.B}, {m.B, m.A}} {
+			v, candidate := ord[0], ord[1]
+			if sub, isSub := candidate.(typesys.Op); isSub && sub.Kind == "-" {
+				if one, isOne := sub.A.(typesys.Const); isOne && one.Value == 1 {
+					return v, sub.B, true, true
+				}
+			}
+			if _, isVar := candidate.(typesys.Var); isVar {
+				return v, candidate, false, true
+			}
+		}
+		return nil, nil, false, false
+	}
+	lv, lc, lneg, lok := side(add.A)
+	rv, rc, rneg, rok := side(add.B)
+	if !lok || !rok || lneg == rneg {
+		return nil, nil, nil, false
+	}
+	if fmt.Sprint(lc) != fmt.Sprint(rc) {
+		return nil, nil, nil, false
+	}
+	if lneg {
+		return lc, rv, lv, true
+	}
+	return lc, lv, rv, true
+}
+
+func (e *compileEnv) expr(x typesys.Expr) (Word, error) {
+	if c, t, f, ok := matchMux(x); ok {
+		cw, err := e.expr(c)
+		if err != nil {
+			return nil, err
+		}
+		tw, err := e.expr(t)
+		if err != nil {
+			return nil, err
+		}
+		fw, err := e.expr(f)
+		if err != nil {
+			return nil, err
+		}
+		// The condition is a 0/1 word (comparison result): bit 0 is c.
+		return e.b.MuxWord(cw[0], tw, fw), nil
+	}
+	switch v := x.(type) {
+	case typesys.Var:
+		return e.varWord(v.Name), nil
+	case typesys.Const:
+		return e.b.ConstWord(v.Value, e.width), nil
+	case typesys.Op:
+		a, err := e.expr(v.A)
+		if err != nil {
+			return nil, err
+		}
+		b2, err := e.expr(v.B)
+		if err != nil {
+			return nil, err
+		}
+		switch v.Kind {
+		case "+":
+			return e.b.Add(a, b2), nil
+		case "-":
+			d, _ := e.b.Sub(a, b2)
+			return d, nil
+		case "*":
+			return e.b.Mul(a, b2), nil
+		case "<":
+			return e.b.BoolToWord(e.b.Lt(a, b2), e.width), nil
+		case "==":
+			return e.b.BoolToWord(e.b.Eq(a, b2), e.width), nil
+		case "&":
+			return e.b.AndWord(a, b2), nil
+		case "|":
+			return e.b.OrWord(a, b2), nil
+		case "^":
+			return e.b.XorWord(a, b2), nil
+		default:
+			return nil, fmt.Errorf("circuit: unsupported operator %q", v.Kind)
+		}
+	default:
+		return nil, fmt.Errorf("circuit: unsupported expression %T", x)
+	}
+}
+
+// Run evaluates the compiled circuit on concrete array contents and
+// returns the final array states.
+func (c *Compiled) Run(arrays map[string][]uint64) (map[string][]uint64, error) {
+	var bits []bool
+	for _, cell := range c.InputOrder {
+		data, ok := arrays[cell.Array]
+		if !ok || cell.Index >= len(data) {
+			return nil, fmt.Errorf("circuit: missing input %s[%d]", cell.Array, cell.Index)
+		}
+		v := data[cell.Index]
+		if c.Width < 64 && v>>uint(c.Width) != 0 {
+			return nil, fmt.Errorf("circuit: input %s[%d]=%d exceeds %d-bit width",
+				cell.Array, cell.Index, v, c.Width)
+		}
+		for i := 0; i < c.Width; i++ {
+			bits = append(bits, (v>>i)&1 == 1)
+		}
+	}
+	get := c.B.Eval(bits)
+	out := map[string][]uint64{}
+	for cell, w := range c.Outputs {
+		arr := out[cell.Array]
+		for len(arr) <= cell.Index {
+			arr = append(arr, 0)
+		}
+		arr[cell.Index] = WordValue(get, w)
+		out[cell.Array] = arr
+	}
+	return out, nil
+}

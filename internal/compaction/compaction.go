@@ -1,0 +1,103 @@
+// Package compaction implements Goodrich's data-oblivious
+// order-preserving tight compaction (§3.5 of the paper), the O(n log n)
+// alternative to sort-based filtering: all non-null entries of an array
+// are moved to the front, preserving their relative order, with a memory
+// trace that depends only on the array length.
+//
+// The construction is the same power-of-two-hop routing network used by
+// Oblivious-Distribute (internal/core), run in the compacting direction:
+// each non-null entry's destination is its rank among non-null entries,
+// computed in one branch-free linear pass, and entries then hop towards
+// the front in ⌈log₂ n⌉ passes. The paper's distribute is exactly this
+// network "used in the reverse direction (instead of compacting elements
+// together it spreads them out)".
+package compaction
+
+import (
+	"oblivjoin/internal/bitonic"
+	"oblivjoin/internal/obliv"
+	"oblivjoin/internal/table"
+)
+
+// Stats counts the compare–hop steps performed.
+type Stats struct {
+	RouteOps uint64
+}
+
+// Ops tells the generic compactor how to inspect and move elements of
+// type T: whether an element is a ∅ slot, where its routing-distance
+// scratch word lives, and how to conditionally swap two elements in
+// constant time. All functions must be branch-free on element contents.
+type Ops[T any] struct {
+	// Null reports 1 when the element is a ∅ slot.
+	Null func(*T) uint64
+	// Dist reads the element's routing-distance scratch word.
+	Dist func(*T) uint64
+	// SetDist writes the scratch word.
+	SetDist func(*T, uint64)
+	// Swap conditionally swaps two elements.
+	Swap bitonic.CondSwapFunc[T]
+}
+
+// Compact obliviously moves all non-null entries of a to the front,
+// preserving order; the tail is left holding ∅ entries. The entries' F
+// attribute is clobbered (it carries the remaining routing distance).
+//
+// The number of non-null entries is data-dependent and deliberately not
+// returned: revealing it is the caller's decision. Callers that know the
+// count publicly (as the join does with m) simply truncate.
+func Compact(a table.Store, st *Stats) {
+	CompactFunc[table.Entry](a, Ops[table.Entry]{
+		Null:    func(e *table.Entry) uint64 { return e.Null },
+		Dist:    func(e *table.Entry) uint64 { return e.F },
+		SetDist: func(e *table.Entry, d uint64) { e.F = d },
+		Swap:    table.CondSwapEntry,
+	}, st)
+}
+
+// CompactFunc is the generic order-preserving tight compaction over any
+// element type; see Compact for the contract.
+func CompactFunc[T any](a bitonic.Array[T], ops Ops[T], st *Stats) {
+	n := a.Len()
+
+	// Distance pass: a non-null entry at index i with rank r (0-based
+	// among non-nulls) must move up by exactly i−r positions — the
+	// number of ∅ entries before it, which is non-decreasing in i.
+	var rank uint64
+	for i := 0; i < n; i++ {
+		e := a.Get(i)
+		real := obliv.Not(ops.Null(&e))
+		ops.SetDist(&e, obliv.Select(real, uint64(i)-rank, 0))
+		rank += real
+		a.Set(i, e)
+	}
+
+	routeUp(a, ops, n, st)
+}
+
+// routeUp moves every entry up by its scratch distance, one binary digit
+// at a time from least to most significant: in pass b (hop j = 2^b), an
+// entry whose remaining distance has bit b set swaps with the slot j
+// above it. Scanning forward, the vacated chain always stays ahead of
+// the movers; the contiguity relation d(next) − d(prev) = gap − 1
+// between successive non-null entries guarantees the target slot is ∅
+// whenever a swap fires. This is the order-preserving tight compaction
+// of Goodrich that the paper's Oblivious-Distribute runs "in the reverse
+// direction".
+func routeUp[T any](a bitonic.Array[T], ops Ops[T], n int, st *Stats) {
+	for j := 1; j < n; j <<= 1 {
+		for i := 0; i+j < n; i++ {
+			y := a.Get(i)
+			y2 := a.Get(i + j)
+			bit := obliv.Neq(ops.Dist(&y2)&uint64(j), 0)
+			c := obliv.And(obliv.Not(ops.Null(&y2)), bit)
+			ops.SetDist(&y2, ops.Dist(&y2)-c*uint64(j))
+			ops.Swap(c, &y, &y2)
+			a.Set(i, y)
+			a.Set(i+j, y2)
+			if st != nil {
+				st.RouteOps++
+			}
+		}
+	}
+}

@@ -1,0 +1,173 @@
+package compaction
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"oblivjoin/internal/memory"
+	"oblivjoin/internal/table"
+	"oblivjoin/internal/trace"
+)
+
+func storeOf(entries []table.Entry) table.Store {
+	sp := memory.NewSpace(nil, nil)
+	st := table.PlainAlloc(sp)(len(entries))
+	for i, e := range entries {
+		st.Set(i, e)
+	}
+	return st
+}
+
+func fromMask(mask []bool) ([]table.Entry, []uint64) {
+	entries := make([]table.Entry, len(mask))
+	var want []uint64
+	for i, real := range mask {
+		if real {
+			entries[i] = table.Entry{J: uint64(i + 1)}
+			want = append(want, uint64(i+1))
+		} else {
+			entries[i] = table.Entry{Null: 1}
+		}
+	}
+	return entries, want
+}
+
+func checkCompacted(t *testing.T, st table.Store, want []uint64) {
+	t.Helper()
+	for i, j := range want {
+		e := st.Get(i)
+		if e.Null != 0 || e.J != j {
+			t.Fatalf("slot %d: %+v, want J=%d", i, e, j)
+		}
+	}
+	for i := len(want); i < st.Len(); i++ {
+		if st.Get(i).Null != 1 {
+			t.Fatalf("tail slot %d not null: %+v", i, st.Get(i))
+		}
+	}
+}
+
+func TestCompactFixed(t *testing.T) {
+	cases := [][]bool{
+		{},
+		{true},
+		{false},
+		{false, true},
+		{true, false},
+		{false, false, true, false, true},
+		{true, true, true},
+		{false, false, false},
+		{true, false, true, false, true, false, true},
+		{false, true, true, false, false, true, true, true},
+	}
+	for _, mask := range cases {
+		entries, want := fromMask(mask)
+		st := storeOf(entries)
+		Compact(st, nil)
+		checkCompacted(t, st, want)
+	}
+}
+
+func TestCompactProperty(t *testing.T) {
+	f := func(mask []bool) bool {
+		if len(mask) > 200 {
+			mask = mask[:200]
+		}
+		entries, want := fromMask(mask)
+		st := storeOf(entries)
+		Compact(st, nil)
+		for i, j := range want {
+			if e := st.Get(i); e.Null != 0 || e.J != j {
+				return false
+			}
+		}
+		for i := len(want); i < st.Len(); i++ {
+			if st.Get(i).Null != 1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCompactAllLengths(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for n := 0; n <= 65; n++ {
+		mask := make([]bool, n)
+		for i := range mask {
+			mask[i] = rng.Intn(2) == 0
+		}
+		entries, want := fromMask(mask)
+		st := storeOf(entries)
+		Compact(st, nil)
+		checkCompacted(t, st, want)
+	}
+}
+
+func TestCompactPreservesPayload(t *testing.T) {
+	entries := []table.Entry{
+		{Null: 1},
+		{J: 7, D: table.MustData("keep-me"), A1: 3, A2: 4, II: 9},
+		{Null: 1},
+	}
+	st := storeOf(entries)
+	Compact(st, nil)
+	e := st.Get(0)
+	if table.DataString(e.D) != "keep-me" || e.A1 != 3 || e.A2 != 4 || e.II != 9 {
+		t.Fatalf("payload clobbered: %+v", e)
+	}
+}
+
+func TestCompactTraceOblivious(t *testing.T) {
+	run := func(mask []bool) string {
+		h := trace.NewHasher()
+		sp := memory.NewSpace(h, nil)
+		st := table.PlainAlloc(sp)(len(mask))
+		entries, _ := fromMask(mask)
+		for i, e := range entries {
+			st.Set(i, e)
+		}
+		Compact(st, nil)
+		return h.Hex()
+	}
+	a := run([]bool{true, false, true, false, true, false, false, true})
+	b := run([]bool{false, false, false, false, true, true, true, true})
+	c := run([]bool{true, true, true, true, true, true, true, true})
+	if a != b || b != c {
+		t.Fatal("compaction trace depends on null pattern")
+	}
+}
+
+func TestCompactStats(t *testing.T) {
+	var st Stats
+	entries, _ := fromMask(make([]bool, 16))
+	Compact(storeOf(entries), &st)
+	// Hops: sum over j=8,4,2,1 of (16-j) = 8+12+14+15 = 49.
+	if st.RouteOps != 49 {
+		t.Fatalf("RouteOps = %d, want 49", st.RouteOps)
+	}
+}
+
+func BenchmarkCompact4k(b *testing.B) {
+	rng := rand.New(rand.NewSource(9))
+	mask := make([]bool, 4096)
+	for i := range mask {
+		mask[i] = rng.Intn(2) == 0
+	}
+	entries, _ := fromMask(mask)
+	sp := memory.NewSpace(nil, nil)
+	st := table.PlainAlloc(sp)(len(entries))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		for k, e := range entries {
+			st.Set(k, e)
+		}
+		b.StartTimer()
+		Compact(st, nil)
+	}
+}

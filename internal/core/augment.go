@@ -1,0 +1,86 @@
+package core
+
+import (
+	"oblivjoin/internal/obliv"
+	"oblivjoin/internal/table"
+)
+
+// AugmentTables implements Algorithm 2: it concatenates the two input
+// tables (tagged with table IDs), sorts by ⟨j, tid⟩, computes the group
+// dimensions α1 and α2 with one forward and one backward linear pass
+// (Fill-Dimensions, Figure 2), re-sorts by ⟨tid, j, d⟩ and returns the
+// combined store together with views of the two augmented tables and the
+// output size m = Σ α1·α2 over groups.
+//
+// The returned m is public: the paper's algorithm deliberately reveals
+// the output length rather than padding to the quadratic worst case
+// (§3.2, "Revealing Output Length").
+func AugmentTables(cfg *Config, rows1, rows2 []table.Row) (tc table.Store, t1, t2 table.Store, m int) {
+	st := cfg.stats()
+	n1, n2 := len(rows1), len(rows2)
+	n := n1 + n2
+	tc = cfg.Alloc(n)
+	for i, r := range rows1 {
+		tc.Set(i, table.Entry{J: r.J, D: r.D, TID: 1})
+	}
+	for i, r := range rows2 {
+		tc.Set(n1+i, table.Entry{J: r.J, D: r.D, TID: 2})
+	}
+
+	cfg.sortStore(tc, table.LessJTID, &st.AugmentSort)
+	m = fillDimensions(tc)
+	cfg.sortStore(tc, table.LessTIDJD, &st.AugmentSort)
+
+	t1 = view{s: tc, off: 0, size: n1}
+	t2 = view{s: tc, off: n1, size: n2}
+	return tc, t1, t2, m
+}
+
+// fillDimensions computes α1 and α2 for every entry of tc, which must be
+// sorted by ⟨j, tid⟩, and returns the total output size m. It performs
+// exactly one read and one write per index in each direction; all
+// data-dependent state lives in a constant number of local variables and
+// is manipulated branch-free.
+func fillDimensions(tc table.Store) int {
+	n := tc.Len()
+
+	// Forward pass: store incremental counts. Within a group (a run of
+	// equal j), entries from T1 precede entries from T2; c1 counts T1
+	// entries seen in the current group, c2 counts T2 entries. The last
+	// entry of each group ends up holding the group's true (α1, α2).
+	var jprev, c1, c2 uint64
+	started := uint64(0) // becomes 1 after the first entry
+	for i := 0; i < n; i++ {
+		e := tc.Get(i)
+		same := obliv.And(started, obliv.Eq(e.J, jprev))
+		c1 = obliv.Select(same, c1, 0)
+		c2 = obliv.Select(same, c2, 0)
+		isT1 := obliv.Eq(e.TID, 1)
+		c1 += isT1
+		c2 += obliv.Not(isT1)
+		e.A1 = c1
+		e.A2 = c2
+		jprev = e.J
+		started = 1
+		tc.Set(i, e)
+	}
+
+	// Backward pass: propagate each group's final counts (found in its
+	// last entry, the first one seen scanning backwards) to the whole
+	// group, accumulating m = Σ α1·α2 once per group.
+	var a1, a2, mAcc uint64
+	jprev, started = 0, 0
+	for i := n - 1; i >= 0; i-- {
+		e := tc.Get(i)
+		same := obliv.And(started, obliv.Eq(e.J, jprev))
+		a1 = obliv.Select(same, a1, e.A1)
+		a2 = obliv.Select(same, a2, e.A2)
+		mAcc += obliv.Select(same, 0, e.A1*e.A2)
+		e.A1 = a1
+		e.A2 = a2
+		jprev = e.J
+		started = 1
+		tc.Set(i, e)
+	}
+	return int(mAcc)
+}

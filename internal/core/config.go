@@ -1,0 +1,117 @@
+// Package core implements the oblivious equi-join of Krastnikov,
+// Kerschbaum and Stebila (VLDB 2020): Algorithms 1–5 of the paper.
+//
+// The pipeline is
+//
+//	Augment-Tables → Oblivious-Expand(T1, α2) → Oblivious-Expand(T2, α1)
+//	              → Align-Table(S2) → zip
+//
+// running in O(n log² n + m log m) with a constant-size protected working
+// set (a handful of local variables, on the order of one entry). All
+// accesses to table storage flow through table.Store, whose
+// implementations emit the trace events that the repository's
+// obliviousness tests verify.
+package core
+
+import (
+	"time"
+
+	"oblivjoin/internal/bitonic"
+	"oblivjoin/internal/table"
+)
+
+// SortNet selects which sorting network the join uses.
+type SortNet int
+
+const (
+	// Bitonic is Batcher's bitonic sorter, the paper's default.
+	Bitonic SortNet = iota
+	// MergeExchange is Batcher's odd-even merge-exchange sort; fewer
+	// comparators, less parallel structure. Used in ablations.
+	MergeExchange
+)
+
+// Config parameterizes a join run. Alloc is required; the zero values of
+// the remaining fields give the paper's default configuration
+// (deterministic routing distribute, bitonic sorts, no instrumentation).
+type Config struct {
+	// Alloc provides entry storage (plain or encrypted public memory).
+	Alloc table.Alloc
+	// Net selects the sorting network.
+	Net SortNet
+	// Probabilistic switches Oblivious-Distribute to the PRP-based
+	// variant of §5.2 instead of the deterministic routing network.
+	Probabilistic bool
+	// Seed seeds the pseudorandom permutation of the probabilistic
+	// distribute. The deterministic variant ignores it. A zero seed is
+	// valid (it is still a fixed permutation; callers wanting fresh
+	// randomness should supply entropy).
+	Seed int64
+	// Stats, when non-nil, accumulates per-phase comparator counts and
+	// wall times (the Table 3 instrumentation).
+	Stats *Stats
+	// Parallel runs the bitonic sorting phases across goroutines
+	// (bitonic.SortParallel). The compare–exchange schedule — and hence
+	// the per-location access pattern — is identical to the sequential
+	// network; only the global interleaving changes. Use only with
+	// untraced, cost-model-free spaces: recorders are not synchronized.
+	// Ignored when Net is MergeExchange or when Stats is set (comparator
+	// counters are likewise unsynchronized).
+	Parallel bool
+}
+
+// Stats records the per-phase cost breakdown reported in Table 3 of the
+// paper, plus input/output sizes.
+type Stats struct {
+	N1, N2 int // input table sizes
+	M      int // output size (public by design; the algorithm leaks it)
+
+	AugmentSort    bitonic.Stats // the two sorts on TC (Alg. 2 lines 3, 5)
+	DistributeSort bitonic.Stats // sorts inside the two distributes
+	AlignSort      bitonic.Stats // the sort on S2 (Alg. 5 line 8)
+	RouteOps       uint64        // compare–hop steps of the routing loops
+
+	TAugment    time.Duration // Augment-Tables wall time
+	TDistSort   time.Duration // distribute: sorting portion
+	TDistRoute  time.Duration // distribute: routing portion
+	TExpandScan time.Duration // expand: prefix-sum and fill-down scans
+	TAlign      time.Duration // Align-Table wall time
+	TZip        time.Duration // output collection wall time
+}
+
+// Total returns the sum of all phase durations.
+func (s *Stats) Total() time.Duration {
+	return s.TAugment + s.TDistSort + s.TDistRoute + s.TExpandScan + s.TAlign + s.TZip
+}
+
+// sortStore runs the configured sorting network over st.
+func (c *Config) sortStore(st table.Store, less bitonic.LessFunc[table.Entry], bs *bitonic.Stats) {
+	switch {
+	case c.Net == MergeExchange:
+		bitonic.MergeExchangeSort[table.Entry](st, less, table.CondSwapEntry, bs)
+	case c.Parallel && c.Stats == nil:
+		bitonic.SortParallel[table.Entry](st, less, table.CondSwapEntry)
+	default:
+		bitonic.Sort[table.Entry](st, less, table.CondSwapEntry, bs)
+	}
+}
+
+func (c *Config) stats() *Stats {
+	if c.Stats != nil {
+		return c.Stats
+	}
+	return &Stats{} // discarded scratch so call sites stay branch-light
+}
+
+// view is a windowed alias of a Store: the augmented TC is split into T1
+// and T2 as two regions of the same array (§6.2's space accounting
+// depends on this).
+type view struct {
+	s    table.Store
+	off  int
+	size int
+}
+
+func (v view) Len() int                 { return v.size }
+func (v view) Get(i int) table.Entry    { return v.s.Get(v.off + i) }
+func (v view) Set(i int, e table.Entry) { v.s.Set(v.off+i, e) }

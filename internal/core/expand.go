@@ -1,0 +1,66 @@
+package core
+
+import (
+	"time"
+
+	"oblivjoin/internal/obliv"
+	"oblivjoin/internal/table"
+)
+
+// GFunc selects the duplication count g(x) for an entry during
+// expansion: α2 when expanding T1, α1 when expanding T2.
+type GFunc func(e *table.Entry) uint64
+
+// GAlpha2 duplicates each T1 entry once per matching T2 entry.
+func GAlpha2(e *table.Entry) uint64 { return e.A2 }
+
+// GAlpha1 duplicates each T2 entry once per matching T1 entry.
+func GAlpha1(e *table.Entry) uint64 { return e.A1 }
+
+// ObliviousExpand implements Algorithm 4: it returns a store of exactly
+// m entries in which each input entry x appears g(x) times contiguously,
+// in input order; entries with g(x) = 0 vanish. m must equal Σ g(x) —
+// the caller knows it from Augment-Tables.
+//
+// The three phases are (1) a linear prefix-sum pass assigning each entry
+// its first destination F (1-based) and marking g = 0 entries ∅; (2) the
+// extended oblivious distribute; (3) a linear fill-down pass overwriting
+// each ∅ slot with the last preceding real entry. Each linear pass makes
+// one read and one write per index.
+func ObliviousExpand(cfg *Config, x table.Store, g GFunc, m int) table.Store {
+	st := cfg.stats()
+	n := x.Len()
+
+	t0 := time.Now()
+	s := uint64(1)
+	for i := 0; i < n; i++ {
+		e := x.Get(i)
+		gv := obliv.Select(e.Null, 0, g(&e))
+		zero := obliv.Eq(gv, 0)
+		e.F = obliv.Select(zero, 0, s)
+		e.Null = zero
+		s += gv
+		x.Set(i, e)
+	}
+	st.TExpandScan += time.Since(t0)
+	if int(s-1) != m {
+		// A mismatch means the caller's m is inconsistent with the group
+		// dimensions — a programming error, not a data-dependent event
+		// (both quantities are public).
+		panic("core: expansion size mismatch")
+	}
+
+	a := ExtObliviousDistribute(cfg, x, m)
+
+	t0 = time.Now()
+	var px table.Entry
+	px.Null = 1
+	for i := 0; i < m; i++ {
+		e := a.Get(i)
+		table.CondCopyEntry(e.Null, &e, &px)
+		px = e
+		a.Set(i, e)
+	}
+	st.TExpandScan += time.Since(t0)
+	return a
+}

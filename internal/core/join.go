@@ -1,0 +1,81 @@
+package core
+
+import (
+	"time"
+
+	"oblivjoin/internal/table"
+)
+
+// Join computes the binary equi-join of two unsorted tables using the
+// full oblivious pipeline of Algorithm 1. The result contains one
+// (d1, d2) pair per matching pair of input rows, ordered by
+// (j, d1, alignment); its length m is public.
+func Join(cfg *Config, rows1, rows2 []table.Row) []table.Pair {
+	if cfg.Alloc == nil {
+		panic("core: Config.Alloc is required")
+	}
+	st := cfg.stats()
+	st.N1, st.N2 = len(rows1), len(rows2)
+
+	t0 := time.Now()
+	_, t1, t2, m := AugmentTables(cfg, rows1, rows2)
+	st.TAugment += time.Since(t0)
+	st.M = m
+
+	s1 := ObliviousExpand(cfg, t1, GAlpha2, m)
+	s2 := ObliviousExpand(cfg, t2, GAlpha1, m)
+	AlignTable(cfg, s2)
+
+	t0 = time.Now()
+	out := make([]table.Pair, m)
+	for i := 0; i < m; i++ {
+		e1 := s1.Get(i)
+		e2 := s2.Get(i)
+		out[i] = table.Pair{D1: e1.D, D2: e2.D}
+	}
+	st.TZip += time.Since(t0)
+	return out
+}
+
+// JoinKeyed is Join but retains the join value in each output row,
+// making the result directly re-joinable (the composition §7 of the
+// paper sketches for multi-way joins). The extra column changes nothing
+// about the access pattern: S1 is read at the same indices either way.
+func JoinKeyed(cfg *Config, rows1, rows2 []table.Row) []table.KeyedPair {
+	if cfg.Alloc == nil {
+		panic("core: Config.Alloc is required")
+	}
+	st := cfg.stats()
+	st.N1, st.N2 = len(rows1), len(rows2)
+
+	t0 := time.Now()
+	_, t1, t2, m := AugmentTables(cfg, rows1, rows2)
+	st.TAugment += time.Since(t0)
+	st.M = m
+
+	s1 := ObliviousExpand(cfg, t1, GAlpha2, m)
+	s2 := ObliviousExpand(cfg, t2, GAlpha1, m)
+	AlignTable(cfg, s2)
+
+	t0 = time.Now()
+	out := make([]table.KeyedPair, m)
+	for i := 0; i < m; i++ {
+		e1 := s1.Get(i)
+		e2 := s2.Get(i)
+		out[i] = table.KeyedPair{J: e1.J, D1: e1.D, D2: e2.D}
+	}
+	st.TZip += time.Since(t0)
+	return out
+}
+
+// OutputSize runs only the Augment-Tables stage and reports the join's
+// output cardinality m without materializing it. The paper's two-stage
+// circuit decomposition (§3.4, constraint 3) needs exactly this value
+// before the second, m-parameterized stage is laid out.
+func OutputSize(cfg *Config, rows1, rows2 []table.Row) int {
+	if cfg.Alloc == nil {
+		panic("core: Config.Alloc is required")
+	}
+	_, _, _, m := AugmentTables(cfg, rows1, rows2)
+	return m
+}

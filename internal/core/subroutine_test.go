@@ -1,0 +1,376 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"oblivjoin/internal/crypto"
+	"oblivjoin/internal/memory"
+	"oblivjoin/internal/table"
+	"oblivjoin/internal/trace"
+)
+
+func newTestCipher(t *testing.T) *crypto.Cipher {
+	t.Helper()
+	c, _, err := crypto.NewRandom()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func storeOf(entries []table.Entry) table.Store {
+	sp := memory.NewSpace(nil, nil)
+	st := table.PlainAlloc(sp)(len(entries))
+	for i, e := range entries {
+		st.Set(i, e)
+	}
+	return st
+}
+
+func dump(st table.Store) []table.Entry {
+	out := make([]table.Entry, st.Len())
+	for i := range out {
+		out[i] = st.Get(i)
+	}
+	return out
+}
+
+func TestFillDimensionsPaperExample(t *testing.T) {
+	// Figure 2's table TC, sorted by ⟨j, tid⟩:
+	// x: a1 a2 (t1), u1 u2 u3 (t2);  y: b1..b4 (t1), v1 v2 (t2);  z: w1 (t2).
+	var entries []table.Entry
+	add := func(j uint64, tid uint64, d string) {
+		entries = append(entries, table.Entry{J: j, TID: tid, D: table.MustData(d)})
+	}
+	add('x', 1, "a1")
+	add('x', 1, "a2")
+	add('x', 2, "u1")
+	add('x', 2, "u2")
+	add('x', 2, "u3")
+	add('y', 1, "b1")
+	add('y', 1, "b2")
+	add('y', 1, "b3")
+	add('y', 1, "b4")
+	add('y', 2, "v1")
+	add('y', 2, "v2")
+	add('z', 2, "w1")
+	st := storeOf(entries)
+	m := fillDimensions(st)
+	// m = 2·3 + 4·2 + 0·1 = 14.
+	if m != 14 {
+		t.Fatalf("m = %d, want 14", m)
+	}
+	want := []struct{ a1, a2 uint64 }{
+		{2, 3}, {2, 3}, {2, 3}, {2, 3}, {2, 3},
+		{4, 2}, {4, 2}, {4, 2}, {4, 2}, {4, 2}, {4, 2},
+		{0, 1},
+	}
+	for i, w := range want {
+		e := st.Get(i)
+		if e.A1 != w.a1 || e.A2 != w.a2 {
+			t.Errorf("entry %d (%s): α=(%d,%d), want (%d,%d)",
+				i, table.DataString(e.D), e.A1, e.A2, w.a1, w.a2)
+		}
+	}
+}
+
+func TestFillDimensionsSingleGroupOneSide(t *testing.T) {
+	st := storeOf([]table.Entry{
+		{J: 5, TID: 1}, {J: 5, TID: 1}, {J: 5, TID: 1},
+	})
+	if m := fillDimensions(st); m != 0 {
+		t.Fatalf("m = %d, want 0 (no T2 entries)", m)
+	}
+	for _, e := range dump(st) {
+		if e.A1 != 3 || e.A2 != 0 {
+			t.Fatalf("α = (%d,%d), want (3,0)", e.A1, e.A2)
+		}
+	}
+}
+
+func TestFillDimensionsEmpty(t *testing.T) {
+	if m := fillDimensions(storeOf(nil)); m != 0 {
+		t.Fatalf("m = %d on empty input", m)
+	}
+}
+
+func TestAugmentTablesSplitsSorted(t *testing.T) {
+	rows1 := rowsFrom([][2]uint64{{3, 1}, {1, 1}, {2, 1}})
+	rows2 := rowsFrom([][2]uint64{{2, 2}, {2, 3}, {1, 2}, {9, 9}})
+	cfg := plainConfig()
+	_, t1, t2, m := AugmentTables(cfg, rows1, rows2)
+	if m != 1*1+1*2 {
+		t.Fatalf("m = %d, want 3", m)
+	}
+	if t1.Len() != 3 || t2.Len() != 4 {
+		t.Fatalf("split sizes %d/%d", t1.Len(), t2.Len())
+	}
+	// Each side must be sorted by (j, d) and carry its own TID.
+	for i := 0; i < t1.Len(); i++ {
+		e := t1.Get(i)
+		if e.TID != 1 {
+			t.Fatalf("t1[%d].TID = %d", i, e.TID)
+		}
+		if i > 0 && t1.Get(i-1).J > e.J {
+			t.Fatal("t1 not sorted by j")
+		}
+	}
+	for i := 0; i < t2.Len(); i++ {
+		if t2.Get(i).TID != 2 {
+			t.Fatalf("t2[%d].TID = %d", i, t2.Get(i).TID)
+		}
+	}
+	// Group 2 has α1=1 (one entry in T1), α2=2.
+	for i := 0; i < t1.Len(); i++ {
+		if e := t1.Get(i); e.J == 2 && (e.A1 != 1 || e.A2 != 2) {
+			t.Fatalf("group 2 dims (%d,%d)", e.A1, e.A2)
+		}
+	}
+}
+
+func TestExtObliviousDistributeBasic(t *testing.T) {
+	// The Figure 3 example: five elements to indices 4,1,3,8,6 of an
+	// 8-slot array (1-based).
+	dests := []uint64{4, 1, 3, 8, 6}
+	entries := make([]table.Entry, len(dests))
+	for i, f := range dests {
+		entries[i] = table.Entry{J: uint64(i + 1), F: f}
+	}
+	st := storeOf(entries)
+	out := ExtObliviousDistribute(plainConfig(), st, 8)
+	if out.Len() != 8 {
+		t.Fatalf("out len = %d", out.Len())
+	}
+	for i, f := range dests {
+		got := out.Get(int(f - 1))
+		if got.Null != 0 || got.J != uint64(i+1) {
+			t.Fatalf("element %d not at slot %d: %+v", i+1, f, got)
+		}
+	}
+	nulls := 0
+	for i := 0; i < 8; i++ {
+		if out.Get(i).Null == 1 {
+			nulls++
+		}
+	}
+	if nulls != 3 {
+		t.Fatalf("nulls = %d, want 3", nulls)
+	}
+}
+
+func TestExtObliviousDistributeWithNullsAndShrink(t *testing.T) {
+	// n=5 input with two nulls, m=3 output.
+	entries := []table.Entry{
+		{J: 1, F: 2},
+		{J: 2, Null: 1},
+		{J: 3, F: 1},
+		{J: 4, Null: 1},
+		{J: 5, F: 3},
+	}
+	out := ExtObliviousDistribute(plainConfig(), storeOf(entries), 3)
+	if out.Len() != 3 {
+		t.Fatalf("out len = %d", out.Len())
+	}
+	wantJ := []uint64{3, 1, 5}
+	for i, j := range wantJ {
+		if e := out.Get(i); e.J != j || e.Null != 0 {
+			t.Fatalf("slot %d: %+v, want J=%d", i, e, j)
+		}
+	}
+}
+
+func TestDistributeProperty(t *testing.T) {
+	cfgDet := plainConfig()
+	sp := memory.NewSpace(nil, nil)
+	cfgPRP := &Config{Alloc: table.PlainAlloc(sp), Probabilistic: true, Seed: 99}
+	f := func(present []bool, seed int64) bool {
+		if len(present) == 0 || len(present) > 40 {
+			return true
+		}
+		rng := rand.New(rand.NewSource(seed))
+		n := len(present)
+		// Random injective destinations for present entries into [1, m].
+		var nReal int
+		for _, p := range present {
+			if p {
+				nReal++
+			}
+		}
+		m := nReal + rng.Intn(10)
+		perm := rng.Perm(m)
+		entries := make([]table.Entry, n)
+		k := 0
+		for i, p := range present {
+			if p {
+				entries[i] = table.Entry{J: uint64(i + 1), F: uint64(perm[k] + 1)}
+				k++
+			} else {
+				entries[i] = table.Entry{J: uint64(i + 1), Null: 1}
+			}
+		}
+		for _, cfg := range []*Config{cfgDet, cfgPRP} {
+			out := ExtObliviousDistribute(cfg, storeOf(entries), m)
+			if out.Len() != m {
+				return false
+			}
+			for _, e := range entries {
+				if e.Null == 1 {
+					continue
+				}
+				got := out.Get(int(e.F - 1))
+				if got.J != e.J || got.Null != 0 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDistributeTraceOblivious(t *testing.T) {
+	// Same n and m, different destinations → identical traces
+	// (deterministic variant).
+	run := func(dests []uint64, m int) string {
+		h := trace.NewHasher()
+		sp := memory.NewSpace(h, nil)
+		cfg := &Config{Alloc: table.PlainAlloc(sp)}
+		entries := make([]table.Entry, len(dests))
+		for i, f := range dests {
+			entries[i] = table.Entry{J: uint64(i), F: f}
+		}
+		st := table.PlainAlloc(sp)(len(entries))
+		for i, e := range entries {
+			st.Set(i, e)
+		}
+		ExtObliviousDistribute(cfg, st, m)
+		return h.Hex()
+	}
+	if run([]uint64{1, 2, 3}, 7) != run([]uint64{5, 6, 7}, 7) {
+		t.Fatal("distribute trace depends on destinations")
+	}
+}
+
+func TestObliviousExpandBasic(t *testing.T) {
+	// Figure 4: counts 2,3,0,2,1 over five elements, m=8.
+	counts := []uint64{2, 3, 0, 2, 1}
+	entries := make([]table.Entry, len(counts))
+	for i, c := range counts {
+		entries[i] = table.Entry{J: uint64(i + 1), A2: c, D: table.MustData(fmt.Sprintf("x%d", i+1))}
+	}
+	st := storeOf(entries)
+	out := ObliviousExpand(plainConfig(), st, GAlpha2, 8)
+	wantJ := []uint64{1, 1, 2, 2, 2, 4, 4, 5}
+	if out.Len() != len(wantJ) {
+		t.Fatalf("out len = %d", out.Len())
+	}
+	for i, j := range wantJ {
+		if e := out.Get(i); e.J != j {
+			t.Fatalf("slot %d: J=%d, want %d", i, e.J, j)
+		}
+	}
+}
+
+func TestObliviousExpandAllZero(t *testing.T) {
+	entries := []table.Entry{{J: 1, A1: 0}, {J: 2, A1: 0}}
+	out := ObliviousExpand(plainConfig(), storeOf(entries), GAlpha1, 0)
+	if out.Len() != 0 {
+		t.Fatalf("out len = %d, want 0", out.Len())
+	}
+}
+
+func TestObliviousExpandSizeMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	entries := []table.Entry{{J: 1, A2: 2}}
+	ObliviousExpand(plainConfig(), storeOf(entries), GAlpha2, 5)
+}
+
+func TestObliviousExpandProperty(t *testing.T) {
+	f := func(counts []uint8) bool {
+		if len(counts) > 30 {
+			counts = counts[:30]
+		}
+		entries := make([]table.Entry, len(counts))
+		m := 0
+		for i, c := range counts {
+			g := uint64(c % 5)
+			entries[i] = table.Entry{J: uint64(i + 1), A1: g}
+			m += int(g)
+		}
+		out := ObliviousExpand(plainConfig(), storeOf(entries), GAlpha1, m)
+		if out.Len() != m {
+			return false
+		}
+		k := 0
+		for i, c := range counts {
+			for r := 0; r < int(c%5); r++ {
+				if out.Get(k).J != uint64(i+1) {
+					return false
+				}
+				k++
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAlignTablePaperExample(t *testing.T) {
+	// Group x with α1=2, α2=3: expanded S2 = u1,u1,u2,u2,u3,u3 must
+	// align to u1,u2,u3,u1,u2,u3 (Figure 5).
+	mk := func(d string) table.Entry {
+		return table.Entry{J: 'x', A1: 2, A2: 3, D: table.MustData(d)}
+	}
+	s2 := storeOf([]table.Entry{
+		mk("u1"), mk("u1"), mk("u2"), mk("u2"), mk("u3"), mk("u3"),
+	})
+	AlignTable(plainConfig(), s2)
+	want := []string{"u1", "u2", "u3", "u1", "u2", "u3"}
+	for i, w := range want {
+		if got := table.DataString(s2.Get(i).D); got != w {
+			t.Fatalf("slot %d = %s, want %s", i, got, w)
+		}
+	}
+}
+
+func TestAlignTableMultipleGroups(t *testing.T) {
+	mk := func(j uint64, a1, a2 uint64, d string) table.Entry {
+		return table.Entry{J: j, A1: a1, A2: a2, D: table.MustData(d)}
+	}
+	// Group 1: α1=1, α2=2 → no change (v1,v2). Group 2: α1=2, α2=1 →
+	// w1,w1 stays.
+	s2 := storeOf([]table.Entry{
+		mk(1, 1, 2, "v1"), mk(1, 1, 2, "v2"),
+		mk(2, 2, 1, "w1"), mk(2, 2, 1, "w1"),
+	})
+	AlignTable(plainConfig(), s2)
+	want := []string{"v1", "v2", "w1", "w1"}
+	for i, w := range want {
+		if got := table.DataString(s2.Get(i).D); got != w {
+			t.Fatalf("slot %d = %s, want %s", i, got, w)
+		}
+	}
+}
+
+func TestViewWindowing(t *testing.T) {
+	st := storeOf([]table.Entry{{J: 1}, {J: 2}, {J: 3}, {J: 4}})
+	v := view{s: st, off: 1, size: 2}
+	if v.Len() != 2 || v.Get(0).J != 2 || v.Get(1).J != 3 {
+		t.Fatal("view windowing broken")
+	}
+	v.Set(0, table.Entry{J: 99})
+	if st.Get(1).J != 99 {
+		t.Fatal("view write did not reach backing store")
+	}
+}

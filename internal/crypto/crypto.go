@@ -1,0 +1,134 @@
+// Package crypto simulates the probabilistic encryption layer that the
+// paper assumes for public memory (§3.1, §3.5).
+//
+// The adversary sees ciphertexts only; because encryption is
+// probabilistic, a dummy write-back of an unchanged entry is
+// indistinguishable from a real update. The join algorithm itself never
+// depends on this layer for obliviousness — its access pattern is already
+// input-independent — but a credible deployment stores entries encrypted,
+// and the evaluation's encrypted variant exercises this code path.
+//
+// Entries are sealed with AES-128-CTR under a per-Cipher key with a fresh
+// random nonce per seal, plus an HMAC-SHA256 tag (encrypt-then-MAC) so
+// tampering by the untrusted server is detected. Only the Go standard
+// library is used.
+package crypto
+
+import (
+	"crypto/aes"
+	"crypto/cipher"
+	"crypto/hmac"
+	"crypto/rand"
+	"crypto/sha256"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// Overhead is the number of bytes added to each sealed plaintext:
+// a 16-byte nonce and a 32-byte MAC tag.
+const Overhead = aes.BlockSize + sha256.Size
+
+// ErrAuth is returned when a ciphertext fails authentication.
+var ErrAuth = errors.New("crypto: ciphertext authentication failed")
+
+// Cipher seals and opens fixed-size entries. It is safe for concurrent
+// use for Open; Seal draws from crypto/rand and is also safe.
+type Cipher struct {
+	block  cipher.Block
+	macKey [32]byte
+	rand   io.Reader
+}
+
+// New creates a Cipher from a 32-byte master key: the first 16 bytes key
+// AES, the remainder seeds the MAC key (expanded via SHA-256 so the two
+// halves are independent).
+func New(master []byte) (*Cipher, error) {
+	if len(master) != 32 {
+		return nil, fmt.Errorf("crypto: master key must be 32 bytes, got %d", len(master))
+	}
+	block, err := aes.NewCipher(master[:16])
+	if err != nil {
+		return nil, err
+	}
+	c := &Cipher{block: block, rand: rand.Reader}
+	c.macKey = sha256.Sum256(master[16:])
+	return c, nil
+}
+
+// NewRandom creates a Cipher with a fresh random master key, returning
+// the key so a client could in principle re-derive the cipher.
+func NewRandom() (*Cipher, []byte, error) {
+	key := make([]byte, 32)
+	if _, err := rand.Read(key); err != nil {
+		return nil, nil, err
+	}
+	c, err := New(key)
+	if err != nil {
+		return nil, nil, err
+	}
+	return c, key, nil
+}
+
+// SealedLen returns the ciphertext length for a plaintext of n bytes.
+func SealedLen(n int) int { return n + Overhead }
+
+// Seal encrypts plaintext with a fresh nonce and appends a MAC. dst must
+// be SealedLen(len(plaintext)) bytes; Seal panics otherwise (entry sizes
+// are public constants, so a mismatch is a programming error, not data-
+// dependent behaviour).
+func (c *Cipher) Seal(dst, plaintext []byte) {
+	if len(dst) != SealedLen(len(plaintext)) {
+		panic(fmt.Sprintf("crypto: Seal dst %d bytes, want %d", len(dst), SealedLen(len(plaintext))))
+	}
+	nonce := dst[:aes.BlockSize]
+	if _, err := io.ReadFull(c.rand, nonce); err != nil {
+		panic("crypto: nonce source failed: " + err.Error())
+	}
+	body := dst[aes.BlockSize : aes.BlockSize+len(plaintext)]
+	cipher.NewCTR(c.block, nonce).XORKeyStream(body, plaintext)
+	mac := hmac.New(sha256.New, c.macKey[:])
+	mac.Write(dst[:aes.BlockSize+len(plaintext)])
+	copy(dst[aes.BlockSize+len(plaintext):], mac.Sum(nil))
+}
+
+// Open authenticates and decrypts a ciphertext produced by Seal into dst,
+// which must be len(sealed)-Overhead bytes. It returns ErrAuth when the
+// tag does not verify.
+func (c *Cipher) Open(dst, sealed []byte) error {
+	if len(sealed) < Overhead {
+		return fmt.Errorf("crypto: sealed entry too short (%d bytes)", len(sealed))
+	}
+	n := len(sealed) - Overhead
+	if len(dst) != n {
+		panic(fmt.Sprintf("crypto: Open dst %d bytes, want %d", len(dst), n))
+	}
+	mac := hmac.New(sha256.New, c.macKey[:])
+	mac.Write(sealed[:aes.BlockSize+n])
+	if !hmac.Equal(mac.Sum(nil), sealed[aes.BlockSize+n:]) {
+		return ErrAuth
+	}
+	nonce := sealed[:aes.BlockSize]
+	cipher.NewCTR(c.block, nonce).XORKeyStream(dst, sealed[aes.BlockSize:aes.BlockSize+n])
+	return nil
+}
+
+// Reseal re-encrypts a sealed entry under a fresh nonce without exposing
+// the plaintext to the caller: this is the "dummy write" operation —
+// after a Reseal the adversary cannot tell whether the logical contents
+// changed. dst and sealed must have equal length and may alias.
+func (c *Cipher) Reseal(dst, sealed []byte) error {
+	n := len(sealed) - Overhead
+	if n < 0 {
+		return fmt.Errorf("crypto: sealed entry too short (%d bytes)", len(sealed))
+	}
+	buf := make([]byte, n)
+	if err := c.Open(buf, sealed); err != nil {
+		return err
+	}
+	if len(dst) != len(sealed) {
+		panic("crypto: Reseal length mismatch")
+	}
+	c.Seal(dst, buf)
+	return nil
+}

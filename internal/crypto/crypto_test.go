@@ -1,0 +1,191 @@
+package crypto
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+)
+
+func newTestCipher(t *testing.T) *Cipher {
+	t.Helper()
+	key := make([]byte, 32)
+	for i := range key {
+		key[i] = byte(i * 7)
+	}
+	c, err := New(key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestNewRejectsBadKeyLength(t *testing.T) {
+	if _, err := New(make([]byte, 16)); err == nil {
+		t.Fatal("expected error for 16-byte master key")
+	}
+}
+
+func TestSealOpenRoundTrip(t *testing.T) {
+	c := newTestCipher(t)
+	f := func(pt []byte) bool {
+		sealed := make([]byte, SealedLen(len(pt)))
+		c.Seal(sealed, pt)
+		out := make([]byte, len(pt))
+		if err := c.Open(out, sealed); err != nil {
+			return false
+		}
+		return bytes.Equal(out, pt)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSealIsProbabilistic(t *testing.T) {
+	c := newTestCipher(t)
+	pt := []byte("the same plaintext")
+	a := make([]byte, SealedLen(len(pt)))
+	b := make([]byte, SealedLen(len(pt)))
+	c.Seal(a, pt)
+	c.Seal(b, pt)
+	if bytes.Equal(a, b) {
+		t.Fatal("two seals of equal plaintext produced equal ciphertexts")
+	}
+}
+
+func TestOpenDetectsTampering(t *testing.T) {
+	c := newTestCipher(t)
+	pt := []byte("secret entry")
+	sealed := make([]byte, SealedLen(len(pt)))
+	c.Seal(sealed, pt)
+	out := make([]byte, len(pt))
+	for _, pos := range []int{0, 16, len(sealed) - 1} {
+		mut := append([]byte(nil), sealed...)
+		mut[pos] ^= 0x01
+		if err := c.Open(out, mut); err != ErrAuth {
+			t.Fatalf("tamper at %d: err = %v, want ErrAuth", pos, err)
+		}
+	}
+}
+
+func TestOpenTooShort(t *testing.T) {
+	c := newTestCipher(t)
+	if err := c.Open(nil, make([]byte, Overhead-1)); err == nil {
+		t.Fatal("expected error for truncated ciphertext")
+	}
+}
+
+func TestResealChangesBytesPreservesPlaintext(t *testing.T) {
+	c := newTestCipher(t)
+	pt := []byte("row: (x, a1, 2, 3)")
+	sealed := make([]byte, SealedLen(len(pt)))
+	c.Seal(sealed, pt)
+	resealed := make([]byte, len(sealed))
+	if err := c.Reseal(resealed, sealed); err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Equal(resealed, sealed) {
+		t.Fatal("Reseal produced identical ciphertext (not probabilistic)")
+	}
+	out := make([]byte, len(pt))
+	if err := c.Open(out, resealed); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(out, pt) {
+		t.Fatal("Reseal changed plaintext")
+	}
+}
+
+func TestResealInPlace(t *testing.T) {
+	c := newTestCipher(t)
+	pt := []byte("in-place")
+	sealed := make([]byte, SealedLen(len(pt)))
+	c.Seal(sealed, pt)
+	if err := c.Reseal(sealed, sealed); err != nil {
+		t.Fatal(err)
+	}
+	out := make([]byte, len(pt))
+	if err := c.Open(out, sealed); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(out, pt) {
+		t.Fatal("in-place Reseal corrupted entry")
+	}
+}
+
+func TestResealRejectsTampered(t *testing.T) {
+	c := newTestCipher(t)
+	pt := []byte("x")
+	sealed := make([]byte, SealedLen(len(pt)))
+	c.Seal(sealed, pt)
+	sealed[3] ^= 0xff
+	if err := c.Reseal(sealed, sealed); err != ErrAuth {
+		t.Fatalf("err = %v, want ErrAuth", err)
+	}
+}
+
+func TestNewRandomDistinctKeys(t *testing.T) {
+	_, k1, err := NewRandom()
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, k2, err := NewRandom()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Equal(k1, k2) {
+		t.Fatal("NewRandom returned identical keys")
+	}
+	if len(k1) != 32 {
+		t.Fatalf("key length = %d, want 32", len(k1))
+	}
+}
+
+func TestCiphersWithDifferentKeysIncompatible(t *testing.T) {
+	c1 := newTestCipher(t)
+	c2, _, err := NewRandom()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pt := []byte("cross-key")
+	sealed := make([]byte, SealedLen(len(pt)))
+	c1.Seal(sealed, pt)
+	out := make([]byte, len(pt))
+	if err := c2.Open(out, sealed); err != ErrAuth {
+		t.Fatalf("err = %v, want ErrAuth", err)
+	}
+}
+
+func TestSealedLen(t *testing.T) {
+	if SealedLen(0) != Overhead {
+		t.Fatalf("SealedLen(0) = %d, want %d", SealedLen(0), Overhead)
+	}
+	if SealedLen(40) != 40+Overhead {
+		t.Fatalf("SealedLen(40) = %d", SealedLen(40))
+	}
+}
+
+func BenchmarkSeal64(b *testing.B) {
+	key := make([]byte, 32)
+	c, _ := New(key)
+	pt := make([]byte, 64)
+	sealed := make([]byte, SealedLen(64))
+	b.SetBytes(64)
+	for i := 0; i < b.N; i++ {
+		c.Seal(sealed, pt)
+	}
+}
+
+func BenchmarkReseal64(b *testing.B) {
+	key := make([]byte, 32)
+	c, _ := New(key)
+	pt := make([]byte, 64)
+	sealed := make([]byte, SealedLen(64))
+	c.Seal(sealed, pt)
+	b.SetBytes(64)
+	for i := 0; i < b.N; i++ {
+		if err := c.Reseal(sealed, sealed); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

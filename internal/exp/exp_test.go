@@ -1,0 +1,119 @@
+package exp
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestTable1RunsAndAgrees(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Table1(&buf, 64, 128); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"standard sort-merge join", "oblivious nested-loop", "Opaque",
+		"ORAM sort-merge", "ours (oblivious join)", "output size m = 32",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("Table1 output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestTable1SkipsQuadraticPastCap(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Table1(&buf, 300, 100); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "(skipped)") {
+		t.Fatal("nested loop not skipped past cap")
+	}
+}
+
+func TestTable2AllVerified(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Table2(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if strings.Contains(out, "UNEXPECTED") {
+		t.Fatalf("verification failures:\n%s", out)
+	}
+	if strings.Count(out, "[ok]") < 7 {
+		t.Fatalf("too few verified rows:\n%s", out)
+	}
+	if !strings.Contains(out, "REJECTED (T-Cond)") {
+		t.Fatal("leaky program not shown as rejected")
+	}
+}
+
+func TestTable3SharesAndCounts(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Table3(&buf, 4096); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"initial sorts on TC", "o.d. on T1,T2 (route)", "align sort on S2"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing row %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestFig7Render(t *testing.T) {
+	ascii, pgm := Fig7()
+	if !strings.Contains(ascii, "events") {
+		t.Fatalf("ascii render header missing:\n%s", ascii[:80])
+	}
+	if !strings.HasPrefix(pgm, "P2\n512 256\n255\n") {
+		t.Fatal("pgm header wrong")
+	}
+	if !strings.Contains(ascii, "W") || !strings.Contains(ascii, "r") {
+		t.Fatal("render contains no accesses")
+	}
+}
+
+func TestCircuitReport(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Circuit(&buf, []int{4, 8}, 16); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"compare-exchange", "bitonic sort, n=8", "routing network, l=8", "AND"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestFig8ShapeHolds(t *testing.T) {
+	var buf bytes.Buffer
+	points, err := Fig8(&buf, []int{1024, 4096})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 2 {
+		t.Fatalf("points = %d", len(points))
+	}
+	for _, p := range points {
+		if p.M != p.N/2 {
+			t.Fatalf("workload regime broken: n=%d m=%d", p.N, p.M)
+		}
+		if p.SortMerge >= p.Prototype {
+			t.Errorf("n=%d: insecure sort-merge (%v) not faster than prototype (%v)",
+				p.N, p.SortMerge, p.Prototype)
+		}
+		if p.Prototype >= p.SGX {
+			t.Errorf("n=%d: prototype (%v) not faster than SGX sim (%v)", p.N, p.Prototype, p.SGX)
+		}
+		if p.SGX >= p.SGXTransform {
+			t.Errorf("n=%d: SGX (%v) not faster than transformed (%v)", p.N, p.SGX, p.SGXTransform)
+		}
+	}
+	// Superlinear growth between the two sizes.
+	if points[1].Prototype <= points[0].Prototype {
+		t.Error("runtime did not grow with n")
+	}
+}

@@ -1,0 +1,232 @@
+// Package memory models the public memory of the adversarial setting.
+//
+// All tables manipulated by the join live in Arrays allocated from a
+// Space. Every element read or write emits a trace.Event to the Space's
+// recorder — these events are exactly the ?← accesses of §4.3 of the
+// paper — and is charged to an optional enclave cost model that simulates
+// SGX-style execution for the Figure 8 experiment: a fixed per-access
+// overhead plus a page-fault penalty once the working set exceeds the
+// Enclave Page Cache.
+//
+// Local (protected) memory corresponds to plain Go variables; the
+// algorithm keeps only a constant number of those, on the order of one
+// database entry, matching the paper's level-II requirement.
+package memory
+
+import (
+	"time"
+
+	"oblivjoin/internal/trace"
+)
+
+// Space ties together a trace recorder and an optional cost model, and
+// hands out array identifiers. The zero value is not usable; call
+// NewSpace.
+type Space struct {
+	rec    trace.Recorder
+	cost   *CostModel
+	nextID uint32
+}
+
+// NewSpace returns a Space recording to rec (trace.Nop{} if nil) and
+// charging cost (may be nil for free memory).
+func NewSpace(rec trace.Recorder, cost *CostModel) *Space {
+	if rec == nil {
+		rec = trace.Nop{}
+	}
+	return &Space{rec: rec, cost: cost}
+}
+
+// Recorder returns the space's trace recorder.
+func (s *Space) Recorder() trace.Recorder { return s.rec }
+
+// Cost returns the space's cost model, or nil.
+func (s *Space) Cost() *CostModel { return s.cost }
+
+// Array is a traced slice of T living in public memory. ElemSize is the
+// public fixed width of one element in bytes, used by the cost model to
+// map element indices to memory pages.
+type Array[T any] struct {
+	space    *Space
+	id       uint32
+	elemSize int
+	data     []T
+}
+
+// Alloc allocates a traced array of n elements of elemSize public bytes
+// each. Allocation itself is not an observable data access.
+func Alloc[T any](s *Space, n, elemSize int) *Array[T] {
+	if elemSize <= 0 {
+		elemSize = 1
+	}
+	id := s.nextID
+	s.nextID++
+	return &Array[T]{space: s, id: id, elemSize: elemSize, data: make([]T, n)}
+}
+
+// FromSlice wraps an existing slice as a traced array. The slice is used
+// directly, not copied.
+func FromSlice[T any](s *Space, data []T, elemSize int) *Array[T] {
+	a := Alloc[T](s, 0, elemSize)
+	a.data = data
+	return a
+}
+
+// Len returns the (public) number of elements.
+func (a *Array[T]) Len() int { return len(a.data) }
+
+// ID returns the array's identifier as it appears in the trace.
+func (a *Array[T]) ID() uint32 { return a.id }
+
+// Get reads element i, emitting a read event.
+func (a *Array[T]) Get(i int) T {
+	a.touch(trace.Read, i)
+	return a.data[i]
+}
+
+// Set writes element i, emitting a write event. The write happens
+// unconditionally: writing back an unchanged value is indistinguishable
+// from writing a new one (probabilistic re-encryption at the storage
+// layer, see internal/crypto).
+func (a *Array[T]) Set(i int, v T) {
+	a.touch(trace.Write, i)
+	a.data[i] = v
+}
+
+// Resize grows or truncates the array to n elements. The reallocation is
+// not an observable per-element access (it models fresh allocation whose
+// size is public).
+func (a *Array[T]) Resize(n int) {
+	if n <= cap(a.data) {
+		a.data = a.data[:n]
+		return
+	}
+	nd := make([]T, n)
+	copy(nd, a.data)
+	a.data = nd
+}
+
+// Raw exposes the backing slice for test assertions and final output
+// extraction. Production algorithm code must never use Raw on secret
+// data; it bypasses the trace.
+func (a *Array[T]) Raw() []T { return a.data }
+
+func (a *Array[T]) touch(op trace.Op, i int) {
+	a.space.rec.Record(trace.Event{Op: op, Array: a.id, Index: uint64(i)})
+	if a.space.cost != nil {
+		a.space.cost.charge(a.id, uint64(i)*uint64(a.elemSize), a.elemSize)
+	}
+}
+
+// pageKey identifies one EPC-resident page of one array.
+type pageKey struct {
+	array uint32
+	page  uint64
+}
+
+// CostModel simulates the timing behaviour of running inside a hardware
+// enclave. Each public-memory access costs AccessCost; when the set of
+// touched pages exceeds EPCBytes, further faults evict the oldest
+// resident page (FIFO, approximating SGX's paging) and cost MissCost.
+//
+// It accumulates simulated time in Elapsed; the caller adds that to (or
+// scales) measured wall time to produce the SGX curves of Figure 8.
+type CostModel struct {
+	PageSize   int           // bytes per page (default 4096)
+	EPCBytes   int64         // enclave page cache capacity
+	AccessCost time.Duration // charged on every access
+	MissCost   time.Duration // charged on every page fault past warmup
+
+	Elapsed  time.Duration // accumulated simulated time
+	Accesses uint64        // total accesses charged
+	Faults   uint64        // page faults beyond EPC capacity
+
+	resident map[pageKey]int // page → position in fifo
+	fifo     []pageKey
+	head     int
+}
+
+// DefaultSGX returns a cost model matching the paper's description of the
+// evaluation platform: ~93 MiB usable EPC, 4 KiB pages, a small constant
+// overhead per enclave access and an expensive page swap.
+func DefaultSGX() *CostModel {
+	return &CostModel{
+		PageSize:   4096,
+		EPCBytes:   93 << 20,
+		AccessCost: 90 * time.Nanosecond,
+		MissCost:   8 * time.Microsecond,
+	}
+}
+
+// DefaultSGXTransformed is DefaultSGX with the per-access cost raised by
+// the constant factor of the §3.4 level-III transformation. The paper
+// measures its transformed SGX binary at ≈11% over the plain SGX one
+// (6.30 s vs 5.67 s at n = 10⁶, Figure 8); the transformation replaces
+// each conditional with both branches' arithmetic, a per-instruction
+// constant, so a scaled access cost is the faithful model.
+func DefaultSGXTransformed() *CostModel {
+	c := DefaultSGX()
+	c.AccessCost = c.AccessCost * 111 / 100
+	c.MissCost = c.MissCost * 111 / 100
+	return c
+}
+
+func (c *CostModel) pages() int {
+	if c.PageSize <= 0 {
+		c.PageSize = 4096
+	}
+	n := int(c.EPCBytes / int64(c.PageSize))
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+func (c *CostModel) charge(array uint32, byteOff uint64, elemSize int) {
+	c.Accesses++
+	c.Elapsed += c.AccessCost
+	if c.EPCBytes <= 0 {
+		return
+	}
+	if c.resident == nil {
+		c.resident = make(map[pageKey]int)
+	}
+	// An element may straddle a page boundary; touch every page it spans.
+	first := byteOff / uint64(c.PageSize)
+	last := (byteOff + uint64(elemSize) - 1) / uint64(c.PageSize)
+	for p := first; p <= last; p++ {
+		c.touchPage(pageKey{array, p})
+	}
+}
+
+func (c *CostModel) touchPage(k pageKey) {
+	if _, ok := c.resident[k]; ok {
+		return
+	}
+	capPages := c.pages()
+	if len(c.resident) >= capPages {
+		// Evict oldest (FIFO).
+		for {
+			victim := c.fifo[c.head]
+			c.head++
+			if pos, ok := c.resident[victim]; ok && pos < c.head {
+				delete(c.resident, victim)
+				break
+			}
+		}
+		c.Faults++
+		c.Elapsed += c.MissCost
+	}
+	c.fifo = append(c.fifo, k)
+	c.resident[k] = len(c.fifo) - 1
+}
+
+// Reset clears accumulated statistics and residency, keeping parameters.
+func (c *CostModel) Reset() {
+	c.Elapsed = 0
+	c.Accesses = 0
+	c.Faults = 0
+	c.resident = nil
+	c.fifo = nil
+	c.head = 0
+}

@@ -1,0 +1,220 @@
+// Package obliv provides constant-time, branch-free primitives on which the
+// oblivious join algorithm is built.
+//
+// Every data-dependent decision made anywhere in this repository is funneled
+// through this package so that the instruction trace of the algorithm is
+// independent of the data operated on (level-III obliviousness in the
+// terminology of Krastnikov et al., §3.2). None of the exported functions
+// contain a branch on their secret arguments: selection is performed with
+// arithmetic masks, exactly as a compiler targeting a circuit would emit.
+//
+// The functions take and return plain Go integers. Callers are responsible
+// for ensuring that the "condition" arguments are already normalized to
+// 0 or 1; the helpers in this package that produce conditions (Less, Eq,
+// and friends) always return normalized values.
+package obliv
+
+// Bool converts a Go bool to a 0/1 word without branching on the result's
+// use sites. The compiler emits a SETcc-style instruction for this
+// conversion on all supported architectures; no conditional jump is
+// involved.
+func Bool(b bool) uint64 {
+	// This compiles to a flag materialization, not a branch.
+	var x uint64
+	if b {
+		x = 1
+	}
+	return x
+}
+
+// mask expands a 0/1 condition into a full-width mask: 0 → 0x0000…,
+// 1 → 0xffff….
+func mask(c uint64) uint64 {
+	return -c
+}
+
+// Select returns a if c == 1 and b if c == 0, in constant time.
+func Select(c, a, b uint64) uint64 {
+	m := mask(c)
+	return (a & m) | (b &^ m)
+}
+
+// SelectInt is Select for signed integers.
+func SelectInt(c uint64, a, b int) int {
+	return int(Select(c, uint64(a), uint64(b)))
+}
+
+// SelectInt64 is Select for int64 values.
+func SelectInt64(c uint64, a, b int64) int64 {
+	return int64(Select(c, uint64(a), uint64(b)))
+}
+
+// SelectUint32 is Select for uint32 values.
+func SelectUint32(c uint64, a, b uint32) uint32 {
+	return uint32(Select(c, uint64(a), uint64(b)))
+}
+
+// CondSwap swaps *a and *b when c == 1, in constant time. Both words are
+// always read and written, so the memory trace is identical whether or not
+// the swap takes place.
+func CondSwap(c uint64, a, b *uint64) {
+	m := mask(c)
+	t := (*a ^ *b) & m
+	*a ^= t
+	*b ^= t
+}
+
+// CondSwapInt64 swaps two int64 values when c == 1.
+func CondSwapInt64(c uint64, a, b *int64) {
+	m := mask(c)
+	t := (uint64(*a) ^ uint64(*b)) & m
+	*a = int64(uint64(*a) ^ t)
+	*b = int64(uint64(*b) ^ t)
+}
+
+// CondCopy copies src into dst when c == 1 and rewrites dst with its own
+// value when c == 0. dst is always written.
+func CondCopy(c uint64, dst *uint64, src uint64) {
+	*dst = Select(c, src, *dst)
+}
+
+// CondCopyInt64 is CondCopy for int64 values.
+func CondCopyInt64(c uint64, dst *int64, src int64) {
+	*dst = SelectInt64(c, src, *dst)
+}
+
+// Eq returns 1 if a == b, else 0, without branching.
+func Eq(a, b uint64) uint64 {
+	x := a ^ b
+	// x == 0 iff a == b. Fold x into its sign bit.
+	return 1 &^ ((x | -x) >> 63)
+}
+
+// Neq returns 1 if a != b, else 0.
+func Neq(a, b uint64) uint64 {
+	return Eq(a, b) ^ 1
+}
+
+// Less returns 1 if a < b (unsigned), else 0, without branching.
+func Less(a, b uint64) uint64 {
+	// Standard borrow extraction: the borrow bit of a-b.
+	return ((^a & b) | ((^(a ^ b)) & (a - b))) >> 63
+}
+
+// LessEq returns 1 if a <= b (unsigned).
+func LessEq(a, b uint64) uint64 {
+	return Less(b, a) ^ 1
+}
+
+// Greater returns 1 if a > b (unsigned).
+func Greater(a, b uint64) uint64 {
+	return Less(b, a)
+}
+
+// GreaterEq returns 1 if a >= b (unsigned).
+func GreaterEq(a, b uint64) uint64 {
+	return Less(a, b) ^ 1
+}
+
+// LessInt64 returns 1 if a < b for signed values, else 0.
+func LessInt64(a, b int64) uint64 {
+	// Shift both into unsigned order by flipping the sign bit.
+	const top = uint64(1) << 63
+	return Less(uint64(a)^top, uint64(b)^top)
+}
+
+// EqInt64 returns 1 if a == b for signed values.
+func EqInt64(a, b int64) uint64 {
+	return Eq(uint64(a), uint64(b))
+}
+
+// Min returns the smaller of a and b in constant time.
+func Min(a, b uint64) uint64 {
+	return Select(Less(a, b), a, b)
+}
+
+// Max returns the larger of a and b in constant time.
+func Max(a, b uint64) uint64 {
+	return Select(Less(a, b), b, a)
+}
+
+// And returns the logical AND of two 0/1 conditions.
+func And(a, b uint64) uint64 { return a & b }
+
+// Or returns the logical OR of two 0/1 conditions.
+func Or(a, b uint64) uint64 { return a | b }
+
+// Not returns the logical negation of a 0/1 condition.
+func Not(a uint64) uint64 { return a ^ 1 }
+
+// CmpBytes lexicographically compares two equal-length byte slices in
+// constant time, returning -1, 0 or 1. It panics if the lengths differ,
+// since the length is public (all entries in a table are fixed-width).
+func CmpBytes(a, b []byte) int {
+	if len(a) != len(b) {
+		panic("obliv: CmpBytes on unequal lengths")
+	}
+	var lt, gt uint64 // sticky: first difference wins
+	for i := 0; i < len(a); i++ {
+		ai, bi := uint64(a[i]), uint64(b[i])
+		undecided := Not(Or(lt, gt))
+		lt = Or(lt, And(undecided, Less(ai, bi)))
+		gt = Or(gt, And(undecided, Greater(ai, bi)))
+	}
+	return int(gt) - int(lt)
+}
+
+// LessBytes reports, in constant time, whether a orders lexicographically
+// strictly before b (1) or not (0). Panics if lengths differ.
+func LessBytes(a, b []byte) uint64 {
+	if len(a) != len(b) {
+		panic("obliv: LessBytes on unequal lengths")
+	}
+	var lt, gt uint64
+	for i := 0; i < len(a); i++ {
+		ai, bi := uint64(a[i]), uint64(b[i])
+		undecided := Not(Or(lt, gt))
+		lt = Or(lt, And(undecided, Less(ai, bi)))
+		gt = Or(gt, And(undecided, Greater(ai, bi)))
+	}
+	return lt
+}
+
+// EqBytes reports, in constant time, whether two equal-length byte slices
+// are identical (1) or not (0). Panics if lengths differ.
+func EqBytes(a, b []byte) uint64 {
+	if len(a) != len(b) {
+		panic("obliv: EqBytes on unequal lengths")
+	}
+	var acc uint64
+	for i := 0; i < len(a); i++ {
+		acc |= uint64(a[i] ^ b[i])
+	}
+	return Eq(acc, 0)
+}
+
+// CondSwapBytes swaps the contents of two equal-length byte slices when
+// c == 1. Every byte of both slices is read and written regardless of c.
+func CondSwapBytes(c uint64, a, b []byte) {
+	if len(a) != len(b) {
+		panic("obliv: CondSwapBytes on unequal lengths")
+	}
+	m := byte(mask(c))
+	for i := 0; i < len(a); i++ {
+		t := (a[i] ^ b[i]) & m
+		a[i] ^= t
+		b[i] ^= t
+	}
+}
+
+// CondCopyBytes copies src into dst when c == 1; when c == 0 it rewrites
+// dst with its existing contents. Both slices must have equal length.
+func CondCopyBytes(c uint64, dst, src []byte) {
+	if len(dst) != len(src) {
+		panic("obliv: CondCopyBytes on unequal lengths")
+	}
+	m := byte(mask(c))
+	for i := 0; i < len(dst); i++ {
+		dst[i] = (src[i] & m) | (dst[i] &^ m)
+	}
+}

@@ -1,0 +1,301 @@
+package obliv
+
+import (
+	"bytes"
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestBool(t *testing.T) {
+	if Bool(true) != 1 {
+		t.Fatalf("Bool(true) = %d, want 1", Bool(true))
+	}
+	if Bool(false) != 0 {
+		t.Fatalf("Bool(false) = %d, want 0", Bool(false))
+	}
+}
+
+func TestSelect(t *testing.T) {
+	tests := []struct {
+		c, a, b, want uint64
+	}{
+		{1, 5, 9, 5},
+		{0, 5, 9, 9},
+		{1, 0, math.MaxUint64, 0},
+		{0, 0, math.MaxUint64, math.MaxUint64},
+		{1, math.MaxUint64, 0, math.MaxUint64},
+	}
+	for _, tt := range tests {
+		if got := Select(tt.c, tt.a, tt.b); got != tt.want {
+			t.Errorf("Select(%d, %d, %d) = %d, want %d", tt.c, tt.a, tt.b, got, tt.want)
+		}
+	}
+}
+
+func TestSelectProperty(t *testing.T) {
+	f := func(c bool, a, b uint64) bool {
+		want := b
+		if c {
+			want = a
+		}
+		return Select(Bool(c), a, b) == want
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSelectIntNegative(t *testing.T) {
+	if got := SelectInt(1, -7, 3); got != -7 {
+		t.Fatalf("SelectInt(1,-7,3) = %d, want -7", got)
+	}
+	if got := SelectInt(0, -7, -3); got != -3 {
+		t.Fatalf("SelectInt(0,-7,-3) = %d, want -3", got)
+	}
+	if got := SelectInt64(1, math.MinInt64, 0); got != math.MinInt64 {
+		t.Fatalf("SelectInt64 = %d, want MinInt64", got)
+	}
+}
+
+func TestCondSwap(t *testing.T) {
+	a, b := uint64(3), uint64(8)
+	CondSwap(0, &a, &b)
+	if a != 3 || b != 8 {
+		t.Fatalf("CondSwap(0): got (%d,%d), want (3,8)", a, b)
+	}
+	CondSwap(1, &a, &b)
+	if a != 8 || b != 3 {
+		t.Fatalf("CondSwap(1): got (%d,%d), want (8,3)", a, b)
+	}
+}
+
+func TestCondSwapProperty(t *testing.T) {
+	f := func(c bool, a, b uint64) bool {
+		x, y := a, b
+		CondSwap(Bool(c), &x, &y)
+		if c {
+			return x == b && y == a
+		}
+		return x == a && y == b
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCondSwapInt64(t *testing.T) {
+	a, b := int64(-5), int64(12)
+	CondSwapInt64(1, &a, &b)
+	if a != 12 || b != -5 {
+		t.Fatalf("CondSwapInt64(1): got (%d,%d)", a, b)
+	}
+	CondSwapInt64(0, &a, &b)
+	if a != 12 || b != -5 {
+		t.Fatalf("CondSwapInt64(0) must not swap: got (%d,%d)", a, b)
+	}
+}
+
+func TestCondCopy(t *testing.T) {
+	d := uint64(1)
+	CondCopy(0, &d, 42)
+	if d != 1 {
+		t.Fatalf("CondCopy(0) overwrote: %d", d)
+	}
+	CondCopy(1, &d, 42)
+	if d != 42 {
+		t.Fatalf("CondCopy(1) did not copy: %d", d)
+	}
+}
+
+func TestEqNeq(t *testing.T) {
+	f := func(a, b uint64) bool {
+		wantEq := Bool(a == b)
+		return Eq(a, b) == wantEq && Neq(a, b) == 1-wantEq
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+	if Eq(0, 0) != 1 || Eq(math.MaxUint64, math.MaxUint64) != 1 {
+		t.Fatal("Eq on equal extremes failed")
+	}
+}
+
+func TestComparisons(t *testing.T) {
+	f := func(a, b uint64) bool {
+		return Less(a, b) == Bool(a < b) &&
+			LessEq(a, b) == Bool(a <= b) &&
+			Greater(a, b) == Bool(a > b) &&
+			GreaterEq(a, b) == Bool(a >= b)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+	// Boundary cases that random testing rarely finds.
+	cases := [][2]uint64{
+		{0, 0},
+		{0, math.MaxUint64},
+		{math.MaxUint64, 0},
+		{1 << 63, (1 << 63) - 1},
+		{(1 << 63) - 1, 1 << 63},
+	}
+	for _, c := range cases {
+		a, b := c[0], c[1]
+		if Less(a, b) != Bool(a < b) {
+			t.Errorf("Less(%d, %d) wrong", a, b)
+		}
+	}
+}
+
+func TestSignedComparisons(t *testing.T) {
+	f := func(a, b int64) bool {
+		return LessInt64(a, b) == Bool(a < b) && EqInt64(a, b) == Bool(a == b)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+	cases := [][2]int64{
+		{math.MinInt64, math.MaxInt64},
+		{math.MaxInt64, math.MinInt64},
+		{-1, 0}, {0, -1}, {-1, 1}, {math.MinInt64, math.MinInt64},
+	}
+	for _, c := range cases {
+		if LessInt64(c[0], c[1]) != Bool(c[0] < c[1]) {
+			t.Errorf("LessInt64(%d, %d) wrong", c[0], c[1])
+		}
+	}
+}
+
+func TestMinMax(t *testing.T) {
+	f := func(a, b uint64) bool {
+		mn, mx := a, b
+		if b < a {
+			mn, mx = b, a
+		}
+		return Min(a, b) == mn && Max(a, b) == mx
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLogicOps(t *testing.T) {
+	for _, a := range []uint64{0, 1} {
+		for _, b := range []uint64{0, 1} {
+			if And(a, b) != a&b || Or(a, b) != a|b {
+				t.Fatalf("And/Or(%d,%d) wrong", a, b)
+			}
+		}
+		if Not(a) != 1-a {
+			t.Fatalf("Not(%d) wrong", a)
+		}
+	}
+}
+
+func TestCmpBytes(t *testing.T) {
+	tests := []struct {
+		a, b string
+		want int
+	}{
+		{"abc", "abc", 0},
+		{"abc", "abd", -1},
+		{"abd", "abc", 1},
+		{"aaa", "zzz", -1},
+		{"\x00\x00", "\x00\x01", -1},
+		{"\xff\x00", "\x00\xff", 1},
+	}
+	for _, tt := range tests {
+		if got := CmpBytes([]byte(tt.a), []byte(tt.b)); got != tt.want {
+			t.Errorf("CmpBytes(%q, %q) = %d, want %d", tt.a, tt.b, got, tt.want)
+		}
+	}
+}
+
+func TestCmpBytesProperty(t *testing.T) {
+	f := func(a, b [8]byte) bool {
+		want := bytes.Compare(a[:], b[:])
+		return CmpBytes(a[:], b[:]) == want
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCmpBytesPanicsOnLengthMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	CmpBytes([]byte("a"), []byte("ab"))
+}
+
+func TestEqBytes(t *testing.T) {
+	f := func(a, b [16]byte) bool {
+		return EqBytes(a[:], b[:]) == Bool(bytes.Equal(a[:], b[:]))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+	a := []byte{1, 2, 3}
+	if EqBytes(a, a) != 1 {
+		t.Fatal("EqBytes(a, a) != 1")
+	}
+}
+
+func TestCondSwapBytes(t *testing.T) {
+	a := []byte("hello")
+	b := []byte("world")
+	CondSwapBytes(0, a, b)
+	if string(a) != "hello" || string(b) != "world" {
+		t.Fatalf("CondSwapBytes(0) mutated: %q %q", a, b)
+	}
+	CondSwapBytes(1, a, b)
+	if string(a) != "world" || string(b) != "hello" {
+		t.Fatalf("CondSwapBytes(1) wrong: %q %q", a, b)
+	}
+}
+
+func TestCondCopyBytes(t *testing.T) {
+	dst := []byte{1, 2, 3, 4}
+	src := []byte{9, 8, 7, 6}
+	CondCopyBytes(0, dst, src)
+	if !bytes.Equal(dst, []byte{1, 2, 3, 4}) {
+		t.Fatalf("CondCopyBytes(0) mutated dst: %v", dst)
+	}
+	CondCopyBytes(1, dst, src)
+	if !bytes.Equal(dst, src) {
+		t.Fatalf("CondCopyBytes(1) did not copy: %v", dst)
+	}
+}
+
+func TestCondSwapBytesProperty(t *testing.T) {
+	f := func(c bool, a, b [12]byte) bool {
+		x, y := a, b
+		CondSwapBytes(Bool(c), x[:], y[:])
+		if c {
+			return x == b && y == a
+		}
+		return x == a && y == b
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkSelect(b *testing.B) {
+	var s uint64
+	for i := 0; i < b.N; i++ {
+		s += Select(uint64(i&1), uint64(i), s)
+	}
+	_ = s
+}
+
+func BenchmarkCondSwapBytes64(b *testing.B) {
+	x := make([]byte, 64)
+	y := make([]byte, 64)
+	b.SetBytes(128)
+	for i := 0; i < b.N; i++ {
+		CondSwapBytes(uint64(i&1), x, y)
+	}
+}

@@ -1,0 +1,186 @@
+package oram
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"oblivjoin/internal/memory"
+	"oblivjoin/internal/trace"
+)
+
+func blockOf(s string, size int) []byte {
+	b := make([]byte, size)
+	copy(b, s)
+	return b
+}
+
+func TestReadAfterWrite(t *testing.T) {
+	sp := memory.NewSpace(nil, nil)
+	o := New(sp, 8, 16, 1)
+	o.Write(3, blockOf("hello", 16))
+	if got := o.Read(3); !bytes.Equal(got, blockOf("hello", 16)) {
+		t.Fatalf("Read = %q", got)
+	}
+}
+
+func TestFreshBlocksAreZero(t *testing.T) {
+	sp := memory.NewSpace(nil, nil)
+	o := New(sp, 4, 8, 2)
+	if got := o.Read(0); !bytes.Equal(got, make([]byte, 8)) {
+		t.Fatalf("fresh block = %v", got)
+	}
+}
+
+func TestOverwrite(t *testing.T) {
+	sp := memory.NewSpace(nil, nil)
+	o := New(sp, 4, 8, 3)
+	o.Write(1, blockOf("aa", 8))
+	o.Write(1, blockOf("bb", 8))
+	if got := o.Read(1); !bytes.Equal(got, blockOf("bb", 8)) {
+		t.Fatalf("Read = %q", got)
+	}
+}
+
+func TestRandomOpsAgainstReference(t *testing.T) {
+	sp := memory.NewSpace(nil, nil)
+	const n = 32
+	o := New(sp, n, 8, 4)
+	ref := make(map[int][]byte)
+	rng := rand.New(rand.NewSource(5))
+	for op := 0; op < 2000; op++ {
+		addr := rng.Intn(n)
+		if rng.Intn(2) == 0 {
+			data := blockOf(fmt.Sprintf("%d", op), 8)
+			o.Write(addr, data)
+			ref[addr] = data
+		} else {
+			want := ref[addr]
+			if want == nil {
+				want = make([]byte, 8)
+			}
+			if got := o.Read(addr); !bytes.Equal(got, want) {
+				t.Fatalf("op %d: Read(%d) = %q, want %q", op, addr, got, want)
+			}
+		}
+	}
+}
+
+func TestStashStaysBounded(t *testing.T) {
+	sp := memory.NewSpace(nil, nil)
+	const n = 256
+	o := New(sp, n, 8, 6)
+	rng := rand.New(rand.NewSource(7))
+	max := 0
+	for op := 0; op < 5000; op++ {
+		o.Write(rng.Intn(n), make([]byte, 8))
+		if s := o.StashSize(); s > max {
+			max = s
+		}
+	}
+	// With Z=4 the stash stays tiny with overwhelming probability; a
+	// generous bound still catches eviction bugs (which grow linearly).
+	if max > 64 {
+		t.Fatalf("stash grew to %d blocks", max)
+	}
+}
+
+func TestPhysicalAccessesPerOpConstant(t *testing.T) {
+	var c1, c2 trace.Counter
+	run := func(c *trace.Counter, addrs []int) {
+		sp := memory.NewSpace(c, nil)
+		o := New(sp, 16, 8, 8)
+		before := c.Total()
+		_ = before
+		for _, a := range addrs {
+			o.Read(a)
+		}
+	}
+	run(&c1, []int{0, 0, 0, 0, 0})
+	run(&c2, []int{1, 7, 3, 15, 2})
+	if c1.Total() != c2.Total() {
+		t.Fatalf("physical access count depends on address sequence: %d vs %d",
+			c1.Total(), c2.Total())
+	}
+	if c1.Reads != c2.Reads || c1.Writes != c2.Writes {
+		t.Fatal("read/write split depends on address sequence")
+	}
+}
+
+func TestAccessCountTracksLogN(t *testing.T) {
+	perOp := func(n int) uint64 {
+		var c trace.Counter
+		sp := memory.NewSpace(&c, nil)
+		o := New(sp, n, 8, 9)
+		setup := c.Total()
+		for i := 0; i < 10; i++ {
+			o.Read(i % n)
+		}
+		return (c.Total() - setup) / 10
+	}
+	small, large := perOp(16), perOp(1024)
+	if large <= small {
+		t.Fatalf("per-op cost did not grow with n: %d vs %d", small, large)
+	}
+	// 1024 blocks is 64× more than 16 but cost must grow only ~log.
+	if large > small*4 {
+		t.Fatalf("per-op cost grew superlogarithmically: %d vs %d", small, large)
+	}
+}
+
+func TestPanicsOnBadInput(t *testing.T) {
+	sp := memory.NewSpace(nil, nil)
+	o := New(sp, 4, 8, 10)
+	for _, f := range []func(){
+		func() { o.Read(-1) },
+		func() { o.Read(4) },
+		func() { o.Write(0, make([]byte, 7)) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("expected panic for n=0")
+			}
+		}()
+		New(sp, 0, 8, 0)
+	}()
+}
+
+func TestWriteCopiesInput(t *testing.T) {
+	sp := memory.NewSpace(nil, nil)
+	o := New(sp, 2, 4, 11)
+	buf := []byte{1, 2, 3, 4}
+	o.Write(0, buf)
+	buf[0] = 99
+	if got := o.Read(0); got[0] != 1 {
+		t.Fatal("ORAM aliased caller's buffer")
+	}
+}
+
+func TestSingleBlockORAM(t *testing.T) {
+	sp := memory.NewSpace(nil, nil)
+	o := New(sp, 1, 4, 12)
+	o.Write(0, []byte{9, 9, 9, 9})
+	if got := o.Read(0); got[0] != 9 {
+		t.Fatalf("Read = %v", got)
+	}
+}
+
+func BenchmarkAccess1k(b *testing.B) {
+	sp := memory.NewSpace(nil, nil)
+	o := New(sp, 1024, 64, 13)
+	buf := make([]byte, 64)
+	for i := 0; i < b.N; i++ {
+		o.Write(i%1024, buf)
+	}
+}

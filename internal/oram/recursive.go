@@ -1,0 +1,171 @@
+package oram
+
+import (
+	"encoding/binary"
+
+	"oblivjoin/internal/memory"
+)
+
+// Recursive is a Path ORAM whose position map is itself stored in
+// smaller ORAMs, recursively, until the innermost map fits in a
+// constant number of client words (Stefanov et al., §3 "Recursion").
+// This removes the O(n)-word client position map of the flat
+// construction — the client state that makes flat Path ORAM level-I
+// rather than level-II oblivious, which is the paper's §3.3/§4.2
+// criticism of ORAM-based designs. The price is a multiplicative
+// O(log n) factor: each logical access walks every recursion level.
+type Recursive struct {
+	data *ORAM
+	// posMap holds the leaf assignment of each data block, packed
+	// entriesPerBlock to a block, in the next recursion level; nil when
+	// the map is small enough to keep directly.
+	posMap *Recursive
+	direct []uint32 // innermost map, ≤ cutoff entries
+	n      int
+}
+
+// entriesPerBlock is how many 4-byte positions pack into one position-
+// map block; a higher fan-out means fewer recursion levels.
+const entriesPerBlock = 8
+
+// posBlockSize is the byte size of one position-map block.
+const posBlockSize = 4 * entriesPerBlock
+
+// recursionCutoff is the map size below which recursion stops. The
+// remaining map is O(1) words of client state.
+const recursionCutoff = entriesPerBlock
+
+// NewRecursive builds a recursive Path ORAM for n blocks of blockSize
+// bytes. All tree levels allocate from sp, so the combined physical
+// trace of an access covers every recursion level.
+func NewRecursive(sp *memory.Space, n, blockSize int, seed int64) *Recursive {
+	r := &Recursive{n: n, data: New(sp, n, blockSize, seed)}
+	// The data ORAM's own in-client position map moves into the
+	// recursive structure: export, then serve lookups from recursion.
+	if n <= recursionCutoff {
+		r.direct = make([]uint32, n)
+		for i, p := range r.data.pos {
+			r.direct[i] = uint32(p)
+		}
+		return r
+	}
+	mapBlocks := (n + entriesPerBlock - 1) / entriesPerBlock
+	child := NewRecursive(sp, mapBlocks, posBlockSize, seed+1)
+	// Seed the child with the data ORAM's initial random positions.
+	buf := make([]byte, posBlockSize)
+	for b := 0; b < mapBlocks; b++ {
+		for k := 0; k < entriesPerBlock; k++ {
+			idx := b*entriesPerBlock + k
+			var v uint32
+			if idx < n {
+				v = uint32(r.data.pos[idx])
+			}
+			binary.LittleEndian.PutUint32(buf[4*k:], v)
+		}
+		child.Write(b, buf)
+	}
+	r.posMap = child
+	return r
+}
+
+// Len returns the number of logical data blocks.
+func (r *Recursive) Len() int { return r.n }
+
+// BlockSize returns the data block payload size.
+func (r *Recursive) BlockSize() int { return r.data.blockSize }
+
+// Levels reports the recursion depth (1 = no recursion).
+func (r *Recursive) Levels() int {
+	if r.posMap == nil {
+		return 1
+	}
+	return 1 + r.posMap.Levels()
+}
+
+// position reads addr's current leaf from the recursive map and
+// simultaneously installs newPos for the next access.
+func (r *Recursive) position(addr int, newPos uint32) uint32 {
+	if r.direct != nil {
+		old := r.direct[addr]
+		r.direct[addr] = newPos
+		return old
+	}
+	blk := addr / entriesPerBlock
+	off := addr % entriesPerBlock
+	buf := r.posMap.Read(blk)
+	old := binary.LittleEndian.Uint32(buf[4*off:])
+	binary.LittleEndian.PutUint32(buf[4*off:], newPos)
+	r.posMap.Write(blk, buf)
+	return old
+}
+
+// Read returns the contents of block addr.
+func (r *Recursive) Read(addr int) []byte {
+	return r.access(addr, nil)
+}
+
+// Write replaces block addr with data (copied).
+func (r *Recursive) Write(addr int, data []byte) {
+	if len(data) != r.data.blockSize {
+		panic("oram: Recursive.Write block size mismatch")
+	}
+	r.access(addr, data)
+}
+
+// access mirrors ORAM.access but sources the position from the
+// recursive map instead of the flat client map.
+func (r *Recursive) access(addr int, write []byte) []byte {
+	o := r.data
+	newPos := uint32(o.rng.Intn(o.leaves))
+	x := int(r.position(addr, newPos))
+	// Keep the flat map coherent for the eviction pass, which consults
+	// o.pos for every stash block. For stash blocks other than addr the
+	// flat entry is already correct (their last remap updated it).
+	o.pos[addr] = int(newPos)
+	o.Accesses++
+
+	for d := 0; d <= o.levels; d++ {
+		base := o.bucketIndex(x, d) * Z
+		for s := 0; s < Z; s++ {
+			blk := o.tree.Get(base + s)
+			if blk.Addr != emptyAddr {
+				o.stash[blk.Addr] = blk.Data
+			}
+		}
+	}
+	data, ok := o.stash[int64(addr)]
+	if !ok {
+		data = make([]byte, o.blockSize)
+	}
+	if write != nil {
+		data = append([]byte(nil), write...)
+	}
+	o.stash[int64(addr)] = data
+	out := append([]byte(nil), data...)
+
+	for d := o.levels; d >= 0; d-- {
+		bucket := o.bucketIndex(x, d)
+		placed := 0
+		var chosen []int64
+		for a, blockData := range o.stash {
+			if placed == Z {
+				break
+			}
+			if o.bucketIndex(o.pos[a], d) == bucket {
+				o.tree.Set(bucket*Z+placed, slotted{Addr: a, Data: blockData})
+				chosen = append(chosen, a)
+				placed++
+			}
+		}
+		for _, a := range chosen {
+			delete(o.stash, a)
+		}
+		for s := placed; s < Z; s++ {
+			o.tree.Set(bucket*Z+s, slotted{Addr: emptyAddr})
+		}
+	}
+	return out
+}
+
+// StashSize returns the data-level stash occupancy.
+func (r *Recursive) StashSize() int { return r.data.StashSize() }

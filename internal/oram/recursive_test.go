@@ -1,0 +1,135 @@
+package oram
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"oblivjoin/internal/memory"
+	"oblivjoin/internal/trace"
+)
+
+func TestRecursiveReadAfterWrite(t *testing.T) {
+	sp := memory.NewSpace(nil, nil)
+	o := NewRecursive(sp, 64, 16, 1)
+	o.Write(17, blockOf("deep", 16))
+	if got := o.Read(17); !bytes.Equal(got, blockOf("deep", 16)) {
+		t.Fatalf("Read = %q", got)
+	}
+}
+
+func TestRecursiveLevels(t *testing.T) {
+	sp := memory.NewSpace(nil, nil)
+	if l := NewRecursive(sp, 4, 8, 2).Levels(); l != 1 {
+		t.Fatalf("n=4 levels = %d, want 1 (fits cutoff)", l)
+	}
+	if l := NewRecursive(sp, 64, 8, 3).Levels(); l < 2 {
+		t.Fatalf("n=64 levels = %d, want ≥ 2", l)
+	}
+	big := NewRecursive(sp, 4096, 8, 4)
+	if big.Levels() < 3 {
+		t.Fatalf("n=4096 levels = %d, want ≥ 3", big.Levels())
+	}
+}
+
+func TestRecursiveRandomOpsAgainstReference(t *testing.T) {
+	sp := memory.NewSpace(nil, nil)
+	const n = 48
+	o := NewRecursive(sp, n, 8, 5)
+	ref := map[int][]byte{}
+	rng := rand.New(rand.NewSource(6))
+	for op := 0; op < 1500; op++ {
+		addr := rng.Intn(n)
+		if rng.Intn(2) == 0 {
+			data := blockOf(fmt.Sprintf("%d", op), 8)
+			o.Write(addr, data)
+			ref[addr] = data
+		} else {
+			want := ref[addr]
+			if want == nil {
+				want = make([]byte, 8)
+			}
+			if got := o.Read(addr); !bytes.Equal(got, want) {
+				t.Fatalf("op %d: Read(%d) = %q, want %q", op, addr, got, want)
+			}
+		}
+	}
+}
+
+func TestRecursiveStashBounded(t *testing.T) {
+	sp := memory.NewSpace(nil, nil)
+	const n = 128
+	o := NewRecursive(sp, n, 8, 7)
+	rng := rand.New(rand.NewSource(8))
+	max := 0
+	for op := 0; op < 3000; op++ {
+		o.Write(rng.Intn(n), make([]byte, 8))
+		if s := o.StashSize(); s > max {
+			max = s
+		}
+	}
+	if max > 64 {
+		t.Fatalf("stash grew to %d", max)
+	}
+}
+
+func TestRecursiveCostsMoreThanFlat(t *testing.T) {
+	perOp := func(mk func(sp *memory.Space) func(int) []byte) uint64 {
+		var c trace.Counter
+		sp := memory.NewSpace(&c, nil)
+		read := mk(sp)
+		setup := c.Total()
+		for i := 0; i < 20; i++ {
+			read(i % 64)
+		}
+		return (c.Total() - setup) / 20
+	}
+	flat := perOp(func(sp *memory.Space) func(int) []byte {
+		o := New(sp, 64, 8, 9)
+		return o.Read
+	})
+	rec := perOp(func(sp *memory.Space) func(int) []byte {
+		o := NewRecursive(sp, 64, 8, 9)
+		return o.Read
+	})
+	if rec <= flat {
+		t.Fatalf("recursive per-op (%d) not costlier than flat (%d)", rec, flat)
+	}
+}
+
+func TestRecursivePhysicalAccessesPerOpConstant(t *testing.T) {
+	run := func(addrs []int) uint64 {
+		var c trace.Counter
+		sp := memory.NewSpace(&c, nil)
+		o := NewRecursive(sp, 64, 8, 10)
+		before := c.Total()
+		for _, a := range addrs {
+			o.Read(a)
+		}
+		return c.Total() - before
+	}
+	if run([]int{0, 0, 0, 0}) != run([]int{63, 1, 40, 22}) {
+		t.Fatal("physical access count depends on address sequence")
+	}
+}
+
+func TestRecursiveWriteSizeMismatchPanics(t *testing.T) {
+	sp := memory.NewSpace(nil, nil)
+	o := NewRecursive(sp, 16, 8, 11)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	o.Write(0, make([]byte, 7))
+}
+
+func BenchmarkRecursiveAccess1k(b *testing.B) {
+	sp := memory.NewSpace(nil, nil)
+	o := NewRecursive(sp, 1024, 64, 12)
+	buf := make([]byte, 64)
+	for i := 0; i < b.N; i++ {
+		o.Write(i%1024, buf)
+	}
+}

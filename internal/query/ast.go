@@ -1,0 +1,83 @@
+package query
+
+// Query is the parsed form of a SELECT statement.
+type Query struct {
+	Distinct bool
+	Select   []SelectItem
+	From     string
+	Join     string // joined table name, "" when absent
+	Where    Expr   // nil when absent
+	GroupBy  bool   // GROUP BY key
+	OrderBy  bool   // ORDER BY key
+	Limit    int    // -1 when absent
+}
+
+// ColKind names a selectable column.
+type ColKind int
+
+const (
+	// ColKey is the join/group key.
+	ColKey ColKind = iota
+	// ColData is the data payload (the FROM table's payload when no
+	// join is present).
+	ColData
+	// ColLeftData and ColRightData address the two sides of a join.
+	ColLeftData
+	ColRightData
+	// ColStar expands to all available columns.
+	ColStar
+)
+
+// AggKind names an aggregate function.
+type AggKind int
+
+const (
+	// AggNone marks a plain column item.
+	AggNone AggKind = iota
+	AggCount
+	AggSum
+	AggMin
+	AggMax
+)
+
+// SelectItem is one element of the select list: a column or an
+// aggregate over the data column.
+type SelectItem struct {
+	Col ColKind
+	Agg AggKind
+}
+
+// Expr is a WHERE predicate over the key column.
+type Expr interface{ isExpr() }
+
+// Cmp compares the key against a literal: key <op> N.
+type Cmp struct {
+	Op  string // = != < <= > >=
+	Lit uint64
+}
+
+// Between is key BETWEEN Lo AND Hi (inclusive).
+type Between struct {
+	Lo, Hi uint64
+}
+
+// In is key IN (SELECT key FROM Table) — planned as a semijoin.
+type In struct {
+	Table string
+}
+
+// Not negates a predicate.
+type Not struct{ E Expr }
+
+// And and Or combine predicates.
+type And struct{ L, R Expr }
+
+// Or is the disjunction of two predicates.
+type Or struct{ L, R Expr }
+
+func (Cmp) isExpr()     {}
+func (Between) isExpr() {}
+func (In) isExpr()      {}
+func (Not) isExpr()     {}
+func (And) isExpr()     {}
+func (Or) isExpr()      {}

@@ -1,0 +1,483 @@
+package query
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"oblivjoin/internal/aggregate"
+	"oblivjoin/internal/core"
+	"oblivjoin/internal/memory"
+	"oblivjoin/internal/obliv"
+	"oblivjoin/internal/ops"
+	"oblivjoin/internal/table"
+)
+
+// Engine executes parsed queries against registered tables using only
+// oblivious operators. It is not safe for concurrent use.
+type Engine struct {
+	tables map[string][]table.Row
+}
+
+// NewEngine returns an empty engine.
+func NewEngine() *Engine {
+	return &Engine{tables: map[string][]table.Row{}}
+}
+
+// Register makes rows queryable under name (lower-cased). Re-registering
+// a name replaces the table.
+func (e *Engine) Register(name string, rows []table.Row) error {
+	name = strings.ToLower(name)
+	if name == "" {
+		return fmt.Errorf("query: empty table name")
+	}
+	for _, r := range name {
+		if (r < 'a' || r > 'z') && (r < '0' || r > '9') && r != '_' {
+			return fmt.Errorf("query: invalid table name %q", name)
+		}
+	}
+	e.tables[name] = rows
+	return nil
+}
+
+// Result is a query result: column names and stringified rows.
+type Result struct {
+	Columns []string
+	Rows    [][]string
+}
+
+// Query parses and executes a SELECT statement.
+func (e *Engine) Query(src string) (*Result, error) {
+	q, err := Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	res, _, err := e.run(q)
+	return res, err
+}
+
+// Explain parses the statement and returns the oblivious plan that
+// Query would execute, without executing it on the data (the plan
+// depends only on the query shape, never on table contents).
+func (e *Engine) Explain(src string) (string, error) {
+	q, err := Parse(src)
+	if err != nil {
+		return "", err
+	}
+	_, plan, err := e.run(q)
+	return plan, err
+}
+
+// run executes the query and reports the plan actually taken.
+func (e *Engine) run(q *Query) (*Result, string, error) {
+	rows, ok := e.tables[q.From]
+	if !ok {
+		return nil, "", fmt.Errorf("query: unknown table %q", q.From)
+	}
+	plan := []string{fmt.Sprintf("scan(%s)", q.From)}
+	sp := memory.NewSpace(nil, nil)
+
+	// Split WHERE into top-level conjuncts; IN-subqueries become
+	// semijoins, the rest compiles to one branch-free predicate.
+	var semis []string
+	var predConjuncts []Expr
+	for _, c := range conjuncts(q.Where) {
+		if in, ok := c.(In); ok {
+			semis = append(semis, in.Table)
+			continue
+		}
+		if containsIn(c) {
+			return nil, "", fmt.Errorf("query: IN (SELECT …) must be a top-level AND conjunct")
+		}
+		predConjuncts = append(predConjuncts, c)
+	}
+	for _, t := range semis {
+		sub, ok := e.tables[t]
+		if !ok {
+			return nil, "", fmt.Errorf("query: unknown table %q in IN subquery", t)
+		}
+		rows = ops.Semijoin(sp, rows, sub)
+		plan = append(plan, fmt.Sprintf("semijoin(%s)", t))
+	}
+	if len(predConjuncts) > 0 {
+		pred := compile(andAll(predConjuncts))
+		rows = ops.Filter(sp, rows, pred)
+		plan = append(plan, "filter[branch-free]")
+	}
+
+	// Joined queries.
+	if q.Join != "" {
+		right, ok := e.tables[q.Join]
+		if !ok {
+			return nil, "", fmt.Errorf("query: unknown table %q", q.Join)
+		}
+		cfg := &core.Config{Alloc: table.PlainAlloc(sp)}
+		if q.GroupBy {
+			// §7 fast path: COUNT and SUM over the join need only the
+			// group dimensions and per-side sums — never materialize
+			// the m-row join.
+			needSum := false
+			for _, it := range q.Select {
+				if it.Agg == AggSum {
+					needSum = true
+				}
+			}
+			if needSum {
+				var badRow string
+				value := func(r table.Row) uint64 {
+					v, err := strconv.ParseUint(table.DataString(r.D), 10, 64)
+					if err != nil && badRow == "" {
+						badRow = table.DataString(r.D)
+					}
+					return v
+				}
+				sums := aggregate.JoinGroupSums(cfg, rows, right, value)
+				if badRow != "" {
+					return nil, "", fmt.Errorf("query: SUM over a JOIN needs numeric data payloads; found %q", badRow)
+				}
+				plan = append(plan, fmt.Sprintf("join-group-sums(%s) [§7 fast path]", q.Join))
+				res, err := projectJoinSums(q, sums)
+				return res, strings.Join(append(plan, "project"), " → "), err
+			}
+			stats := aggregate.JoinGroupStats(cfg, rows, right)
+			plan = append(plan, fmt.Sprintf("join-group-stats(%s) [§7 fast path]", q.Join))
+			res, err := projectJoinStats(q, stats)
+			return res, strings.Join(append(plan, "project"), " → "), err
+		}
+		pairs := core.JoinKeyed(cfg, rows, right)
+		plan = append(plan, fmt.Sprintf("oblivious-join(%s)", q.Join))
+		pairs, plan = finishJoined(q, pairs, plan)
+		res, err := projectJoined(q, pairs)
+		return res, strings.Join(append(plan, "project"), " → "), err
+	}
+
+	// Single-table queries.
+	if q.GroupBy {
+		items, err := toItems(q, rows)
+		if err != nil {
+			return nil, "", err
+		}
+		groups := aggregate.GroupBy(sp, items)
+		plan = append(plan, "group-by[oblivious]")
+		if q.Limit >= 0 {
+			if q.Limit < len(groups) {
+				groups = groups[:q.Limit]
+			}
+			plan = append(plan, fmt.Sprintf("limit(%d)", q.Limit))
+		}
+		res, err := projectGroups(q, groups)
+		return res, strings.Join(append(plan, "project"), " → "), err
+	}
+	if q.Distinct {
+		rows = ops.Distinct(sp, rows)
+		plan = append(plan, "distinct[oblivious]")
+	} else if q.OrderBy {
+		rows = ops.SortByKey(sp, rows)
+		plan = append(plan, "sort(key)")
+	}
+	if q.Limit >= 0 {
+		if q.Limit < len(rows) {
+			rows = rows[:q.Limit]
+		}
+		plan = append(plan, fmt.Sprintf("limit(%d)", q.Limit))
+	}
+	res, err := projectRows(q, rows)
+	return res, strings.Join(append(plan, "project"), " → "), err
+}
+
+// conjuncts flattens the AND-tree of a predicate; nil yields none.
+func conjuncts(e Expr) []Expr {
+	if e == nil {
+		return nil
+	}
+	if a, ok := e.(And); ok {
+		return append(conjuncts(a.L), conjuncts(a.R)...)
+	}
+	return []Expr{e}
+}
+
+func containsIn(e Expr) bool {
+	switch v := e.(type) {
+	case In:
+		return true
+	case Not:
+		return containsIn(v.E)
+	case And:
+		return containsIn(v.L) || containsIn(v.R)
+	case Or:
+		return containsIn(v.L) || containsIn(v.R)
+	default:
+		return false
+	}
+}
+
+func andAll(es []Expr) Expr {
+	e := es[0]
+	for _, r := range es[1:] {
+		e = And{L: e, R: r}
+	}
+	return e
+}
+
+// compile turns a predicate AST into a branch-free row predicate. Every
+// comparison evaluates on every row regardless of short-circuitable
+// structure, so the filter's work is a fixed function of the query, not
+// of the data.
+func compile(e Expr) ops.Predicate {
+	f := compileExpr(e)
+	return func(r table.Row) uint64 { return f(r.J) }
+}
+
+func compileExpr(e Expr) func(uint64) uint64 {
+	switch v := e.(type) {
+	case Cmp:
+		lit := v.Lit
+		switch v.Op {
+		case "=":
+			return func(k uint64) uint64 { return obliv.Eq(k, lit) }
+		case "!=":
+			return func(k uint64) uint64 { return obliv.Neq(k, lit) }
+		case "<":
+			return func(k uint64) uint64 { return obliv.Less(k, lit) }
+		case "<=":
+			return func(k uint64) uint64 { return obliv.LessEq(k, lit) }
+		case ">":
+			return func(k uint64) uint64 { return obliv.Greater(k, lit) }
+		default: // ">="
+			return func(k uint64) uint64 { return obliv.GreaterEq(k, lit) }
+		}
+	case Between:
+		lo, hi := v.Lo, v.Hi
+		return func(k uint64) uint64 {
+			return obliv.And(obliv.GreaterEq(k, lo), obliv.LessEq(k, hi))
+		}
+	case Not:
+		inner := compileExpr(v.E)
+		return func(k uint64) uint64 { return obliv.Not(inner(k)) }
+	case And:
+		l, r := compileExpr(v.L), compileExpr(v.R)
+		return func(k uint64) uint64 { return obliv.And(l(k), r(k)) }
+	case Or:
+		l, r := compileExpr(v.L), compileExpr(v.R)
+		return func(k uint64) uint64 { return obliv.Or(l(k), r(k)) }
+	default:
+		panic(fmt.Sprintf("query: cannot compile %T", e))
+	}
+}
+
+// toItems converts rows to aggregation items, parsing payloads as
+// numbers when a value-consuming aggregate is present.
+func toItems(q *Query, rows []table.Row) ([]aggregate.Item, error) {
+	needValue := false
+	for _, it := range q.Select {
+		if it.Agg == AggSum || it.Agg == AggMin || it.Agg == AggMax {
+			needValue = true
+		}
+	}
+	items := make([]aggregate.Item, len(rows))
+	for i, r := range rows {
+		items[i] = aggregate.Item{K: r.J}
+		if needValue {
+			v, err := strconv.ParseUint(table.DataString(r.D), 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("query: SUM/MIN/MAX need numeric data payloads: row %d holds %q",
+					i, table.DataString(r.D))
+			}
+			items[i].V = v
+		}
+	}
+	return items, nil
+}
+
+func finishJoined(q *Query, pairs []table.KeyedPair, plan []string) ([]table.KeyedPair, []string) {
+	// Join output is already key-ordered (S1 is sorted by (j, d)), so
+	// ORDER BY key is free; note it in the plan for transparency.
+	if q.OrderBy {
+		plan = append(plan, "sort(key) [already ordered]")
+	}
+	if q.Limit >= 0 {
+		if q.Limit < len(pairs) {
+			pairs = pairs[:q.Limit]
+		}
+		plan = append(plan, fmt.Sprintf("limit(%d)", q.Limit))
+	}
+	return pairs, plan
+}
+
+// ── projections ───────────────────────────────────────────────────────
+
+func expandStar(q *Query) []SelectItem {
+	var out []SelectItem
+	for _, it := range q.Select {
+		if it.Col != ColStar {
+			out = append(out, it)
+			continue
+		}
+		if q.Join != "" {
+			out = append(out,
+				SelectItem{Col: ColKey},
+				SelectItem{Col: ColLeftData},
+				SelectItem{Col: ColRightData})
+		} else {
+			out = append(out, SelectItem{Col: ColKey}, SelectItem{Col: ColData})
+		}
+	}
+	return out
+}
+
+func colName(it SelectItem) string {
+	switch it.Agg {
+	case AggCount:
+		return "count"
+	case AggSum:
+		return "sum"
+	case AggMin:
+		return "min"
+	case AggMax:
+		return "max"
+	}
+	switch it.Col {
+	case ColKey:
+		return "key"
+	case ColLeftData:
+		return "left.data"
+	case ColRightData:
+		return "right.data"
+	default:
+		return "data"
+	}
+}
+
+func projectRows(q *Query, rows []table.Row) (*Result, error) {
+	items := expandStar(q)
+	res := &Result{}
+	for _, it := range items {
+		res.Columns = append(res.Columns, colName(it))
+	}
+	for _, r := range rows {
+		var out []string
+		for _, it := range items {
+			switch it.Col {
+			case ColKey:
+				out = append(out, strconv.FormatUint(r.J, 10))
+			case ColData:
+				out = append(out, table.DataString(r.D))
+			default:
+				return nil, fmt.Errorf("query: column %s not available without JOIN", colName(it))
+			}
+		}
+		res.Rows = append(res.Rows, out)
+	}
+	return res, nil
+}
+
+func projectJoined(q *Query, pairs []table.KeyedPair) (*Result, error) {
+	items := expandStar(q)
+	res := &Result{}
+	for _, it := range items {
+		res.Columns = append(res.Columns, colName(it))
+	}
+	for _, p := range pairs {
+		var out []string
+		for _, it := range items {
+			switch it.Col {
+			case ColKey:
+				out = append(out, strconv.FormatUint(p.J, 10))
+			case ColLeftData:
+				out = append(out, table.DataString(p.D1))
+			case ColRightData:
+				out = append(out, table.DataString(p.D2))
+			case ColData:
+				return nil, fmt.Errorf("query: ambiguous column data over a JOIN; use left.data or right.data")
+			}
+		}
+		res.Rows = append(res.Rows, out)
+	}
+	return res, nil
+}
+
+func projectGroups(q *Query, groups []aggregate.Group) (*Result, error) {
+	items := expandStar(q)
+	res := &Result{}
+	for _, it := range items {
+		res.Columns = append(res.Columns, colName(it))
+	}
+	for _, g := range groups {
+		var out []string
+		for _, it := range items {
+			switch {
+			case it.Agg == AggCount:
+				out = append(out, strconv.FormatUint(g.Count, 10))
+			case it.Agg == AggSum:
+				out = append(out, strconv.FormatUint(g.Sum, 10))
+			case it.Agg == AggMin:
+				out = append(out, strconv.FormatUint(g.Min, 10))
+			case it.Agg == AggMax:
+				out = append(out, strconv.FormatUint(g.Max, 10))
+			case it.Col == ColKey:
+				out = append(out, strconv.FormatUint(g.K, 10))
+			default:
+				return nil, fmt.Errorf("query: column %s not available under GROUP BY", colName(it))
+			}
+		}
+		res.Rows = append(res.Rows, out)
+	}
+	return res, nil
+}
+
+func projectJoinSums(q *Query, sums []aggregate.JoinSum) (*Result, error) {
+	items := expandStar(q)
+	res := &Result{}
+	for _, it := range items {
+		switch {
+		case it.Agg == AggSum && it.Col == ColLeftData:
+			res.Columns = append(res.Columns, "sum(left.data)")
+		case it.Agg == AggSum && it.Col == ColRightData:
+			res.Columns = append(res.Columns, "sum(right.data)")
+		default:
+			res.Columns = append(res.Columns, colName(it))
+		}
+	}
+	for _, s := range sums {
+		var out []string
+		for _, it := range items {
+			switch {
+			case it.Agg == AggCount:
+				out = append(out, strconv.FormatUint(s.Pairs, 10))
+			case it.Agg == AggSum && it.Col == ColLeftData:
+				out = append(out, strconv.FormatUint(s.LeftTotal(), 10))
+			case it.Agg == AggSum && it.Col == ColRightData:
+				out = append(out, strconv.FormatUint(s.RightTotal(), 10))
+			case it.Col == ColKey:
+				out = append(out, strconv.FormatUint(s.J, 10))
+			default:
+				return nil, fmt.Errorf("query: column %s not available for GROUP BY over a JOIN", colName(it))
+			}
+		}
+		res.Rows = append(res.Rows, out)
+	}
+	return res, nil
+}
+
+func projectJoinStats(q *Query, stats []aggregate.JoinStat) (*Result, error) {
+	items := expandStar(q)
+	res := &Result{}
+	for _, it := range items {
+		res.Columns = append(res.Columns, colName(it))
+	}
+	for _, s := range stats {
+		var out []string
+		for _, it := range items {
+			switch {
+			case it.Agg == AggCount:
+				out = append(out, strconv.FormatUint(s.Pairs, 10))
+			case it.Col == ColKey:
+				out = append(out, strconv.FormatUint(s.J, 10))
+			default:
+				return nil, fmt.Errorf("query: only key and COUNT(*) are available for GROUP BY over a JOIN")
+			}
+		}
+		res.Rows = append(res.Rows, out)
+	}
+	return res, nil
+}

@@ -1,0 +1,52 @@
+package query
+
+import (
+	"strings"
+	"testing"
+
+	"oblivjoin/internal/table"
+)
+
+// FuzzParse checks the parser never panics and either errors cleanly or
+// produces an AST that the engine can plan against a fixed catalog.
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		"SELECT * FROM t",
+		"SELECT key, data FROM t WHERE key = 5",
+		"SELECT key FROM t WHERE key BETWEEN 1 AND 9 ORDER BY key LIMIT 3",
+		"SELECT key, COUNT(*) FROM t GROUP BY key",
+		"SELECT key, left.data, right.data FROM t JOIN u USING (key)",
+		"SELECT key FROM t WHERE key IN (SELECT key FROM u)",
+		"SELECT DISTINCT data FROM t WHERE NOT key != 7",
+		"SELECT key FROM t WHERE (key < 3 OR key > 8) AND key != 5",
+		"select sum(data) from t group by key",
+		"SELECT",
+		"",
+		"SELECT key FROM t WHERE key IN (SELECT key FROM u) OR key = 1",
+		"🤔 SELECT key FROM t",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	eng := NewEngine()
+	_ = eng.Register("t", []table.Row{{J: 1, D: table.MustData("1")}, {J: 2, D: table.MustData("2")}})
+	_ = eng.Register("u", []table.Row{{J: 2, D: table.MustData("x")}})
+
+	f.Fuzz(func(t *testing.T, src string) {
+		if len(src) > 512 {
+			return
+		}
+		q, err := Parse(src)
+		if err != nil {
+			if !strings.HasPrefix(err.Error(), "query:") {
+				t.Fatalf("non-package error %v", err)
+			}
+			return
+		}
+		// A parsed query must execute or fail cleanly (unknown tables,
+		// non-numeric aggregation, IN placement) — never panic.
+		if _, _, err := eng.run(q); err != nil && !strings.HasPrefix(err.Error(), "query:") {
+			t.Fatalf("non-package run error %v", err)
+		}
+	})
+}

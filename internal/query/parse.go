@@ -1,0 +1,401 @@
+package query
+
+import (
+	"fmt"
+	"strconv"
+)
+
+// Parse turns a SELECT statement into a Query AST, validating the
+// combinations the executor supports.
+func Parse(src string) (*Query, error) {
+	toks, err := lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	q, err := p.query()
+	if err != nil {
+		return nil, err
+	}
+	if !p.at(tokEOF, "") {
+		return nil, fmt.Errorf("query: unexpected %s after end of statement", p.peek())
+	}
+	if err := validate(q); err != nil {
+		return nil, err
+	}
+	return q, nil
+}
+
+type parser struct {
+	toks []token
+	i    int
+}
+
+func (p *parser) peek() token { return p.toks[p.i] }
+
+func (p *parser) next() token {
+	t := p.toks[p.i]
+	if t.kind != tokEOF {
+		p.i++
+	}
+	return t
+}
+
+// at reports whether the current token matches kind (and text when text
+// is non-empty).
+func (p *parser) at(kind tokKind, text string) bool {
+	t := p.peek()
+	return t.kind == kind && (text == "" || t.text == text)
+}
+
+// accept consumes the current token when it matches.
+func (p *parser) accept(kind tokKind, text string) bool {
+	if p.at(kind, text) {
+		p.next()
+		return true
+	}
+	return false
+}
+
+// expect consumes a required token or fails with context.
+func (p *parser) expect(kind tokKind, text, what string) error {
+	if p.accept(kind, text) {
+		return nil
+	}
+	return fmt.Errorf("query: expected %s, found %s", what, p.peek())
+}
+
+func (p *parser) keyword(kw string) bool { return p.accept(tokIdent, kw) }
+
+func (p *parser) query() (*Query, error) {
+	q := &Query{Limit: -1}
+	if err := p.expect(tokIdent, "select", "SELECT"); err != nil {
+		return nil, err
+	}
+	q.Distinct = p.keyword("distinct")
+
+	for {
+		item, err := p.selectItem()
+		if err != nil {
+			return nil, err
+		}
+		q.Select = append(q.Select, item)
+		if !p.accept(tokSymbol, ",") {
+			break
+		}
+	}
+
+	if err := p.expect(tokIdent, "from", "FROM"); err != nil {
+		return nil, err
+	}
+	name, err := p.tableName()
+	if err != nil {
+		return nil, err
+	}
+	q.From = name
+
+	if p.keyword("join") {
+		jt, err := p.tableName()
+		if err != nil {
+			return nil, err
+		}
+		q.Join = jt
+		if err := p.expect(tokIdent, "using", "USING"); err != nil {
+			return nil, err
+		}
+		if err := p.expect(tokSymbol, "(", "'('"); err != nil {
+			return nil, err
+		}
+		if err := p.expect(tokIdent, "key", "key"); err != nil {
+			return nil, err
+		}
+		if err := p.expect(tokSymbol, ")", "')'"); err != nil {
+			return nil, err
+		}
+	}
+
+	if p.keyword("where") {
+		e, err := p.orExpr()
+		if err != nil {
+			return nil, err
+		}
+		q.Where = e
+	}
+
+	if p.keyword("group") {
+		if err := p.expect(tokIdent, "by", "BY"); err != nil {
+			return nil, err
+		}
+		if err := p.expect(tokIdent, "key", "key (the only grouping column)"); err != nil {
+			return nil, err
+		}
+		q.GroupBy = true
+	}
+
+	if p.keyword("order") {
+		if err := p.expect(tokIdent, "by", "BY"); err != nil {
+			return nil, err
+		}
+		if err := p.expect(tokIdent, "key", "key (the only ordering column)"); err != nil {
+			return nil, err
+		}
+		q.OrderBy = true
+	}
+
+	if p.keyword("limit") {
+		n, err := p.number()
+		if err != nil {
+			return nil, err
+		}
+		q.Limit = int(n)
+	}
+	return q, nil
+}
+
+func (p *parser) tableName() (string, error) {
+	t := p.peek()
+	if t.kind != tokIdent {
+		return "", fmt.Errorf("query: expected table name, found %s", t)
+	}
+	switch t.text {
+	case "select", "from", "where", "join", "group", "order", "limit", "using", "key", "data":
+		return "", fmt.Errorf("query: expected table name, found keyword %s", t)
+	}
+	p.next()
+	return t.text, nil
+}
+
+func (p *parser) selectItem() (SelectItem, error) {
+	if p.accept(tokSymbol, "*") {
+		return SelectItem{Col: ColStar}, nil
+	}
+	t := p.peek()
+	if t.kind != tokIdent {
+		return SelectItem{}, fmt.Errorf("query: expected select item, found %s", t)
+	}
+	switch t.text {
+	case "key":
+		p.next()
+		return SelectItem{Col: ColKey}, nil
+	case "data":
+		p.next()
+		return SelectItem{Col: ColData}, nil
+	case "left", "right":
+		p.next()
+		if err := p.expect(tokSymbol, ".", "'.'"); err != nil {
+			return SelectItem{}, err
+		}
+		if err := p.expect(tokIdent, "data", "data"); err != nil {
+			return SelectItem{}, err
+		}
+		if t.text == "left" {
+			return SelectItem{Col: ColLeftData}, nil
+		}
+		return SelectItem{Col: ColRightData}, nil
+	case "count":
+		p.next()
+		if err := p.expect(tokSymbol, "(", "'('"); err != nil {
+			return SelectItem{}, err
+		}
+		if err := p.expect(tokSymbol, "*", "'*'"); err != nil {
+			return SelectItem{}, err
+		}
+		if err := p.expect(tokSymbol, ")", "')'"); err != nil {
+			return SelectItem{}, err
+		}
+		return SelectItem{Col: ColData, Agg: AggCount}, nil
+	case "sum", "min", "max":
+		p.next()
+		if err := p.expect(tokSymbol, "(", "'('"); err != nil {
+			return SelectItem{}, err
+		}
+		col := ColData
+		switch {
+		case p.accept(tokIdent, "data"):
+		case p.accept(tokIdent, "left"):
+			if err := p.expect(tokSymbol, ".", "'.'"); err != nil {
+				return SelectItem{}, err
+			}
+			if err := p.expect(tokIdent, "data", "data"); err != nil {
+				return SelectItem{}, err
+			}
+			col = ColLeftData
+		case p.accept(tokIdent, "right"):
+			if err := p.expect(tokSymbol, ".", "'.'"); err != nil {
+				return SelectItem{}, err
+			}
+			if err := p.expect(tokIdent, "data", "data"); err != nil {
+				return SelectItem{}, err
+			}
+			col = ColRightData
+		default:
+			return SelectItem{}, fmt.Errorf("query: expected data, left.data or right.data, found %s", p.peek())
+		}
+		if err := p.expect(tokSymbol, ")", "')'"); err != nil {
+			return SelectItem{}, err
+		}
+		agg := map[string]AggKind{"sum": AggSum, "min": AggMin, "max": AggMax}[t.text]
+		return SelectItem{Col: col, Agg: agg}, nil
+	default:
+		return SelectItem{}, fmt.Errorf("query: unknown select item %s", t)
+	}
+}
+
+func (p *parser) number() (uint64, error) {
+	t := p.peek()
+	if t.kind != tokNumber {
+		return 0, fmt.Errorf("query: expected number, found %s", t)
+	}
+	p.next()
+	v, err := strconv.ParseUint(t.text, 10, 64)
+	if err != nil {
+		return 0, fmt.Errorf("query: bad number %s: %w", t, err)
+	}
+	return v, nil
+}
+
+func (p *parser) orExpr() (Expr, error) {
+	l, err := p.andExpr()
+	if err != nil {
+		return nil, err
+	}
+	for p.keyword("or") {
+		r, err := p.andExpr()
+		if err != nil {
+			return nil, err
+		}
+		l = Or{L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *parser) andExpr() (Expr, error) {
+	l, err := p.unaryExpr()
+	if err != nil {
+		return nil, err
+	}
+	for p.keyword("and") {
+		r, err := p.unaryExpr()
+		if err != nil {
+			return nil, err
+		}
+		l = And{L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *parser) unaryExpr() (Expr, error) {
+	if p.keyword("not") {
+		e, err := p.unaryExpr()
+		if err != nil {
+			return nil, err
+		}
+		return Not{E: e}, nil
+	}
+	if p.accept(tokSymbol, "(") {
+		e, err := p.orExpr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect(tokSymbol, ")", "')'"); err != nil {
+			return nil, err
+		}
+		return e, nil
+	}
+	if err := p.expect(tokIdent, "key", "key (predicates range over the key column)"); err != nil {
+		return nil, err
+	}
+	if p.keyword("between") {
+		lo, err := p.number()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect(tokIdent, "and", "AND"); err != nil {
+			return nil, err
+		}
+		hi, err := p.number()
+		if err != nil {
+			return nil, err
+		}
+		return Between{Lo: lo, Hi: hi}, nil
+	}
+	if p.keyword("in") {
+		if err := p.expect(tokSymbol, "(", "'('"); err != nil {
+			return nil, err
+		}
+		if err := p.expect(tokIdent, "select", "SELECT"); err != nil {
+			return nil, err
+		}
+		if err := p.expect(tokIdent, "key", "key"); err != nil {
+			return nil, err
+		}
+		if err := p.expect(tokIdent, "from", "FROM"); err != nil {
+			return nil, err
+		}
+		tbl, err := p.tableName()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect(tokSymbol, ")", "')'"); err != nil {
+			return nil, err
+		}
+		return In{Table: tbl}, nil
+	}
+	t := p.peek()
+	if t.kind != tokOp {
+		return nil, fmt.Errorf("query: expected comparison operator, found %s", t)
+	}
+	p.next()
+	lit, err := p.number()
+	if err != nil {
+		return nil, err
+	}
+	return Cmp{Op: t.text, Lit: lit}, nil
+}
+
+// validate enforces the combinations the executor supports, with
+// messages that say why.
+func validate(q *Query) error {
+	hasAgg := false
+	for _, it := range q.Select {
+		if it.Agg != AggNone {
+			hasAgg = true
+		}
+	}
+	if hasAgg && !q.GroupBy {
+		return fmt.Errorf("query: aggregate select items require GROUP BY key")
+	}
+	if q.GroupBy {
+		for _, it := range q.Select {
+			if it.Agg == AggNone && it.Col != ColKey {
+				return fmt.Errorf("query: with GROUP BY, select items must be key or aggregates")
+			}
+		}
+	}
+	if q.Join == "" {
+		for _, it := range q.Select {
+			if it.Col == ColLeftData || it.Col == ColRightData {
+				return fmt.Errorf("query: left.data/right.data require a JOIN")
+			}
+		}
+	}
+	if q.Join != "" && q.GroupBy {
+		// Only the §7 fast paths are supported over joins: key,
+		// COUNT(*), and SUM over either side's values.
+		for _, it := range q.Select {
+			ok := it.Col == ColKey && it.Agg == AggNone ||
+				it.Agg == AggCount ||
+				it.Agg == AggSum && (it.Col == ColLeftData || it.Col == ColRightData)
+			if !ok {
+				return fmt.Errorf("query: over a JOIN, GROUP BY supports only key, COUNT(*), SUM(left.data) and SUM(right.data)")
+			}
+		}
+	}
+	if q.Join != "" && q.Distinct {
+		return fmt.Errorf("query: DISTINCT over a JOIN is not supported")
+	}
+	if q.Limit == 0 && q.Limit != -1 {
+		return fmt.Errorf("query: LIMIT 0 is not useful")
+	}
+	return nil
+}

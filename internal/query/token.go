@@ -1,0 +1,112 @@
+// Package query implements a small SQL front end over the repository's
+// oblivious operators, turning the library into the system the paper's
+// introduction motivates: a cloud database that answers queries over a
+// client's data without its access pattern revealing the data.
+//
+// Supported grammar (keywords case-insensitive):
+//
+//	SELECT [DISTINCT] select_list
+//	FROM table
+//	[JOIN table USING (key)]
+//	[WHERE predicate]
+//	[GROUP BY key]
+//	[ORDER BY key]
+//	[LIMIT n]
+//
+//	select_list := * | item {, item}
+//	item        := key | data | left.data | right.data
+//	             | COUNT(*) | SUM(data) | MIN(data) | MAX(data)
+//	predicate   := disjunctions/conjunctions/NOT over
+//	               key <op> N | key BETWEEN N AND M
+//	             | key IN (SELECT key FROM table)
+//
+// Every operator in the executed plan is oblivious: filters compile to
+// branch-free predicates evaluated on every row, joins run the paper's
+// algorithm, IN-subqueries become oblivious semijoins, GROUP BY becomes
+// the oblivious aggregation, and `SELECT key, COUNT(*) … JOIN … GROUP BY
+// key` is planned as the §7 aggregation-over-join fast path that never
+// materializes the join.
+package query
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// tokKind classifies lexer output.
+type tokKind int
+
+const (
+	tokEOF tokKind = iota
+	tokIdent
+	tokNumber
+	tokSymbol // ( ) , . *
+	tokOp     // = != < <= > >=
+)
+
+type token struct {
+	kind tokKind
+	text string // keywords and identifiers are lower-cased
+	pos  int
+}
+
+func (t token) String() string {
+	if t.kind == tokEOF {
+		return "end of query"
+	}
+	return fmt.Sprintf("%q", t.text)
+}
+
+// lex splits a query into tokens. SQL strings are not needed (data
+// payloads never appear as literals in the supported grammar).
+func lex(src string) ([]token, error) {
+	var toks []token
+	i := 0
+	for i < len(src) {
+		c := src[i]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			i++
+		case unicode.IsLetter(rune(c)) || c == '_':
+			j := i
+			for j < len(src) && (unicode.IsLetter(rune(src[j])) || unicode.IsDigit(rune(src[j])) || src[j] == '_') {
+				j++
+			}
+			toks = append(toks, token{tokIdent, strings.ToLower(src[i:j]), i})
+			i = j
+		case unicode.IsDigit(rune(c)):
+			j := i
+			for j < len(src) && unicode.IsDigit(rune(src[j])) {
+				j++
+			}
+			toks = append(toks, token{tokNumber, src[i:j], i})
+			i = j
+		case c == '(' || c == ')' || c == ',' || c == '.' || c == '*':
+			toks = append(toks, token{tokSymbol, string(c), i})
+			i++
+		case c == '=':
+			toks = append(toks, token{tokOp, "=", i})
+			i++
+		case c == '!':
+			if i+1 < len(src) && src[i+1] == '=' {
+				toks = append(toks, token{tokOp, "!=", i})
+				i += 2
+			} else {
+				return nil, fmt.Errorf("query: stray '!' at offset %d", i)
+			}
+		case c == '<' || c == '>':
+			op := string(c)
+			if i+1 < len(src) && src[i+1] == '=' {
+				op += "="
+				i++
+			}
+			toks = append(toks, token{tokOp, op, i})
+			i++
+		default:
+			return nil, fmt.Errorf("query: unexpected character %q at offset %d", c, i)
+		}
+	}
+	toks = append(toks, token{tokEOF, "", len(src)})
+	return toks, nil
+}

@@ -1,0 +1,82 @@
+package table
+
+import (
+	"oblivjoin/internal/crypto"
+	"oblivjoin/internal/memory"
+)
+
+// SealedSize is the public width of one encrypted entry: plaintext plus
+// nonce and MAC overhead.
+const SealedSize = EncodedSize + crypto.Overhead
+
+// sealed is the fixed-width ciphertext of one entry.
+type sealed [SealedSize]byte
+
+// Encrypted is a Store whose entries live sealed in public memory.
+// Every Get authenticates and decrypts; every Set re-encrypts under a
+// fresh nonce, so overwriting an entry with its previous value is
+// indistinguishable from a real update — the property that makes the
+// sorting network's dummy write-backs safe (§3.5).
+type Encrypted struct {
+	arr    *memory.Array[sealed]
+	cipher *crypto.Cipher
+}
+
+// NewEncrypted allocates an encrypted store of n null entries in s,
+// sealed under c.
+func NewEncrypted(s *memory.Space, c *crypto.Cipher, n int) *Encrypted {
+	e := &Encrypted{arr: memory.Alloc[sealed](s, n, SealedSize), cipher: c}
+	// Initialize every slot with a valid ciphertext of the zero entry so
+	// that Get before first Set authenticates.
+	var zero Entry
+	var buf [EncodedSize]byte
+	zero.Encode(buf[:])
+	for i := 0; i < n; i++ {
+		var ct sealed
+		c.Seal(ct[:], buf[:])
+		e.arr.Set(i, ct)
+	}
+	return e
+}
+
+// Len returns the number of entries.
+func (e *Encrypted) Len() int { return e.arr.Len() }
+
+// Get decrypts entry i. A failed authentication means the untrusted
+// server tampered with memory; that is a fatal integrity violation, not
+// a recoverable condition, so Get panics.
+func (e *Encrypted) Get(i int) Entry {
+	ct := e.arr.Get(i)
+	var buf [EncodedSize]byte
+	if err := e.cipher.Open(buf[:], ct[:]); err != nil {
+		panic("table: entry authentication failed: " + err.Error())
+	}
+	return DecodeEntry(buf[:])
+}
+
+// Set seals v under a fresh nonce and stores it at i.
+func (e *Encrypted) Set(i int, v Entry) {
+	var buf [EncodedSize]byte
+	v.Encode(buf[:])
+	var ct sealed
+	e.cipher.Seal(ct[:], buf[:])
+	e.arr.Set(i, ct)
+}
+
+// Alloc abstracts allocation of entry stores so the join can run over
+// plain or encrypted memory without caring which.
+type Alloc func(n int) Store
+
+// PlainAlloc returns an Alloc producing plain traced arrays in s.
+func PlainAlloc(s *memory.Space) Alloc {
+	return func(n int) Store {
+		return memory.Alloc[Entry](s, n, EncodedSize)
+	}
+}
+
+// EncryptedAlloc returns an Alloc producing sealed stores in s under c.
+func EncryptedAlloc(s *memory.Space, c *crypto.Cipher) Alloc {
+	return func(n int) Store {
+		return NewEncrypted(s, c, n)
+	}
+}

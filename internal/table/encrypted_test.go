@@ -1,0 +1,108 @@
+package table
+
+import (
+	"testing"
+
+	"oblivjoin/internal/crypto"
+	"oblivjoin/internal/memory"
+	"oblivjoin/internal/trace"
+)
+
+func newCipher(t *testing.T) *crypto.Cipher {
+	t.Helper()
+	c, _, err := crypto.NewRandom()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestEncryptedRoundTrip(t *testing.T) {
+	s := memory.NewSpace(nil, nil)
+	enc := NewEncrypted(s, newCipher(t), 4)
+	e := entryFixture()
+	enc.Set(2, e)
+	if got := enc.Get(2); got != e {
+		t.Fatalf("Get = %+v, want %+v", got, e)
+	}
+}
+
+func TestEncryptedZeroInitialized(t *testing.T) {
+	s := memory.NewSpace(nil, nil)
+	enc := NewEncrypted(s, newCipher(t), 3)
+	var zero Entry
+	for i := 0; i < 3; i++ {
+		if got := enc.Get(i); got != zero {
+			t.Fatalf("slot %d = %+v, want zero entry", i, got)
+		}
+	}
+}
+
+func TestEncryptedCiphertextChangesOnRewrite(t *testing.T) {
+	s := memory.NewSpace(nil, nil)
+	enc := NewEncrypted(s, newCipher(t), 1)
+	e := entryFixture()
+	enc.Set(0, e)
+	ct1 := enc.arr.Get(0)
+	enc.Set(0, e) // same logical value
+	ct2 := enc.arr.Get(0)
+	if ct1 == ct2 {
+		t.Fatal("rewriting identical entry produced identical ciphertext")
+	}
+	if enc.Get(0) != e {
+		t.Fatal("plaintext lost across rewrite")
+	}
+}
+
+func TestEncryptedPanicsOnTamper(t *testing.T) {
+	s := memory.NewSpace(nil, nil)
+	enc := NewEncrypted(s, newCipher(t), 1)
+	ct := enc.arr.Get(0)
+	ct[5] ^= 0xff
+	enc.arr.Set(0, ct)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on tampered ciphertext")
+		}
+	}()
+	enc.Get(0)
+}
+
+func TestEncryptedEmitsTraceEvents(t *testing.T) {
+	log := trace.NewLog()
+	s := memory.NewSpace(log, nil)
+	enc := NewEncrypted(s, newCipher(t), 2)
+	before := log.Len()
+	enc.Set(1, Entry{J: 5})
+	enc.Get(1)
+	if log.Len() != before+2 {
+		t.Fatalf("expected 2 events, got %d", log.Len()-before)
+	}
+}
+
+func TestAllocators(t *testing.T) {
+	s := memory.NewSpace(nil, nil)
+	plain := PlainAlloc(s)(5)
+	if plain.Len() != 5 {
+		t.Fatalf("plain Len = %d", plain.Len())
+	}
+	plain.Set(0, Entry{J: 1})
+	if plain.Get(0).J != 1 {
+		t.Fatal("plain store broken")
+	}
+
+	encA := EncryptedAlloc(s, newCipher(t))(3)
+	if encA.Len() != 3 {
+		t.Fatalf("encrypted Len = %d", encA.Len())
+	}
+	encA.Set(1, Entry{J: 2})
+	if encA.Get(1).J != 2 {
+		t.Fatal("encrypted store broken")
+	}
+}
+
+func TestSealedSizeConstant(t *testing.T) {
+	if SealedSize != EncodedSize+crypto.Overhead {
+		t.Fatalf("SealedSize = %d", SealedSize)
+	}
+}

@@ -1,0 +1,189 @@
+// Package typesys implements the memory-trace obliviousness type system
+// of Figure 6 of the paper (a simplification of Liu, Hicks and Shi's
+// system without ORAM types, matching level-II obliviousness).
+//
+// Programs are straight-line imperative code over word variables (local,
+// protected memory) and arrays (public memory):
+//
+//   - variables carry a security label, L (input-independent) or H;
+//   - array reads x ?← a[i] and writes a[i] ?← x emit trace events and
+//     require the index to be L;
+//   - conditionals type-check only when both branches emit *identical*
+//     traces (T-Cond), so a secret branch cannot leak through accesses;
+//   - loop bounds must be L (T-For), ruling out while-on-secret;
+//   - assignments enforce the usual no-write-down flow rule (T-Asgn).
+//
+// Check returns the program's symbolic trace; the Interp interpreter
+// runs programs against concrete inputs emitting real trace events, so
+// tests can confirm the system's soundness claim — well-typed programs
+// produce input-independent traces — on the join's own memory skeleton.
+package typesys
+
+import "fmt"
+
+// Label is a security label: L (low, public) or H (high, secret).
+type Label int
+
+const (
+	// L marks input-independent data (sizes, counters, indices).
+	L Label = iota
+	// H marks input-dependent data.
+	H
+)
+
+// String returns "L" or "H".
+func (l Label) String() string {
+	if l == L {
+		return "L"
+	}
+	return "H"
+}
+
+// join is the lattice join ⊔: H if either operand is H.
+func (l Label) join(o Label) Label {
+	if l == H || o == H {
+		return H
+	}
+	return L
+}
+
+// flowsTo is the ordering ⊑: L ⊑ L, L ⊑ H, H ⊑ H.
+func (l Label) flowsTo(o Label) bool {
+	return l == L || o == H
+}
+
+// Expr is an expression: a variable, a constant, or a binary operation.
+// Expressions never touch arrays, so they emit no trace.
+type Expr interface{ isExpr() }
+
+// Var references a word variable held in protected local memory.
+type Var struct{ Name string }
+
+// Const is a literal; constants are always L.
+type Const struct{ Value uint64 }
+
+// Op applies a word operation to two subexpressions. Which operation is
+// irrelevant to typing; the interpreter uses Kind.
+type Op struct {
+	Kind string // "+", "-", "*", "<", "==", "&", "|", "^"
+	A, B Expr
+}
+
+func (Var) isExpr()   {}
+func (Const) isExpr() {}
+func (Op) isExpr()    {}
+
+// Stmt is a statement.
+type Stmt interface{ isStmt() }
+
+// Assign is x ← e: pure local computation, no trace.
+type Assign struct {
+	X string
+	E Expr
+}
+
+// Read is x ?← a[i]: a public-memory read, emitting ⟨R, a, i⟩.
+type Read struct {
+	X     string
+	Array string
+	Index Expr
+}
+
+// Write is a[i] ?← e: a public-memory write, emitting ⟨W, a, i⟩.
+type Write struct {
+	Array string
+	Index Expr
+	E     Expr
+}
+
+// If branches on a condition. It type-checks only when both branches
+// emit identical traces.
+type If struct {
+	Cond Expr
+	Then []Stmt
+	Else []Stmt
+}
+
+// For runs Body with the L-labeled counter variable ranging over
+// [0, Bound). Bound must be an L expression (a constant, n, or m).
+type For struct {
+	Counter string
+	Bound   Expr
+	Body    []Stmt
+}
+
+func (Assign) isStmt() {}
+func (Read) isStmt()   {}
+func (Write) isStmt()  {}
+func (If) isStmt()     {}
+func (For) isStmt()    {}
+
+// Program is a typing environment plus a statement sequence.
+type Program struct {
+	Vars   map[string]Label // word variables and their labels
+	Arrays map[string]Label // arrays and their labels
+	Body   []Stmt
+}
+
+// Trace is a symbolic memory trace: a sequence of events and repeated
+// subtraces.
+type Trace []TraceNode
+
+// TraceNode is one element of a symbolic trace.
+type TraceNode interface{ isTrace() }
+
+// Access is a single symbolic event: the operation, the array, and the
+// index expression (compared syntactically).
+type Access struct {
+	Op    string // "R" or "W"
+	Array string
+	Index string // rendered index expression
+}
+
+// Loop is a body trace repeated Bound times.
+type Loop struct {
+	Bound string // rendered bound expression
+	Body  Trace
+}
+
+func (Access) isTrace() {}
+func (Loop) isTrace()   {}
+
+// String renders a trace for diagnostics.
+func (t Trace) String() string {
+	s := ""
+	for i, n := range t {
+		if i > 0 {
+			s += "·"
+		}
+		switch v := n.(type) {
+		case Access:
+			s += fmt.Sprintf("⟨%s,%s,%s⟩", v.Op, v.Array, v.Index)
+		case Loop:
+			s += fmt.Sprintf("(%s)^%s", v.Body, v.Bound)
+		}
+	}
+	return s
+}
+
+// equal compares two symbolic traces structurally.
+func (t Trace) equal(o Trace) bool {
+	if len(t) != len(o) {
+		return false
+	}
+	for i := range t {
+		switch a := t[i].(type) {
+		case Access:
+			b, ok := o[i].(Access)
+			if !ok || a != b {
+				return false
+			}
+		case Loop:
+			b, ok := o[i].(Loop)
+			if !ok || a.Bound != b.Bound || !a.Body.equal(b.Body) {
+				return false
+			}
+		}
+	}
+	return true
+}

@@ -1,0 +1,188 @@
+package typesys
+
+import "fmt"
+
+// TypeError reports why a program is not memory-trace oblivious.
+type TypeError struct {
+	Rule string // the violated judgment, e.g. "T-Cond"
+	Msg  string
+}
+
+func (e *TypeError) Error() string { return fmt.Sprintf("typesys: %s: %s", e.Rule, e.Msg) }
+
+// Check type-checks the program under the rules of Figure 6 and returns
+// its symbolic memory trace. A nil error means every run of the program
+// on same-length inputs performs the identical sequence of public-memory
+// accesses (level-II obliviousness).
+func Check(p *Program) (Trace, error) {
+	c := &checker{p: p}
+	return c.stmts(p.Body)
+}
+
+type checker struct {
+	p *Program
+}
+
+// expr returns the label of an expression (T-Var, T-Const, T-Op).
+// Expressions emit no trace.
+func (c *checker) expr(e Expr) (Label, error) {
+	switch v := e.(type) {
+	case Var:
+		l, ok := c.p.Vars[v.Name]
+		if !ok {
+			return H, &TypeError{"T-Var", fmt.Sprintf("undeclared variable %q", v.Name)}
+		}
+		return l, nil
+	case Const:
+		return L, nil
+	case Op:
+		la, err := c.expr(v.A)
+		if err != nil {
+			return H, err
+		}
+		lb, err := c.expr(v.B)
+		if err != nil {
+			return H, err
+		}
+		return la.join(lb), nil
+	default:
+		return H, &TypeError{"T-Op", fmt.Sprintf("unknown expression %T", e)}
+	}
+}
+
+func (c *checker) stmts(ss []Stmt) (Trace, error) {
+	var tr Trace
+	for _, s := range ss {
+		t, err := c.stmt(s)
+		if err != nil {
+			return nil, err
+		}
+		tr = append(tr, t...) // T-Seq: concatenation
+	}
+	return tr, nil
+}
+
+func (c *checker) stmt(s Stmt) (Trace, error) {
+	switch v := s.(type) {
+	case Assign:
+		lx, ok := c.p.Vars[v.X]
+		if !ok {
+			return nil, &TypeError{"T-Asgn", fmt.Sprintf("undeclared variable %q", v.X)}
+		}
+		le, err := c.expr(v.E)
+		if err != nil {
+			return nil, err
+		}
+		if !le.flowsTo(lx) {
+			return nil, &TypeError{"T-Asgn",
+				fmt.Sprintf("cannot assign %s expression to %s variable %q", le, lx, v.X)}
+		}
+		return nil, nil
+
+	case Read:
+		la, ok := c.p.Arrays[v.Array]
+		if !ok {
+			return nil, &TypeError{"T-Read", fmt.Sprintf("undeclared array %q", v.Array)}
+		}
+		lx, ok := c.p.Vars[v.X]
+		if !ok {
+			return nil, &TypeError{"T-Read", fmt.Sprintf("undeclared variable %q", v.X)}
+		}
+		li, err := c.expr(v.Index)
+		if err != nil {
+			return nil, err
+		}
+		if li != L {
+			return nil, &TypeError{"T-Read",
+				fmt.Sprintf("index into %q is %s; indices must be L", v.Array, li)}
+		}
+		if !la.flowsTo(lx) {
+			return nil, &TypeError{"T-Read",
+				fmt.Sprintf("reading %s array %q into %s variable %q", la, v.Array, lx, v.X)}
+		}
+		return Trace{Access{"R", v.Array, render(v.Index)}}, nil
+
+	case Write:
+		la, ok := c.p.Arrays[v.Array]
+		if !ok {
+			return nil, &TypeError{"T-Write", fmt.Sprintf("undeclared array %q", v.Array)}
+		}
+		li, err := c.expr(v.Index)
+		if err != nil {
+			return nil, err
+		}
+		if li != L {
+			return nil, &TypeError{"T-Write",
+				fmt.Sprintf("index into %q is %s; indices must be L", v.Array, li)}
+		}
+		le, err := c.expr(v.E)
+		if err != nil {
+			return nil, err
+		}
+		if !le.flowsTo(la) {
+			return nil, &TypeError{"T-Write",
+				fmt.Sprintf("writing %s value into %s array %q", le, la, v.Array)}
+		}
+		return Trace{Access{"W", v.Array, render(v.Index)}}, nil
+
+	case If:
+		if _, err := c.expr(v.Cond); err != nil {
+			return nil, err
+		}
+		tThen, err := c.stmts(v.Then)
+		if err != nil {
+			return nil, err
+		}
+		tElse, err := c.stmts(v.Else)
+		if err != nil {
+			return nil, err
+		}
+		if !tThen.equal(tElse) {
+			return nil, &TypeError{"T-Cond",
+				fmt.Sprintf("branch traces differ: then=%s else=%s", tThen, tElse)}
+		}
+		return tThen, nil
+
+	case For:
+		lb, err := c.expr(v.Bound)
+		if err != nil {
+			return nil, err
+		}
+		if lb != L {
+			return nil, &TypeError{"T-For",
+				fmt.Sprintf("loop bound %s is %s; bounds must be L", render(v.Bound), lb)}
+		}
+		if _, declared := c.p.Vars[v.Counter]; !declared {
+			return nil, &TypeError{"T-For", fmt.Sprintf("undeclared counter %q", v.Counter)}
+		}
+		if c.p.Vars[v.Counter] != L {
+			return nil, &TypeError{"T-For", fmt.Sprintf("counter %q must be L", v.Counter)}
+		}
+		body, err := c.stmts(v.Body)
+		if err != nil {
+			return nil, err
+		}
+		if len(body) == 0 {
+			return nil, nil
+		}
+		return Trace{Loop{Bound: render(v.Bound), Body: body}}, nil
+
+	default:
+		return nil, &TypeError{"T-Seq", fmt.Sprintf("unknown statement %T", s)}
+	}
+}
+
+// render prints an index/bound expression canonically so symbolic traces
+// can be compared syntactically across branches.
+func render(e Expr) string {
+	switch v := e.(type) {
+	case Var:
+		return v.Name
+	case Const:
+		return fmt.Sprintf("%d", v.Value)
+	case Op:
+		return "(" + render(v.A) + v.Kind + render(v.B) + ")"
+	default:
+		return "?"
+	}
+}

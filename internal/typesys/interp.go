@@ -1,0 +1,169 @@
+package typesys
+
+import (
+	"fmt"
+
+	"oblivjoin/internal/trace"
+)
+
+// Interp executes a Program against concrete inputs, emitting a real
+// trace event per array access. Together with Check it closes the loop
+// of the paper's §6.1: Check proves trace-obliviousness statically; the
+// interpreter lets tests confirm it dynamically on concrete inputs.
+type Interp struct {
+	Vars   map[string]uint64
+	Arrays map[string][]uint64
+	rec    trace.Recorder
+	ids    map[string]uint32
+}
+
+// NewInterp prepares an interpreter with the given array contents
+// (copied) and a trace recorder (trace.Nop{} if nil).
+func NewInterp(arrays map[string][]uint64, rec trace.Recorder) *Interp {
+	if rec == nil {
+		rec = trace.Nop{}
+	}
+	in := &Interp{
+		Vars:   map[string]uint64{},
+		Arrays: map[string][]uint64{},
+		rec:    rec,
+		ids:    map[string]uint32{},
+	}
+	for name, data := range arrays {
+		in.Arrays[name] = append([]uint64(nil), data...)
+	}
+	return in
+}
+
+func (in *Interp) arrayID(name string) uint32 {
+	if id, ok := in.ids[name]; ok {
+		return id
+	}
+	id := uint32(len(in.ids))
+	in.ids[name] = id
+	return id
+}
+
+// Run executes the program body. Variables referenced before assignment
+// read as zero (they may also be pre-seeded via Vars).
+func (in *Interp) Run(p *Program) error {
+	return in.stmts(p.Body)
+}
+
+func (in *Interp) eval(e Expr) (uint64, error) {
+	switch v := e.(type) {
+	case Var:
+		return in.Vars[v.Name], nil
+	case Const:
+		return v.Value, nil
+	case Op:
+		a, err := in.eval(v.A)
+		if err != nil {
+			return 0, err
+		}
+		b, err := in.eval(v.B)
+		if err != nil {
+			return 0, err
+		}
+		switch v.Kind {
+		case "+":
+			return a + b, nil
+		case "-":
+			return a - b, nil
+		case "*":
+			return a * b, nil
+		case "<":
+			if a < b {
+				return 1, nil
+			}
+			return 0, nil
+		case "==":
+			if a == b {
+				return 1, nil
+			}
+			return 0, nil
+		case "&":
+			return a & b, nil
+		case "|":
+			return a | b, nil
+		case "^":
+			return a ^ b, nil
+		default:
+			return 0, fmt.Errorf("typesys: unknown operator %q", v.Kind)
+		}
+	default:
+		return 0, fmt.Errorf("typesys: unknown expression %T", e)
+	}
+}
+
+func (in *Interp) stmts(ss []Stmt) error {
+	for _, s := range ss {
+		if err := in.stmt(s); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (in *Interp) stmt(s Stmt) error {
+	switch v := s.(type) {
+	case Assign:
+		val, err := in.eval(v.E)
+		if err != nil {
+			return err
+		}
+		in.Vars[v.X] = val
+		return nil
+	case Read:
+		idx, err := in.eval(v.Index)
+		if err != nil {
+			return err
+		}
+		arr, ok := in.Arrays[v.Array]
+		if !ok || idx >= uint64(len(arr)) {
+			return fmt.Errorf("typesys: read %s[%d] out of range", v.Array, idx)
+		}
+		in.rec.Record(trace.Event{Op: trace.Read, Array: in.arrayID(v.Array), Index: idx})
+		in.Vars[v.X] = arr[idx]
+		return nil
+	case Write:
+		idx, err := in.eval(v.Index)
+		if err != nil {
+			return err
+		}
+		val, err := in.eval(v.E)
+		if err != nil {
+			return err
+		}
+		arr, ok := in.Arrays[v.Array]
+		if !ok || idx >= uint64(len(arr)) {
+			return fmt.Errorf("typesys: write %s[%d] out of range", v.Array, idx)
+		}
+		in.rec.Record(trace.Event{Op: trace.Write, Array: in.arrayID(v.Array), Index: idx})
+		arr[idx] = val
+		return nil
+	case If:
+		c, err := in.eval(v.Cond)
+		if err != nil {
+			return err
+		}
+		if c != 0 {
+			return in.stmts(v.Then)
+		}
+		return in.stmts(v.Else)
+	case For:
+		bound, err := in.eval(v.Bound)
+		if err != nil {
+			return err
+		}
+		for i := uint64(0); i < bound; i++ {
+			in.Vars[v.Counter] = i
+			if err := in.stmts(v.Body); err != nil {
+				return err
+			}
+		}
+		return nil
+	default:
+		return fmt.Errorf("typesys: unknown statement %T", s)
+	}
+}

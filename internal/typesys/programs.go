@@ -1,0 +1,203 @@
+package typesys
+
+import "math/bits"
+
+// This file encodes the memory skeletons of the join's building blocks
+// in the Figure 6 language. The skeletons perform the same public-memory
+// accesses as the real implementation (internal/core, internal/bitonic);
+// type-checking them machine-verifies the obliviousness argument of
+// §6.1, and deliberately broken variants document what the system
+// rejects.
+
+// CompareExchange returns the skeleton of one sorting-network
+// compare–exchange on positions i and k of array a: read both, branch on
+// a secret comparison, and write both back in either branch. Both
+// branches emit the identical trace ⟨W,a,i⟩·⟨W,a,k⟩, so T-Cond accepts.
+func CompareExchange(i, k uint64) *Program {
+	return compareExchangeDir(i, k, true)
+}
+
+// compareExchangeDir is CompareExchange with an explicit direction:
+// ascending swaps when a[k] < a[i], descending when a[i] < a[k]. The
+// direction is part of the (public) circuit layout, not of the data, so
+// it appears as operand order rather than as a runtime branch.
+func compareExchangeDir(i, k uint64, ascending bool) *Program {
+	cond := Op{Kind: "<", A: Var{"y"}, B: Var{"x"}}
+	if !ascending {
+		cond = Op{Kind: "<", A: Var{"x"}, B: Var{"y"}}
+	}
+	return &Program{
+		Vars: map[string]Label{
+			"x": H, "y": H, "c": H,
+		},
+		Arrays: map[string]Label{"a": H},
+		Body: []Stmt{
+			Read{X: "x", Array: "a", Index: Const{i}},
+			Read{X: "y", Array: "a", Index: Const{k}},
+			Assign{X: "c", E: cond},
+			If{
+				Cond: Var{"c"},
+				Then: []Stmt{
+					Write{Array: "a", Index: Const{i}, E: Var{"y"}},
+					Write{Array: "a", Index: Const{k}, E: Var{"x"}},
+				},
+				Else: []Stmt{
+					Write{Array: "a", Index: Const{i}, E: Var{"x"}},
+					Write{Array: "a", Index: Const{k}, E: Var{"y"}},
+				},
+			},
+		},
+	}
+}
+
+// LeakyCompareExchange is CompareExchange with the dummy write-back
+// removed from the else branch — the classic leak: the adversary learns
+// whether the swap happened. T-Cond must reject it.
+func LeakyCompareExchange(i, k uint64) *Program {
+	p := CompareExchange(i, k)
+	ifStmt := p.Body[3].(If)
+	ifStmt.Else = nil
+	p.Body[3] = ifStmt
+	return p
+}
+
+// SecretLoop is the §3.4 counterexample: a loop whose bound is a secret
+// variable. T-For must reject it.
+func SecretLoop() *Program {
+	return &Program{
+		Vars:   map[string]Label{"secret": H, "i": L, "x": H},
+		Arrays: map[string]Label{"a": H},
+		Body: []Stmt{
+			For{Counter: "i", Bound: Var{"secret"}, Body: []Stmt{
+				Read{X: "x", Array: "a", Index: Const{0}},
+			}},
+		},
+	}
+}
+
+// SecretIndex reads an array at a secret position — the direct access-
+// pattern leak. T-Read must reject it.
+func SecretIndex() *Program {
+	return &Program{
+		Vars:   map[string]Label{"s": H, "x": H},
+		Arrays: map[string]Label{"a": H},
+		Body: []Stmt{
+			Read{X: "x", Array: "a", Index: Var{"s"}},
+		},
+	}
+}
+
+// HighToLowAssign violates the flow rule: a secret value assigned to a
+// public variable (which could then index an array). T-Asgn rejects.
+func HighToLowAssign() *Program {
+	return &Program{
+		Vars:   map[string]Label{"s": H, "p": L},
+		Arrays: map[string]Label{},
+		Body: []Stmt{
+			Assign{X: "p", E: Var{"s"}},
+		},
+	}
+}
+
+// LinearScan is the skeleton of Fill-Dimensions' forward pass over n
+// entries: each iteration reads a[i], updates secret local state
+// branch-free, and writes a[i] back. The loop bound is the public n.
+func LinearScan() *Program {
+	return &Program{
+		Vars: map[string]Label{
+			"i": L, "n": L, "e": H, "cnt": H, "same": H,
+		},
+		Arrays: map[string]Label{"a": H},
+		Body: []Stmt{
+			For{Counter: "i", Bound: Var{"n"}, Body: []Stmt{
+				Read{X: "e", Array: "a", Index: Var{"i"}},
+				Assign{X: "same", E: Op{Kind: "==", A: Var{"e"}, B: Var{"cnt"}}},
+				Assign{X: "cnt", E: Op{Kind: "+", A: Var{"cnt"}, B: Var{"same"}}},
+				Write{Array: "a", Index: Var{"i"}, E: Var{"e"}},
+			}},
+		},
+	}
+}
+
+// RouteStep is the body of the Oblivious-Distribute hop loop at offsets
+// (i, i+j): read both slots, decide secretly, write both slots in both
+// branches. The full routing network is a fixed sequence of these.
+func RouteStep(i, j uint64) []Stmt {
+	return []Stmt{
+		Read{X: "y", Array: "a", Index: Const{i}},
+		Read{X: "z", Array: "a", Index: Const{i + j}},
+		Assign{X: "c", E: Op{Kind: "<", A: Var{"t"}, B: Var{"y"}}},
+		If{
+			Cond: Var{"c"},
+			Then: []Stmt{
+				Write{Array: "a", Index: Const{i}, E: Var{"z"}},
+				Write{Array: "a", Index: Const{i + j}, E: Var{"y"}},
+			},
+			Else: []Stmt{
+				Write{Array: "a", Index: Const{i}, E: Var{"y"}},
+				Write{Array: "a", Index: Const{i + j}, E: Var{"z"}},
+			},
+		},
+	}
+}
+
+// BuildRouteProgram unrolls the full routing network of
+// Oblivious-Distribute for a public array length l — one member of the
+// circuit family, exactly as §3.4's transformation would lay it out.
+func BuildRouteProgram(l int) *Program {
+	p := &Program{
+		Vars: map[string]Label{
+			"y": H, "z": H, "c": H, "t": H,
+		},
+		Arrays: map[string]Label{"a": H},
+	}
+	if l > 1 {
+		for j := 1 << (bits.Len(uint(l-1)) - 1); j >= 1; j >>= 1 {
+			for i := l - j - 1; i >= 0; i-- {
+				p.Body = append(p.Body, RouteStep(uint64(i), uint64(j))...)
+			}
+		}
+	}
+	return p
+}
+
+// BuildBitonicProgram unrolls the bitonic sorting network for a public
+// input length n, mirroring internal/bitonic's comparator schedule.
+func BuildBitonicProgram(n int) *Program {
+	p := &Program{
+		Vars:   map[string]Label{"x": H, "y": H, "c": H},
+		Arrays: map[string]Label{"a": H},
+	}
+	var emit func(lo, cnt int, dir bool)
+	var merge func(lo, cnt int, dir bool)
+	greatestPow := func(n int) int {
+		k := 1
+		for k < n {
+			k <<= 1
+		}
+		return k >> 1
+	}
+	merge = func(lo, cnt int, dir bool) {
+		if cnt <= 1 {
+			return
+		}
+		m := greatestPow(cnt)
+		for i := lo; i < lo+cnt-m; i++ {
+			ce := compareExchangeDir(uint64(i), uint64(i+m), dir)
+			p.Body = append(p.Body, ce.Body...)
+		}
+		merge(lo, m, dir)
+		merge(lo+m, cnt-m, dir)
+	}
+	emit = func(lo, cnt int, dir bool) {
+		if cnt <= 1 {
+			return
+		}
+		k := cnt / 2
+		emit(lo, k, !dir)
+		emit(lo+k, cnt-k, dir)
+		merge(lo, cnt, dir)
+	}
+	emit(0, n, true)
+	return p
+}

@@ -1,0 +1,333 @@
+package typesys
+
+import "fmt"
+
+// Transform implements the §3.4 conversion from a level-II oblivious
+// program to a circuit-like level-III program with constant overhead.
+// The three §3.4 constraints are enforced mechanically:
+//
+//  1. loop bounds must be L and resolvable from bindings (public sizes
+//     like n and m) — loops are fully unrolled;
+//  2. conditionals are flattened: both branches execute, and every
+//     assignment target receives a multiplexed value
+//     x ← e_then·c + e_else·(1−c), exactly the paper's rewriting;
+//  3. branches must make identical public-memory accesses (checked by
+//     the type system; Transform re-verifies while pairing writes).
+//
+// The result contains no If or For statements: it is one member of the
+// circuit family, parameterized by the bindings. Running it under the
+// interpreter produces the same final state and the same trace as the
+// original on every input.
+func Transform(p *Program, bindings map[string]uint64) (*Program, error) {
+	if _, err := Check(p); err != nil {
+		return nil, fmt.Errorf("typesys: cannot transform ill-typed program: %w", err)
+	}
+	tr := &transformer{p: p, bindings: bindings}
+	body, err := tr.stmts(p.Body, nil)
+	if err != nil {
+		return nil, err
+	}
+	out := &Program{
+		Vars:   map[string]Label{},
+		Arrays: map[string]Label{},
+		Body:   body,
+	}
+	for k, v := range p.Vars {
+		out.Vars[k] = v
+	}
+	for k, v := range p.Arrays {
+		out.Arrays[k] = v
+	}
+	// Fresh mux temporaries introduced during flattening.
+	for _, v := range tr.temps {
+		out.Vars[v] = H
+	}
+	return out, nil
+}
+
+type transformer struct {
+	p        *Program
+	bindings map[string]uint64
+	nextTemp int
+	temps    []string
+}
+
+func (t *transformer) fresh() string {
+	name := fmt.Sprintf("_mux%d", t.nextTemp)
+	t.nextTemp++
+	t.temps = append(t.temps, name)
+	return name
+}
+
+// substitute replaces loop-counter references with literal values from
+// env so unrolled iterations have constant indices.
+func substitute(e Expr, env map[string]uint64) Expr {
+	switch v := e.(type) {
+	case Var:
+		if val, ok := env[v.Name]; ok {
+			return Const{val}
+		}
+		return v
+	case Const:
+		return v
+	case Op:
+		return Op{Kind: v.Kind, A: substitute(v.A, env), B: substitute(v.B, env)}
+	default:
+		return e
+	}
+}
+
+// evalPublic evaluates an L expression using bindings and the unrolling
+// environment; it fails if the expression references an unbound
+// variable (a public size the caller must supply).
+func (t *transformer) evalPublic(e Expr, env map[string]uint64) (uint64, error) {
+	switch v := e.(type) {
+	case Const:
+		return v.Value, nil
+	case Var:
+		if val, ok := env[v.Name]; ok {
+			return val, nil
+		}
+		if val, ok := t.bindings[v.Name]; ok {
+			return val, nil
+		}
+		return 0, fmt.Errorf("typesys: transform needs a binding for public variable %q", v.Name)
+	case Op:
+		a, err := t.evalPublic(v.A, env)
+		if err != nil {
+			return 0, err
+		}
+		b, err := t.evalPublic(v.B, env)
+		if err != nil {
+			return 0, err
+		}
+		switch v.Kind {
+		case "+":
+			return a + b, nil
+		case "-":
+			return a - b, nil
+		case "*":
+			return a * b, nil
+		default:
+			return 0, fmt.Errorf("typesys: operator %q not allowed in public bounds", v.Kind)
+		}
+	default:
+		return 0, fmt.Errorf("typesys: cannot evaluate %T as a public bound", e)
+	}
+}
+
+func (t *transformer) stmts(ss []Stmt, env map[string]uint64) ([]Stmt, error) {
+	var out []Stmt
+	for _, s := range ss {
+		flat, err := t.stmt(s, env)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, flat...)
+	}
+	return out, nil
+}
+
+func (t *transformer) stmt(s Stmt, env map[string]uint64) ([]Stmt, error) {
+	switch v := s.(type) {
+	case Assign:
+		return []Stmt{Assign{X: v.X, E: substitute(v.E, env)}}, nil
+	case Read:
+		return []Stmt{Read{X: v.X, Array: v.Array, Index: substitute(v.Index, env)}}, nil
+	case Write:
+		return []Stmt{Write{Array: v.Array, Index: substitute(v.Index, env), E: substitute(v.E, env)}}, nil
+
+	case For:
+		bound, err := t.evalPublic(v.Bound, env)
+		if err != nil {
+			return nil, err
+		}
+		var out []Stmt
+		inner := map[string]uint64{}
+		for k, val := range env {
+			inner[k] = val
+		}
+		for i := uint64(0); i < bound; i++ {
+			inner[v.Counter] = i
+			flat, err := t.stmts(v.Body, inner)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, flat...)
+		}
+		return out, nil
+
+	case If:
+		return t.flattenIf(v, env)
+
+	default:
+		return nil, fmt.Errorf("typesys: transform: unknown statement %T", s)
+	}
+}
+
+// flattenIf rewrites a conditional into straight-line code: the
+// condition is captured once; assignments become multiplexes; paired
+// writes (the branches' traces are identical, per T-Cond) write the
+// multiplexed value. Nested conditionals flatten recursively, which is
+// why §3.4 requires constant branching depth: each level doubles the
+// arithmetic.
+func (t *transformer) flattenIf(v If, env map[string]uint64) ([]Stmt, error) {
+	condVar := t.fresh()
+	out := []Stmt{Assign{X: condVar, E: substitute(v.Cond, env)}}
+
+	thenFlat, err := t.stmts(v.Then, env)
+	if err != nil {
+		return nil, err
+	}
+	elseFlat, err := t.stmts(v.Else, env)
+	if err != nil {
+		return nil, err
+	}
+
+	// Pair the two branches' statements by their memory skeleton. The
+	// type checker guarantees equal traces, so writes line up one-to-one
+	// in order; interleaved assigns may differ in count.
+	thenW, thenA, thenR := splitSkeleton(thenFlat)
+	elseW, elseA, elseR := splitSkeleton(elseFlat)
+	if thenR || elseR {
+		return nil, fmt.Errorf("typesys: transform: reads inside conditional branches are not supported; hoist them before the branch")
+	}
+	if len(thenW) != len(elseW) {
+		return nil, fmt.Errorf("typesys: transform: branch write counts differ (%d vs %d) despite typing",
+			len(thenW), len(elseW))
+	}
+
+	// mux(c, a, b) = a·c + b·(1−c), built from the DSL's own operators.
+	mux := func(c string, a, b Expr) Expr {
+		one := Const{1}
+		return Op{Kind: "+",
+			A: Op{Kind: "*", A: a, B: Var{c}},
+			B: Op{Kind: "*", A: b, B: Op{Kind: "-", A: one, B: Var{c}}},
+		}
+	}
+
+	// Assignments: each branch's assigns run on shadow temporaries so
+	// both branches can execute unconditionally; the final value of each
+	// assigned variable is multiplexed back. References to variables
+	// assigned earlier in the same branch resolve to their shadows, so
+	// intra-branch dataflow is preserved; first references read the
+	// pre-branch state.
+	shadow := func(stmts []Assign) (map[string]string, []Stmt) {
+		names := map[string]string{}
+		var emitted []Stmt
+		for _, a := range stmts {
+			rhs := renameAll(a.E, names)
+			sh, ok := names[a.X]
+			if !ok {
+				sh = t.fresh()
+				names[a.X] = sh
+			}
+			emitted = append(emitted, Assign{X: sh, E: rhs})
+		}
+		return names, emitted
+	}
+	thenNames, thenAssigns := shadow(thenA)
+	elseNames, elseAssigns := shadow(elseA)
+	out = append(out, thenAssigns...)
+	out = append(out, elseAssigns...)
+
+	assigned := map[string]bool{}
+	for x := range thenNames {
+		assigned[x] = true
+	}
+	for x := range elseNames {
+		assigned[x] = true
+	}
+	for x := range assigned {
+		thenE := Expr(Var{x})
+		if sh, ok := thenNames[x]; ok {
+			thenE = Var{sh}
+		}
+		elseE := Expr(Var{x})
+		if sh, ok := elseNames[x]; ok {
+			elseE = Var{sh}
+		}
+		out = append(out, Assign{X: x, E: mux(condVar, thenE, elseE)})
+	}
+
+	// Writes: pairwise multiplex. Reads inside branches are not
+	// supported by this simple flattener (the join's skeletons read
+	// before branching), and the checker's trace equality would still
+	// hold — reject explicitly for clarity.
+	for i := range thenW {
+		tw, ew := thenW[i], elseW[i]
+		tIdx, err := t.evalPublic(tw.Index, env)
+		if err != nil {
+			return nil, err
+		}
+		eIdx, err := t.evalPublic(ew.Index, env)
+		if err != nil {
+			return nil, err
+		}
+		if tw.Array != ew.Array || tIdx != eIdx {
+			return nil, fmt.Errorf("typesys: transform: paired writes disagree (%s[%d] vs %s[%d])",
+				tw.Array, tIdx, ew.Array, eIdx)
+		}
+		// Branch writes may reference branch-shadowed variables.
+		te := renameAll(tw.E, thenNames)
+		ee := renameAll(ew.E, elseNames)
+		out = append(out, Write{Array: tw.Array, Index: Const{tIdx}, E: mux(condVar, te, ee)})
+	}
+	return out, nil
+}
+
+// splitSkeleton partitions flattened branch statements into writes and
+// assigns, flagging reads (which flattenIf rejects).
+func splitSkeleton(ss []Stmt) (writes []Write, assigns []Assign, hasRead bool) {
+	for _, s := range ss {
+		switch v := s.(type) {
+		case Write:
+			writes = append(writes, v)
+		case Assign:
+			assigns = append(assigns, v)
+		case Read:
+			hasRead = true
+		}
+	}
+	return writes, assigns, hasRead
+}
+
+// renameVar rewrites references to old as fresh inside an expression.
+func renameVar(e Expr, old, fresh string) Expr {
+	switch v := e.(type) {
+	case Var:
+		if v.Name == old {
+			return Var{fresh}
+		}
+		return v
+	case Op:
+		return Op{Kind: v.Kind, A: renameVar(v.A, old, fresh), B: renameVar(v.B, old, fresh)}
+	default:
+		return e
+	}
+}
+
+// renameAll applies a shadow-name map to an expression.
+func renameAll(e Expr, names map[string]string) Expr {
+	out := e
+	for old, fresh := range names {
+		out = renameVar(out, old, fresh)
+	}
+	return out
+}
+
+// IsStraightLine reports whether a program contains no control flow —
+// the shape §3.4 calls circuit-like.
+func IsStraightLine(p *Program) bool {
+	var walk func(ss []Stmt) bool
+	walk = func(ss []Stmt) bool {
+		for _, s := range ss {
+			switch s.(type) {
+			case If, For:
+				return false
+			}
+		}
+		return true
+	}
+	return walk(p.Body)
+}

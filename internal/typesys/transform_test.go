@@ -1,0 +1,199 @@
+package typesys
+
+import (
+	"math/rand"
+	"testing"
+
+	"oblivjoin/internal/trace"
+)
+
+// runBoth executes the original and transformed programs on identical
+// inputs and compares final array states and (for the transformed one)
+// verifies straight-line shape.
+func runBoth(t *testing.T, p *Program, bindings map[string]uint64, arrays map[string][]uint64, vars map[string]uint64) {
+	t.Helper()
+	flat, err := Transform(p, bindings)
+	if err != nil {
+		t.Fatalf("Transform: %v", err)
+	}
+	if !IsStraightLine(flat) {
+		t.Fatal("transformed program still has control flow")
+	}
+	if _, err := Check(flat); err != nil {
+		t.Fatalf("transformed program ill-typed: %v", err)
+	}
+
+	run := func(prog *Program) map[string][]uint64 {
+		in := NewInterp(arrays, nil)
+		for k, v := range vars {
+			in.Vars[k] = v
+		}
+		for k, v := range bindings {
+			in.Vars[k] = v
+		}
+		if err := in.Run(prog); err != nil {
+			t.Fatalf("run: %v", err)
+		}
+		return in.Arrays
+	}
+	got := run(flat)
+	want := run(p)
+	for name, w := range want {
+		g := got[name]
+		if len(g) != len(w) {
+			t.Fatalf("array %s length differs", name)
+		}
+		for i := range w {
+			if g[i] != w[i] {
+				t.Fatalf("array %s[%d] = %d, want %d", name, i, g[i], w[i])
+			}
+		}
+	}
+}
+
+func TestTransformCompareExchange(t *testing.T) {
+	p := CompareExchange(0, 1)
+	for _, in := range [][]uint64{{3, 9}, {9, 3}, {5, 5}} {
+		runBoth(t, p, nil, map[string][]uint64{"a": in}, nil)
+	}
+}
+
+func TestTransformBitonicNetwork(t *testing.T) {
+	const n = 9
+	p := BuildBitonicProgram(n)
+	rng := rand.New(rand.NewSource(4))
+	for trial := 0; trial < 5; trial++ {
+		data := make([]uint64, n)
+		for i := range data {
+			data[i] = uint64(rng.Intn(50))
+		}
+		runBoth(t, p, nil, map[string][]uint64{"a": data}, nil)
+	}
+}
+
+func TestTransformUnrollsLoops(t *testing.T) {
+	p := LinearScan()
+	flat, err := Transform(p, map[string]uint64{"n": 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !IsStraightLine(flat) {
+		t.Fatal("loop not unrolled")
+	}
+	// 4 iterations × (1 read + 2 assigns + 1 write).
+	if len(flat.Body) != 16 {
+		t.Fatalf("unrolled body has %d statements, want 16", len(flat.Body))
+	}
+	runBoth(t, p, map[string]uint64{"n": 4},
+		map[string][]uint64{"a": {2, 2, 3, 2}}, nil)
+}
+
+func TestTransformNeedsBindings(t *testing.T) {
+	if _, err := Transform(LinearScan(), nil); err == nil {
+		t.Fatal("expected missing-binding error")
+	}
+}
+
+func TestTransformRejectsIllTyped(t *testing.T) {
+	if _, err := Transform(LeakyCompareExchange(0, 1), nil); err == nil {
+		t.Fatal("expected rejection of leaky program")
+	}
+	if _, err := Transform(SecretLoop(), nil); err == nil {
+		t.Fatal("expected rejection of secret loop")
+	}
+}
+
+func TestTransformedTraceMatchesOriginal(t *testing.T) {
+	p := CompareExchange(2, 5)
+	flat, err := Transform(p, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	traceOf := func(prog *Program, input []uint64) string {
+		h := trace.NewHasher()
+		in := NewInterp(map[string][]uint64{"a": input}, h)
+		if err := in.Run(prog); err != nil {
+			t.Fatal(err)
+		}
+		return h.Hex()
+	}
+	in := []uint64{0, 0, 7, 0, 0, 3, 0}
+	if traceOf(p, in) != traceOf(flat, in) {
+		t.Fatal("transformation changed the memory trace")
+	}
+	// And the transformed trace is input-independent trivially: it is
+	// straight-line, so any two inputs give the same trace.
+	in2 := []uint64{0, 0, 1, 0, 0, 9, 0}
+	if traceOf(flat, in) != traceOf(flat, in2) {
+		t.Fatal("straight-line program produced input-dependent trace")
+	}
+}
+
+func TestTransformIntraBranchDataflow(t *testing.T) {
+	// then: x ← 5; y ← x + 1  (y must see the NEW x inside the branch)
+	// else: y ← 100
+	p := &Program{
+		Vars:   map[string]Label{"c": H, "x": H, "y": H},
+		Arrays: map[string]Label{},
+		Body: []Stmt{
+			If{
+				Cond: Var{"c"},
+				Then: []Stmt{
+					Assign{X: "x", E: Const{5}},
+					Assign{X: "y", E: Op{Kind: "+", A: Var{"x"}, B: Const{1}}},
+				},
+				Else: []Stmt{
+					Assign{X: "y", E: Const{100}},
+				},
+			},
+		},
+	}
+	flat, err := Transform(p, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range []uint64{0, 1} {
+		in := NewInterp(nil, nil)
+		in.Vars["c"] = c
+		in.Vars["x"] = 42
+		if err := in.Run(flat); err != nil {
+			t.Fatal(err)
+		}
+		if c == 1 {
+			if in.Vars["x"] != 5 || in.Vars["y"] != 6 {
+				t.Fatalf("c=1: x=%d y=%d, want 5/6", in.Vars["x"], in.Vars["y"])
+			}
+		} else {
+			if in.Vars["x"] != 42 || in.Vars["y"] != 100 {
+				t.Fatalf("c=0: x=%d y=%d, want 42/100", in.Vars["x"], in.Vars["y"])
+			}
+		}
+	}
+}
+
+func TestTransformRejectsReadInBranch(t *testing.T) {
+	p := &Program{
+		Vars:   map[string]Label{"c": H, "x": H},
+		Arrays: map[string]Label{"a": H},
+		Body: []Stmt{
+			If{
+				Cond: Var{"c"},
+				Then: []Stmt{Read{X: "x", Array: "a", Index: Const{0}}},
+				Else: []Stmt{Read{X: "x", Array: "a", Index: Const{0}}},
+			},
+		},
+	}
+	if _, err := Transform(p, nil); err == nil {
+		t.Fatal("expected read-in-branch rejection")
+	}
+}
+
+func TestIsStraightLine(t *testing.T) {
+	if IsStraightLine(CompareExchange(0, 1)) {
+		t.Fatal("program with If reported straight-line")
+	}
+	if !IsStraightLine(&Program{Body: []Stmt{Assign{X: "x", E: Const{1}}},
+		Vars: map[string]Label{"x": H}}) {
+		t.Fatal("assign-only program not straight-line")
+	}
+}

@@ -1,0 +1,244 @@
+package typesys
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"oblivjoin/internal/trace"
+)
+
+func mustCheck(t *testing.T, p *Program) Trace {
+	t.Helper()
+	tr, err := Check(p)
+	if err != nil {
+		t.Fatalf("Check rejected a well-typed program: %v", err)
+	}
+	return tr
+}
+
+func mustReject(t *testing.T, p *Program, rule string) {
+	t.Helper()
+	_, err := Check(p)
+	if err == nil {
+		t.Fatalf("Check accepted an ill-typed program (expected %s violation)", rule)
+	}
+	te, ok := err.(*TypeError)
+	if !ok {
+		t.Fatalf("error is %T, want *TypeError", err)
+	}
+	if te.Rule != rule {
+		t.Fatalf("violated rule %s, want %s (msg: %s)", te.Rule, rule, te.Msg)
+	}
+}
+
+func TestLabelLattice(t *testing.T) {
+	if L.join(L) != L || L.join(H) != H || H.join(L) != H || H.join(H) != H {
+		t.Fatal("join wrong")
+	}
+	if !L.flowsTo(L) || !L.flowsTo(H) || H.flowsTo(L) || !H.flowsTo(H) {
+		t.Fatal("flowsTo wrong")
+	}
+	if L.String() != "L" || H.String() != "H" {
+		t.Fatal("String wrong")
+	}
+}
+
+func TestCompareExchangeWellTyped(t *testing.T) {
+	tr := mustCheck(t, CompareExchange(3, 7))
+	// Two reads then two writes regardless of branch.
+	want := Trace{
+		Access{"R", "a", "3"}, Access{"R", "a", "7"},
+		Access{"W", "a", "3"}, Access{"W", "a", "7"},
+	}
+	if !tr.equal(want) {
+		t.Fatalf("trace = %s, want %s", tr, want)
+	}
+}
+
+func TestLeakyCompareExchangeRejected(t *testing.T) {
+	mustReject(t, LeakyCompareExchange(0, 1), "T-Cond")
+}
+
+func TestSecretLoopRejected(t *testing.T) {
+	mustReject(t, SecretLoop(), "T-For")
+}
+
+func TestSecretIndexRejected(t *testing.T) {
+	mustReject(t, SecretIndex(), "T-Read")
+}
+
+func TestSecretWriteIndexRejected(t *testing.T) {
+	p := &Program{
+		Vars:   map[string]Label{"s": H},
+		Arrays: map[string]Label{"a": H},
+		Body:   []Stmt{Write{Array: "a", Index: Var{"s"}, E: Const{0}}},
+	}
+	mustReject(t, p, "T-Write")
+}
+
+func TestHighToLowAssignRejected(t *testing.T) {
+	mustReject(t, HighToLowAssign(), "T-Asgn")
+}
+
+func TestHighArrayIntoLowVarRejected(t *testing.T) {
+	p := &Program{
+		Vars:   map[string]Label{"p": L, "i": L},
+		Arrays: map[string]Label{"a": H},
+		Body:   []Stmt{Read{X: "p", Array: "a", Index: Const{0}}},
+	}
+	mustReject(t, p, "T-Read")
+}
+
+func TestLowValueIntoHighArrayAllowed(t *testing.T) {
+	p := &Program{
+		Vars:   map[string]Label{},
+		Arrays: map[string]Label{"a": H},
+		Body:   []Stmt{Write{Array: "a", Index: Const{0}, E: Const{42}}},
+	}
+	mustCheck(t, p)
+}
+
+func TestHighValueIntoLowArrayRejected(t *testing.T) {
+	p := &Program{
+		Vars:   map[string]Label{"s": H},
+		Arrays: map[string]Label{"pub": L},
+		Body:   []Stmt{Write{Array: "pub", Index: Const{0}, E: Var{"s"}}},
+	}
+	mustReject(t, p, "T-Write")
+}
+
+func TestUndeclaredRejected(t *testing.T) {
+	p := &Program{Vars: map[string]Label{}, Arrays: map[string]Label{},
+		Body: []Stmt{Assign{X: "ghost", E: Const{1}}}}
+	mustReject(t, p, "T-Asgn")
+	p2 := &Program{Vars: map[string]Label{"x": H}, Arrays: map[string]Label{},
+		Body: []Stmt{Read{X: "x", Array: "ghost", Index: Const{0}}}}
+	mustReject(t, p2, "T-Read")
+}
+
+func TestLinearScanWellTyped(t *testing.T) {
+	tr := mustCheck(t, LinearScan())
+	if len(tr) != 1 {
+		t.Fatalf("trace = %s", tr)
+	}
+	loop, ok := tr[0].(Loop)
+	if !ok || loop.Bound != "n" {
+		t.Fatalf("trace = %s", tr)
+	}
+	if len(loop.Body) != 2 { // one read, one write per iteration
+		t.Fatalf("loop body trace = %s", loop.Body)
+	}
+}
+
+func TestRouteProgramWellTyped(t *testing.T) {
+	for _, l := range []int{1, 2, 5, 8, 16} {
+		mustCheck(t, BuildRouteProgram(l))
+	}
+}
+
+func TestBitonicProgramWellTyped(t *testing.T) {
+	for _, n := range []int{1, 2, 3, 8, 13} {
+		mustCheck(t, BuildBitonicProgram(n))
+	}
+}
+
+func TestTraceStringRendering(t *testing.T) {
+	tr := Trace{Access{"R", "a", "i"}, Loop{Bound: "n", Body: Trace{Access{"W", "b", "0"}}}}
+	s := tr.String()
+	if !strings.Contains(s, "⟨R,a,i⟩") || !strings.Contains(s, ")^n") {
+		t.Fatalf("rendering = %q", s)
+	}
+}
+
+// TestSoundnessOnBitonic runs the unrolled bitonic program on random
+// same-length inputs and verifies the recorded traces are identical —
+// the dynamic counterpart of the static acceptance above.
+func TestSoundnessOnBitonic(t *testing.T) {
+	const n = 13
+	p := BuildBitonicProgram(n)
+	mustCheck(t, p)
+	rng := rand.New(rand.NewSource(3))
+	runOnce := func() (string, []uint64) {
+		data := make([]uint64, n)
+		for i := range data {
+			data[i] = uint64(rng.Intn(100))
+		}
+		h := trace.NewHasher()
+		in := NewInterp(map[string][]uint64{"a": data}, h)
+		if err := in.Run(p); err != nil {
+			t.Fatal(err)
+		}
+		return h.Hex(), in.Arrays["a"]
+	}
+	firstHash, out := runOnce()
+	for i := 1; i < len(out); i++ {
+		if out[i-1] > out[i] {
+			t.Fatalf("interpreted bitonic program did not sort: %v", out)
+		}
+	}
+	for trial := 0; trial < 5; trial++ {
+		h, sorted := runOnce()
+		if h != firstHash {
+			t.Fatal("well-typed program produced input-dependent trace")
+		}
+		for i := 1; i < len(sorted); i++ {
+			if sorted[i-1] > sorted[i] {
+				t.Fatalf("not sorted: %v", sorted)
+			}
+		}
+	}
+}
+
+// TestLeakIsRealNotJustRejected shows the rejected leaky program indeed
+// produces input-dependent traces when run — the type system is not
+// crying wolf.
+func TestLeakIsRealNotJustRejected(t *testing.T) {
+	p := LeakyCompareExchange(0, 1)
+	run := func(a0, a1 uint64) uint64 {
+		var c trace.Counter
+		in := NewInterp(map[string][]uint64{"a": {a0, a1}}, &c)
+		if err := in.Run(p); err != nil {
+			t.Fatal(err)
+		}
+		return c.Total()
+	}
+	if run(1, 2) == run(2, 1) {
+		t.Fatal("leaky program produced equal traces; test premise broken")
+	}
+}
+
+func TestInterpErrors(t *testing.T) {
+	in := NewInterp(map[string][]uint64{"a": {1}}, nil)
+	if err := in.Run(&Program{Body: []Stmt{Read{X: "x", Array: "a", Index: Const{5}}}}); err == nil {
+		t.Fatal("expected out-of-range error")
+	}
+	if err := in.Run(&Program{Body: []Stmt{Read{X: "x", Array: "nope", Index: Const{0}}}}); err == nil {
+		t.Fatal("expected unknown-array error")
+	}
+	if err := in.Run(&Program{Body: []Stmt{Assign{X: "x", E: Op{Kind: "%%", A: Const{1}, B: Const{1}}}}}); err == nil {
+		t.Fatal("expected unknown-operator error")
+	}
+}
+
+func TestInterpOperators(t *testing.T) {
+	in := NewInterp(nil, nil)
+	cases := []struct {
+		kind string
+		a, b uint64
+		want uint64
+	}{
+		{"+", 2, 3, 5}, {"-", 5, 3, 2}, {"*", 4, 3, 12},
+		{"<", 1, 2, 1}, {"<", 2, 1, 0}, {"==", 7, 7, 1}, {"==", 7, 8, 0},
+		{"&", 6, 3, 2}, {"|", 6, 3, 7}, {"^", 6, 3, 5},
+	}
+	for _, c := range cases {
+		got, err := in.eval(Op{Kind: c.kind, A: Const{c.a}, B: Const{c.b}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != c.want {
+			t.Errorf("%d %s %d = %d, want %d", c.a, c.kind, c.b, got, c.want)
+		}
+	}
+}
