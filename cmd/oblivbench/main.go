@@ -3,11 +3,18 @@
 //
 // Usage:
 //
-//	oblivbench -exp table1|table2|table3|fig7|fig8|all [flags]
+//	oblivbench -exp table1|table2|table3|fig7|fig8|circuit|bench|all [flags]
 //
 //	-n int        input size for table1/table3 (default 4096 / 65536)
 //	-sizes list   comma-separated n values for fig8
 //	-pgm path     also write Figure 7 as a PGM image
+//	-bsizes list  comma-separated n values for the bench experiment
+//	-workers int  parallel lanes for bench (0 = GOMAXPROCS)
+//	-json path    write bench results as JSON (default BENCH_join.json)
+//
+// bench (sequential vs parallel join wall times, tracing on, with a
+// BENCH_join.json perf record) is opt-in: it runs only with
+// -exp bench, never under -exp all.
 //
 // Absolute timings depend on the host; the reproduction targets are the
 // orderings and growth shapes (see EXPERIMENTS.md).
@@ -24,15 +31,34 @@ import (
 )
 
 func main() {
-	which := flag.String("exp", "all", "experiment: table1, table2, table3, fig7, fig8, circuit, all")
+	which := flag.String("exp", "all", "experiment: table1, table2, table3, fig7, fig8, circuit, bench, all")
 	n := flag.Int("n", 0, "input size for table1/table3 (defaults: 4096, 65536)")
 	sizes := flag.String("sizes", "25000,50000,100000,200000", "comma-separated input sizes for fig8")
 	pgm := flag.String("pgm", "", "write Figure 7 as a PGM image to this path")
 	nlCap := flag.Int("nlcap", 2048, "largest n for the quadratic nested-loop baseline")
+	bsizes := flag.String("bsizes", "16384,65536,131072", "comma-separated input sizes for bench")
+	workers := flag.Int("workers", 0, "parallel lanes for bench (0 = GOMAXPROCS)")
+	jsonPath := flag.String("json", "BENCH_join.json", "write bench results as JSON to this path (empty to skip)")
 	flag.Parse()
 
+	parseSizes := func(s string) ([]int, error) {
+		var ns []int
+		for _, f := range strings.Split(s, ",") {
+			v, err := strconv.Atoi(strings.TrimSpace(f))
+			if err != nil {
+				return nil, fmt.Errorf("bad size entry %q: %w", f, err)
+			}
+			ns = append(ns, v)
+		}
+		return ns, nil
+	}
+
+	// bench is opt-in only: it is a perf experiment that writes
+	// BENCH_join.json to the working directory, not one of the paper's
+	// figures, so a bare `oblivbench` (-exp all) does not run it.
+	optIn := map[string]bool{"bench": true}
 	run := func(name string, f func() error) {
-		if *which != "all" && *which != name {
+		if *which != name && (*which != "all" || optIn[name]) {
 			return
 		}
 		if err := f(); err != nil {
@@ -73,15 +99,28 @@ func main() {
 		return exp.Circuit(os.Stdout, []int{4, 8, 16, 32}, 16)
 	})
 	run("fig8", func() error {
-		var ns []int
-		for _, s := range strings.Split(*sizes, ",") {
-			v, err := strconv.Atoi(strings.TrimSpace(s))
-			if err != nil {
-				return fmt.Errorf("bad -sizes entry %q: %w", s, err)
-			}
-			ns = append(ns, v)
+		ns, err := parseSizes(*sizes)
+		if err != nil {
+			return err
 		}
-		_, err := exp.Fig8(os.Stdout, ns)
+		_, err = exp.Fig8(os.Stdout, ns)
 		return err
+	})
+	run("bench", func() error {
+		ns, err := parseSizes(*bsizes)
+		if err != nil {
+			return err
+		}
+		results, err := exp.BenchJoin(os.Stdout, ns, *workers)
+		if err != nil {
+			return err
+		}
+		if *jsonPath != "" {
+			if err := exp.WriteBenchJSON(*jsonPath, results); err != nil {
+				return err
+			}
+			fmt.Printf("(bench results written to %s)\n", *jsonPath)
+		}
+		return nil
 	})
 }

@@ -1,0 +1,3 @@
+module oblivjoin
+
+go 1.24

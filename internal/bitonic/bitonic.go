@@ -41,23 +41,30 @@ type LessFunc[T any] func(x, y T) uint64
 type CondSwapFunc[T any] func(c uint64, x, y *T)
 
 // Stats accumulates comparator counts across sorts; pass nil to skip
-// counting. The counts feed the comparison columns of Table 3.
+// counting. The counts feed the comparison columns of Table 3. Counts
+// are accumulated deterministically at round barriers (a round's
+// comparator total is a function of the schedule, not of execution
+// interleaving), so they are exact under parallel execution too.
 type Stats struct {
 	CompareExchanges uint64
 }
 
-func (s *Stats) bump() {
-	if s != nil {
-		s.CompareExchanges++
-	}
+// Sort sorts a ascending by less using the bitonic network, executing
+// the round schedule sequentially. It performs O(n log² n)
+// compare–exchanges with a schedule depending only on a.Len().
+func Sort[T any](a Array[T], less LessFunc[T], swap CondSwapFunc[T], st *Stats) {
+	SortParallel(a, less, swap, st, 1)
 }
 
-// Sort sorts a ascending by less using the bitonic network. It performs
-// O(n log² n) compare–exchanges with a schedule depending only on
-// a.Len().
-func Sort[T any](a Array[T], less LessFunc[T], swap CondSwapFunc[T], st *Stats) {
-	s := sorter[T]{a: a, less: less, swap: swap, st: st}
-	s.sort(0, a.Len(), 1)
+// compareExchangeOp builds the PairOp of a sorting network: order the
+// pair towards dir, touching both elements regardless.
+func compareExchangeOp[T any](less LessFunc[T], swap CondSwapFunc[T]) PairOp[T] {
+	return func(_, _ int, dir uint64, x, y *T) {
+		// Ascending (dir=1): out of order when y < x.
+		// Descending (dir=0): out of order when x < y.
+		c := obliv.Select(dir, less(*y, *x), less(*x, *y))
+		swap(c, x, y)
+	}
 }
 
 // SortSlice sorts a plain slice through a throwaway untraced space; a
@@ -66,52 +73,6 @@ func Sort[T any](a Array[T], less LessFunc[T], swap CondSwapFunc[T], st *Stats) 
 func SortSlice[T any](data []T, less LessFunc[T], swap CondSwapFunc[T], st *Stats) {
 	sp := memory.NewSpace(nil, nil)
 	Sort(memory.FromSlice(sp, data, 1), less, swap, st)
-}
-
-type sorter[T any] struct {
-	a    Array[T]
-	less LessFunc[T]
-	swap CondSwapFunc[T]
-	st   *Stats
-}
-
-// sort produces a sequence ordered ascending when dir == 1, descending
-// when dir == 0, over [lo, lo+n).
-func (s *sorter[T]) sort(lo, n int, dir uint64) {
-	if n <= 1 {
-		return
-	}
-	m := n / 2
-	s.sort(lo, m, dir^1)
-	s.sort(lo+m, n-m, dir)
-	s.merge(lo, n, dir)
-}
-
-// merge merges a bitonic sequence over [lo, lo+n) into dir order.
-func (s *sorter[T]) merge(lo, n int, dir uint64) {
-	if n <= 1 {
-		return
-	}
-	m := greatestPowerOfTwoLessThan(n)
-	for i := lo; i < lo+n-m; i++ {
-		s.compareExchange(i, i+m, dir)
-	}
-	s.merge(lo, m, dir)
-	s.merge(lo+m, n-m, dir)
-}
-
-// compareExchange orders elements i and j (i < j) so that they respect
-// dir. Both elements are always read and written back.
-func (s *sorter[T]) compareExchange(i, j int, dir uint64) {
-	x := s.a.Get(i)
-	y := s.a.Get(j)
-	// Ascending (dir=1): out of order when y < x.
-	// Descending (dir=0): out of order when x < y.
-	c := obliv.Select(dir, s.less(y, x), s.less(x, y))
-	s.swap(c, &x, &y)
-	s.a.Set(i, x)
-	s.a.Set(j, y)
-	s.st.bump()
 }
 
 func greatestPowerOfTwoLessThan(n int) int {
@@ -123,39 +84,14 @@ func greatestPowerOfTwoLessThan(n int) int {
 }
 
 // MergeExchangeSort sorts a ascending using Batcher's merge-exchange
-// network (Knuth, TAOCP 5.2.2, Algorithm M). It performs roughly half
-// the compare–exchanges of the bitonic network and is likewise
-// data-independent for a fixed length; it is less regular and harder to
-// parallelize, which is why the paper's implementation (and ours)
-// defaults to bitonic.
+// network (Knuth, TAOCP 5.2.2, Algorithm M), executing its round
+// schedule sequentially. It performs roughly half the
+// compare–exchanges of the bitonic network and is likewise
+// data-independent for a fixed length; its rounds are less regular
+// than the bitonic network's, which is why the paper's implementation
+// (and ours) defaults to bitonic.
 func MergeExchangeSort[T any](a Array[T], less LessFunc[T], swap CondSwapFunc[T], st *Stats) {
-	n := a.Len()
-	if n <= 1 {
-		return
-	}
-	s := sorter[T]{a: a, less: less, swap: swap, st: st}
-	t := 0
-	for 1<<t < n {
-		t++
-	}
-	for p := 1 << (t - 1); p > 0; p >>= 1 {
-		q := 1 << (t - 1)
-		r := 0
-		d := p
-		for {
-			for i := 0; i < n-d; i++ {
-				if i&p == r {
-					s.compareExchange(i, i+d, 1)
-				}
-			}
-			if q == p {
-				break
-			}
-			d = q - p
-			q >>= 1
-			r = p
-		}
-	}
+	MergeExchangeSortParallel(a, less, swap, st, 1)
 }
 
 // Comparators returns the exact number of compare–exchanges the bitonic

@@ -1,0 +1,315 @@
+package bitonic
+
+import (
+	"runtime"
+	"sync"
+
+	"oblivjoin/internal/trace"
+)
+
+// RangeArray is an optional Array extension: batched contiguous reads
+// and writes. Implementations must emit exactly the per-element events
+// of the equivalent Get/Set loop, in ascending index order, with the
+// whole range handled in one dynamic dispatch. *memory.Array[T],
+// *table.Encrypted and the windowed views of internal/core implement
+// it.
+type RangeArray[T any] interface {
+	Array[T]
+	GetRange(lo int, dst []T)
+	SetRange(lo int, src []T)
+}
+
+// Sharder is an optional Array extension that makes concurrent access
+// safe and deterministically traceable. Shard returns an alias of the
+// array (same identifier, same backing storage) whose accesses are
+// recorded to rec instead of the parent's recorder; the result is
+// asserted back to Array[T] by the executor (the untyped return keeps
+// storage packages decoupled from this one). Shard returns nil when the
+// array cannot be accessed concurrently — e.g. an enclave cost model is
+// attached, whose paging simulation is order-dependent — in which case
+// the executor degrades to sequential execution over the same schedule,
+// preserving the canonical trace.
+type Sharder interface {
+	Traced() bool
+	Recorder() trace.Recorder
+	Shard(rec trace.Recorder) any
+}
+
+// PairOp is the branch-free operation applied to one comparator pair:
+// element x at index i, element y at index j = i+hop, ordering towards
+// dir. It must touch both elements regardless of their values.
+type PairOp[T any] func(i, j int, dir uint64, x, y *T)
+
+// chunkSize is the number of comparators one batched block processes:
+// the unit of GetRange/SetRange batching and therefore of the canonical
+// trace's run structure. It is a fixed constant — never derived from
+// the worker count — so the recorded trace is identical for every
+// degree of parallelism.
+const chunkSize = 512
+
+// workerPool is the persistent process-wide pool that executes round
+// partitions. Workers are started once, sized to GOMAXPROCS, and live
+// for the life of the process; individual sorts only borrow them.
+type workerPool struct {
+	jobs chan func()
+}
+
+var (
+	poolOnce sync.Once
+	gPool    *workerPool
+)
+
+func sharedPool() *workerPool {
+	poolOnce.Do(func() {
+		n := runtime.GOMAXPROCS(0)
+		p := &workerPool{jobs: make(chan func(), 4*n)}
+		for i := 0; i < n; i++ {
+			go func() {
+				for f := range p.jobs {
+					f()
+				}
+			}()
+		}
+		gPool = p
+	})
+	return gPool
+}
+
+// do runs every fn to completion before returning. fns[0] runs on the
+// calling goroutine; the rest go to pool workers, falling back to
+// inline execution when the pool is saturated so progress never waits
+// on a busy worker.
+func (p *workerPool) do(fns []func()) {
+	if len(fns) == 1 {
+		fns[0]()
+		return
+	}
+	var wg sync.WaitGroup
+	wg.Add(len(fns) - 1)
+	for _, f := range fns[1:] {
+		task := func() {
+			defer wg.Done()
+			f()
+		}
+		select {
+		case p.jobs <- task:
+		default:
+			task()
+		}
+	}
+	fns[0]()
+	wg.Wait()
+}
+
+// chunk is one canonically-cut block of a segment: comparators
+// (seg.Lo+off+k, seg.Lo+seg.Hop+off+k) for k ∈ [0, cnt).
+type chunk struct {
+	seg      Segment
+	off, cnt int
+}
+
+// lane is one worker's execution context: a shard alias of the store, a
+// private event buffer replayed at round barriers, and reusable value
+// blocks for batched compare–exchange.
+type lane[T any] struct {
+	arr        Array[T]
+	rng        RangeArray[T] // arr as RangeArray, or nil
+	buf        *trace.Buffer // nil when the store is untraced
+	bufX, bufY []T
+}
+
+// roundExec executes rounds of disjoint comparator segments over one
+// store. With workers == 1 it runs each chunk directly against the
+// store, in canonical order. With workers > 1 it partitions each
+// round's chunk list into contiguous spans, one per lane, runs the
+// spans on the shared pool, and replays the lanes' event buffers into
+// the store's recorder in lane order at the round barrier — which
+// reproduces exactly the sequential canonical trace.
+type roundExec[T any] struct {
+	op      PairOp[T]
+	workers int
+	seq     lane[T]   // direct-access lane for sequential execution
+	lanes   []lane[T] // shard lanes, parallel mode only
+	rec     trace.Recorder
+	chunks  []chunk
+	count   uint64 // comparators executed
+}
+
+func newRoundExec[T any](a Array[T], op PairOp[T], workers int) *roundExec[T] {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	ex := &roundExec[T]{op: op, workers: workers}
+	baseRng, _ := a.(RangeArray[T])
+	ex.seq = lane[T]{arr: a, rng: baseRng}
+	if workers > 1 {
+		ex.lanes = makeLanes(a, baseRng != nil, workers)
+		if ex.lanes == nil {
+			ex.workers = 1
+		} else if ex.lanes[0].buf != nil {
+			ex.rec = a.(Sharder).Recorder()
+		}
+	}
+	// The direct lane also serves single-chunk rounds in parallel mode,
+	// so it always needs its value blocks.
+	ex.seq.bufX = make([]T, chunkSize)
+	ex.seq.bufY = make([]T, chunkSize)
+	return ex
+}
+
+// makeLanes builds one shard lane per worker, or returns nil when the
+// store cannot support concurrent execution (no Sharder, shard refused,
+// or shards missing the range capability the base store has — which
+// would change the canonical trace's run structure).
+func makeLanes[T any](a Array[T], wantRange bool, workers int) []lane[T] {
+	sh, ok := a.(Sharder)
+	if !ok {
+		return nil
+	}
+	traced := sh.Traced()
+	lanes := make([]lane[T], workers)
+	for w := range lanes {
+		var buf *trace.Buffer
+		var rec trace.Recorder
+		if traced {
+			buf = &trace.Buffer{}
+			rec = buf
+		}
+		res := sh.Shard(rec)
+		if res == nil {
+			return nil
+		}
+		arr, ok := res.(Array[T])
+		if !ok {
+			return nil
+		}
+		rng, hasRange := arr.(RangeArray[T])
+		if wantRange && !hasRange {
+			return nil
+		}
+		if !wantRange {
+			rng = nil
+		}
+		lanes[w] = lane[T]{
+			arr: arr, rng: rng, buf: buf,
+			bufX: make([]T, chunkSize), bufY: make([]T, chunkSize),
+		}
+	}
+	return lanes
+}
+
+// runRound executes one round of disjoint segments.
+func (ex *roundExec[T]) runRound(segs []Segment) {
+	// Cut segments into canonical chunks of at most chunkSize
+	// comparators; this cut depends only on the round, never on the
+	// worker count.
+	ex.chunks = ex.chunks[:0]
+	total := 0
+	for _, s := range segs {
+		for off := 0; off < s.Cnt; off += chunkSize {
+			cnt := s.Cnt - off
+			if cnt > chunkSize {
+				cnt = chunkSize
+			}
+			ex.chunks = append(ex.chunks, chunk{seg: s, off: off, cnt: cnt})
+		}
+		total += s.Cnt
+	}
+	ex.count += uint64(total)
+	if total == 0 {
+		return
+	}
+	if ex.workers == 1 || len(ex.chunks) == 1 {
+		for _, c := range ex.chunks {
+			ex.seq.runChunk(ex.op, c)
+		}
+		return
+	}
+
+	// Partition the chunk list into contiguous spans balanced by
+	// comparator count, one span per lane, preserving canonical order.
+	nw := ex.workers
+	if nw > len(ex.chunks) {
+		nw = len(ex.chunks)
+	}
+	target := (total + nw - 1) / nw
+	fns := make([]func(), 0, nw)
+	start, load, used := 0, 0, 0
+	for i, c := range ex.chunks {
+		load += c.cnt
+		// Cut when the span reached its target, keeping enough chunks
+		// for the remaining lanes.
+		if load >= target || len(ex.chunks)-i-1 == nw-used-1 {
+			ln, lo, hi := &ex.lanes[used], start, i+1
+			fns = append(fns, func() {
+				for _, c := range ex.chunks[lo:hi] {
+					ln.runChunk(ex.op, c)
+				}
+			})
+			start, load = i+1, 0
+			used++
+			if used == nw {
+				break
+			}
+		}
+	}
+	sharedPool().do(fns)
+	// Round barrier: merge the lanes' event shards in canonical order.
+	if ex.rec != nil {
+		for i := range ex.lanes[:used] {
+			ex.lanes[i].buf.ReplayTo(ex.rec)
+		}
+	}
+}
+
+// runChunk applies the op to every comparator of one chunk, batching
+// the store accesses when the store supports ranges. The emitted event
+// pattern — R-run(low side), R-run(high side), W-run(low side),
+// W-run(high side), or the interleaved per-pair pattern on stores
+// without range support — is a function of the chunk alone.
+func (l *lane[T]) runChunk(op PairOp[T], c chunk) {
+	loX := c.seg.Lo + c.off
+	loY := loX + c.seg.Hop
+	if l.rng != nil {
+		x, y := l.bufX[:c.cnt], l.bufY[:c.cnt]
+		l.rng.GetRange(loX, x)
+		l.rng.GetRange(loY, y)
+		for k := 0; k < c.cnt; k++ {
+			op(loX+k, loY+k, c.seg.Dir, &x[k], &y[k])
+		}
+		l.rng.SetRange(loX, x)
+		l.rng.SetRange(loY, y)
+		return
+	}
+	for k := 0; k < c.cnt; k++ {
+		i, j := loX+k, loY+k
+		x, y := l.arr.Get(i), l.arr.Get(j)
+		op(i, j, c.seg.Dir, &x, &y)
+		l.arr.Set(i, x)
+		l.arr.Set(j, y)
+	}
+}
+
+// RunTasks runs every fn to completion on the shared persistent pool
+// (fns[0] on the calling goroutine). It is the raw fork–join primitive
+// behind RunRounds, exported for the blocked parallel scans of
+// internal/core, which partition linear passes the same way rounds are
+// partitioned.
+func RunTasks(fns []func()) {
+	if len(fns) == 0 {
+		return
+	}
+	sharedPool().do(fns)
+}
+
+// RunRounds executes a round schedule over a with op, using up to
+// workers lanes (≤ 0 means GOMAXPROCS), and returns the number of
+// comparator applications. schedule must call its argument once per
+// round with segments whose pairs are disjoint within the round;
+// RunRounds barriers between rounds. It is the execution engine behind
+// the sorting networks and the routing network of internal/core.
+func RunRounds[T any](a Array[T], op PairOp[T], workers int, schedule func(round func([]Segment))) uint64 {
+	ex := newRoundExec(a, op, workers)
+	schedule(ex.runRound)
+	return ex.count
+}

@@ -1,76 +1,53 @@
 package bitonic
 
-import (
-	"runtime"
-	"sync"
-)
-
-// SortParallel sorts a ascending using the bitonic network with the
-// recursive halves executed on separate goroutines. The two recursive
-// sorts (and the two recursive merges) operate on disjoint index ranges,
-// so they are data-race-free by construction — the parallel and
-// sequential networks perform exactly the same compare–exchanges, just
-// interleaved differently in time.
+// SortParallel sorts a ascending using the bitonic network's round
+// schedule executed across up to workers lanes of a persistent shared
+// worker pool (workers ≤ 0 means GOMAXPROCS, 1 means sequential). Each
+// round is a vector of disjoint comparator segments — a pure function
+// of a.Len() — partitioned contiguously across the lanes, with a
+// barrier between rounds, so the parallel network performs exactly the
+// same compare–exchanges as the sequential one.
 //
 // The paper points out that "almost all parts of our algorithm are
 // amenable to parallelization since they heavily rely on sorting
 // networks, whose depth is O(log² n)"; this function is that claim for
 // the sorting phases.
 //
-// Concurrency caveat: the Array's trace recorder and cost model are not
-// synchronized, so SortParallel must only be used with untraced spaces
-// (nil recorder, nil cost model). The obliviousness property concerns
-// the *set and order per location* of accesses, which is unchanged; a
-// per-goroutine interleaved global trace is no longer a deterministic
-// function of n, which is why the instrumented experiments use the
-// sequential sorter.
-func SortParallel[T any](a Array[T], less LessFunc[T], swap CondSwapFunc[T]) {
-	s := sorter[T]{a: a, less: less, swap: swap}
-	grain := a.Len() / (runtime.GOMAXPROCS(0) * 4)
-	if grain < 1024 {
-		grain = 1024
-	}
-	s.sortPar(0, a.Len(), 1, grain)
-}
-
-func (s *sorter[T]) sortPar(lo, n int, dir uint64, grain int) {
+// Instrumentation is parallel-safe: comparator counts accumulate
+// deterministically at round barriers, and when the store records a
+// trace (and implements Sharder), each lane records into a private
+// trace.Buffer that is replayed into the store's recorder in canonical
+// lane order at every barrier — the recorded trace is bit-identical to
+// a sequential run's. Stores that cannot be sharded (no Sharder
+// implementation, or an enclave cost model attached) degrade to
+// sequential execution over the same schedule, preserving the trace.
+func SortParallel[T any](a Array[T], less LessFunc[T], swap CondSwapFunc[T], st *Stats, workers int) {
+	n := a.Len()
 	if n <= 1 {
 		return
 	}
-	if n <= grain {
-		s.sort(lo, n, dir)
-		return
+	c := RunRounds(a, compareExchangeOp(less, swap), workers, func(round func([]Segment)) {
+		bitonicRounds(n, round)
+	})
+	if st != nil {
+		st.CompareExchanges += c
 	}
-	m := n / 2
-	var wg sync.WaitGroup
-	wg.Add(1)
-	go func() {
-		defer wg.Done()
-		s.sortPar(lo, m, dir^1, grain)
-	}()
-	s.sortPar(lo+m, n-m, dir, grain)
-	wg.Wait()
-	s.mergePar(lo, n, dir, grain)
 }
 
-func (s *sorter[T]) mergePar(lo, n int, dir uint64, grain int) {
+// MergeExchangeSortParallel is MergeExchangeSort executed across up to
+// workers lanes, with the same determinism guarantees as SortParallel:
+// identical comparator set, identical canonical trace. Its rounds are
+// the (p, q, r, d) passes of Knuth's Algorithm M, which are fewer but
+// less uniform than the bitonic rounds.
+func MergeExchangeSortParallel[T any](a Array[T], less LessFunc[T], swap CondSwapFunc[T], st *Stats, workers int) {
+	n := a.Len()
 	if n <= 1 {
 		return
 	}
-	if n <= grain {
-		s.merge(lo, n, dir)
-		return
+	c := RunRounds(a, compareExchangeOp(less, swap), workers, func(round func([]Segment)) {
+		mergeExchangeRounds(n, round)
+	})
+	if st != nil {
+		st.CompareExchanges += c
 	}
-	m := greatestPowerOfTwoLessThan(n)
-	for i := lo; i < lo+n-m; i++ {
-		s.compareExchange(i, i+m, dir)
-	}
-	var wg sync.WaitGroup
-	wg.Add(1)
-	go func() {
-		defer wg.Done()
-		s.mergePar(lo, m, dir, grain)
-	}()
-	s.mergePar(lo+m, n-m, dir, grain)
-	wg.Wait()
 }

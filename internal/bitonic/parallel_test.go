@@ -5,27 +5,136 @@ import (
 	"testing"
 
 	"oblivjoin/internal/memory"
+	"oblivjoin/internal/trace"
 )
+
+// equivalenceLengths covers the degenerate, odd, power-of-two and
+// just-off-power-of-two cases of the schedule.
+var equivalenceLengths = []int{0, 1, 2, 3, 7, 8, 100, 127, 128, 129, 1000, 4096, 5000}
 
 func TestSortParallelMatchesSequential(t *testing.T) {
 	rng := rand.New(rand.NewSource(17))
 	sp := memory.NewSpace(nil, nil)
-	for _, n := range []int{0, 1, 100, 1000, 5000, 8192} {
+	for _, n := range equivalenceLengths {
+		for _, workers := range []int{2, 3, 8} {
+			seq := make([]uint64, n)
+			for i := range seq {
+				seq[i] = uint64(rng.Intn(1000))
+			}
+			par := append([]uint64(nil), seq...)
+			Sort(memory.FromSlice(sp, seq, 8), lessU64, swapU64, nil)
+			SortParallel(memory.FromSlice(sp, par, 8), lessU64, swapU64, nil, workers)
+			if !equal(seq, par) {
+				t.Fatalf("n=%d workers=%d: parallel result differs from sequential", n, workers)
+			}
+		}
+	}
+}
+
+func TestMergeExchangeParallelMatchesSequential(t *testing.T) {
+	rng := rand.New(rand.NewSource(19))
+	sp := memory.NewSpace(nil, nil)
+	for _, n := range equivalenceLengths {
 		seq := make([]uint64, n)
 		for i := range seq {
 			seq[i] = uint64(rng.Intn(1000))
 		}
 		par := append([]uint64(nil), seq...)
-		Sort(memory.FromSlice(sp, seq, 8), lessU64, swapU64, nil)
-		SortParallel(memory.FromSlice(sp, par, 8), lessU64, swapU64)
+		MergeExchangeSort(memory.FromSlice(sp, seq, 8), lessU64, swapU64, nil)
+		MergeExchangeSortParallel(memory.FromSlice(sp, par, 8), lessU64, swapU64, nil, 4)
 		if !equal(seq, par) {
-			t.Fatalf("n=%d: parallel result differs from sequential", n)
+			t.Fatalf("n=%d: parallel merge-exchange differs from sequential", n)
+		}
+	}
+}
+
+// TestSortParallelComparatorCount checks that the parallel round
+// schedule performs exactly Comparators(n) compare–exchanges, the same
+// count the sequential network reports.
+func TestSortParallelComparatorCount(t *testing.T) {
+	sp := memory.NewSpace(nil, nil)
+	for _, n := range equivalenceLengths {
+		var seqSt, parSt Stats
+		data := make([]uint64, n)
+		Sort(memory.FromSlice(sp, data, 8), lessU64, swapU64, &seqSt)
+		SortParallel(memory.FromSlice(sp, data, 8), lessU64, swapU64, &parSt, 4)
+		if want := Comparators(n); seqSt.CompareExchanges != want || parSt.CompareExchanges != want {
+			t.Fatalf("n=%d: sequential=%d parallel=%d, Comparators says %d",
+				n, seqSt.CompareExchanges, parSt.CompareExchanges, want)
+		}
+	}
+}
+
+// TestSortParallelCanonicalTrace is the tentpole determinism property:
+// the canonical trace of a parallel round-scheduled sort — lane shards
+// merged at round barriers — is bit-identical to the sequential trace,
+// for both the streaming hash and an exact event log.
+func TestSortParallelCanonicalTrace(t *testing.T) {
+	rng := rand.New(rand.NewSource(29))
+	for _, n := range equivalenceLengths {
+		vals := make([]uint64, n)
+		for i := range vals {
+			vals[i] = rng.Uint64()
+		}
+		run := func(workers int) (string, uint64) {
+			h := trace.NewHasher()
+			sp := memory.NewSpace(h, nil)
+			data := append([]uint64(nil), vals...)
+			SortParallel(memory.FromSlice(sp, data, 8), lessU64, swapU64, nil, workers)
+			return h.Hex(), h.Count()
+		}
+		seqHash, seqCount := run(1)
+		for _, workers := range []int{2, 4, 8} {
+			parHash, parCount := run(workers)
+			if parCount != seqCount {
+				t.Fatalf("n=%d workers=%d: %d events, sequential has %d", n, workers, parCount, seqCount)
+			}
+			if parHash != seqHash {
+				t.Fatalf("n=%d workers=%d: canonical trace hash differs from sequential", n, workers)
+			}
+		}
+	}
+}
+
+func TestSortParallelExactLogMatchesSequential(t *testing.T) {
+	const n = 257 // odd, straddles several chunk cuts of the late rounds
+	run := func(workers int) *trace.Log {
+		log := trace.NewLog()
+		sp := memory.NewSpace(log, nil)
+		data := make([]uint64, n)
+		for i := range data {
+			data[i] = uint64((i * 2654435761) % 1009)
+		}
+		SortParallel(memory.FromSlice(sp, data, 8), lessU64, swapU64, nil, workers)
+		return log
+	}
+	seq := run(1)
+	par := run(4)
+	if !seq.Equal(par) {
+		t.Fatalf("exact logs diverge at event %d of %d/%d",
+			seq.FirstDivergence(par), seq.Len(), par.Len())
+	}
+}
+
+func TestMergeExchangeParallelCanonicalTrace(t *testing.T) {
+	for _, n := range []int{25, 128, 1000} {
+		run := func(workers int) string {
+			h := trace.NewHasher()
+			sp := memory.NewSpace(h, nil)
+			data := make([]uint64, n)
+			for i := range data {
+				data[i] = uint64(i * 7 % 31)
+			}
+			MergeExchangeSortParallel(memory.FromSlice(sp, data, 8), lessU64, swapU64, nil, workers)
+			return h.Hex()
+		}
+		if run(1) != run(4) {
+			t.Fatalf("n=%d: merge-exchange parallel trace differs from sequential", n)
 		}
 	}
 }
 
 func TestSortParallelStress(t *testing.T) {
-	// Large enough to actually fan out across goroutines (grain 1024).
 	rng := rand.New(rand.NewSource(23))
 	sp := memory.NewSpace(nil, nil)
 	n := 64 * 1024
@@ -34,7 +143,7 @@ func TestSortParallelStress(t *testing.T) {
 		data[i] = rng.Uint64()
 	}
 	want := sortedCopy(data)
-	SortParallel(memory.FromSlice(sp, data, 8), lessU64, swapU64)
+	SortParallel(memory.FromSlice(sp, data, 8), lessU64, swapU64, nil, 0)
 	if !equal(data, want) {
 		t.Fatal("parallel sort produced wrong order")
 	}
@@ -42,13 +151,13 @@ func TestSortParallelStress(t *testing.T) {
 
 func BenchmarkBitonicParallel64k(b *testing.B) {
 	benchSort(b, 64*1024, func(a *memory.Array[uint64]) {
-		SortParallel[uint64](a, lessU64, swapU64)
+		SortParallel[uint64](a, lessU64, swapU64, nil, 0)
 	})
 }
 
 func BenchmarkBitonicParallel256k(b *testing.B) {
 	benchSort(b, 256*1024, func(a *memory.Array[uint64]) {
-		SortParallel[uint64](a, lessU64, swapU64)
+		SortParallel[uint64](a, lessU64, swapU64, nil, 0)
 	})
 }
 

@@ -1,0 +1,147 @@
+package bitonic
+
+import (
+	"sort"
+	"testing"
+)
+
+type comparator struct {
+	i, j int
+	dir  uint64
+}
+
+func scheduleComparators(n int, gen func(int, func([]Segment))) (all []comparator, rounds int) {
+	gen(n, func(segs []Segment) {
+		rounds++
+		for _, s := range segs {
+			for k := 0; k < s.Cnt; k++ {
+				all = append(all, comparator{s.Lo + k, s.Lo + s.Hop + k, s.Dir})
+			}
+		}
+	})
+	return all, rounds
+}
+
+// TestBitonicScheduleComparatorCount pins the round schedule's
+// comparator multiset size to the recursive network's analytic count.
+func TestBitonicScheduleComparatorCount(t *testing.T) {
+	for n := 0; n <= 130; n++ {
+		all, _ := scheduleComparators(n, bitonicRounds)
+		if got, want := uint64(len(all)), Comparators(n); got != want {
+			t.Fatalf("n=%d: schedule has %d comparators, Comparators says %d", n, got, want)
+		}
+	}
+}
+
+// TestScheduleRoundsDisjoint verifies the defining round property: no
+// two comparators of one round touch the same index, and every segment
+// satisfies Hop ≥ Cnt (disjoint low/high sides, required for batched
+// range access) with indices in bounds.
+func TestScheduleRoundsDisjoint(t *testing.T) {
+	gens := map[string]func(int, func([]Segment)){
+		"bitonic":        bitonicRounds,
+		"merge-exchange": mergeExchangeRounds,
+	}
+	for name, gen := range gens {
+		for _, n := range []int{2, 3, 7, 8, 16, 33, 100, 127, 128, 129, 257} {
+			gen(n, func(segs []Segment) {
+				seen := make(map[int]bool)
+				for _, s := range segs {
+					if s.Hop < s.Cnt {
+						t.Fatalf("%s n=%d: segment %+v has Hop < Cnt", name, n, s)
+					}
+					for k := 0; k < s.Cnt; k++ {
+						for _, idx := range []int{s.Lo + k, s.Lo + s.Hop + k} {
+							if idx < 0 || idx >= n {
+								t.Fatalf("%s n=%d: index %d out of bounds in %+v", name, n, idx, s)
+							}
+							if seen[idx] {
+								t.Fatalf("%s n=%d: index %d touched twice in one round", name, n, idx)
+							}
+							seen[idx] = true
+						}
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestBitonicScheduleDepth checks the O(log² n) depth that motivates
+// parallelization: for n a power of two, exactly log n (log n + 1)/2
+// rounds.
+func TestBitonicScheduleDepth(t *testing.T) {
+	for _, n := range []int{2, 4, 8, 64, 1024} {
+		log := 0
+		for 1<<log < n {
+			log++
+		}
+		_, rounds := scheduleComparators(n, bitonicRounds)
+		if want := log * (log + 1) / 2; rounds != want {
+			t.Fatalf("n=%d: %d rounds, want %d", n, rounds, want)
+		}
+	}
+}
+
+// TestMergeExchangeScheduleMatchesSequential verifies the round
+// decomposition of Algorithm M preserves the classic pass structure:
+// same comparators, same cross-round order as the reference loop.
+func TestMergeExchangeScheduleMatchesSequential(t *testing.T) {
+	for _, n := range []int{2, 3, 7, 16, 25, 64, 100} {
+		var want []comparator
+		tt := 0
+		for 1<<tt < n {
+			tt++
+		}
+		for p := 1 << (tt - 1); p > 0; p >>= 1 {
+			q := 1 << (tt - 1)
+			r := 0
+			d := p
+			for {
+				for i := 0; i < n-d; i++ {
+					if i&p == r {
+						want = append(want, comparator{i, i + d, 1})
+					}
+				}
+				if q == p {
+					break
+				}
+				d = q - p
+				q >>= 1
+				r = p
+			}
+		}
+		got, _ := scheduleComparators(n, mergeExchangeRounds)
+		if len(got) != len(want) {
+			t.Fatalf("n=%d: %d comparators, want %d", n, len(got), len(want))
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("n=%d: comparator %d = %+v, want %+v", n, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+// TestBitonicScheduleIsSortingNetwork applies the 0-1 principle on
+// small lengths: a comparator network sorts all inputs iff it sorts all
+// 2^n boolean inputs.
+func TestBitonicScheduleIsSortingNetwork(t *testing.T) {
+	for n := 1; n <= 12; n++ {
+		all, _ := scheduleComparators(n, bitonicRounds)
+		for mask := 0; mask < 1<<n; mask++ {
+			v := make([]int, n)
+			for i := range v {
+				v[i] = (mask >> i) & 1
+			}
+			for _, c := range all {
+				if (c.dir == 1 && v[c.i] > v[c.j]) || (c.dir == 0 && v[c.i] < v[c.j]) {
+					v[c.i], v[c.j] = v[c.j], v[c.i]
+				}
+			}
+			if !sort.IntsAreSorted(v) {
+				t.Fatalf("n=%d: schedule fails on mask %b", n, mask)
+			}
+		}
+	}
+}

@@ -32,11 +32,9 @@ import (
 func AlignTable(cfg *Config, s2 table.Store) {
 	st := cfg.stats()
 	t0 := time.Now()
-	m := s2.Len()
 	var jprev, q uint64
 	started := uint64(0)
-	for i := 0; i < m; i++ {
-		e := s2.Get(i)
+	cfg.scanStore(s2, false, func(_ int, e *table.Entry) {
 		same := obliv.And(started, obliv.Eq(e.J, jprev))
 		q = obliv.Select(same, q+1, 0)
 		// Every entry of S2 originates from T2, so e.A1 ≥ 1; the divisor
@@ -45,8 +43,7 @@ func AlignTable(cfg *Config, s2 table.Store) {
 		e.II = (q%e.A1)*e.A2 + q/e.A1
 		jprev = e.J
 		started = 1
-		s2.Set(i, e)
-	}
+	})
 	st.TAlign += time.Since(t0)
 
 	t0 = time.Now()

@@ -20,15 +20,17 @@ func AugmentTables(cfg *Config, rows1, rows2 []table.Row) (tc table.Store, t1, t
 	n1, n2 := len(rows1), len(rows2)
 	n := n1 + n2
 	tc = cfg.Alloc(n)
+	load := make([]table.Entry, n)
 	for i, r := range rows1 {
-		tc.Set(i, table.Entry{J: r.J, D: r.D, TID: 1})
+		load[i] = table.Entry{J: r.J, D: r.D, TID: 1}
 	}
 	for i, r := range rows2 {
-		tc.Set(n1+i, table.Entry{J: r.J, D: r.D, TID: 2})
+		load[n1+i] = table.Entry{J: r.J, D: r.D, TID: 2}
 	}
+	storeRange(tc, 0, load)
 
 	cfg.sortStore(tc, table.LessJTID, &st.AugmentSort)
-	m = fillDimensions(tc)
+	m = fillDimensions(cfg, tc)
 	cfg.sortStore(tc, table.LessTIDJD, &st.AugmentSort)
 
 	t1 = view{s: tc, off: 0, size: n1}
@@ -37,21 +39,19 @@ func AugmentTables(cfg *Config, rows1, rows2 []table.Row) (tc table.Store, t1, t
 }
 
 // fillDimensions computes α1 and α2 for every entry of tc, which must be
-// sorted by ⟨j, tid⟩, and returns the total output size m. It performs
-// exactly one read and one write per index in each direction; all
-// data-dependent state lives in a constant number of local variables and
-// is manipulated branch-free.
-func fillDimensions(tc table.Store) int {
-	n := tc.Len()
-
+// sorted by ⟨j, tid⟩, and returns the total output size m. Each
+// direction is one carry scan — one read and one write per index,
+// executed by the blocked scan engine (scan.go) so the store traffic
+// batches and parallelizes; all data-dependent state lives in a
+// constant number of local variables and is manipulated branch-free.
+func fillDimensions(cfg *Config, tc table.Store) int {
 	// Forward pass: store incremental counts. Within a group (a run of
 	// equal j), entries from T1 precede entries from T2; c1 counts T1
 	// entries seen in the current group, c2 counts T2 entries. The last
 	// entry of each group ends up holding the group's true (α1, α2).
 	var jprev, c1, c2 uint64
 	started := uint64(0) // becomes 1 after the first entry
-	for i := 0; i < n; i++ {
-		e := tc.Get(i)
+	cfg.scanStore(tc, false, func(_ int, e *table.Entry) {
 		same := obliv.And(started, obliv.Eq(e.J, jprev))
 		c1 = obliv.Select(same, c1, 0)
 		c2 = obliv.Select(same, c2, 0)
@@ -62,16 +62,14 @@ func fillDimensions(tc table.Store) int {
 		e.A2 = c2
 		jprev = e.J
 		started = 1
-		tc.Set(i, e)
-	}
+	})
 
 	// Backward pass: propagate each group's final counts (found in its
 	// last entry, the first one seen scanning backwards) to the whole
 	// group, accumulating m = Σ α1·α2 once per group.
 	var a1, a2, mAcc uint64
 	jprev, started = 0, 0
-	for i := n - 1; i >= 0; i-- {
-		e := tc.Get(i)
+	cfg.scanStore(tc, true, func(_ int, e *table.Entry) {
 		same := obliv.And(started, obliv.Eq(e.J, jprev))
 		a1 = obliv.Select(same, a1, e.A1)
 		a2 = obliv.Select(same, a2, e.A2)
@@ -80,7 +78,6 @@ func fillDimensions(tc table.Store) int {
 		e.A2 = a2
 		jprev = e.J
 		started = 1
-		tc.Set(i, e)
-	}
+	})
 	return int(mAcc)
 }

@@ -14,10 +14,12 @@
 package core
 
 import (
+	"runtime"
 	"time"
 
 	"oblivjoin/internal/bitonic"
 	"oblivjoin/internal/table"
+	"oblivjoin/internal/trace"
 )
 
 // SortNet selects which sorting network the join uses.
@@ -48,15 +50,26 @@ type Config struct {
 	// randomness should supply entropy).
 	Seed int64
 	// Stats, when non-nil, accumulates per-phase comparator counts and
-	// wall times (the Table 3 instrumentation).
+	// wall times (the Table 3 instrumentation). Counting is
+	// parallel-safe: comparator and route-op totals are accumulated
+	// deterministically at round barriers, so Stats composes with
+	// Workers/Parallel and reports identical counts at every
+	// parallelism degree.
 	Stats *Stats
-	// Parallel runs the bitonic sorting phases across goroutines
-	// (bitonic.SortParallel). The compare–exchange schedule — and hence
-	// the per-location access pattern — is identical to the sequential
-	// network; only the global interleaving changes. Use only with
-	// untraced, cost-model-free spaces: recorders are not synchronized.
-	// Ignored when Net is MergeExchange or when Stats is set (comparator
-	// counters are likewise unsynchronized).
+	// Workers sets the parallelism of the sorting networks, the routing
+	// network and the linear scans: > 1 partitions each execution round
+	// across that many lanes of a persistent worker pool, 1 (or 0 with
+	// Parallel unset) runs sequentially, and < 0 uses GOMAXPROCS. Every
+	// phase executes the same round schedule at every parallelism
+	// degree, and traced runs merge per-lane event shards in canonical
+	// order at round barriers, so the recorded trace, the comparator
+	// counts and the result are all independent of Workers. Stores that
+	// cannot be accessed concurrently (an enclave cost model attached)
+	// degrade to sequential execution over the same schedule.
+	Workers int
+	// Parallel is shorthand for Workers = GOMAXPROCS when Workers is 0.
+	// Unlike the pre-round-schedule implementation it composes with
+	// Stats, tracing and MergeExchange; see Workers.
 	Parallel bool
 }
 
@@ -84,16 +97,32 @@ func (s *Stats) Total() time.Duration {
 	return s.TAugment + s.TDistSort + s.TDistRoute + s.TExpandScan + s.TAlign + s.TZip
 }
 
-// sortStore runs the configured sorting network over st.
-func (c *Config) sortStore(st table.Store, less bitonic.LessFunc[table.Entry], bs *bitonic.Stats) {
+// workerCount resolves the configured parallelism to a concrete lane
+// count (≥ 1).
+func (c *Config) workerCount() int {
 	switch {
-	case c.Net == MergeExchange:
-		bitonic.MergeExchangeSort[table.Entry](st, less, table.CondSwapEntry, bs)
-	case c.Parallel && c.Stats == nil:
-		bitonic.SortParallel[table.Entry](st, less, table.CondSwapEntry)
+	case c.Workers < 0:
+		return runtime.GOMAXPROCS(0)
+	case c.Workers > 0:
+		return c.Workers
+	case c.Parallel:
+		return runtime.GOMAXPROCS(0)
 	default:
-		bitonic.Sort[table.Entry](st, less, table.CondSwapEntry, bs)
+		return 1
 	}
+}
+
+// sortStore runs the configured sorting network over st at the
+// configured parallelism. Comparator counts land in bs at every
+// parallelism degree (the former sequential-only restriction is gone:
+// round-barrier accumulation made counting deterministic).
+func (c *Config) sortStore(st table.Store, less bitonic.LessFunc[table.Entry], bs *bitonic.Stats) {
+	w := c.workerCount()
+	if c.Net == MergeExchange {
+		bitonic.MergeExchangeSortParallel[table.Entry](st, less, table.CondSwapEntry, bs, w)
+		return
+	}
+	bitonic.SortParallel[table.Entry](st, less, table.CondSwapEntry, bs, w)
 }
 
 func (c *Config) stats() *Stats {
@@ -105,7 +134,9 @@ func (c *Config) stats() *Stats {
 
 // view is a windowed alias of a Store: the augmented TC is split into T1
 // and T2 as two regions of the same array (§6.2's space accounting
-// depends on this).
+// depends on this). It forwards the optional range and sharding
+// capabilities of its underlying store so windowed tables still ride
+// the batched/parallel paths.
 type view struct {
 	s    table.Store
 	off  int
@@ -115,3 +146,50 @@ type view struct {
 func (v view) Len() int                 { return v.size }
 func (v view) Get(i int) table.Entry    { return v.s.Get(v.off + i) }
 func (v view) Set(i int, e table.Entry) { v.s.Set(v.off+i, e) }
+
+// GetRange reads [lo, lo+len(dst)) of the window, batched when the
+// underlying store supports it (loadRange's element-loop fallback
+// emits the same events in the same order).
+func (v view) GetRange(lo int, dst []table.Entry) {
+	loadRange(v.s, v.off+lo, dst)
+}
+
+// SetRange writes src over [lo, lo+len(src)) of the window.
+func (v view) SetRange(lo int, src []table.Entry) {
+	storeRange(v.s, v.off+lo, src)
+}
+
+// Traced implements bitonic.Sharder by forwarding to the underlying
+// store, conservatively assuming a trace when it cannot tell.
+func (v view) Traced() bool {
+	if sh, ok := v.s.(bitonic.Sharder); ok {
+		return sh.Traced()
+	}
+	return true
+}
+
+// Recorder implements bitonic.Sharder.
+func (v view) Recorder() trace.Recorder {
+	if sh, ok := v.s.(bitonic.Sharder); ok {
+		return sh.Recorder()
+	}
+	return trace.Nop{}
+}
+
+// Shard implements bitonic.Sharder: a shard of a view is a view of a
+// shard. Returns nil when the underlying store cannot shard.
+func (v view) Shard(rec trace.Recorder) any {
+	sh, ok := v.s.(bitonic.Sharder)
+	if !ok {
+		return nil
+	}
+	res := sh.Shard(rec)
+	if res == nil {
+		return nil
+	}
+	st, ok := res.(table.Store)
+	if !ok {
+		return nil
+	}
+	return view{s: st, off: v.off, size: v.size}
+}

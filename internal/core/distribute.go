@@ -5,6 +5,7 @@ import (
 	"math/rand"
 	"time"
 
+	"oblivjoin/internal/bitonic"
 	"oblivjoin/internal/obliv"
 	"oblivjoin/internal/table"
 )
@@ -35,17 +36,17 @@ func ExtObliviousDistribute(cfg *Config, x table.Store, m int) table.Store {
 
 	t0 := time.Now()
 	a := cfg.Alloc(l)
-	for i := 0; i < n; i++ {
-		a.Set(i, x.Get(i))
-	}
+	buf := make([]table.Entry, l)
+	loadRange(x, 0, buf[:n])
 	for i := n; i < l; i++ {
-		a.Set(i, table.Entry{Null: 1})
+		buf[i] = table.Entry{Null: 1}
 	}
+	storeRange(a, 0, buf)
 	cfg.sortStore(a, table.LessNullF, &st.DistributeSort)
 	st.TDistSort += time.Since(t0)
 
 	t0 = time.Now()
-	routeDown(a, l, st)
+	routeDown(cfg, a, l, st)
 	st.TDistRoute += time.Since(t0)
 
 	if l == m {
@@ -57,24 +58,40 @@ func ExtObliviousDistribute(cfg *Config, x table.Store, m int) table.Store {
 // routeDown performs the O(L log L) hop loop of Algorithm 3 over the
 // first l entries of a. Entries must be sorted with all non-null
 // entries first in increasing F order.
-func routeDown(a table.Store, l int, st *Stats) {
+//
+// The classic formulation iterates i from l-j-1 down to 0 for each hop
+// j; iteration i only depends on iterations ≥ i+j (the sole earlier
+// writer of a position it reads), so any j consecutive iterations form
+// a wave of disjoint pairs. Each wave is one round for the shared
+// round executor (bitonic.RunRounds): waves run top-down with a
+// barrier between them, wave members execute batched and in parallel.
+// The dataflow — and hence Theorem 1's invariant — is exactly that of
+// the sequential loop.
+func routeDown(cfg *Config, a table.Store, l int, st *Stats) {
 	if l <= 1 {
 		return
 	}
-	for j := 1 << (bits.Len(uint(l-1)) - 1); j >= 1; j >>= 1 {
-		for i := l - j - 1; i >= 0; i-- {
-			y := a.Get(i)
-			y2 := a.Get(i + j)
-			// Hop when the (1-based) destination of y is at or past
-			// position i+j (1-based i+j+1). Null entries have F = 0 and
-			// never hop.
-			c := obliv.GreaterEq(y.F, uint64(i+j+1))
-			table.CondSwapEntry(c, &y, &y2)
-			a.Set(i, y)
-			a.Set(i+j, y2)
-			st.RouteOps++
-		}
+	op := func(_, j int, _ uint64, y, y2 *table.Entry) {
+		// Hop when the (1-based) destination of y is at or past the
+		// absolute position of the high side (1-based j+1). Null
+		// entries have F = 0 and never hop.
+		c := obliv.GreaterEq(y.F, uint64(j+1))
+		table.CondSwapEntry(c, y, y2)
 	}
+	st.RouteOps += bitonic.RunRounds[table.Entry](a, op, cfg.workerCount(),
+		func(round func([]bitonic.Segment)) {
+			seg := make([]bitonic.Segment, 1)
+			for j := 1 << (bits.Len(uint(l-1)) - 1); j >= 1; j >>= 1 {
+				for hi := l - j - 1; hi >= 0; hi -= j {
+					lo := hi - j + 1
+					if lo < 0 {
+						lo = 0
+					}
+					seg[0] = bitonic.Segment{Lo: lo, Cnt: hi - lo + 1, Hop: j, Dir: 1}
+					round(seg)
+				}
+			}
+		})
 }
 
 // prpDistribute is the probabilistic variant sketched in §5.2: place
@@ -119,11 +136,9 @@ func prpDistribute(cfg *Config, x table.Store, m int) table.Store {
 	for p, q := range perm {
 		inv[q] = p
 	}
-	for p := 0; p < l; p++ {
-		e := a.Get(p)
+	cfg.scanStore(a, false, func(p int, e *table.Entry) {
 		e.II = uint64(inv[p])
-		a.Set(p, e)
-	}
+	})
 	st.TDistRoute += time.Since(t0)
 
 	t0 = time.Now()

@@ -26,22 +26,20 @@ func GAlpha1(e *table.Entry) uint64 { return e.A1 }
 // its first destination F (1-based) and marking g = 0 entries ∅; (2) the
 // extended oblivious distribute; (3) a linear fill-down pass overwriting
 // each ∅ slot with the last preceding real entry. Each linear pass makes
-// one read and one write per index.
+// one read and one write per index, executed by the blocked scan engine
+// (scan.go).
 func ObliviousExpand(cfg *Config, x table.Store, g GFunc, m int) table.Store {
 	st := cfg.stats()
-	n := x.Len()
 
 	t0 := time.Now()
 	s := uint64(1)
-	for i := 0; i < n; i++ {
-		e := x.Get(i)
-		gv := obliv.Select(e.Null, 0, g(&e))
+	cfg.scanStore(x, false, func(_ int, e *table.Entry) {
+		gv := obliv.Select(e.Null, 0, g(e))
 		zero := obliv.Eq(gv, 0)
 		e.F = obliv.Select(zero, 0, s)
 		e.Null = zero
 		s += gv
-		x.Set(i, e)
-	}
+	})
 	st.TExpandScan += time.Since(t0)
 	if int(s-1) != m {
 		// A mismatch means the caller's m is inconsistent with the group
@@ -55,12 +53,10 @@ func ObliviousExpand(cfg *Config, x table.Store, g GFunc, m int) table.Store {
 	t0 = time.Now()
 	var px table.Entry
 	px.Null = 1
-	for i := 0; i < m; i++ {
-		e := a.Get(i)
-		table.CondCopyEntry(e.Null, &e, &px)
-		px = e
-		a.Set(i, e)
-	}
+	cfg.scanStore(a, false, func(_ int, e *table.Entry) {
+		table.CondCopyEntry(e.Null, e, &px)
+		px = *e
+	})
 	st.TExpandScan += time.Since(t0)
 	return a
 }

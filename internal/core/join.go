@@ -28,13 +28,29 @@ func Join(cfg *Config, rows1, rows2 []table.Row) []table.Pair {
 
 	t0 = time.Now()
 	out := make([]table.Pair, m)
-	for i := 0; i < m; i++ {
-		e1 := s1.Get(i)
-		e2 := s2.Get(i)
+	zipStores(s1, s2, m, func(i int, e1, e2 *table.Entry) {
 		out[i] = table.Pair{D1: e1.D, D2: e2.D}
-	}
+	})
 	st.TZip += time.Since(t0)
 	return out
+}
+
+// zipStores reads s1 and s2 in lockstep blocks (batched when the
+// stores support ranges) and hands each aligned entry pair to fn.
+func zipStores(s1, s2 table.Store, m int, fn func(i int, e1, e2 *table.Entry)) {
+	const blk = 1024
+	var b1, b2 [blk]table.Entry
+	for lo := 0; lo < m; lo += blk {
+		cnt := m - lo
+		if cnt > blk {
+			cnt = blk
+		}
+		loadRange(s1, lo, b1[:cnt])
+		loadRange(s2, lo, b2[:cnt])
+		for k := 0; k < cnt; k++ {
+			fn(lo+k, &b1[k], &b2[k])
+		}
+	}
 }
 
 // JoinKeyed is Join but retains the join value in each output row,
@@ -59,11 +75,9 @@ func JoinKeyed(cfg *Config, rows1, rows2 []table.Row) []table.KeyedPair {
 
 	t0 = time.Now()
 	out := make([]table.KeyedPair, m)
-	for i := 0; i < m; i++ {
-		e1 := s1.Get(i)
-		e2 := s2.Get(i)
+	zipStores(s1, s2, m, func(i int, e1, e2 *table.Entry) {
 		out[i] = table.KeyedPair{J: e1.J, D1: e1.D, D2: e2.D}
-	}
+	})
 	st.TZip += time.Since(t0)
 	return out
 }

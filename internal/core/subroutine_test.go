@@ -58,7 +58,7 @@ func TestFillDimensionsPaperExample(t *testing.T) {
 	add('y', 2, "v2")
 	add('z', 2, "w1")
 	st := storeOf(entries)
-	m := fillDimensions(st)
+	m := fillDimensions(plainConfig(), st)
 	// m = 2·3 + 4·2 + 0·1 = 14.
 	if m != 14 {
 		t.Fatalf("m = %d, want 14", m)
@@ -81,7 +81,7 @@ func TestFillDimensionsSingleGroupOneSide(t *testing.T) {
 	st := storeOf([]table.Entry{
 		{J: 5, TID: 1}, {J: 5, TID: 1}, {J: 5, TID: 1},
 	})
-	if m := fillDimensions(st); m != 0 {
+	if m := fillDimensions(plainConfig(), st); m != 0 {
 		t.Fatalf("m = %d, want 0 (no T2 entries)", m)
 	}
 	for _, e := range dump(st) {
@@ -92,7 +92,7 @@ func TestFillDimensionsSingleGroupOneSide(t *testing.T) {
 }
 
 func TestFillDimensionsEmpty(t *testing.T) {
-	if m := fillDimensions(storeOf(nil)); m != 0 {
+	if m := fillDimensions(plainConfig(), storeOf(nil)); m != 0 {
 		t.Fatalf("m = %d on empty input", m)
 	}
 }

@@ -1,0 +1,117 @@
+package exp
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"time"
+
+	"oblivjoin/internal/core"
+	"oblivjoin/internal/memory"
+	"oblivjoin/internal/table"
+	"oblivjoin/internal/trace"
+	"oblivjoin/internal/workload"
+)
+
+// JoinBenchResult is one row of the machine-readable join benchmark:
+// the sequential and parallel wall times of the full pipeline at one
+// input size, with tracing enabled, plus the determinism evidence
+// (event counts must match; at small sizes the canonical hashes are
+// compared too). Future sessions diff these files to track the perf
+// trajectory.
+type JoinBenchResult struct {
+	N              int     `json:"n"`
+	M              int     `json:"m"`
+	Workers        int     `json:"workers"`
+	SequentialNS   int64   `json:"sequential_ns"`
+	ParallelNS     int64   `json:"parallel_ns"`
+	Speedup        float64 `json:"speedup"`
+	TraceEvents    uint64  `json:"trace_events"`
+	TraceDetEvents bool    `json:"trace_event_counts_equal"`
+	TraceDetHash   *bool   `json:"trace_hashes_equal,omitempty"`
+	GOMAXPROCS     int     `json:"gomaxprocs"`
+}
+
+// hashCheckCap bounds the sizes at which BenchJoin cross-checks full
+// canonical trace hashes (the SHA-256 chain costs more than the join
+// itself at large n; the unit tests cover hash equality exhaustively).
+const hashCheckCap = 1 << 14
+
+// BenchJoin times the sequential versus round-scheduled parallel join
+// at each input size, with a live trace recorder attached, and writes
+// a human-readable table to w. workers ≤ 0 means GOMAXPROCS.
+func BenchJoin(w io.Writer, ns []int, workers int) ([]JoinBenchResult, error) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	fmt.Fprintf(w, "Join benchmark — sequential vs parallel round schedule (workers=%d, tracing on)\n", workers)
+	fmt.Fprintf(w, "%10s %10s %14s %14s %9s %s\n", "n", "m", "sequential", "parallel", "speedup", "trace")
+	var out []JoinBenchResult
+	for _, n := range ns {
+		t1, t2 := workload.MatchingPairs(n)
+		run := func(wk int) (time.Duration, uint64, string, int) {
+			var rec trace.Recorder
+			var hasher *trace.Hasher
+			var counter trace.Counter
+			if n <= hashCheckCap {
+				hasher = trace.NewHasher()
+				rec = hasher
+			} else {
+				rec = &counter
+			}
+			sp := memory.NewSpace(rec, nil)
+			cfg := &core.Config{Alloc: table.PlainAlloc(sp), Workers: wk}
+			start := time.Now()
+			pairs := core.Join(cfg, t1, t2)
+			el := time.Since(start)
+			if hasher != nil {
+				return el, hasher.Count(), hasher.Hex(), len(pairs)
+			}
+			return el, counter.Total(), "", len(pairs)
+		}
+		seqT, seqEv, seqH, m := run(1)
+		parT, parEv, parH, _ := run(workers)
+		r := JoinBenchResult{
+			N: n, M: m, Workers: workers,
+			SequentialNS: seqT.Nanoseconds(), ParallelNS: parT.Nanoseconds(),
+			TraceEvents: seqEv, TraceDetEvents: seqEv == parEv,
+			GOMAXPROCS: runtime.GOMAXPROCS(0),
+		}
+		if parT > 0 {
+			r.Speedup = float64(seqT) / float64(parT)
+		}
+		det := "events="
+		if r.TraceDetEvents {
+			det += "eq"
+		} else {
+			det += "DIVERGED"
+		}
+		if seqH != "" {
+			eq := seqH == parH
+			r.TraceDetHash = &eq
+			if eq {
+				det += " hash=eq"
+			} else {
+				det += " hash=DIVERGED"
+			}
+		}
+		if !r.TraceDetEvents || (r.TraceDetHash != nil && !*r.TraceDetHash) {
+			return nil, fmt.Errorf("exp: parallel trace diverged from sequential at n=%d", n)
+		}
+		fmt.Fprintf(w, "%10d %10d %14s %14s %8.2fx %s\n", n, m, seqT.Round(time.Microsecond),
+			parT.Round(time.Microsecond), r.Speedup, det)
+		out = append(out, r)
+	}
+	return out, nil
+}
+
+// WriteBenchJSON writes the benchmark rows as indented JSON to path.
+func WriteBenchJSON(path string, results []JoinBenchResult) error {
+	data, err := json.MarshalIndent(results, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

@@ -14,6 +14,7 @@
 package memory
 
 import (
+	"fmt"
 	"time"
 
 	"oblivjoin/internal/trace"
@@ -25,6 +26,7 @@ import (
 type Space struct {
 	rec    trace.Recorder
 	cost   *CostModel
+	nop    bool // rec is trace.Nop: range accesses skip event emission
 	nextID uint32
 }
 
@@ -34,7 +36,8 @@ func NewSpace(rec trace.Recorder, cost *CostModel) *Space {
 	if rec == nil {
 		rec = trace.Nop{}
 	}
-	return &Space{rec: rec, cost: cost}
+	_, nop := rec.(trace.Nop)
+	return &Space{rec: rec, cost: cost, nop: nop}
 }
 
 // Recorder returns the space's trace recorder.
@@ -91,6 +94,102 @@ func (a *Array[T]) Get(i int) T {
 func (a *Array[T]) Set(i int, v T) {
 	a.touch(trace.Write, i)
 	a.data[i] = v
+}
+
+// GetRange reads the contiguous run [lo, lo+len(dst)) into dst, emitting
+// one read event per element in ascending index order. Batching the
+// accesses amortizes the per-element interface-call overhead of Get on
+// hot paths (sorting-network rounds, linear scans); when the space is
+// untraced and cost-free the whole range collapses to a single copy.
+func (a *Array[T]) GetRange(lo int, dst []T) {
+	a.touchRange(trace.Read, lo, len(dst))
+	copy(dst, a.data[lo:lo+len(dst)])
+}
+
+// SetRange writes src over the contiguous run [lo, lo+len(src)),
+// emitting one write event per element in ascending index order. As
+// with Set, every element is written unconditionally.
+func (a *Array[T]) SetRange(lo int, src []T) {
+	a.touchRange(trace.Write, lo, len(src))
+	copy(a.data[lo:lo+len(src)], src)
+}
+
+func (a *Array[T]) touchRange(op trace.Op, lo, n int) {
+	// An explicit length check: slice expressions only bound against
+	// capacity, which after a truncating Resize would let an
+	// out-of-range batch silently read stale elements where the
+	// equivalent Get/Set loop panics.
+	if lo < 0 || n < 0 || lo+n > len(a.data) {
+		panic(fmt.Sprintf("memory: range [%d,%d) out of bounds (len %d)", lo, lo+n, len(a.data)))
+	}
+	if a.space.nop && a.space.cost == nil {
+		return
+	}
+	if a.space.cost != nil {
+		// Cost-modeled accesses charge per element anyway; keep the
+		// simple per-element path.
+		for i := lo; i < lo+n; i++ {
+			a.touch(op, i)
+		}
+		return
+	}
+	// Emit the event run in fixed-size batches through the recorder's
+	// batch interface (one dynamic dispatch per batch instead of per
+	// event); for buffer-sharded parallel lanes this is a bulk append.
+	br, batched := a.space.rec.(trace.BatchRecorder)
+	if !batched {
+		for i := lo; i < lo+n; i++ {
+			a.space.rec.Record(trace.Event{Op: op, Array: a.id, Index: uint64(i)})
+		}
+		return
+	}
+	var evs [256]trace.Event
+	for i := lo; i < lo+n; {
+		k := 0
+		for ; k < len(evs) && i < lo+n; k, i = k+1, i+1 {
+			evs[k] = trace.Event{Op: op, Array: a.id, Index: uint64(i)}
+		}
+		br.RecordBatch(evs[:k])
+	}
+}
+
+// Traced reports whether accesses to this array have an observable
+// side effect (a non-Nop recorder). Parallel executors consult it to
+// decide whether sharded accesses need event buffering at all.
+func (a *Array[T]) Traced() bool { return !a.space.nop }
+
+// Recorder returns the recorder that this array's accesses feed; shard
+// buffers are replayed into it at synchronization barriers.
+func (a *Array[T]) Recorder() trace.Recorder { return a.space.rec }
+
+// Shard returns an alias of the array — same identifier, same backing
+// data — whose accesses are recorded to rec (trace.Nop{} if nil)
+// instead of the parent space's recorder, and charged to no cost model.
+// Parallel executors give each worker a shard recording to a private
+// trace.Buffer and replay the buffers in canonical order at round
+// barriers, which keeps the recorded trace a deterministic function of
+// the input size under concurrency.
+//
+// Shard returns nil when the parent space has a cost model attached:
+// the enclave simulation's paging state is order-dependent and cannot
+// be sharded, so such arrays must be accessed sequentially.
+//
+// The untyped return (asserted to the caller's array interface) keeps
+// this package free of dependencies on its consumers.
+func (a *Array[T]) Shard(rec trace.Recorder) any {
+	if a.space.cost != nil {
+		return nil
+	}
+	if rec == nil {
+		rec = trace.Nop{}
+	}
+	_, nop := rec.(trace.Nop)
+	return &Array[T]{
+		space:    &Space{rec: rec, nop: nop},
+		id:       a.id,
+		elemSize: a.elemSize,
+		data:     a.data,
+	}
 }
 
 // Resize grows or truncates the array to n elements. The reallocation is

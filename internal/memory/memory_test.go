@@ -212,3 +212,102 @@ func BenchmarkArraySetWithCostModel(b *testing.B) {
 		a.Set(i&1023, uint64(i))
 	}
 }
+
+func TestRangeAccessMatchesElementLoop(t *testing.T) {
+	log := trace.NewLog()
+	s := NewSpace(log, nil)
+	a := Alloc[int](s, 8, 8)
+	vals := []int{10, 11, 12}
+	a.SetRange(2, vals)
+	got := make([]int, 3)
+	a.GetRange(2, got)
+	for k, v := range vals {
+		if got[k] != v {
+			t.Fatalf("GetRange[%d] = %d, want %d", k, got[k], v)
+		}
+	}
+	want := []trace.Event{
+		{Op: trace.Write, Array: a.ID(), Index: 2},
+		{Op: trace.Write, Array: a.ID(), Index: 3},
+		{Op: trace.Write, Array: a.ID(), Index: 4},
+		{Op: trace.Read, Array: a.ID(), Index: 2},
+		{Op: trace.Read, Array: a.ID(), Index: 3},
+		{Op: trace.Read, Array: a.ID(), Index: 4},
+	}
+	if log.Len() != len(want) {
+		t.Fatalf("recorded %d events, want %d", log.Len(), len(want))
+	}
+	for i, w := range want {
+		if log.Events[i] != w {
+			t.Fatalf("event %d = %v, want %v", i, log.Events[i], w)
+		}
+	}
+}
+
+func TestRangeAccessChargesCostModel(t *testing.T) {
+	cost := &CostModel{PageSize: 4096, EPCBytes: 1 << 20, AccessCost: time.Nanosecond}
+	s := NewSpace(nil, cost)
+	a := Alloc[int](s, 16, 8)
+	a.SetRange(0, make([]int, 16))
+	a.GetRange(0, make([]int, 16))
+	if cost.Accesses != 32 {
+		t.Fatalf("Accesses = %d, want 32", cost.Accesses)
+	}
+}
+
+func TestShardAliasesDataAndRedirectsTrace(t *testing.T) {
+	parent := trace.NewLog()
+	s := NewSpace(parent, nil)
+	a := Alloc[int](s, 4, 8)
+	buf := &trace.Buffer{}
+	res := a.Shard(buf)
+	if res == nil {
+		t.Fatal("Shard refused without a cost model")
+	}
+	sh := res.(*Array[int])
+	if sh.ID() != a.ID() {
+		t.Fatal("shard changed array identity")
+	}
+	sh.Set(1, 7)
+	if a.Get(1) != 7 {
+		t.Fatal("shard write not visible through parent")
+	}
+	// The shard's write went to the buffer, not the parent recorder;
+	// the parent Get above recorded exactly one event.
+	if parent.Len() != 1 || buf.Len() != 1 {
+		t.Fatalf("parent=%d buffered=%d events, want 1/1", parent.Len(), buf.Len())
+	}
+	buf.ReplayTo(parent)
+	if parent.Len() != 2 || buf.Len() != 0 {
+		t.Fatal("replay did not drain the buffer into the parent")
+	}
+}
+
+func TestShardRefusedUnderCostModel(t *testing.T) {
+	s := NewSpace(nil, DefaultSGX())
+	a := Alloc[int](s, 4, 8)
+	if res := a.Shard(nil); res != nil {
+		t.Fatal("Shard must refuse when a cost model is attached")
+	}
+}
+
+func TestTraced(t *testing.T) {
+	if a := Alloc[int](NewSpace(nil, nil), 1, 8); a.Traced() {
+		t.Fatal("untraced space reports Traced")
+	}
+	if a := Alloc[int](NewSpace(trace.NewLog(), nil), 1, 8); !a.Traced() {
+		t.Fatal("traced space reports untraced")
+	}
+}
+
+func TestRangeAccessPanicsPastLenAfterResize(t *testing.T) {
+	s := NewSpace(nil, nil)
+	a := Alloc[int](s, 8, 8)
+	a.Resize(4) // capacity stays 8; length is now 4
+	defer func() {
+		if recover() == nil {
+			t.Fatal("GetRange past Len must panic like the Get loop would")
+		}
+	}()
+	a.GetRange(2, make([]int, 4)) // [2,6) exceeds len 4 but fits cap 8
+}

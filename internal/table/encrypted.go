@@ -1,8 +1,11 @@
 package table
 
 import (
+	"sync"
+
 	"oblivjoin/internal/crypto"
 	"oblivjoin/internal/memory"
+	"oblivjoin/internal/trace"
 )
 
 // SealedSize is the public width of one encrypted entry: plaintext plus
@@ -61,6 +64,70 @@ func (e *Encrypted) Set(i int, v Entry) {
 	var ct sealed
 	e.cipher.Seal(ct[:], buf[:])
 	e.arr.Set(i, ct)
+}
+
+// sealedScratch pools ciphertext blocks for the batched range
+// operations so hot sorting rounds do not allocate per call.
+var sealedScratch = sync.Pool{
+	New: func() any {
+		s := make([]sealed, 0, 1024)
+		return &s
+	},
+}
+
+func getSealedScratch(n int) (*[]sealed, []sealed) {
+	p := sealedScratch.Get().(*[]sealed)
+	if cap(*p) < n {
+		*p = make([]sealed, n)
+	}
+	return p, (*p)[:n]
+}
+
+// GetRange decrypts the run [lo, lo+len(dst)) into dst. The underlying
+// sealed array is read as one batched range, so the trace events are
+// the per-index reads in ascending order.
+func (e *Encrypted) GetRange(lo int, dst []Entry) {
+	p, cts := getSealedScratch(len(dst))
+	defer sealedScratch.Put(p)
+	e.arr.GetRange(lo, cts)
+	var buf [EncodedSize]byte
+	for k := range dst {
+		if err := e.cipher.Open(buf[:], cts[k][:]); err != nil {
+			panic("table: entry authentication failed: " + err.Error())
+		}
+		dst[k] = DecodeEntry(buf[:])
+	}
+}
+
+// SetRange seals src under fresh nonces and writes the run
+// [lo, lo+len(src)) as one batched range.
+func (e *Encrypted) SetRange(lo int, src []Entry) {
+	p, cts := getSealedScratch(len(src))
+	defer sealedScratch.Put(p)
+	var buf [EncodedSize]byte
+	for k := range src {
+		src[k].Encode(buf[:])
+		e.cipher.Seal(cts[k][:], buf[:])
+	}
+	e.arr.SetRange(lo, cts)
+}
+
+// Traced reports whether accesses to the sealed storage are recorded.
+func (e *Encrypted) Traced() bool { return e.arr.Traced() }
+
+// Recorder returns the recorder the sealed storage feeds.
+func (e *Encrypted) Recorder() trace.Recorder { return e.arr.Recorder() }
+
+// Shard returns an alias of the store recording to rec, for parallel
+// executors (see bitonic.Sharder); nil when the underlying memory
+// cannot be sharded. The cipher is shared — Seal and Open are safe for
+// concurrent use.
+func (e *Encrypted) Shard(rec trace.Recorder) any {
+	res := e.arr.Shard(rec)
+	if res == nil {
+		return nil
+	}
+	return &Encrypted{arr: res.(*memory.Array[sealed]), cipher: e.cipher}
 }
 
 // Alloc abstracts allocation of entry stores so the join can run over

@@ -106,3 +106,70 @@ func TestSealedSizeConstant(t *testing.T) {
 		t.Fatalf("SealedSize = %d", SealedSize)
 	}
 }
+
+func TestEncryptedRangeRoundTrip(t *testing.T) {
+	s := memory.NewSpace(nil, nil)
+	enc := NewEncrypted(s, newCipher(t), 8)
+	src := make([]Entry, 5)
+	for i := range src {
+		src[i] = Entry{J: uint64(i + 1), TID: 2}
+	}
+	enc.SetRange(2, src)
+	dst := make([]Entry, 5)
+	enc.GetRange(2, dst)
+	for i := range src {
+		if dst[i] != src[i] {
+			t.Fatalf("entry %d = %+v, want %+v", i, dst[i], src[i])
+		}
+		if got := enc.Get(2 + i); got != src[i] {
+			t.Fatalf("Get(%d) = %+v, want %+v", 2+i, got, src[i])
+		}
+	}
+}
+
+func TestEncryptedRangeEventsMatchElementLoop(t *testing.T) {
+	c := newCipher(t)
+	run := func(ranged bool) *trace.Log {
+		log := trace.NewLog()
+		s := memory.NewSpace(log, nil)
+		enc := NewEncrypted(s, c, 6)
+		src := make([]Entry, 4)
+		if ranged {
+			enc.SetRange(1, src)
+			enc.GetRange(1, make([]Entry, 4))
+		} else {
+			for i := range src {
+				enc.Set(1+i, src[i])
+			}
+			for i := 0; i < 4; i++ {
+				enc.Get(1 + i)
+			}
+		}
+		return log
+	}
+	a, b := run(true), run(false)
+	if !a.Equal(b) {
+		t.Fatalf("range events diverge from element loop at %d", a.FirstDivergence(b))
+	}
+}
+
+func TestEncryptedShard(t *testing.T) {
+	parent := trace.NewLog()
+	s := memory.NewSpace(parent, nil)
+	enc := NewEncrypted(s, newCipher(t), 4)
+	before := parent.Len()
+	buf := &trace.Buffer{}
+	res := enc.Shard(buf)
+	if res == nil {
+		t.Fatal("Shard refused without a cost model")
+	}
+	sh := res.(*Encrypted)
+	want := entryFixture()
+	sh.Set(3, want)
+	if got := enc.Get(3); got != want {
+		t.Fatal("shard write not visible through parent store")
+	}
+	if buf.Len() != 1 || parent.Len() != before+1 {
+		t.Fatalf("buffered=%d parent-delta=%d, want 1/1", buf.Len(), parent.Len()-before)
+	}
+}

@@ -237,3 +237,16 @@ type Store interface {
 	Get(i int) Entry
 	Set(i int, e Entry)
 }
+
+// RangeStore is the optional batched extension of Store: GetRange and
+// SetRange move a contiguous run of entries with one dynamic dispatch,
+// emitting exactly the events of the equivalent element loop in
+// ascending index order. The hot paths (sorting rounds, the linear
+// scans of internal/core) type-assert to it and amortize their
+// per-element overhead per block; plain loops remain the fallback.
+// *memory.Array[Entry] and *Encrypted implement it.
+type RangeStore interface {
+	Store
+	GetRange(lo int, dst []Entry)
+	SetRange(lo int, src []Entry)
+}

@@ -57,12 +57,64 @@ type Recorder interface {
 	Record(e Event)
 }
 
+// BatchRecorder is an optional Recorder extension: RecordBatch folds a
+// run of events with a single dynamic dispatch, amortizing the
+// per-event interface-call overhead on hot paths (the batched range
+// accesses of internal/memory and the round executor of
+// internal/bitonic). Semantically it must equal calling Record on each
+// event in order.
+type BatchRecorder interface {
+	RecordBatch(evs []Event)
+}
+
+// RecordAll folds evs into r in order, using RecordBatch when r
+// implements it.
+func RecordAll(r Recorder, evs []Event) {
+	if br, ok := r.(BatchRecorder); ok {
+		br.RecordBatch(evs)
+		return
+	}
+	for _, e := range evs {
+		r.Record(e)
+	}
+}
+
 // Nop is a Recorder that discards all events; used on hot paths when no
 // verification is requested.
 type Nop struct{}
 
 // Record implements Recorder by doing nothing.
 func (Nop) Record(Event) {}
+
+// RecordBatch implements BatchRecorder by doing nothing.
+func (Nop) RecordBatch([]Event) {}
+
+// Buffer is an append-only event shard used by parallel executors: each
+// worker records into its own Buffer, and the shards are replayed into
+// the real recorder in canonical order at a synchronization barrier
+// (ReplayTo). Reset keeps the backing capacity so a buffer can be
+// reused across rounds without reallocating.
+type Buffer struct {
+	Events []Event
+}
+
+// Record appends the event.
+func (b *Buffer) Record(e Event) { b.Events = append(b.Events, e) }
+
+// RecordBatch appends a run of events.
+func (b *Buffer) RecordBatch(evs []Event) { b.Events = append(b.Events, evs...) }
+
+// Len returns the number of buffered events.
+func (b *Buffer) Len() int { return len(b.Events) }
+
+// Reset empties the buffer, keeping capacity.
+func (b *Buffer) Reset() { b.Events = b.Events[:0] }
+
+// ReplayTo drains the buffer into r, preserving order, and resets it.
+func (b *Buffer) ReplayTo(r Recorder) {
+	RecordAll(r, b.Events)
+	b.Reset()
+}
 
 // Log stores the complete event sequence in memory for exact comparison
 // and rendering. Only suitable for small executions.
@@ -75,6 +127,9 @@ func NewLog() *Log { return &Log{} }
 
 // Record appends the event.
 func (l *Log) Record(e Event) { l.Events = append(l.Events, e) }
+
+// RecordBatch appends a run of events.
+func (l *Log) RecordBatch(evs []Event) { l.Events = append(l.Events, evs...) }
 
 // Len returns the number of recorded events.
 func (l *Log) Len() int { return len(l.Events) }
@@ -131,6 +186,15 @@ func (s *Hasher) Record(e Event) {
 	s.n++
 }
 
+// RecordBatch folds a run of events into the digest in order. The chain
+// H ← h(H‖r‖t‖i) is inherently sequential, so batching only saves the
+// per-event dynamic dispatch.
+func (s *Hasher) RecordBatch(evs []Event) {
+	for _, e := range evs {
+		s.Record(e)
+	}
+}
+
 // Sum returns the current digest.
 func (s *Hasher) Sum() [sha256.Size]byte { return s.h }
 
@@ -155,6 +219,16 @@ func (c *Counter) Record(e Event) {
 	} else {
 		c.Writes++
 	}
+}
+
+// RecordBatch tallies a run of events with one dynamic dispatch.
+func (c *Counter) RecordBatch(evs []Event) {
+	var w uint64
+	for _, e := range evs {
+		w += uint64(e.Op)
+	}
+	c.Writes += w
+	c.Reads += uint64(len(evs)) - w
 }
 
 // Total returns reads + writes.

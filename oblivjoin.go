@@ -159,13 +159,22 @@ type Options struct {
 	// SGXSim is set (0 keeps the default 93 MiB). Shrinking it lets
 	// small experiments reproduce the paging bend of Figure 8.
 	EPCBytes int64
-	// Parallel fans the sorting phases out across goroutines (the
-	// paper's §6.2 parallelization note: sorting networks have
-	// O(log² n) depth). The access pattern per memory location is
-	// unchanged. Incompatible with — and ignored under — TraceHash,
-	// SGXSim, CollectStats and MergeExchange, whose instrumentation is
-	// not synchronized.
+	// Parallel fans the sorting networks, the routing network and the
+	// linear scans out across a persistent worker pool (the paper's
+	// §6.2 parallelization note: sorting networks have O(log² n)
+	// depth). Every phase executes the same round schedule as the
+	// sequential run, and instrumentation is sharded per worker and
+	// merged deterministically at round barriers, so Parallel composes
+	// with TraceHash (identical canonical hash), CollectStats
+	// (identical counts) and MergeExchange. Under SGXSim the enclave
+	// cost model's paging state is order-dependent, so the stores
+	// refuse to shard and execution degrades to the sequential
+	// schedule — same trace, no speedup.
 	Parallel bool
+	// Workers pins the exact parallelism degree: > 1 lanes, 1
+	// sequential, 0 defers to Parallel (GOMAXPROCS when set, else
+	// sequential), < 0 forces GOMAXPROCS.
+	Workers int
 }
 
 // Stats is the per-run instrumentation of Result.
@@ -244,13 +253,11 @@ func Join(left, right *Table, opts *Options) (*Result, error) {
 			Probabilistic: opts.Probabilistic,
 			Seed:          opts.Seed,
 			Stats:         &coreStats,
+			Parallel:      opts.Parallel,
+			Workers:       opts.Workers,
 		}
 		if opts.MergeExchange {
 			cfg.Net = core.MergeExchange
-		}
-		if opts.Parallel && !opts.TraceHash && !opts.SGXSim && !opts.CollectStats {
-			cfg.Stats = nil
-			cfg.Parallel = true
 		}
 		pairs = core.Join(cfg, left.rows, right.rows)
 	case AlgorithmSortMerge:
