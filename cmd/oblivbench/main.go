@@ -3,18 +3,21 @@
 //
 // Usage:
 //
-//	oblivbench -exp table1|table2|table3|fig7|fig8|circuit|bench|all [flags]
+//	oblivbench -exp table1|table2|table3|fig7|fig8|circuit|bench|sql|all [flags]
 //
 //	-n int        input size for table1/table3 (default 4096 / 65536)
 //	-sizes list   comma-separated n values for fig8
 //	-pgm path     also write Figure 7 as a PGM image
 //	-bsizes list  comma-separated n values for the bench experiment
-//	-workers int  parallel lanes for bench (0 = GOMAXPROCS)
+//	-ssizes list  comma-separated n values for the sql experiment
+//	-workers int  parallel lanes for bench/sql (0 = GOMAXPROCS)
 //	-json path    write bench results as JSON (default BENCH_join.json)
+//	-sqljson path write sql results as JSON (default BENCH_sql.json)
 //
 // bench (sequential vs parallel join wall times, tracing on, with a
-// BENCH_join.json perf record) is opt-in: it runs only with
-// -exp bench, never under -exp all.
+// BENCH_join.json perf record) and sql (the same comparison for the
+// SQL plan pipeline, BENCH_sql.json) are opt-in: they run only with
+// -exp bench / -exp sql, never under -exp all.
 //
 // Absolute timings depend on the host; the reproduction targets are the
 // orderings and growth shapes (see EXPERIMENTS.md).
@@ -31,14 +34,16 @@ import (
 )
 
 func main() {
-	which := flag.String("exp", "all", "experiment: table1, table2, table3, fig7, fig8, circuit, bench, all")
+	which := flag.String("exp", "all", "experiment: table1, table2, table3, fig7, fig8, circuit, bench, sql, all")
 	n := flag.Int("n", 0, "input size for table1/table3 (defaults: 4096, 65536)")
 	sizes := flag.String("sizes", "25000,50000,100000,200000", "comma-separated input sizes for fig8")
 	pgm := flag.String("pgm", "", "write Figure 7 as a PGM image to this path")
 	nlCap := flag.Int("nlcap", 2048, "largest n for the quadratic nested-loop baseline")
 	bsizes := flag.String("bsizes", "16384,65536,131072", "comma-separated input sizes for bench")
-	workers := flag.Int("workers", 0, "parallel lanes for bench (0 = GOMAXPROCS)")
+	ssizes := flag.String("ssizes", "4096,16384,65536", "comma-separated input sizes for sql")
+	workers := flag.Int("workers", 0, "parallel lanes for bench/sql (0 = GOMAXPROCS)")
 	jsonPath := flag.String("json", "BENCH_join.json", "write bench results as JSON to this path (empty to skip)")
+	sqlJSONPath := flag.String("sqljson", "BENCH_sql.json", "write sql results as JSON to this path (empty to skip)")
 	flag.Parse()
 
 	parseSizes := func(s string) ([]int, error) {
@@ -56,7 +61,7 @@ func main() {
 	// bench is opt-in only: it is a perf experiment that writes
 	// BENCH_join.json to the working directory, not one of the paper's
 	// figures, so a bare `oblivbench` (-exp all) does not run it.
-	optIn := map[string]bool{"bench": true}
+	optIn := map[string]bool{"bench": true, "sql": true}
 	run := func(name string, f func() error) {
 		if *which != name && (*which != "all" || optIn[name]) {
 			return
@@ -120,6 +125,23 @@ func main() {
 				return err
 			}
 			fmt.Printf("(bench results written to %s)\n", *jsonPath)
+		}
+		return nil
+	})
+	run("sql", func() error {
+		ns, err := parseSizes(*ssizes)
+		if err != nil {
+			return err
+		}
+		results, err := exp.BenchSQL(os.Stdout, ns, *workers)
+		if err != nil {
+			return err
+		}
+		if *sqlJSONPath != "" {
+			if err := exp.WriteSQLBenchJSON(*sqlJSONPath, results); err != nil {
+				return err
+			}
+			fmt.Printf("(sql results written to %s)\n", *sqlJSONPath)
 		}
 		return nil
 	})

@@ -2,16 +2,22 @@
 //
 // Each -t flag registers a table from a CSV file whose first column is
 // an unsigned-integer key and second column a data payload (≤16 bytes).
-// The remaining arguments form one SQL statement; with -explain, the
-// oblivious plan is printed instead of executing.
+// The remaining arguments form one SQL statement; prefixing it with
+// EXPLAIN (or passing -explain) prints the oblivious plan instead of
+// executing it.
 //
 // Usage:
 //
 //	osql -t users=users.csv -t orders=orders.csv \
 //	     "SELECT key, left.data, right.data FROM users JOIN orders USING (key)"
+//	osql -t users=users.csv "EXPLAIN SELECT key FROM users ORDER BY key"
 //
-// Supported grammar: SELECT [DISTINCT] items FROM t [JOIN t2 USING
-// (key)] [WHERE pred] [GROUP BY key] [ORDER BY key] [LIMIT n]; see the
+// Flags -workers, -encrypted and -stats select parallel execution, an
+// AES-sealed entry store, and a per-operator execution report on
+// stderr (add -tracehash for the access-pattern digest).
+//
+// Supported grammar: SELECT [DISTINCT] items FROM t {JOIN tN USING
+// (key)} [WHERE pred] [GROUP BY key] [ORDER BY key] [LIMIT n]; see the
 // library documentation for details.
 package main
 
@@ -42,16 +48,38 @@ func main() {
 	flag.Var(tables, "t", "register a table: name=path.csv (repeatable)")
 	header := flag.Bool("header", false, "CSV files have a header row")
 	explain := flag.Bool("explain", false, "print the oblivious plan instead of executing")
+	workers := flag.Int("workers", 0, "parallel lanes for the oblivious operators (0 = sequential, < 0 = GOMAXPROCS)")
+	encrypted := flag.Bool("encrypted", false, "keep intermediate entries AES-sealed in public memory")
+	stats := flag.Bool("stats", false, "print a per-operator execution report to stderr")
+	traceHash := flag.Bool("tracehash", false, "also compute the SHA-256 access-pattern digest (implies -stats)")
 	flag.Parse()
 
 	if flag.NArg() == 0 || len(tables) == 0 {
-		fmt.Fprintln(os.Stderr, "usage: osql -t name=file.csv [-t ...] \"SELECT ...\"")
+		fmt.Fprintln(os.Stderr, "usage: osql -t name=file.csv [-t ...] \"[EXPLAIN] SELECT ...\"")
 		flag.PrintDefaults()
 		os.Exit(2)
 	}
 	sql := strings.Join(flag.Args(), " ")
+	// EXPLAIN <query> meta-command: strip the keyword, print the plan.
+	if rest, ok := cutKeyword(sql, "explain"); ok {
+		*explain = true
+		sql = rest
+	}
 
-	eng := oblivjoin.NewEngine()
+	var opts []oblivjoin.EngineOption
+	if *workers != 0 {
+		opts = append(opts, oblivjoin.WithWorkers(*workers))
+	}
+	if *encrypted {
+		opts = append(opts, oblivjoin.WithEncryptedStore())
+	}
+	if *stats {
+		opts = append(opts, oblivjoin.WithStats())
+	}
+	if *traceHash {
+		opts = append(opts, oblivjoin.WithTraceHash())
+	}
+	eng := oblivjoin.NewEngine(opts...)
 	for name, path := range tables {
 		f, err := os.Open(path)
 		if err != nil {
@@ -88,4 +116,21 @@ func main() {
 	for _, row := range res.Rows {
 		fmt.Println(strings.Join(row, ","))
 	}
+	if st := eng.LastStats(); st != nil && (*stats || *traceHash) {
+		fmt.Fprintln(os.Stderr, st)
+	}
+}
+
+// cutKeyword strips a leading case-insensitive keyword followed by
+// whitespace, reporting whether it was present.
+func cutKeyword(s, kw string) (string, bool) {
+	trimmed := strings.TrimLeft(s, " \t\r\n")
+	if len(trimmed) <= len(kw) || !strings.EqualFold(trimmed[:len(kw)], kw) {
+		return s, false
+	}
+	rest := trimmed[len(kw):]
+	if rest[0] != ' ' && rest[0] != '\t' && rest[0] != '\r' && rest[0] != '\n' {
+		return s, false
+	}
+	return strings.TrimLeft(rest, " \t\r\n"), true
 }

@@ -5,24 +5,78 @@ import (
 )
 
 // Engine is an oblivious SQL engine over registered tables: a small
-// SELECT dialect whose every plan stage (filter, join, semijoin, group
-// by, distinct, sort) is data-oblivious. See the package documentation
-// of internal/query for the grammar.
+// SELECT dialect whose every plan stage (filter, join chains, semijoin,
+// group by, distinct, sort) is data-oblivious. See the package
+// documentation of internal/query for the grammar.
 //
-//	eng := oblivjoin.NewEngine()
+//	eng := oblivjoin.NewEngine(oblivjoin.WithWorkers(4))
 //	eng.Register("users", users)
 //	eng.Register("orders", orders)
 //	res, err := eng.Query(
 //	    "SELECT key, left.data, right.data FROM users JOIN orders USING (key)")
+//
+// Queries execute as a plan of physical operators threading one shared
+// oblivious configuration, so the engine options below apply to every
+// stage uniformly: results, plans and trace hashes are identical at
+// every worker count and between plain and encrypted stores.
 //
 // An Engine is not safe for concurrent use.
 type Engine struct {
 	inner *query.Engine
 }
 
-// NewEngine returns an empty engine.
-func NewEngine() *Engine {
-	return &Engine{inner: query.NewEngine()}
+// EngineOption configures a new Engine.
+type EngineOption func(*query.Options)
+
+// WithWorkers runs every oblivious operator of every query at the
+// given parallelism (> 1 lanes, 1 or 0 sequential, < 0 GOMAXPROCS).
+// Results and recorded traces are identical at every degree.
+func WithWorkers(n int) EngineOption {
+	return func(o *query.Options) { o.Workers = n }
+}
+
+// WithEncryptedStore keeps every intermediate table entry AES-sealed in
+// public memory under a fresh per-engine key: the cloud-database
+// deployment of the paper, where the server stores only ciphertexts and
+// observes only the (oblivious) access sequence.
+func WithEncryptedStore() EngineOption {
+	return func(o *query.Options) { o.Encrypted = true }
+}
+
+// WithStats records a PlanStats report for every query, retrievable
+// via LastStats.
+func WithStats() EngineOption {
+	return func(o *query.Options) { o.CollectStats = true }
+}
+
+// WithTraceHash chains every public-memory access of a query into a
+// SHA-256 access-pattern digest (the §6.1 construction), reported in
+// PlanStats.TraceHash — the same verification handle Join offers.
+// Implies WithStats.
+func WithTraceHash() EngineOption {
+	return func(o *query.Options) { o.TraceHash = true; o.CollectStats = true }
+}
+
+// WithMergeExchange selects Batcher's odd-even merge-exchange sorting
+// network instead of the bitonic default.
+func WithMergeExchange() EngineOption {
+	return func(o *query.Options) { o.MergeExchange = true }
+}
+
+// WithProbabilistic switches Oblivious-Distribute to the PRP-based
+// variant of §5.2, seeded with seed.
+func WithProbabilistic(seed int64) EngineOption {
+	return func(o *query.Options) { o.Probabilistic = true; o.Seed = seed }
+}
+
+// NewEngine returns an empty engine configured by opts (sequential,
+// plaintext and uninstrumented by default).
+func NewEngine(opts ...EngineOption) *Engine {
+	var o query.Options
+	for _, opt := range opts {
+		opt(&o)
+	}
+	return &Engine{inner: query.NewEngineWith(o)}
 }
 
 // Register makes a table queryable under name (folded to lower case;
@@ -37,7 +91,7 @@ type QueryResult struct {
 	Rows    [][]string
 }
 
-// Query parses and executes a SELECT statement obliviously.
+// Query parses, plans and executes a SELECT statement obliviously.
 func (e *Engine) Query(sql string) (*QueryResult, error) {
 	res, err := e.inner.Query(sql)
 	if err != nil {
@@ -47,8 +101,28 @@ func (e *Engine) Query(sql string) (*QueryResult, error) {
 }
 
 // Explain returns the oblivious plan Query would run — e.g.
-// "scan(users) → semijoin(vips) → filter[branch-free] → project". The
-// plan depends only on the query shape, never on table contents.
+// "scan(users) → semijoin(vips) → filter[branch-free] → project" —
+// rendered from the logical plan tree without executing anything. The
+// plan depends only on the query shape and the registered catalog,
+// never on table contents.
 func (e *Engine) Explain(sql string) (string, error) {
 	return e.inner.Explain(sql)
 }
+
+// PlanStats is the per-query execution report: one entry per plan
+// operator (label, wall time, output rows) plus whole-run
+// instrumentation — comparator counts, routing steps, trace events and
+// the optional SHA-256 access-pattern hash. Collected when the engine
+// was built with WithStats or WithTraceHash. String renders it as an
+// aligned table.
+type PlanStats = query.PlanStats
+
+// OperatorStat is one plan stage's report: the stage label (matching
+// the EXPLAIN stage), its wall time and its (public) output
+// cardinality.
+type OperatorStat = query.OperatorStat
+
+// LastStats returns the report of the most recent successful Query, or
+// nil when stats collection is off, no query ran yet, or the last
+// query failed.
+func (e *Engine) LastStats() *PlanStats { return e.inner.LastStats() }

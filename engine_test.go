@@ -61,3 +61,84 @@ func TestEngineErrors(t *testing.T) {
 		t.Fatal("bad table name accepted")
 	}
 }
+
+func multiwayFixture(t *testing.T, opts ...EngineOption) *Engine {
+	t.Helper()
+	eng := NewEngine(opts...)
+	users := NewTable()
+	users.MustAppend(1, "ann")
+	users.MustAppend(2, "ben")
+	users.MustAppend(3, "cyd")
+	orders := NewTable()
+	orders.MustAppend(2, "gpu")
+	orders.MustAppend(2, "ram")
+	orders.MustAppend(3, "ssd")
+	ships := NewTable()
+	ships.MustAppend(2, "kyiv")
+	ships.MustAppend(3, "oslo")
+	for name, tb := range map[string]*Table{"users": users, "orders": orders, "ships": ships} {
+		if err := eng.Register(name, tb); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return eng
+}
+
+// TestEngineOptionEquivalence is the acceptance criterion at the public
+// API: a 3-way join produces identical rows and identical trace hashes
+// sequentially, with WithWorkers(4), and with WithEncryptedStore.
+func TestEngineOptionEquivalence(t *testing.T) {
+	const q = "SELECT key, left.data, right.data FROM users JOIN orders USING (key) JOIN ships USING (key)"
+	run := func(opts ...EngineOption) (*QueryResult, string) {
+		eng := multiwayFixture(t, append(opts, WithTraceHash())...)
+		res, err := eng.Query(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		st := eng.LastStats()
+		if st == nil || st.TraceHash == "" {
+			t.Fatal("no trace hash")
+		}
+		return res, st.TraceHash
+	}
+	seq, seqHash := run()
+	if len(seq.Rows) != 3 {
+		t.Fatalf("rows = %v", seq.Rows)
+	}
+	par, parHash := run(WithWorkers(4))
+	enc, encHash := run(WithEncryptedStore())
+	if !reflect.DeepEqual(par, seq) || !reflect.DeepEqual(enc, seq) {
+		t.Fatalf("rows diverge:\nseq %v\npar %v\nenc %v", seq.Rows, par.Rows, enc.Rows)
+	}
+	if parHash != seqHash || encHash != seqHash {
+		t.Fatalf("trace hashes diverge: seq %s par %s enc %s", seqHash, parHash, encHash)
+	}
+}
+
+func TestEngineLastStats(t *testing.T) {
+	eng := multiwayFixture(t, WithStats())
+	if eng.LastStats() != nil {
+		t.Fatal("stats before any query")
+	}
+	if _, err := eng.Query("SELECT key FROM users ORDER BY key"); err != nil {
+		t.Fatal(err)
+	}
+	st := eng.LastStats()
+	if st == nil || len(st.Operators) == 0 || st.TraceEvents == 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if st.Operators[0].Op != "scan(users)" {
+		t.Fatalf("first stage = %q", st.Operators[0].Op)
+	}
+	if !strings.Contains(st.String(), "sort(key)") {
+		t.Fatalf("rendered stats:\n%s", st)
+	}
+	// Stats collection off → no report.
+	eng2 := multiwayFixture(t)
+	if _, err := eng2.Query("SELECT key FROM users"); err != nil {
+		t.Fatal(err)
+	}
+	if eng2.LastStats() != nil {
+		t.Fatal("stats collected without WithStats")
+	}
+}

@@ -44,9 +44,19 @@ func main() {
 	premium.MustAppend(1, "y")
 	premium.MustAppend(3, "y")
 
-	eng := oblivjoin.NewEngine()
+	regions := oblivjoin.NewTable()
+	regions.MustAppend(1, "east")
+	regions.MustAppend(2, "west")
+	regions.MustAppend(3, "east")
+
+	// WithWorkers parallelizes every oblivious operator; WithTraceHash
+	// records the SHA-256 access-pattern digest of each query — the
+	// result and the digest are identical at every worker count and
+	// with WithEncryptedStore.
+	eng := oblivjoin.NewEngine(oblivjoin.WithWorkers(4), oblivjoin.WithTraceHash())
 	for name, t := range map[string]*oblivjoin.Table{
-		"customers": customers, "orders": orders, "amounts": amounts, "premium": premium,
+		"customers": customers, "orders": orders, "amounts": amounts,
+		"premium": premium, "regions": regions,
 	} {
 		if err := eng.Register(name, t); err != nil {
 			log.Fatal(err)
@@ -59,6 +69,9 @@ func main() {
 		"SELECT key, COUNT(*), SUM(data) FROM amounts GROUP BY key",
 		"SELECT key, COUNT(*) FROM customers JOIN orders USING (key) GROUP BY key",
 		"SELECT DISTINCT key, data FROM orders WHERE key BETWEEN 1 AND 3",
+		// A 3-way join (§7): customers ⋈ orders ⋈ regions, composed by
+		// re-keying the keyed intermediate result between the stages.
+		"SELECT key, left.data, right.data FROM customers JOIN orders USING (key) JOIN regions USING (key)",
 	}
 	for _, q := range queries {
 		plan, err := eng.Explain(q)
@@ -74,9 +87,14 @@ func main() {
 		for _, row := range res.Rows {
 			fmt.Printf("      %s\n", strings.Join(row, " | "))
 		}
+		if st := eng.LastStats(); st != nil {
+			fmt.Printf("      trace-hash %s… (%d events, %d comparators)\n",
+				st.TraceHash[:16], st.TraceEvents, st.Comparators)
+		}
 		fmt.Println()
 	}
 
 	fmt.Println("note the fourth plan: COUNT over a join uses the §7 fast path —")
-	fmt.Println("group dimensions from Augment-Tables, no join materialization.")
+	fmt.Println("group dimensions from Augment-Tables, no join materialization;")
+	fmt.Println("the last plan chains two oblivious joins through a rekey stage.")
 }

@@ -16,15 +16,20 @@
 //     Augment-Tables alone, in O(n log² n), without materializing the
 //     m-row join. This is exactly the §7 observation: COUNT-style
 //     aggregations over a join need the dimensions, not the expansion.
+//
+// Like internal/ops, every operator takes the pipeline's *core.Config:
+// entry storage comes from cfg.Alloc (plain or sealed), sorts run
+// through the configured network at the configured parallelism, and
+// the carry scans execute on the blocked scan engine, so recorded
+// traces are canonical at every parallelism degree.
 package aggregate
 
 import (
+	"encoding/binary"
 	"math"
 
-	"oblivjoin/internal/bitonic"
 	"oblivjoin/internal/compaction"
 	"oblivjoin/internal/core"
-	"oblivjoin/internal/memory"
 	"oblivjoin/internal/obliv"
 	"oblivjoin/internal/table"
 )
@@ -44,95 +49,78 @@ type Group struct {
 	Max   uint64
 }
 
-// entry is the internal working record: an Item augmented with running
-// aggregates and the null flag used for compaction.
-type entry struct {
-	K, V  uint64
-	Count uint64
-	Sum   uint64
-	Min   uint64
-	Max   uint64
-	F     uint64 // compaction distance scratch
-	Null  uint64
+// GroupBy works on plain table entries so it can live in any entry
+// store (plain or encrypted) handed out by cfg.Alloc. An item and its
+// running aggregates are packed into the entry's working attributes:
+//
+//	J ← key   A1 ← value   TID ← count   A2 ← sum   II ← min
+//	D[0:8] ← max   F ← compaction scratch   Null ← boundary flag
+//
+// The packing is pure relabeling — every field is moved by the same
+// constant-time entry operations (CondSwapEntry touches all of them) —
+// so it changes nothing about obliviousness.
+func itemEntry(it Item) table.Entry {
+	return table.Entry{J: it.K, A1: it.V}
 }
 
-const entrySize = 8 * 8
-
-func lessK(x, y entry) uint64 { return obliv.Less(x.K, y.K) }
-
-func condSwap(c uint64, x, y *entry) {
-	obliv.CondSwap(c, &x.K, &y.K)
-	obliv.CondSwap(c, &x.V, &y.V)
-	obliv.CondSwap(c, &x.Count, &y.Count)
-	obliv.CondSwap(c, &x.Sum, &y.Sum)
-	obliv.CondSwap(c, &x.Min, &y.Min)
-	obliv.CondSwap(c, &x.Max, &y.Max)
-	obliv.CondSwap(c, &x.F, &y.F)
-	obliv.CondSwap(c, &x.Null, &y.Null)
+func entryGroup(e table.Entry) Group {
+	return Group{K: e.J, Count: e.TID, Sum: e.A2, Min: e.II,
+		Max: binary.LittleEndian.Uint64(e.D[:8])}
 }
 
-// compactOps wires the aggregate entry into the generic compactor.
-var compactOps = compaction.Ops[entry]{
-	Null:    func(e *entry) uint64 { return e.Null },
-	Dist:    func(e *entry) uint64 { return e.F },
-	SetDist: func(e *entry, d uint64) { e.F = d },
-	Swap:    condSwap,
-}
+func lessK(x, y table.Entry) uint64 { return obliv.Less(x.J, y.J) }
 
 // GroupBy computes per-key COUNT, SUM, MIN and MAX over items,
 // obliviously. The result is sorted by key. The number of groups —
 // the output length — is public, like the join's m; everything else
 // about the grouping structure is hidden.
-func GroupBy(sp *memory.Space, items []Item) []Group {
+func GroupBy(cfg *core.Config, items []Item) []Group {
 	n := len(items)
 	if n == 0 {
 		return nil
 	}
-	a := memory.Alloc[entry](sp, n, entrySize)
+	a := cfg.Alloc(n)
 	for i, it := range items {
-		a.Set(i, entry{K: it.K, V: it.V})
+		a.Set(i, itemEntry(it))
 	}
 
-	bitonic.Sort[entry](a, lessK, condSwap, nil)
+	cfg.SortStore(a, lessK, cfg.RelationalSortStats())
 
 	// Forward scan: running aggregates, reset at group boundaries. After
 	// this pass the LAST entry of each group holds the group's totals.
 	var prevK, cnt, sum, mn, mx uint64
 	started := uint64(0)
-	for i := 0; i < n; i++ {
-		e := a.Get(i)
-		same := obliv.And(started, obliv.Eq(e.K, prevK))
+	cfg.ScanStore(a, false, func(_ int, e *table.Entry) {
+		same := obliv.And(started, obliv.Eq(e.J, prevK))
+		v := e.A1
 		cnt = obliv.Select(same, cnt, 0) + 1
-		sum = obliv.Select(same, sum, 0) + e.V
-		mn = obliv.Select(obliv.And(same, obliv.Less(mn, e.V)), mn, e.V)
-		mx = obliv.Select(obliv.And(same, obliv.Greater(mx, e.V)), mx, e.V)
-		e.Count, e.Sum, e.Min, e.Max = cnt, sum, mn, mx
-		prevK = e.K
+		sum = obliv.Select(same, sum, 0) + v
+		mn = obliv.Select(obliv.And(same, obliv.Less(mn, v)), mn, v)
+		mx = obliv.Select(obliv.And(same, obliv.Greater(mx, v)), mx, v)
+		e.TID, e.A2, e.II = cnt, sum, mn
+		binary.LittleEndian.PutUint64(e.D[:8], mx)
+		prevK = e.J
 		started = 1
-		a.Set(i, e)
-	}
+	})
 
 	// Backward scan: keep only each group's boundary entry.
 	prevK, started = 0, 0
 	var groups uint64
-	for i := n - 1; i >= 0; i-- {
-		e := a.Get(i)
-		same := obliv.And(started, obliv.Eq(e.K, prevK))
+	cfg.ScanStore(a, true, func(_ int, e *table.Entry) {
+		same := obliv.And(started, obliv.Eq(e.J, prevK))
 		e.Null = same // non-boundary entries vanish
 		groups += obliv.Not(same)
-		prevK = e.K
+		prevK = e.J
 		started = 1
-		a.Set(i, e)
-	}
+	})
 
 	// Oblivious compaction brings the boundary entries (in key order) to
 	// the front; the group count is the public output size.
-	compaction.CompactFunc[entry](a, compactOps, nil)
+	compaction.Compact(a, nil)
 
 	out := make([]Group, groups)
 	for i := range out {
-		e := a.Get(i)
-		out[i] = Group{K: e.K, Count: e.Count, Sum: e.Sum, Min: e.Min, Max: e.Max}
+		out[i] = entryGroup(a.Get(i))
 	}
 	return out
 }
@@ -167,8 +155,7 @@ func JoinGroupStats(cfg *core.Config, rows1, rows2 []table.Row) []JoinStat {
 	var prevJ uint64
 	started := uint64(0)
 	var groups uint64
-	for i := n1 - 1; i >= 0; i-- {
-		e := t1.Get(i)
+	cfg.ScanStore(t1, true, func(_ int, e *table.Entry) {
 		same := obliv.And(started, obliv.Eq(e.J, prevJ))
 		joinable := obliv.Greater(e.A2, 0)
 		keep := obliv.And(obliv.Not(same), joinable)
@@ -176,8 +163,7 @@ func JoinGroupStats(cfg *core.Config, rows1, rows2 []table.Row) []JoinStat {
 		groups += keep
 		prevJ = e.J
 		started = 1
-		t1.Set(i, e)
-	}
+	})
 
 	compaction.Compact(t1, nil)
 
@@ -271,29 +257,24 @@ func JoinGroupSums(cfg *core.Config, rows1, rows2 []table.Row, value ValueFunc) 
 	// Per-side group sums via forward+backward scans, accumulated into
 	// the F working attribute of every entry.
 	sideSums := func(t table.Store) {
-		n := t.Len()
 		var prevJ, run uint64
 		started := uint64(0)
-		for i := 0; i < n; i++ {
-			e := t.Get(i)
+		cfg.ScanStore(t, false, func(_ int, e *table.Entry) {
 			same := obliv.And(started, obliv.Eq(e.J, prevJ))
-			run = obliv.Select(same, run, 0) + dec(e)
+			run = obliv.Select(same, run, 0) + dec(*e)
 			e.F = run
 			prevJ = e.J
 			started = 1
-			t.Set(i, e)
-		}
+		})
 		var total uint64
 		prevJ, started = 0, 0
-		for i := n - 1; i >= 0; i-- {
-			e := t.Get(i)
+		cfg.ScanStore(t, true, func(_ int, e *table.Entry) {
 			same := obliv.And(started, obliv.Eq(e.J, prevJ))
 			total = obliv.Select(same, total, e.F)
 			e.F = total
 			prevJ = e.J
 			started = 1
-			t.Set(i, e)
-		}
+		})
 	}
 	sideSums(t1)
 	sideSums(t2)
@@ -305,12 +286,10 @@ func JoinGroupSums(cfg *core.Config, rows1, rows2 []table.Row, value ValueFunc) 
 	// counts of each side, so the merge below is plain public code over
 	// already-revealed outputs.
 	extract := func(t table.Store, needOtherSide bool) []JoinSum {
-		n := t.Len()
 		var prevJ uint64
 		started := uint64(0)
 		var groups uint64
-		for i := n - 1; i >= 0; i-- {
-			e := t.Get(i)
+		cfg.ScanStore(t, true, func(_ int, e *table.Entry) {
 			same := obliv.And(started, obliv.Eq(e.J, prevJ))
 			joinable := obliv.Greater(obliv.Select(obliv.Bool(needOtherSide), e.A1, e.A2), 0)
 			keep := obliv.And(obliv.Not(same), joinable)
@@ -318,8 +297,7 @@ func JoinGroupSums(cfg *core.Config, rows1, rows2 []table.Row, value ValueFunc) 
 			groups += keep
 			prevJ = e.J
 			started = 1
-			t.Set(i, e)
-		}
+		})
 		compaction.Compact(t, nil)
 		out := make([]JoinSum, groups)
 		for i := range out {
@@ -335,11 +313,9 @@ func JoinGroupSums(cfg *core.Config, rows1, rows2 []table.Row, value ValueFunc) 
 	// Compaction clobbers F (its routing scratch), so move the sums to
 	// II first.
 	stash := func(t table.Store) {
-		for i := 0; i < t.Len(); i++ {
-			e := t.Get(i)
+		cfg.ScanStore(t, false, func(_ int, e *table.Entry) {
 			e.II = e.F
-			t.Set(i, e)
-		}
+		})
 	}
 	stash(t1)
 	stash(t2)

@@ -43,8 +43,7 @@ func TestGroupByFixed(t *testing.T) {
 	items := []Item{
 		{K: 2, V: 10}, {K: 1, V: 5}, {K: 2, V: 3}, {K: 1, V: 5}, {K: 3, V: 0},
 	}
-	sp := memory.NewSpace(nil, nil)
-	got := GroupBy(sp, items)
+	got := GroupBy(plainCfg(), items)
 	want := []Group{
 		{K: 1, Count: 2, Sum: 10, Min: 5, Max: 5},
 		{K: 2, Count: 2, Sum: 13, Min: 3, Max: 10},
@@ -61,15 +60,13 @@ func TestGroupByFixed(t *testing.T) {
 }
 
 func TestGroupByEmpty(t *testing.T) {
-	sp := memory.NewSpace(nil, nil)
-	if got := GroupBy(sp, nil); got != nil {
+	if got := GroupBy(plainCfg(), nil); got != nil {
 		t.Fatalf("GroupBy(nil) = %v", got)
 	}
 }
 
 func TestGroupBySingleKey(t *testing.T) {
-	sp := memory.NewSpace(nil, nil)
-	got := GroupBy(sp, []Item{{K: 9, V: 1}, {K: 9, V: 2}, {K: 9, V: 3}})
+	got := GroupBy(plainCfg(), []Item{{K: 9, V: 1}, {K: 9, V: 2}, {K: 9, V: 3}})
 	if len(got) != 1 || got[0] != (Group{K: 9, Count: 3, Sum: 6, Min: 1, Max: 3}) {
 		t.Fatalf("got %+v", got)
 	}
@@ -84,8 +81,7 @@ func TestGroupByProperty(t *testing.T) {
 		for i, r := range raw {
 			items[i] = Item{K: uint64(r % 16), V: uint64(r >> 4)}
 		}
-		sp := memory.NewSpace(nil, nil)
-		got := GroupBy(sp, items)
+		got := GroupBy(plainCfg(), items)
 		want := referenceGroupBy(items)
 		if len(got) != len(want) {
 			return false
@@ -107,7 +103,7 @@ func TestGroupByObliviousWithinClass(t *testing.T) {
 	run := func(items []Item) string {
 		h := trace.NewHasher()
 		sp := memory.NewSpace(h, nil)
-		GroupBy(sp, items)
+		GroupBy(&core.Config{Alloc: table.PlainAlloc(sp)}, items)
 		return h.Hex()
 	}
 	a := run([]Item{{1, 1}, {1, 2}, {2, 3}, {2, 4}}) // 2 groups of 2
@@ -118,8 +114,7 @@ func TestGroupByObliviousWithinClass(t *testing.T) {
 }
 
 func TestGroupByMinMaxExtremes(t *testing.T) {
-	sp := memory.NewSpace(nil, nil)
-	got := GroupBy(sp, []Item{{K: 1, V: MaxValue}, {K: 1, V: 0}})
+	got := GroupBy(plainCfg(), []Item{{K: 1, V: MaxValue}, {K: 1, V: 0}})
 	if got[0].Min != 0 || got[0].Max != MaxValue {
 		t.Fatalf("extremes wrong: %+v", got[0])
 	}
@@ -226,6 +221,6 @@ func BenchmarkGroupBy4k(b *testing.B) {
 	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		GroupBy(memory.NewSpace(nil, nil), items)
+		GroupBy(plainCfg(), items)
 	}
 }

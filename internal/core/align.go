@@ -34,7 +34,7 @@ func AlignTable(cfg *Config, s2 table.Store) {
 	t0 := time.Now()
 	var jprev, q uint64
 	started := uint64(0)
-	cfg.scanStore(s2, false, func(_ int, e *table.Entry) {
+	cfg.ScanStore(s2, false, func(_ int, e *table.Entry) {
 		same := obliv.And(started, obliv.Eq(e.J, jprev))
 		q = obliv.Select(same, q+1, 0)
 		// Every entry of S2 originates from T2, so e.A1 ≥ 1; the divisor
@@ -47,6 +47,6 @@ func AlignTable(cfg *Config, s2 table.Store) {
 	st.TAlign += time.Since(t0)
 
 	t0 = time.Now()
-	cfg.sortStore(s2, table.LessJII, &st.AlignSort)
+	cfg.SortStore(s2, table.LessJII, &st.AlignSort)
 	st.TAlign += time.Since(t0)
 }

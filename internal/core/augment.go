@@ -29,9 +29,9 @@ func AugmentTables(cfg *Config, rows1, rows2 []table.Row) (tc table.Store, t1, t
 	}
 	storeRange(tc, 0, load)
 
-	cfg.sortStore(tc, table.LessJTID, &st.AugmentSort)
+	cfg.SortStore(tc, table.LessJTID, &st.AugmentSort)
 	m = fillDimensions(cfg, tc)
-	cfg.sortStore(tc, table.LessTIDJD, &st.AugmentSort)
+	cfg.SortStore(tc, table.LessTIDJD, &st.AugmentSort)
 
 	t1 = view{s: tc, off: 0, size: n1}
 	t2 = view{s: tc, off: n1, size: n2}
@@ -51,7 +51,7 @@ func fillDimensions(cfg *Config, tc table.Store) int {
 	// entry of each group ends up holding the group's true (α1, α2).
 	var jprev, c1, c2 uint64
 	started := uint64(0) // becomes 1 after the first entry
-	cfg.scanStore(tc, false, func(_ int, e *table.Entry) {
+	cfg.ScanStore(tc, false, func(_ int, e *table.Entry) {
 		same := obliv.And(started, obliv.Eq(e.J, jprev))
 		c1 = obliv.Select(same, c1, 0)
 		c2 = obliv.Select(same, c2, 0)
@@ -69,7 +69,7 @@ func fillDimensions(cfg *Config, tc table.Store) int {
 	// group, accumulating m = Σ α1·α2 once per group.
 	var a1, a2, mAcc uint64
 	jprev, started = 0, 0
-	cfg.scanStore(tc, true, func(_ int, e *table.Entry) {
+	cfg.ScanStore(tc, true, func(_ int, e *table.Entry) {
 		same := obliv.And(started, obliv.Eq(e.J, jprev))
 		a1 = obliv.Select(same, a1, e.A1)
 		a2 = obliv.Select(same, a2, e.A2)

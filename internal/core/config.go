@@ -82,6 +82,7 @@ type Stats struct {
 	AugmentSort    bitonic.Stats // the two sorts on TC (Alg. 2 lines 3, 5)
 	DistributeSort bitonic.Stats // sorts inside the two distributes
 	AlignSort      bitonic.Stats // the sort on S2 (Alg. 5 line 8)
+	RelationalSort bitonic.Stats // sorts issued by the relational operators (ops, aggregate)
 	RouteOps       uint64        // compare–hop steps of the routing loops
 
 	TAugment    time.Duration // Augment-Tables wall time
@@ -95,6 +96,25 @@ type Stats struct {
 // Total returns the sum of all phase durations.
 func (s *Stats) Total() time.Duration {
 	return s.TAugment + s.TDistSort + s.TDistRoute + s.TExpandScan + s.TAlign + s.TZip
+}
+
+// RelationalSortStats returns the bucket the relational operators'
+// sorts (internal/ops, internal/aggregate) accumulate into, or nil
+// when the config carries no instrumentation.
+func (c *Config) RelationalSortStats() *bitonic.Stats {
+	if c.Stats == nil {
+		return nil
+	}
+	return &c.Stats.RelationalSort
+}
+
+// Comparators returns the total compare–exchange count across every
+// sorting network the run executed, all phases included.
+func (s *Stats) Comparators() uint64 {
+	return s.AugmentSort.CompareExchanges +
+		s.DistributeSort.CompareExchanges +
+		s.AlignSort.CompareExchanges +
+		s.RelationalSort.CompareExchanges
 }
 
 // workerCount resolves the configured parallelism to a concrete lane
@@ -112,11 +132,15 @@ func (c *Config) workerCount() int {
 	}
 }
 
-// sortStore runs the configured sorting network over st at the
-// configured parallelism. Comparator counts land in bs at every
-// parallelism degree (the former sequential-only restriction is gone:
-// round-barrier accumulation made counting deterministic).
-func (c *Config) sortStore(st table.Store, less bitonic.LessFunc[table.Entry], bs *bitonic.Stats) {
+// SortStore runs the configured sorting network over st at the
+// configured parallelism. Comparator counts land in bs (nil to skip) at
+// every parallelism degree (the former sequential-only restriction is
+// gone: round-barrier accumulation made counting deterministic). It is
+// exported so the relational operators (internal/ops,
+// internal/aggregate) sort through the same Config — one knob for
+// network choice, parallelism and instrumentation across the whole
+// query pipeline.
+func (c *Config) SortStore(st table.Store, less bitonic.LessFunc[table.Entry], bs *bitonic.Stats) {
 	w := c.workerCount()
 	if c.Net == MergeExchange {
 		bitonic.MergeExchangeSortParallel[table.Entry](st, less, table.CondSwapEntry, bs, w)

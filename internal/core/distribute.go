@@ -42,7 +42,7 @@ func ExtObliviousDistribute(cfg *Config, x table.Store, m int) table.Store {
 		buf[i] = table.Entry{Null: 1}
 	}
 	storeRange(a, 0, buf)
-	cfg.sortStore(a, table.LessNullF, &st.DistributeSort)
+	cfg.SortStore(a, table.LessNullF, &st.DistributeSort)
 	st.TDistSort += time.Since(t0)
 
 	t0 = time.Now()
@@ -136,13 +136,13 @@ func prpDistribute(cfg *Config, x table.Store, m int) table.Store {
 	for p, q := range perm {
 		inv[q] = p
 	}
-	cfg.scanStore(a, false, func(p int, e *table.Entry) {
+	cfg.ScanStore(a, false, func(p int, e *table.Entry) {
 		e.II = uint64(inv[p])
 	})
 	st.TDistRoute += time.Since(t0)
 
 	t0 = time.Now()
-	cfg.sortStore(a, lessII, &st.DistributeSort)
+	cfg.SortStore(a, lessII, &st.DistributeSort)
 	st.TDistSort += time.Since(t0)
 
 	return view{s: a, off: 0, size: m}

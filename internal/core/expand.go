@@ -33,7 +33,7 @@ func ObliviousExpand(cfg *Config, x table.Store, g GFunc, m int) table.Store {
 
 	t0 := time.Now()
 	s := uint64(1)
-	cfg.scanStore(x, false, func(_ int, e *table.Entry) {
+	cfg.ScanStore(x, false, func(_ int, e *table.Entry) {
 		gv := obliv.Select(e.Null, 0, g(e))
 		zero := obliv.Eq(gv, 0)
 		e.F = obliv.Select(zero, 0, s)
@@ -53,7 +53,7 @@ func ObliviousExpand(cfg *Config, x table.Store, g GFunc, m int) table.Store {
 	t0 = time.Now()
 	var px table.Entry
 	px.Null = 1
-	cfg.scanStore(a, false, func(_ int, e *table.Entry) {
+	cfg.ScanStore(a, false, func(_ int, e *table.Entry) {
 		table.CondCopyEntry(e.Null, e, &px)
 		px = *e
 	})

@@ -35,11 +35,14 @@ import (
 // degree.
 const scanBlock = 4096
 
-// scanStore applies fn to every entry of st exactly once, in ascending
+// ScanStore applies fn to every entry of st exactly once, in ascending
 // index order (descending when reverse), with one read and one write
 // per index. fn may mutate the entry in place; the index passed is the
-// entry's position in st.
-func (c *Config) scanStore(st table.Store, reverse bool, fn func(i int, e *table.Entry)) {
+// entry's position in st. Exported so the relational operators'
+// carry scans (filter flagging, duplicate marking, group aggregation)
+// ride the same blocked, parallel, trace-canonical engine as the join
+// pipeline's own passes.
+func (c *Config) ScanStore(st table.Store, reverse bool, fn func(i int, e *table.Entry)) {
 	n := st.Len()
 	if n == 0 {
 		return

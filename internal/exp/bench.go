@@ -109,7 +109,16 @@ func BenchJoin(w io.Writer, ns []int, workers int) ([]JoinBenchResult, error) {
 
 // WriteBenchJSON writes the benchmark rows as indented JSON to path.
 func WriteBenchJSON(path string, results []JoinBenchResult) error {
-	data, err := json.MarshalIndent(results, "", "  ")
+	return writeJSON(path, results)
+}
+
+// WriteSQLBenchJSON writes the SQL benchmark rows as indented JSON.
+func WriteSQLBenchJSON(path string, results []SQLBenchResult) error {
+	return writeJSON(path, results)
+}
+
+func writeJSON(path string, v any) error {
+	data, err := json.MarshalIndent(v, "", "  ")
 	if err != nil {
 		return err
 	}

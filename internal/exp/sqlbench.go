@@ -1,0 +1,126 @@
+package exp
+
+import (
+	"fmt"
+	"io"
+	"reflect"
+	"runtime"
+	"time"
+
+	"oblivjoin/internal/query"
+	"oblivjoin/internal/table"
+	"oblivjoin/internal/workload"
+)
+
+// SQLBenchResult is one row of the machine-readable SQL benchmark: the
+// sequential and parallel wall times of one query shape at one input
+// size, with tracing on, plus the determinism evidence (the parallel
+// run's trace hash must equal the sequential one's). Future sessions
+// diff these files to track the SQL path's perf trajectory.
+type SQLBenchResult struct {
+	N            int     `json:"n"`
+	Query        string  `json:"query"`
+	Rows         int     `json:"rows"`
+	Workers      int     `json:"workers"`
+	SequentialNS int64   `json:"sequential_ns"`
+	ParallelNS   int64   `json:"parallel_ns"`
+	Speedup      float64 `json:"speedup"`
+	TraceEvents  uint64  `json:"trace_events"`
+	TraceDetEv   bool    `json:"trace_event_counts_equal"`
+	TraceDetHash *bool   `json:"trace_hashes_equal,omitempty"`
+	GOMAXPROCS   int     `json:"gomaxprocs"`
+}
+
+// sqlBenchQueries are the representative shapes the benchmark times:
+// a materialized binary join, a 3-way chain, and the §7 aggregation
+// fast path.
+var sqlBenchQueries = []string{
+	"SELECT key, left.data, right.data FROM t1 JOIN t2 USING (key)",
+	"SELECT key, left.data, right.data FROM t1 JOIN t2 USING (key) JOIN t3 USING (key)",
+	"SELECT key, COUNT(*) FROM t1 JOIN t2 USING (key) GROUP BY key",
+}
+
+// sqlCatalog builds three one-to-one matched tables of n rows each with
+// short payloads (so the 3-way chain's rekeyed payloads stay within the
+// fixed width).
+func sqlCatalog(n int) map[string][]table.Row {
+	t1, t2 := workload.MatchingPairs(n)
+	short := func(rows []table.Row, tag byte) []table.Row {
+		out := make([]table.Row, len(rows))
+		for i, r := range rows {
+			out[i] = table.Row{J: r.J, D: table.MustData(fmt.Sprintf("%c%d", tag, i%1000))}
+		}
+		return out
+	}
+	return map[string][]table.Row{
+		"t1": short(t1, 'a'),
+		"t2": short(t2, 'b'),
+		"t3": short(t1, 'c'),
+	}
+}
+
+// BenchSQL times each benchmark query sequentially versus with the
+// given worker count, tracing on, and cross-checks result equality and
+// trace-hash equality between the two runs. workers ≤ 0 means
+// GOMAXPROCS.
+func BenchSQL(w io.Writer, ns []int, workers int) ([]SQLBenchResult, error) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	fmt.Fprintf(w, "SQL benchmark — sequential vs parallel plan execution (workers=%d, tracing on)\n", workers)
+	fmt.Fprintf(w, "%8s %-72s %8s %12s %12s %9s\n", "n", "query", "rows", "sequential", "parallel", "speedup")
+	var out []SQLBenchResult
+	for _, n := range ns {
+		catalog := sqlCatalog(n)
+		// Full canonical hashes are cross-checked up to hashCheckCap (the
+		// SHA-256 chain dwarfs the query itself beyond that; the unit
+		// tests cover hash equality exhaustively); larger sizes compare
+		// event counts.
+		hash := n <= hashCheckCap
+		for _, src := range sqlBenchQueries {
+			run := func(wk int) (*query.Result, *query.PlanStats, time.Duration, error) {
+				eng := query.NewEngineWith(query.Options{Workers: wk, TraceHash: hash, CollectStats: true})
+				for name, rows := range catalog {
+					if err := eng.Register(name, rows); err != nil {
+						return nil, nil, 0, err
+					}
+				}
+				start := time.Now()
+				res, err := eng.Query(src)
+				if err != nil {
+					return nil, nil, 0, err
+				}
+				return res, eng.LastStats(), time.Since(start), nil
+			}
+			seqRes, seqStats, seqT, err := run(1)
+			if err != nil {
+				return nil, fmt.Errorf("exp: sql bench n=%d: %w", n, err)
+			}
+			parRes, parStats, parT, err := run(workers)
+			if err != nil {
+				return nil, fmt.Errorf("exp: sql bench n=%d: %w", n, err)
+			}
+			evEq := seqStats.TraceEvents == parStats.TraceEvents
+			r := SQLBenchResult{
+				N: n, Query: src, Rows: len(seqRes.Rows), Workers: workers,
+				SequentialNS: seqT.Nanoseconds(), ParallelNS: parT.Nanoseconds(),
+				TraceEvents: seqStats.TraceEvents, TraceDetEv: evEq,
+				GOMAXPROCS: runtime.GOMAXPROCS(0),
+			}
+			if hash {
+				hashEq := seqStats.TraceHash == parStats.TraceHash
+				r.TraceDetHash = &hashEq
+			}
+			if !evEq || (r.TraceDetHash != nil && !*r.TraceDetHash) || !reflect.DeepEqual(seqRes, parRes) {
+				return nil, fmt.Errorf("exp: parallel SQL run diverged from sequential at n=%d (%s)", n, src)
+			}
+			if parT > 0 {
+				r.Speedup = float64(seqT) / float64(parT)
+			}
+			fmt.Fprintf(w, "%8d %-72s %8d %12s %12s %8.2fx\n", n, src, r.Rows,
+				seqT.Round(time.Microsecond), parT.Round(time.Microsecond), r.Speedup)
+			out = append(out, r)
+		}
+	}
+	return out, nil
+}

@@ -5,15 +5,21 @@
 // sorting networks"; this package is that observation made concrete, so
 // the repository forms a usable oblivious query-processing toolkit.
 //
+// Every operator takes the same *core.Config as the join pipeline:
+// storage comes from cfg.Alloc (plain or encrypted), sorts run through
+// the configured network at the configured parallelism, and the carry
+// scans execute on the blocked scan engine — so an operator's recorded
+// trace is identical at every parallelism degree and between plain and
+// sealed storage.
+//
 // Every operator's access pattern depends only on its input length and
 // its output length; the output length itself is public, exactly as for
 // the join (§3.2, "Revealing Output Length").
 package ops
 
 import (
-	"oblivjoin/internal/bitonic"
 	"oblivjoin/internal/compaction"
-	"oblivjoin/internal/memory"
+	"oblivjoin/internal/core"
 	"oblivjoin/internal/obliv"
 	"oblivjoin/internal/table"
 )
@@ -24,15 +30,15 @@ import (
 // exactly once per row, in input order, regardless of its results.
 type Predicate func(table.Row) uint64
 
-func load(sp *memory.Space, rows []table.Row) *memory.Array[table.Entry] {
-	a := memory.Alloc[table.Entry](sp, len(rows), table.EncodedSize)
+func load(cfg *core.Config, rows []table.Row) table.Store {
+	a := cfg.Alloc(len(rows))
 	for i, r := range rows {
 		a.Set(i, table.Entry{J: r.J, D: r.D})
 	}
 	return a
 }
 
-func collect(a *memory.Array[table.Entry], k uint64) []table.Row {
+func collect(a table.Store, k uint64) []table.Row {
 	out := make([]table.Row, k)
 	for i := range out {
 		e := a.Get(i)
@@ -44,16 +50,14 @@ func collect(a *memory.Array[table.Entry], k uint64) []table.Row {
 // Filter returns the rows satisfying pred, in input order. The server
 // observes the input size, a fixed scan-and-compact pattern, and the
 // output size k — not which rows passed.
-func Filter(sp *memory.Space, rows []table.Row, pred Predicate) []table.Row {
-	a := load(sp, rows)
+func Filter(cfg *core.Config, rows []table.Row, pred Predicate) []table.Row {
+	a := load(cfg, rows)
 	var k uint64
-	for i := 0; i < a.Len(); i++ {
-		e := a.Get(i)
+	cfg.ScanStore(a, false, func(_ int, e *table.Entry) {
 		keep := pred(table.Row{J: e.J, D: e.D})
 		k += keep
 		e.Null = obliv.Not(keep)
-		a.Set(i, e)
-	}
+	})
 	compaction.Compact(a, nil)
 	return collect(a, k)
 }
@@ -61,42 +65,40 @@ func Filter(sp *memory.Space, rows []table.Row, pred Predicate) []table.Row {
 // Distinct returns the unique rows of the input, sorted by (key, data).
 // Duplicates are detected by one branch-free scan over the sorted rows
 // and removed by oblivious compaction.
-func Distinct(sp *memory.Space, rows []table.Row) []table.Row {
-	a := load(sp, rows)
-	bitonic.Sort[table.Entry](a, table.LessJD, table.CondSwapEntry, nil)
+func Distinct(cfg *core.Config, rows []table.Row) []table.Row {
+	a := load(cfg, rows)
+	cfg.SortStore(a, table.LessJD, cfg.RelationalSortStats())
 	var prev table.Entry
 	started := uint64(0)
 	var k uint64
-	for i := 0; i < a.Len(); i++ {
-		e := a.Get(i)
+	cfg.ScanStore(a, false, func(_ int, e *table.Entry) {
 		dup := obliv.And(started, obliv.And(
 			obliv.Eq(e.J, prev.J), obliv.EqBytes(e.D[:], prev.D[:])))
 		e.Null = dup
 		k += obliv.Not(dup)
-		prev = e
+		prev = *e
 		started = 1
-		a.Set(i, e)
-	}
+	})
 	compaction.Compact(a, nil)
 	return collect(a, k)
 }
 
 // Union returns the set union of two tables (duplicates across and
 // within inputs removed), sorted by (key, data).
-func Union(sp *memory.Space, a, b []table.Row) []table.Row {
+func Union(cfg *core.Config, a, b []table.Row) []table.Row {
 	both := make([]table.Row, 0, len(a)+len(b))
 	both = append(both, a...)
 	both = append(both, b...)
-	return Distinct(sp, both)
+	return Distinct(cfg, both)
 }
 
 // Semijoin returns the rows of left whose key appears in right (left ⋉
 // right), sorted by (key, data). It is the one-sided membership variant
 // of the join: one sort of the tagged concatenation, one scan, one
 // compaction — O(n log² n) with no expansion.
-func Semijoin(sp *memory.Space, left, right []table.Row) []table.Row {
+func Semijoin(cfg *core.Config, left, right []table.Row) []table.Row {
 	n := len(left) + len(right)
-	a := memory.Alloc[table.Entry](sp, n, table.EncodedSize)
+	a := cfg.Alloc(n)
 	// Right rows get TID 1 so they sort before left rows (TID 2) within
 	// a key group; a forward scan then knows, at every left row, whether
 	// the group contains a right row.
@@ -114,12 +116,11 @@ func Semijoin(sp *memory.Space, left, right []table.Row) []table.Row {
 		eqJT := obliv.And(obliv.Eq(x.J, y.J), obliv.Eq(x.TID, y.TID))
 		return obliv.Or(ltJT, obliv.And(eqJT, obliv.LessBytes(x.D[:], y.D[:])))
 	}
-	bitonic.Sort[table.Entry](a, lessJTIDD, table.CondSwapEntry, nil)
+	cfg.SortStore(a, lessJTIDD, cfg.RelationalSortStats())
 
 	var prevJ, hasRight, k uint64
 	started := uint64(0)
-	for i := 0; i < n; i++ {
-		e := a.Get(i)
+	cfg.ScanStore(a, false, func(_ int, e *table.Entry) {
 		same := obliv.And(started, obliv.Eq(e.J, prevJ))
 		hasRight = obliv.And(same, hasRight)
 		isRight := obliv.Eq(e.TID, 1)
@@ -129,16 +130,15 @@ func Semijoin(sp *memory.Space, left, right []table.Row) []table.Row {
 		k += keep
 		prevJ = e.J
 		started = 1
-		a.Set(i, e)
-	}
+	})
 	compaction.Compact(a, nil)
 	return collect(a, k)
 }
 
 // SortByKey sorts rows by (key, data) obliviously, in place semantics
 // (a new slice is returned; the input is untouched).
-func SortByKey(sp *memory.Space, rows []table.Row) []table.Row {
-	a := load(sp, rows)
-	bitonic.Sort[table.Entry](a, table.LessJD, table.CondSwapEntry, nil)
+func SortByKey(cfg *core.Config, rows []table.Row) []table.Row {
+	a := load(cfg, rows)
+	cfg.SortStore(a, table.LessJD, cfg.RelationalSortStats())
 	return collect(a, uint64(len(rows)))
 }

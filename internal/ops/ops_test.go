@@ -7,13 +7,16 @@ import (
 	"testing"
 	"testing/quick"
 
+	"oblivjoin/internal/core"
 	"oblivjoin/internal/memory"
 	"oblivjoin/internal/obliv"
 	"oblivjoin/internal/table"
 	"oblivjoin/internal/trace"
 )
 
-func sp() *memory.Space { return memory.NewSpace(nil, nil) }
+func sp() *core.Config {
+	return &core.Config{Alloc: table.PlainAlloc(memory.NewSpace(nil, nil))}
+}
 
 func rows(keys ...uint64) []table.Row {
 	out := make([]table.Row, len(keys))
@@ -96,7 +99,7 @@ func TestFilterProperty(t *testing.T) {
 func TestFilterOblivious(t *testing.T) {
 	run := func(keys []uint64, threshold uint64) string {
 		h := trace.NewHasher()
-		s := memory.NewSpace(h, nil)
+		s := &core.Config{Alloc: table.PlainAlloc(memory.NewSpace(h, nil))}
 		Filter(s, rows(keys...), func(r table.Row) uint64 {
 			return obliv.Less(r.J, threshold)
 		})
@@ -250,7 +253,7 @@ func TestSemijoinProperty(t *testing.T) {
 func TestSemijoinOblivious(t *testing.T) {
 	run := func(l, r []uint64) string {
 		h := trace.NewHasher()
-		s := memory.NewSpace(h, nil)
+		s := &core.Config{Alloc: table.PlainAlloc(memory.NewSpace(h, nil))}
 		Semijoin(s, rows(l...), rows(r...))
 		return h.Hex()
 	}

@@ -5,12 +5,15 @@ type Query struct {
 	Distinct bool
 	Select   []SelectItem
 	From     string
-	Join     string // joined table name, "" when absent
-	Where    Expr   // nil when absent
-	GroupBy  bool   // GROUP BY key
-	OrderBy  bool   // ORDER BY key
-	Limit    int    // -1 when absent
+	Joins    []string // chained JOIN table names, in order; empty when absent
+	Where    Expr     // nil when absent
+	GroupBy  bool     // GROUP BY key
+	OrderBy  bool     // ORDER BY key
+	Limit    int      // -1 when absent
 }
+
+// Joined reports whether the query contains at least one JOIN.
+func (q *Query) Joined() bool { return len(q.Joins) > 0 }
 
 // ColKind names a selectable column.
 type ColKind int

@@ -2,26 +2,107 @@ package query
 
 import (
 	"fmt"
-	"strconv"
 	"strings"
+	"time"
 
-	"oblivjoin/internal/aggregate"
 	"oblivjoin/internal/core"
+	"oblivjoin/internal/crypto"
 	"oblivjoin/internal/memory"
 	"oblivjoin/internal/obliv"
 	"oblivjoin/internal/ops"
+	"oblivjoin/internal/query/exec"
 	"oblivjoin/internal/table"
+	"oblivjoin/internal/trace"
 )
+
+// Options configures how an Engine executes its plans. The zero value
+// is the sequential, plaintext, uninstrumented engine.
+type Options struct {
+	// Workers sets the parallelism of every oblivious operator (> 1
+	// lanes, 1 or 0 sequential, < 0 GOMAXPROCS). Results and traces are
+	// identical at every degree.
+	Workers int
+	// Encrypted stores every intermediate entry AES-sealed in public
+	// memory (table.EncryptedAlloc) under a per-engine random key.
+	Encrypted bool
+	// MergeExchange selects Batcher's odd-even merge-exchange network
+	// instead of the bitonic default.
+	MergeExchange bool
+	// Probabilistic switches Oblivious-Distribute to the PRP-based
+	// variant of §5.2, seeded by Seed.
+	Probabilistic bool
+	// Seed seeds the probabilistic distribute.
+	Seed int64
+	// CollectStats records a PlanStats report for each query,
+	// retrievable via LastStats.
+	CollectStats bool
+	// TraceHash additionally chains every public-memory access into a
+	// SHA-256 trace hash (the §6.1 construction), reported in
+	// PlanStats.TraceHash. Implies stats collection.
+	TraceHash bool
+}
+
+// PlanStats is the per-query execution report: one entry per physical
+// operator plus whole-run instrumentation, the SQL-layer counterpart of
+// core.Stats.
+type PlanStats struct {
+	// Operators lists the pipeline stages in execution order.
+	Operators []OperatorStat
+	// Comparators counts compare–exchanges across every sorting network
+	// the query executed; a fixed function of table sizes.
+	Comparators uint64
+	// RouteOps counts compare–hop steps of the distribute routing loops.
+	RouteOps uint64
+	// TraceEvents counts public-memory accesses (reads + writes).
+	TraceEvents uint64
+	// TraceHash is the hex SHA-256 access-pattern digest when
+	// Options.TraceHash is set.
+	TraceHash string
+	// Total is the end-to-end execution wall time.
+	Total time.Duration
+}
+
+// OperatorStat is one pipeline stage's report.
+type OperatorStat struct {
+	// Op is the stage label (matches the EXPLAIN stage).
+	Op string
+	// Wall is the stage's execution time.
+	Wall time.Duration
+	// Rows is the stage's (public) output cardinality.
+	Rows int
+}
+
+// String renders the report as an aligned table.
+func (s *PlanStats) String() string {
+	var b strings.Builder
+	for _, op := range s.Operators {
+		fmt.Fprintf(&b, "%-40s %12s %8d rows\n", op.Op, op.Wall.Round(time.Microsecond), op.Rows)
+	}
+	fmt.Fprintf(&b, "%-40s %12s\n", "total", s.Total.Round(time.Microsecond))
+	fmt.Fprintf(&b, "comparators=%d route-ops=%d trace-events=%d", s.Comparators, s.RouteOps, s.TraceEvents)
+	if s.TraceHash != "" {
+		fmt.Fprintf(&b, "\ntrace-hash=%s", s.TraceHash)
+	}
+	return b.String()
+}
 
 // Engine executes parsed queries against registered tables using only
 // oblivious operators. It is not safe for concurrent use.
 type Engine struct {
 	tables map[string][]table.Row
+	opts   Options
+	cipher *crypto.Cipher // lazily created when opts.Encrypted
+	last   *PlanStats
 }
 
-// NewEngine returns an empty engine.
+// NewEngine returns an empty engine with default Options.
 func NewEngine() *Engine {
-	return &Engine{tables: map[string][]table.Row{}}
+	return NewEngineWith(Options{})
+}
+
+// NewEngineWith returns an empty engine executing with o.
+func NewEngineWith(o Options) *Engine {
+	return &Engine{tables: map[string][]table.Row{}, opts: o}
 }
 
 // Register makes rows queryable under name (lower-cased). Re-registering
@@ -41,148 +122,136 @@ func (e *Engine) Register(name string, rows []table.Row) error {
 }
 
 // Result is a query result: column names and stringified rows.
-type Result struct {
-	Columns []string
-	Rows    [][]string
-}
+type Result = exec.Result
 
-// Query parses and executes a SELECT statement.
+// Query parses, plans and executes a SELECT statement.
 func (e *Engine) Query(src string) (*Result, error) {
+	e.last = nil // a failed query, at any stage, leaves no report
 	q, err := Parse(src)
 	if err != nil {
 		return nil, err
 	}
-	res, _, err := e.run(q)
-	return res, err
+	plan, err := e.plan(q)
+	if err != nil {
+		return nil, err
+	}
+	pipeline, err := lower(plan)
+	if err != nil {
+		return nil, err
+	}
+	return e.execute(pipeline)
 }
 
-// Explain parses the statement and returns the oblivious plan that
-// Query would execute, without executing it on the data (the plan
-// depends only on the query shape, never on table contents).
+// Explain parses and plans the statement and renders the oblivious
+// plan Query would execute, without executing anything on the data:
+// the plan depends only on the query shape and the catalog, never on
+// table contents.
 func (e *Engine) Explain(src string) (string, error) {
 	q, err := Parse(src)
 	if err != nil {
 		return "", err
 	}
-	_, plan, err := e.run(q)
-	return plan, err
+	plan, err := e.plan(q)
+	if err != nil {
+		return "", err
+	}
+	return RenderPlan(plan), nil
 }
 
-// run executes the query and reports the plan actually taken.
-func (e *Engine) run(q *Query) (*Result, string, error) {
-	rows, ok := e.tables[q.From]
-	if !ok {
-		return nil, "", fmt.Errorf("query: unknown table %q", q.From)
-	}
-	plan := []string{fmt.Sprintf("scan(%s)", q.From)}
-	sp := memory.NewSpace(nil, nil)
+// LastStats returns the PlanStats of the most recent successful Query,
+// or nil when stats collection is off (or no query ran yet).
+func (e *Engine) LastStats() *PlanStats { return e.last }
 
-	// Split WHERE into top-level conjuncts; IN-subqueries become
-	// semijoins, the rest compiles to one branch-free predicate.
-	var semis []string
-	var predConjuncts []Expr
-	for _, c := range conjuncts(q.Where) {
-		if in, ok := c.(In); ok {
-			semis = append(semis, in.Table)
-			continue
-		}
-		if containsIn(c) {
-			return nil, "", fmt.Errorf("query: IN (SELECT …) must be a top-level AND conjunct")
-		}
-		predConjuncts = append(predConjuncts, c)
+// execContext assembles the per-query execution context: one shared
+// core.Config carrying the store allocator (plain or sealed), the
+// worker count, network selection and instrumentation, plus the trace
+// sink the stats report reads back.
+func (e *Engine) execContext() (*exec.Context, *core.Stats, *trace.Hasher, *trace.Counter, error) {
+	var (
+		rec     trace.Recorder
+		hasher  *trace.Hasher
+		counter *trace.Counter
+	)
+	if e.opts.TraceHash {
+		hasher = trace.NewHasher()
+		rec = hasher
+	} else if e.opts.CollectStats {
+		counter = &trace.Counter{}
+		rec = counter
 	}
-	for _, t := range semis {
-		sub, ok := e.tables[t]
-		if !ok {
-			return nil, "", fmt.Errorf("query: unknown table %q in IN subquery", t)
-		}
-		rows = ops.Semijoin(sp, rows, sub)
-		plan = append(plan, fmt.Sprintf("semijoin(%s)", t))
-	}
-	if len(predConjuncts) > 0 {
-		pred := compile(andAll(predConjuncts))
-		rows = ops.Filter(sp, rows, pred)
-		plan = append(plan, "filter[branch-free]")
-	}
+	sp := memory.NewSpace(rec, nil)
 
-	// Joined queries.
-	if q.Join != "" {
-		right, ok := e.tables[q.Join]
-		if !ok {
-			return nil, "", fmt.Errorf("query: unknown table %q", q.Join)
-		}
-		cfg := &core.Config{Alloc: table.PlainAlloc(sp)}
-		if q.GroupBy {
-			// §7 fast path: COUNT and SUM over the join need only the
-			// group dimensions and per-side sums — never materialize
-			// the m-row join.
-			needSum := false
-			for _, it := range q.Select {
-				if it.Agg == AggSum {
-					needSum = true
-				}
+	var alloc table.Alloc
+	if e.opts.Encrypted {
+		if e.cipher == nil {
+			c, _, err := crypto.NewRandom()
+			if err != nil {
+				return nil, nil, nil, nil, fmt.Errorf("query: encrypted store: %w", err)
 			}
-			if needSum {
-				var badRow string
-				value := func(r table.Row) uint64 {
-					v, err := strconv.ParseUint(table.DataString(r.D), 10, 64)
-					if err != nil && badRow == "" {
-						badRow = table.DataString(r.D)
-					}
-					return v
-				}
-				sums := aggregate.JoinGroupSums(cfg, rows, right, value)
-				if badRow != "" {
-					return nil, "", fmt.Errorf("query: SUM over a JOIN needs numeric data payloads; found %q", badRow)
-				}
-				plan = append(plan, fmt.Sprintf("join-group-sums(%s) [§7 fast path]", q.Join))
-				res, err := projectJoinSums(q, sums)
-				return res, strings.Join(append(plan, "project"), " → "), err
-			}
-			stats := aggregate.JoinGroupStats(cfg, rows, right)
-			plan = append(plan, fmt.Sprintf("join-group-stats(%s) [§7 fast path]", q.Join))
-			res, err := projectJoinStats(q, stats)
-			return res, strings.Join(append(plan, "project"), " → "), err
+			e.cipher = c
 		}
-		pairs := core.JoinKeyed(cfg, rows, right)
-		plan = append(plan, fmt.Sprintf("oblivious-join(%s)", q.Join))
-		pairs, plan = finishJoined(q, pairs, plan)
-		res, err := projectJoined(q, pairs)
-		return res, strings.Join(append(plan, "project"), " → "), err
+		alloc = table.EncryptedAlloc(sp, e.cipher)
+	} else {
+		alloc = table.PlainAlloc(sp)
 	}
 
-	// Single-table queries.
-	if q.GroupBy {
-		items, err := toItems(q, rows)
+	var coreStats *core.Stats
+	if e.opts.CollectStats || e.opts.TraceHash {
+		coreStats = &core.Stats{}
+	}
+	cfg := &core.Config{
+		Alloc:         alloc,
+		Workers:       e.opts.Workers,
+		Probabilistic: e.opts.Probabilistic,
+		Seed:          e.opts.Seed,
+		Stats:         coreStats,
+	}
+	if e.opts.MergeExchange {
+		cfg.Net = core.MergeExchange
+	}
+	return &exec.Context{Cfg: cfg, Tables: e.tables}, coreStats, hasher, counter, nil
+}
+
+// execute runs the physical pipeline and reports the projected result.
+func (e *Engine) execute(pipeline []exec.Operator) (*Result, error) {
+	ctx, coreStats, hasher, counter, err := e.execContext()
+	if err != nil {
+		return nil, err
+	}
+	collect := e.opts.CollectStats || e.opts.TraceHash
+	var ps *PlanStats
+	if collect {
+		ps = &PlanStats{}
+	}
+
+	var rel exec.Relation
+	for _, op := range pipeline {
+		start := time.Now()
+		rel, err = op.Run(ctx, rel)
 		if err != nil {
-			return nil, "", err
+			return nil, err
 		}
-		groups := aggregate.GroupBy(sp, items)
-		plan = append(plan, "group-by[oblivious]")
-		if q.Limit >= 0 {
-			if q.Limit < len(groups) {
-				groups = groups[:q.Limit]
-			}
-			plan = append(plan, fmt.Sprintf("limit(%d)", q.Limit))
+		if ps != nil {
+			wall := time.Since(start)
+			ps.Operators = append(ps.Operators, OperatorStat{Op: op.Name(), Wall: wall, Rows: rel.Size()})
+			ps.Total += wall
 		}
-		res, err := projectGroups(q, groups)
-		return res, strings.Join(append(plan, "project"), " → "), err
 	}
-	if q.Distinct {
-		rows = ops.Distinct(sp, rows)
-		plan = append(plan, "distinct[oblivious]")
-	} else if q.OrderBy {
-		rows = ops.SortByKey(sp, rows)
-		plan = append(plan, "sort(key)")
+	if rel.Kind != exec.KindResult {
+		return nil, fmt.Errorf("query: internal error: pipeline ended in relation kind %d", rel.Kind)
 	}
-	if q.Limit >= 0 {
-		if q.Limit < len(rows) {
-			rows = rows[:q.Limit]
+	if ps != nil {
+		ps.Comparators = coreStats.Comparators()
+		ps.RouteOps = coreStats.RouteOps
+		if hasher != nil {
+			ps.TraceEvents = hasher.Count()
+			ps.TraceHash = hasher.Hex()
+		} else if counter != nil {
+			ps.TraceEvents = counter.Total()
 		}
-		plan = append(plan, fmt.Sprintf("limit(%d)", q.Limit))
+		e.last = ps
 	}
-	res, err := projectRows(q, rows)
-	return res, strings.Join(append(plan, "project"), " → "), err
+	return rel.Result, nil
 }
 
 // conjuncts flattens the AND-tree of a predicate; nil yields none.
@@ -263,221 +332,4 @@ func compileExpr(e Expr) func(uint64) uint64 {
 	default:
 		panic(fmt.Sprintf("query: cannot compile %T", e))
 	}
-}
-
-// toItems converts rows to aggregation items, parsing payloads as
-// numbers when a value-consuming aggregate is present.
-func toItems(q *Query, rows []table.Row) ([]aggregate.Item, error) {
-	needValue := false
-	for _, it := range q.Select {
-		if it.Agg == AggSum || it.Agg == AggMin || it.Agg == AggMax {
-			needValue = true
-		}
-	}
-	items := make([]aggregate.Item, len(rows))
-	for i, r := range rows {
-		items[i] = aggregate.Item{K: r.J}
-		if needValue {
-			v, err := strconv.ParseUint(table.DataString(r.D), 10, 64)
-			if err != nil {
-				return nil, fmt.Errorf("query: SUM/MIN/MAX need numeric data payloads: row %d holds %q",
-					i, table.DataString(r.D))
-			}
-			items[i].V = v
-		}
-	}
-	return items, nil
-}
-
-func finishJoined(q *Query, pairs []table.KeyedPair, plan []string) ([]table.KeyedPair, []string) {
-	// Join output is already key-ordered (S1 is sorted by (j, d)), so
-	// ORDER BY key is free; note it in the plan for transparency.
-	if q.OrderBy {
-		plan = append(plan, "sort(key) [already ordered]")
-	}
-	if q.Limit >= 0 {
-		if q.Limit < len(pairs) {
-			pairs = pairs[:q.Limit]
-		}
-		plan = append(plan, fmt.Sprintf("limit(%d)", q.Limit))
-	}
-	return pairs, plan
-}
-
-// ── projections ───────────────────────────────────────────────────────
-
-func expandStar(q *Query) []SelectItem {
-	var out []SelectItem
-	for _, it := range q.Select {
-		if it.Col != ColStar {
-			out = append(out, it)
-			continue
-		}
-		if q.Join != "" {
-			out = append(out,
-				SelectItem{Col: ColKey},
-				SelectItem{Col: ColLeftData},
-				SelectItem{Col: ColRightData})
-		} else {
-			out = append(out, SelectItem{Col: ColKey}, SelectItem{Col: ColData})
-		}
-	}
-	return out
-}
-
-func colName(it SelectItem) string {
-	switch it.Agg {
-	case AggCount:
-		return "count"
-	case AggSum:
-		return "sum"
-	case AggMin:
-		return "min"
-	case AggMax:
-		return "max"
-	}
-	switch it.Col {
-	case ColKey:
-		return "key"
-	case ColLeftData:
-		return "left.data"
-	case ColRightData:
-		return "right.data"
-	default:
-		return "data"
-	}
-}
-
-func projectRows(q *Query, rows []table.Row) (*Result, error) {
-	items := expandStar(q)
-	res := &Result{}
-	for _, it := range items {
-		res.Columns = append(res.Columns, colName(it))
-	}
-	for _, r := range rows {
-		var out []string
-		for _, it := range items {
-			switch it.Col {
-			case ColKey:
-				out = append(out, strconv.FormatUint(r.J, 10))
-			case ColData:
-				out = append(out, table.DataString(r.D))
-			default:
-				return nil, fmt.Errorf("query: column %s not available without JOIN", colName(it))
-			}
-		}
-		res.Rows = append(res.Rows, out)
-	}
-	return res, nil
-}
-
-func projectJoined(q *Query, pairs []table.KeyedPair) (*Result, error) {
-	items := expandStar(q)
-	res := &Result{}
-	for _, it := range items {
-		res.Columns = append(res.Columns, colName(it))
-	}
-	for _, p := range pairs {
-		var out []string
-		for _, it := range items {
-			switch it.Col {
-			case ColKey:
-				out = append(out, strconv.FormatUint(p.J, 10))
-			case ColLeftData:
-				out = append(out, table.DataString(p.D1))
-			case ColRightData:
-				out = append(out, table.DataString(p.D2))
-			case ColData:
-				return nil, fmt.Errorf("query: ambiguous column data over a JOIN; use left.data or right.data")
-			}
-		}
-		res.Rows = append(res.Rows, out)
-	}
-	return res, nil
-}
-
-func projectGroups(q *Query, groups []aggregate.Group) (*Result, error) {
-	items := expandStar(q)
-	res := &Result{}
-	for _, it := range items {
-		res.Columns = append(res.Columns, colName(it))
-	}
-	for _, g := range groups {
-		var out []string
-		for _, it := range items {
-			switch {
-			case it.Agg == AggCount:
-				out = append(out, strconv.FormatUint(g.Count, 10))
-			case it.Agg == AggSum:
-				out = append(out, strconv.FormatUint(g.Sum, 10))
-			case it.Agg == AggMin:
-				out = append(out, strconv.FormatUint(g.Min, 10))
-			case it.Agg == AggMax:
-				out = append(out, strconv.FormatUint(g.Max, 10))
-			case it.Col == ColKey:
-				out = append(out, strconv.FormatUint(g.K, 10))
-			default:
-				return nil, fmt.Errorf("query: column %s not available under GROUP BY", colName(it))
-			}
-		}
-		res.Rows = append(res.Rows, out)
-	}
-	return res, nil
-}
-
-func projectJoinSums(q *Query, sums []aggregate.JoinSum) (*Result, error) {
-	items := expandStar(q)
-	res := &Result{}
-	for _, it := range items {
-		switch {
-		case it.Agg == AggSum && it.Col == ColLeftData:
-			res.Columns = append(res.Columns, "sum(left.data)")
-		case it.Agg == AggSum && it.Col == ColRightData:
-			res.Columns = append(res.Columns, "sum(right.data)")
-		default:
-			res.Columns = append(res.Columns, colName(it))
-		}
-	}
-	for _, s := range sums {
-		var out []string
-		for _, it := range items {
-			switch {
-			case it.Agg == AggCount:
-				out = append(out, strconv.FormatUint(s.Pairs, 10))
-			case it.Agg == AggSum && it.Col == ColLeftData:
-				out = append(out, strconv.FormatUint(s.LeftTotal(), 10))
-			case it.Agg == AggSum && it.Col == ColRightData:
-				out = append(out, strconv.FormatUint(s.RightTotal(), 10))
-			case it.Col == ColKey:
-				out = append(out, strconv.FormatUint(s.J, 10))
-			default:
-				return nil, fmt.Errorf("query: column %s not available for GROUP BY over a JOIN", colName(it))
-			}
-		}
-		res.Rows = append(res.Rows, out)
-	}
-	return res, nil
-}
-
-func projectJoinStats(q *Query, stats []aggregate.JoinStat) (*Result, error) {
-	items := expandStar(q)
-	res := &Result{}
-	for _, it := range items {
-		res.Columns = append(res.Columns, colName(it))
-	}
-	for _, s := range stats {
-		var out []string
-		for _, it := range items {
-			switch {
-			case it.Agg == AggCount:
-				out = append(out, strconv.FormatUint(s.Pairs, 10))
-			case it.Col == ColKey:
-				out = append(out, strconv.FormatUint(s.J, 10))
-			default:
-				return nil, fmt.Errorf("query: only key and COUNT(*) are available for GROUP BY over a JOIN")
-			}
-		}
-		res.Rows = append(res.Rows, out)
-	}
-	return res, nil
 }

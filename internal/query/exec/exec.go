@@ -1,0 +1,360 @@
+// Package exec is the physical operator layer of the oblivious SQL
+// engine: each operator wraps one of the repository's oblivious
+// primitives (internal/core, internal/ops, internal/aggregate) behind a
+// uniform Run interface, and a query executes as a straight-line
+// pipeline of operators threading one shared execution context.
+//
+// The context carries a single *core.Config — store allocator (plain or
+// sealed), worker count, sorting network, instrumentation — so every
+// stage of a SQL query runs with the same parallelism, storage backend
+// and trace sink as a bare core.Join would. Obliviousness composes
+// stage-wise: each operator's access pattern depends only on its input
+// and output sizes, all of which are public.
+package exec
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"oblivjoin/internal/aggregate"
+	"oblivjoin/internal/core"
+	"oblivjoin/internal/ops"
+	"oblivjoin/internal/table"
+)
+
+// Context threads the shared execution state through every operator of
+// one query run.
+type Context struct {
+	// Cfg is the one shared configuration: allocator, workers, network,
+	// probabilistic distribute, stats. Every operator allocates and
+	// sorts through it.
+	Cfg *core.Config
+	// Tables resolves table names for Scan/Semijoin/Join operators.
+	Tables map[string][]table.Row
+}
+
+// Kind discriminates the shape a Relation currently has as it flows
+// down the pipeline.
+type Kind int
+
+const (
+	// KindNone is the empty pipeline source (input of Scan).
+	KindNone Kind = iota
+	// KindRows is a single-payload relation ([]table.Row).
+	KindRows
+	// KindPairs is keyed join output ([]table.KeyedPair).
+	KindPairs
+	// KindGroups is GROUP BY output.
+	KindGroups
+	// KindJoinStats is the §7 COUNT-over-join fast-path output.
+	KindJoinStats
+	// KindJoinSums is the §7 SUM-over-join fast-path output.
+	KindJoinSums
+	// KindResult is the projected, stringified final result.
+	KindResult
+)
+
+// Relation is the value flowing between operators: exactly one of the
+// slices (or Result) is meaningful, selected by Kind.
+type Relation struct {
+	Kind      Kind
+	Rows      []table.Row
+	Pairs     []table.KeyedPair
+	Groups    []aggregate.Group
+	JoinStats []aggregate.JoinStat
+	JoinSums  []aggregate.JoinSum
+	Result    *Result
+}
+
+// Size returns the (public) cardinality of the relation.
+func (r Relation) Size() int {
+	switch r.Kind {
+	case KindRows:
+		return len(r.Rows)
+	case KindPairs:
+		return len(r.Pairs)
+	case KindGroups:
+		return len(r.Groups)
+	case KindJoinStats:
+		return len(r.JoinStats)
+	case KindJoinSums:
+		return len(r.JoinSums)
+	case KindResult:
+		return len(r.Result.Rows)
+	}
+	return 0
+}
+
+// Result is a finished query result: column names and stringified rows.
+type Result struct {
+	Columns []string
+	Rows    [][]string
+}
+
+// Operator is one physical plan stage. Run consumes the upstream
+// relation and produces the downstream one; Name is the stage's label
+// in EXPLAIN output and PlanStats reports.
+type Operator interface {
+	Name() string
+	Run(ctx *Context, in Relation) (Relation, error)
+}
+
+func lookup(ctx *Context, name, role string) ([]table.Row, error) {
+	rows, ok := ctx.Tables[name]
+	if !ok {
+		return nil, fmt.Errorf("query: unknown table %q%s", name, role)
+	}
+	return rows, nil
+}
+
+// ── source and row-level operators ───────────────────────────────────
+
+// Scan reads a registered table into the pipeline.
+type Scan struct{ Table string }
+
+// Name implements Operator.
+func (s Scan) Name() string { return fmt.Sprintf("scan(%s)", s.Table) }
+
+// Run implements Operator.
+func (s Scan) Run(ctx *Context, _ Relation) (Relation, error) {
+	rows, err := lookup(ctx, s.Table, "")
+	if err != nil {
+		return Relation{}, err
+	}
+	return Relation{Kind: KindRows, Rows: rows}, nil
+}
+
+// Semijoin keeps the rows whose key appears in Table (an IN-subquery).
+type Semijoin struct{ Table string }
+
+// Name implements Operator.
+func (s Semijoin) Name() string { return fmt.Sprintf("semijoin(%s)", s.Table) }
+
+// Run implements Operator.
+func (s Semijoin) Run(ctx *Context, in Relation) (Relation, error) {
+	sub, err := lookup(ctx, s.Table, " in IN subquery")
+	if err != nil {
+		return Relation{}, err
+	}
+	return Relation{Kind: KindRows, Rows: ops.Semijoin(ctx.Cfg, in.Rows, sub)}, nil
+}
+
+// Filter keeps the rows satisfying the branch-free predicate.
+type Filter struct{ Pred ops.Predicate }
+
+// Name implements Operator.
+func (Filter) Name() string { return "filter[branch-free]" }
+
+// Run implements Operator.
+func (f Filter) Run(ctx *Context, in Relation) (Relation, error) {
+	return Relation{Kind: KindRows, Rows: ops.Filter(ctx.Cfg, in.Rows, f.Pred)}, nil
+}
+
+// Distinct removes duplicate rows, sorting by (key, data).
+type Distinct struct{}
+
+// Name implements Operator.
+func (Distinct) Name() string { return "distinct[oblivious]" }
+
+// Run implements Operator.
+func (Distinct) Run(ctx *Context, in Relation) (Relation, error) {
+	return Relation{Kind: KindRows, Rows: ops.Distinct(ctx.Cfg, in.Rows)}, nil
+}
+
+// Sort orders rows by (key, data). Free marks inputs that are already
+// key-ordered (join output), where the sort costs nothing.
+type Sort struct{ Free bool }
+
+// Name implements Operator.
+func (s Sort) Name() string {
+	if s.Free {
+		return "sort(key) [already ordered]"
+	}
+	return "sort(key)"
+}
+
+// Run implements Operator.
+func (s Sort) Run(ctx *Context, in Relation) (Relation, error) {
+	if s.Free {
+		return in, nil
+	}
+	return Relation{Kind: KindRows, Rows: ops.SortByKey(ctx.Cfg, in.Rows)}, nil
+}
+
+// Limit truncates the relation to its first N records. Truncation of an
+// already-public-size output reveals nothing new.
+type Limit struct{ N int }
+
+// Name implements Operator.
+func (l Limit) Name() string { return fmt.Sprintf("limit(%d)", l.N) }
+
+// Run implements Operator.
+func (l Limit) Run(_ *Context, in Relation) (Relation, error) {
+	if l.N >= in.Size() {
+		return in, nil
+	}
+	out := in
+	switch in.Kind {
+	case KindRows:
+		out.Rows = in.Rows[:l.N]
+	case KindPairs:
+		out.Pairs = in.Pairs[:l.N]
+	case KindGroups:
+		out.Groups = in.Groups[:l.N]
+	case KindJoinStats:
+		out.JoinStats = in.JoinStats[:l.N]
+	case KindJoinSums:
+		out.JoinSums = in.JoinSums[:l.N]
+	}
+	return out, nil
+}
+
+// ── joins ────────────────────────────────────────────────────────────
+
+// RekeySep separates the two payloads when a keyed join result is
+// re-packaged as a plain relation for the next join of a chain.
+const RekeySep = "+"
+
+// Rekey converts keyed join output back into a row relation whose
+// payload is the concatenation of both sides — the ToTable composition
+// of §7 that makes oblivious joins chainable. A combined payload
+// exceeding the fixed public width is an error (widths are public
+// constants; growing them is a schema decision, not a runtime one).
+type Rekey struct{}
+
+// Name implements Operator.
+func (Rekey) Name() string { return "rekey" }
+
+// Run implements Operator.
+func (Rekey) Run(_ *Context, in Relation) (Relation, error) {
+	rows := make([]table.Row, len(in.Pairs))
+	for i, p := range in.Pairs {
+		joined := table.DataString(p.D1) + RekeySep + table.DataString(p.D2)
+		d, err := table.MakeData(joined)
+		if err != nil {
+			return Relation{}, fmt.Errorf(
+				"query: intermediate join payload %q exceeds %d bytes; project fewer columns or shorten payloads",
+				joined, table.DataLen)
+		}
+		rows[i] = table.Row{J: p.J, D: d}
+	}
+	return Relation{Kind: KindRows, Rows: rows}, nil
+}
+
+// Join computes the oblivious equi-join of the incoming rows with a
+// registered table, keeping the join key in the output so the result
+// stays composable (core.JoinKeyed).
+type Join struct{ Table string }
+
+// Name implements Operator.
+func (j Join) Name() string { return fmt.Sprintf("oblivious-join(%s)", j.Table) }
+
+// Run implements Operator.
+func (j Join) Run(ctx *Context, in Relation) (Relation, error) {
+	right, err := lookup(ctx, j.Table, "")
+	if err != nil {
+		return Relation{}, err
+	}
+	pairs := core.JoinKeyed(ctx.Cfg, in.Rows, right)
+	return Relation{Kind: KindPairs, Pairs: pairs}, nil
+}
+
+// JoinAggregate is the §7 fast path: COUNT and SUM aggregates over a
+// join computed from group dimensions alone, never materializing the
+// m-row join output.
+type JoinAggregate struct {
+	Table string
+	Sum   bool // also compute per-side value sums
+}
+
+// Name implements Operator.
+func (j JoinAggregate) Name() string {
+	if j.Sum {
+		return fmt.Sprintf("join-group-sums(%s) [§7 fast path]", j.Table)
+	}
+	return fmt.Sprintf("join-group-stats(%s) [§7 fast path]", j.Table)
+}
+
+// Run implements Operator.
+func (j JoinAggregate) Run(ctx *Context, in Relation) (Relation, error) {
+	right, err := lookup(ctx, j.Table, "")
+	if err != nil {
+		return Relation{}, err
+	}
+	if !j.Sum {
+		stats := aggregate.JoinGroupStats(ctx.Cfg, in.Rows, right)
+		return Relation{Kind: KindJoinStats, JoinStats: stats}, nil
+	}
+	// Validate payloads up front — BEFORE the oblivious pass runs — and
+	// report every offending value, not just the first one a side
+	// channel happened to catch.
+	if err := checkNumericPayloads(in.Rows, right); err != nil {
+		return Relation{}, err
+	}
+	value := func(r table.Row) uint64 {
+		v, _ := strconv.ParseUint(table.DataString(r.D), 10, 64)
+		return v
+	}
+	sums := aggregate.JoinGroupSums(ctx.Cfg, in.Rows, right, value)
+	return Relation{Kind: KindJoinSums, JoinSums: sums}, nil
+}
+
+// checkNumericPayloads rejects SUM-over-JOIN inputs whose payloads do
+// not parse as unsigned integers, listing the distinct offending
+// values (capped for readability).
+func checkNumericPayloads(sides ...[]table.Row) error {
+	const maxListed = 5
+	seen := map[string]bool{}
+	var bad []string
+	truncated := false
+	for _, rows := range sides {
+		for _, r := range rows {
+			s := table.DataString(r.D)
+			if _, err := strconv.ParseUint(s, 10, 64); err == nil || seen[s] {
+				continue
+			}
+			seen[s] = true
+			if len(bad) == maxListed {
+				truncated = true
+				continue
+			}
+			bad = append(bad, strconv.Quote(s))
+		}
+	}
+	if len(bad) == 0 {
+		return nil
+	}
+	list := strings.Join(bad, ", ")
+	if truncated {
+		list += fmt.Sprintf(", … (%d distinct values)", len(seen))
+	}
+	return fmt.Errorf("query: SUM over a JOIN needs numeric data payloads; found %s", list)
+}
+
+// ── aggregation ──────────────────────────────────────────────────────
+
+// GroupBy aggregates rows per key. NeedValue is set when the select
+// list contains a value-consuming aggregate (SUM/MIN/MAX), requiring
+// numeric payloads.
+type GroupBy struct{ NeedValue bool }
+
+// Name implements Operator.
+func (GroupBy) Name() string { return "group-by[oblivious]" }
+
+// Run implements Operator.
+func (g GroupBy) Run(ctx *Context, in Relation) (Relation, error) {
+	items := make([]aggregate.Item, len(in.Rows))
+	for i, r := range in.Rows {
+		items[i] = aggregate.Item{K: r.J}
+		if g.NeedValue {
+			v, err := strconv.ParseUint(table.DataString(r.D), 10, 64)
+			if err != nil {
+				return Relation{}, fmt.Errorf("query: SUM/MIN/MAX need numeric data payloads: row %d holds %q",
+					i, table.DataString(r.D))
+			}
+			items[i].V = v
+		}
+	}
+	return Relation{Kind: KindGroups, Groups: aggregate.GroupBy(ctx.Cfg, items)}, nil
+}

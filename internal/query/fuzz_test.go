@@ -43,9 +43,20 @@ func FuzzParse(f *testing.F) {
 			}
 			return
 		}
-		// A parsed query must execute or fail cleanly (unknown tables,
-		// non-numeric aggregation, IN placement) — never panic.
-		if _, _, err := eng.run(q); err != nil && !strings.HasPrefix(err.Error(), "query:") {
+		// A parsed query must plan and execute or fail cleanly (unknown
+		// tables, non-numeric aggregation, IN placement) — never panic.
+		plan, err := eng.plan(q)
+		if err != nil {
+			if !strings.HasPrefix(err.Error(), "query:") {
+				t.Fatalf("non-package plan error %v", err)
+			}
+			return
+		}
+		pipeline, err := lower(plan)
+		if err != nil {
+			t.Fatalf("lower: %v", err)
+		}
+		if _, err := eng.execute(pipeline); err != nil && !strings.HasPrefix(err.Error(), "query:") {
 			t.Fatalf("non-package run error %v", err)
 		}
 	})

@@ -94,12 +94,14 @@ func (p *parser) query() (*Query, error) {
 	}
 	q.From = name
 
-	if p.keyword("join") {
+	// Chained joins: JOIN t2 USING (key) JOIN t3 USING (key) … composes
+	// left-to-right (the paper's §7 multi-way joins).
+	for p.keyword("join") {
 		jt, err := p.tableName()
 		if err != nil {
 			return nil, err
 		}
-		q.Join = jt
+		q.Joins = append(q.Joins, jt)
 		if err := p.expect(tokIdent, "using", "USING"); err != nil {
 			return nil, err
 		}
@@ -372,14 +374,14 @@ func validate(q *Query) error {
 			}
 		}
 	}
-	if q.Join == "" {
+	if !q.Joined() {
 		for _, it := range q.Select {
 			if it.Col == ColLeftData || it.Col == ColRightData {
 				return fmt.Errorf("query: left.data/right.data require a JOIN")
 			}
 		}
 	}
-	if q.Join != "" && q.GroupBy {
+	if q.Joined() && q.GroupBy {
 		// Only the §7 fast paths are supported over joins: key,
 		// COUNT(*), and SUM over either side's values.
 		for _, it := range q.Select {
@@ -389,9 +391,15 @@ func validate(q *Query) error {
 			if !ok {
 				return fmt.Errorf("query: over a JOIN, GROUP BY supports only key, COUNT(*), SUM(left.data) and SUM(right.data)")
 			}
+			if it.Agg == AggSum && len(q.Joins) > 1 {
+				// Intermediate payloads of a chain are concatenations,
+				// never numeric; only the dimension-based aggregates
+				// compose across re-keying.
+				return fmt.Errorf("query: SUM over a multi-way JOIN is not supported (only key and COUNT(*) compose across chained joins)")
+			}
 		}
 	}
-	if q.Join != "" && q.Distinct {
+	if q.Joined() && q.Distinct {
 		return fmt.Errorf("query: DISTINCT over a JOIN is not supported")
 	}
 	if q.Limit == 0 && q.Limit != -1 {

@@ -47,7 +47,7 @@ func TestParseFullQuery(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if q.From != "a" || q.Join != "b" || !q.OrderBy || q.Limit != 5 {
+	if q.From != "a" || len(q.Joins) != 1 || q.Joins[0] != "b" || !q.OrderBy || q.Limit != 5 {
 		t.Fatalf("parsed %+v", q)
 	}
 	if _, ok := q.Where.(Between); !ok {

@@ -3,11 +3,13 @@
 // introduction motivates: a cloud database that answers queries over a
 // client's data without its access pattern revealing the data.
 //
+// # Grammar
+//
 // Supported grammar (keywords case-insensitive):
 //
 //	SELECT [DISTINCT] select_list
 //	FROM table
-//	[JOIN table USING (key)]
+//	{JOIN table USING (key)}
 //	[WHERE predicate]
 //	[GROUP BY key]
 //	[ORDER BY key]
@@ -16,16 +18,45 @@
 //	select_list := * | item {, item}
 //	item        := key | data | left.data | right.data
 //	             | COUNT(*) | SUM(data) | MIN(data) | MAX(data)
+//	             | SUM(left.data) | SUM(right.data)
 //	predicate   := disjunctions/conjunctions/NOT over
 //	               key <op> N | key BETWEEN N AND M
 //	             | key IN (SELECT key FROM table)
 //
+// JOIN clauses chain: `FROM a JOIN b USING (key) JOIN c USING (key)`
+// composes left-to-right as the paper's §7 multi-way join, re-keying
+// each keyed intermediate result (payloads concatenate with "+", and
+// left.data addresses the accumulated left payload). With GROUP BY,
+// the final join of a chain runs as the §7 aggregation fast path
+// (COUNT(*), and for binary joins also SUM(left.data)/SUM(right.data))
+// without ever materializing the join.
+//
+// # Architecture
+//
+// A statement passes through three layers:
+//
+//  1. Parse (token.go, parse.go, ast.go) produces the *Query AST.
+//  2. The planner (plan.go) builds a logical plan — a linear tree of
+//     typed PlanNodes — from the AST and the registered catalog.
+//     Explain renders this tree; it depends only on the query shape
+//     and table names, never on contents.
+//  3. Lowering maps each node onto a physical operator of
+//     internal/query/exec; the Engine runs the pipeline threading one
+//     exec.Context whose single core.Config carries the store
+//     allocator (plain or AES-sealed), the worker count, network
+//     selection and instrumentation through every operator.
+//
+// Engine Options select parallel execution (Workers), sealed entry
+// stores (Encrypted), the merge-exchange network, the probabilistic
+// distribute, and per-query PlanStats reports with an optional SHA-256
+// access-pattern hash (TraceHash). Results, plans and trace hashes are
+// identical at every worker count and between plain and encrypted
+// stores.
+//
 // Every operator in the executed plan is oblivious: filters compile to
 // branch-free predicates evaluated on every row, joins run the paper's
-// algorithm, IN-subqueries become oblivious semijoins, GROUP BY becomes
-// the oblivious aggregation, and `SELECT key, COUNT(*) … JOIN … GROUP BY
-// key` is planned as the §7 aggregation-over-join fast path that never
-// materializes the join.
+// algorithm, IN-subqueries become oblivious semijoins, and GROUP BY
+// becomes the oblivious aggregation.
 package query
 
 import (

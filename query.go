@@ -93,8 +93,7 @@ func GroupBy(items []GroupItem) []GroupResult {
 	for i, it := range items {
 		in[i] = aggregate.Item{K: it.Key, V: it.Value}
 	}
-	sp := memory.NewSpace(nil, nil)
-	gs := aggregate.GroupBy(sp, in)
+	gs := aggregate.GroupBy(plainCfg(), in)
 	out := make([]GroupResult, len(gs))
 	for i, g := range gs {
 		out[i] = GroupResult{Key: g.K, Count: g.Count, Sum: g.Sum, Min: g.Min, Max: g.Max}
@@ -157,28 +156,31 @@ func CTBetween(x, lo, hi uint64) uint64 {
 // order. The server observes only the input size and the number of rows
 // kept.
 func Filter(t *Table, pred Predicate) *Table {
-	sp := memory.NewSpace(nil, nil)
-	kept := ops.Filter(sp, t.rows, func(r table.Row) uint64 { return pred(r.J, r.D) })
+	kept := ops.Filter(plainCfg(), t.rows, func(r table.Row) uint64 { return pred(r.J, r.D) })
 	return &Table{rows: kept}
+}
+
+// plainCfg builds the default throwaway configuration the stand-alone
+// relational helpers run under: plain untraced storage, sequential
+// execution. The SQL engine threads a real shared Config instead.
+func plainCfg() *core.Config {
+	return &core.Config{Alloc: table.PlainAlloc(memory.NewSpace(nil, nil))}
 }
 
 // Distinct returns the unique rows of t, sorted by (key, data).
 func Distinct(t *Table) *Table {
-	sp := memory.NewSpace(nil, nil)
-	return &Table{rows: ops.Distinct(sp, t.rows)}
+	return &Table{rows: ops.Distinct(plainCfg(), t.rows)}
 }
 
 // Union returns the set union of two tables.
 func Union(a, b *Table) *Table {
-	sp := memory.NewSpace(nil, nil)
-	return &Table{rows: ops.Union(sp, a.rows, b.rows)}
+	return &Table{rows: ops.Union(plainCfg(), a.rows, b.rows)}
 }
 
 // Semijoin returns the rows of left whose key appears in right, without
 // expanding matches (left ⋉ right).
 func Semijoin(left, right *Table) *Table {
-	sp := memory.NewSpace(nil, nil)
-	return &Table{rows: ops.Semijoin(sp, left.rows, right.rows)}
+	return &Table{rows: ops.Semijoin(plainCfg(), left.rows, right.rows)}
 }
 
 // Pairs lists a table's rows as (key, data) for inspection.
