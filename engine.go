@@ -1,7 +1,12 @@
 package oblivjoin
 
 import (
+	"net/http"
+	"sync"
+
+	"oblivjoin/internal/catalog"
 	"oblivjoin/internal/query"
+	"oblivjoin/internal/service"
 )
 
 // Engine is an oblivious SQL engine over registered tables: a small
@@ -15,24 +20,32 @@ import (
 //	res, err := eng.Query(
 //	    "SELECT key, left.data, right.data FROM users JOIN orders USING (key)")
 //
+// An Engine is a thin veneer over the concurrent query service
+// (internal/service): it holds a shared catalog and a bounded LRU
+// cache of prepared plans, and it is safe for concurrent use — any
+// number of goroutines may Register, Prepare and Query at once.
+// Statements prepared once execute many times concurrently with
+// results and trace hashes identical to sequential execution.
+//
 // Queries execute as a plan of physical operators threading one shared
 // oblivious configuration, so the engine options below apply to every
 // stage uniformly: results, plans and trace hashes are identical at
 // every worker count and between plain and encrypted stores.
-//
-// An Engine is not safe for concurrent use.
 type Engine struct {
-	inner *query.Engine
+	svc *service.Service
+
+	mu   sync.Mutex
+	last *PlanStats
 }
 
 // EngineOption configures a new Engine.
-type EngineOption func(*query.Options)
+type EngineOption func(*service.Config)
 
 // WithWorkers runs every oblivious operator of every query at the
 // given parallelism (> 1 lanes, 1 or 0 sequential, < 0 GOMAXPROCS).
 // Results and recorded traces are identical at every degree.
 func WithWorkers(n int) EngineOption {
-	return func(o *query.Options) { o.Workers = n }
+	return func(c *service.Config) { c.Defaults.Workers = n }
 }
 
 // WithEncryptedStore keeps every intermediate table entry AES-sealed in
@@ -40,13 +53,20 @@ func WithWorkers(n int) EngineOption {
 // deployment of the paper, where the server stores only ciphertexts and
 // observes only the (oblivious) access sequence.
 func WithEncryptedStore() EngineOption {
-	return func(o *query.Options) { o.Encrypted = true }
+	return func(c *service.Config) { c.Defaults.Encrypted = true }
+}
+
+// WithSealedCatalog additionally stores registered tables AES-sealed at
+// rest, under the same per-engine key: snapshots taken for query
+// execution authenticate and decrypt a fresh copy.
+func WithSealedCatalog() EngineOption {
+	return func(c *service.Config) { c.SealedCatalog = true }
 }
 
 // WithStats records a PlanStats report for every query, retrievable
 // via LastStats.
 func WithStats() EngineOption {
-	return func(o *query.Options) { o.CollectStats = true }
+	return func(c *service.Config) { c.Defaults.CollectStats = true }
 }
 
 // WithTraceHash chains every public-memory access of a query into a
@@ -54,36 +74,68 @@ func WithStats() EngineOption {
 // PlanStats.TraceHash — the same verification handle Join offers.
 // Implies WithStats.
 func WithTraceHash() EngineOption {
-	return func(o *query.Options) { o.TraceHash = true; o.CollectStats = true }
+	return func(c *service.Config) { c.Defaults.TraceHash = true; c.Defaults.CollectStats = true }
 }
 
 // WithMergeExchange selects Batcher's odd-even merge-exchange sorting
 // network instead of the bitonic default.
 func WithMergeExchange() EngineOption {
-	return func(o *query.Options) { o.MergeExchange = true }
+	return func(c *service.Config) { c.Defaults.MergeExchange = true }
 }
 
 // WithProbabilistic switches Oblivious-Distribute to the PRP-based
 // variant of §5.2, seeded with seed.
 func WithProbabilistic(seed int64) EngineOption {
-	return func(o *query.Options) { o.Probabilistic = true; o.Seed = seed }
+	return func(c *service.Config) { c.Defaults.Probabilistic = true; c.Defaults.Seed = seed }
+}
+
+// WithPlanCache bounds the engine's prepared-plan LRU cache to n
+// entries (default service.DefaultPlanCache).
+func WithPlanCache(n int) EngineOption {
+	return func(c *service.Config) { c.PlanCache = n }
 }
 
 // NewEngine returns an empty engine configured by opts (sequential,
-// plaintext and uninstrumented by default).
+// plaintext and uninstrumented by default). It panics only when the
+// platform entropy source fails to key the engine's cipher.
 func NewEngine(opts ...EngineOption) *Engine {
-	var o query.Options
+	var cfg service.Config
 	for _, opt := range opts {
-		opt(&o)
+		opt(&cfg)
 	}
-	return &Engine{inner: query.NewEngineWith(o)}
+	svc, err := service.New(cfg)
+	if err != nil {
+		panic("oblivjoin: " + err.Error())
+	}
+	return &Engine{svc: svc}
 }
 
 // Register makes a table queryable under name (folded to lower case;
-// letters, digits and underscores only).
+// letters, digits and underscores only). Registering a name twice
+// returns a *TableExistsError — overwriting is the explicit Replace
+// operation, never an accident. A nil table is an ErrNilTable.
 func (e *Engine) Register(name string, t *Table) error {
-	return e.inner.Register(name, t.rows)
+	if t == nil {
+		return ErrNilTable
+	}
+	return e.svc.Register(name, t.rows)
 }
+
+// Replace makes a table queryable under name, overwriting any table
+// previously registered under it.
+func (e *Engine) Replace(name string, t *Table) error {
+	if t == nil {
+		return ErrNilTable
+	}
+	return e.svc.Replace(name, t.rows)
+}
+
+// Drop removes the named table; it returns an *UnknownTableError when
+// no such table is registered.
+func (e *Engine) Drop(name string) error { return e.svc.Drop(name) }
+
+// Tables lists the registered tables' schemas, sorted by name.
+func (e *Engine) Tables() []TableInfo { return e.svc.Tables() }
 
 // QueryResult is a query result: column names and stringified rows.
 type QueryResult struct {
@@ -91,9 +143,13 @@ type QueryResult struct {
 	Rows    [][]string
 }
 
-// Query parses, plans and executes a SELECT statement obliviously.
+// Query parses, plans and executes a SELECT statement obliviously,
+// reusing a cached plan when one exists for this SQL under the
+// engine's configuration. Querying before any table is registered
+// returns ErrNoTables.
 func (e *Engine) Query(sql string) (*QueryResult, error) {
-	res, err := e.inner.Query(sql)
+	res, ps, err := e.svc.Query(sql)
+	e.setLast(ps, err)
 	if err != nil {
 		return nil, err
 	}
@@ -106,15 +162,62 @@ func (e *Engine) Query(sql string) (*QueryResult, error) {
 // plan depends only on the query shape and the registered catalog,
 // never on table contents.
 func (e *Engine) Explain(sql string) (string, error) {
-	return e.inner.Explain(sql)
+	return e.svc.Explain(sql)
+}
+
+// Stmt is a prepared statement: parsed, planned and lowered once, then
+// executable any number of times — including concurrently from many
+// goroutines, each execution with its own isolated context. Results
+// and canonical trace hashes are identical to sequential execution.
+type Stmt struct {
+	eng   *Engine
+	inner *service.Stmt
+}
+
+// Prepare parses and plans sql once against the current catalog,
+// consulting the engine's plan cache. The returned statement is safe
+// for concurrent Exec.
+func (e *Engine) Prepare(sql string) (*Stmt, error) {
+	st, err := e.svc.Prepare(sql)
+	if err != nil {
+		return nil, err
+	}
+	return &Stmt{eng: e, inner: st}, nil
+}
+
+// SQL returns the statement's source text.
+func (s *Stmt) SQL() string { return s.inner.SQL() }
+
+// Explain renders the statement's oblivious plan.
+func (s *Stmt) Explain() string { return s.inner.Explain() }
+
+// Exec runs the prepared statement against the current catalog. When
+// the engine collects stats, the run's report becomes LastStats.
+func (s *Stmt) Exec() (*QueryResult, error) {
+	res, _, err := s.ExecStats()
+	return res, err
+}
+
+// ExecStats is Exec returning the run's PlanStats report alongside the
+// result (nil when the engine does not collect stats). Concurrent
+// executions each receive their own report; LastStats only keeps the
+// latest to finish.
+func (s *Stmt) ExecStats() (*QueryResult, *PlanStats, error) {
+	res, ps, err := s.inner.Exec()
+	s.eng.setLast(ps, err)
+	if err != nil {
+		return nil, nil, err
+	}
+	return &QueryResult{Columns: res.Columns, Rows: res.Rows}, ps, nil
 }
 
 // PlanStats is the per-query execution report: one entry per plan
 // operator (label, wall time, output rows) plus whole-run
-// instrumentation — comparator counts, routing steps, trace events and
-// the optional SHA-256 access-pattern hash. Collected when the engine
-// was built with WithStats or WithTraceHash. String renders it as an
-// aligned table.
+// instrumentation — comparator counts, routing steps, trace events,
+// the optional SHA-256 access-pattern hash, and whether the plan came
+// from the prepared-plan cache. Collected when the engine was built
+// with WithStats or WithTraceHash. String renders it as an aligned
+// table.
 type PlanStats = query.PlanStats
 
 // OperatorStat is one plan stage's report: the stage label (matching
@@ -122,7 +225,47 @@ type PlanStats = query.PlanStats
 // cardinality.
 type OperatorStat = query.OperatorStat
 
-// LastStats returns the report of the most recent successful Query, or
-// nil when stats collection is off, no query ran yet, or the last
-// query failed.
-func (e *Engine) LastStats() *PlanStats { return e.inner.LastStats() }
+// LastStats returns the report of the most recent successful Query or
+// statement execution on this engine, or nil when stats collection is
+// off, no query ran yet, or the last query failed. With concurrent
+// executions in flight, "most recent" is the last one to finish.
+func (e *Engine) LastStats() *PlanStats {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.last
+}
+
+func (e *Engine) setLast(ps *PlanStats, err error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if err != nil {
+		e.last = nil
+		return
+	}
+	if ps != nil {
+		e.last = ps
+	}
+}
+
+// CacheStats reports the engine's plan-cache counters: cumulative
+// hits, misses and LRU evictions, plus current occupancy.
+type CacheStats = service.CacheStats
+
+// CacheStats returns the engine's plan-cache report.
+func (e *Engine) CacheStats() CacheStats { return e.svc.CacheStats() }
+
+// TableInfo describes one registered table: its normalized name and
+// public row count.
+type TableInfo = catalog.Schema
+
+// Handler returns the engine's HTTP JSON surface — the traffic-facing
+// endpoint cmd/oservd serves:
+//
+//	POST /query    {"sql": "...", "workers": 4, "stats": true}
+//	GET  /tables   registered schemas
+//	POST /tables   {"name": "t", "rows": [{"key": 1, "data": "a"}]}
+//	GET  /healthz  liveness, catalog size, plan-cache counters
+//
+// The handler shares this engine's catalog and plan cache and is safe
+// to serve from any number of connections.
+func (e *Engine) Handler() http.Handler { return service.NewHandler(e.svc) }

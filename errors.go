@@ -1,0 +1,30 @@
+package oblivjoin
+
+import (
+	"errors"
+
+	"oblivjoin/internal/catalog"
+)
+
+// The engine's misuse errors are typed so callers can distinguish them
+// programmatically (errors.As / errors.Is) instead of matching message
+// strings.
+
+// TableExistsError is returned by Engine.Register when the name is
+// already taken; overwriting is the explicit Replace operation.
+type TableExistsError = catalog.TableExistsError
+
+// UnknownTableError is returned when a query, Drop or schema lookup
+// references a table that is not registered.
+type UnknownTableError = catalog.UnknownTableError
+
+// InvalidNameError is returned for table names outside the accepted
+// grammar (letters, digits and underscores; names fold to lower case).
+type InvalidNameError = catalog.InvalidNameError
+
+// ErrNoTables is returned when a query is prepared or executed before
+// any table has been registered.
+var ErrNoTables = catalog.ErrNoTables
+
+// ErrNilTable is returned by Register and Replace for a nil *Table.
+var ErrNilTable = errors.New("oblivjoin: nil table")

@@ -1,0 +1,149 @@
+// Package benchdiff compares fresh BENCH_*.json perf records against a
+// committed baseline and reports wall-time regressions — the CI gate
+// that turns the benchmark artifacts into a trajectory instead of a
+// pile of files.
+//
+// Records match on their key — the input size n plus, for SQL records,
+// the query text — and regress when a wall-time metric exceeds the
+// baseline by more than the threshold ratio. Benchmarks present in the
+// baseline but missing from the fresh run also fail the gate: a
+// benchmark silently dropped is a regression in coverage.
+package benchdiff
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+)
+
+// Record is the common shape of one benchmark row; it parses both the
+// join records (BENCH_join.json) and the SQL records (BENCH_sql.json),
+// whose extra fields are ignored.
+type Record struct {
+	N            int    `json:"n"`
+	Query        string `json:"query,omitempty"`
+	Workers      int    `json:"workers,omitempty"`
+	SequentialNS int64  `json:"sequential_ns"`
+	ParallelNS   int64  `json:"parallel_ns"`
+}
+
+// Key identifies the record for baseline matching: input size and
+// worker count, plus the query text for SQL records. Workers is part
+// of the key so a fresh run at a different parallelism config fails
+// loudly as a missing benchmark instead of silently comparing
+// mismatched configurations.
+func (r Record) Key() string {
+	if r.Query != "" {
+		return fmt.Sprintf("n=%d workers=%d query=%s", r.N, r.Workers, r.Query)
+	}
+	return fmt.Sprintf("n=%d workers=%d", r.N, r.Workers)
+}
+
+// Load reads a benchmark record file.
+func Load(path string) ([]Record, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return Read(f)
+}
+
+// Read parses benchmark records from r.
+func Read(r io.Reader) ([]Record, error) {
+	var recs []Record
+	if err := json.NewDecoder(r).Decode(&recs); err != nil {
+		return nil, fmt.Errorf("benchdiff: %w", err)
+	}
+	return recs, nil
+}
+
+// Regression is one wall-time metric that exceeded the threshold.
+type Regression struct {
+	Key        string
+	Metric     string // "sequential" or "parallel"
+	BaselineNS int64
+	FreshNS    int64
+	Ratio      float64 // FreshNS / BaselineNS
+}
+
+func (r Regression) String() string {
+	return fmt.Sprintf("%s %s: %.2fx baseline (%.3fms -> %.3fms)",
+		r.Key, r.Metric, r.Ratio, float64(r.BaselineNS)/1e6, float64(r.FreshNS)/1e6)
+}
+
+// Report is the outcome of one baseline comparison.
+type Report struct {
+	// Compared counts the (key, metric) pairs checked.
+	Compared int
+	// Regressions lists metrics that exceeded the threshold.
+	Regressions []Regression
+	// MissingInFresh lists baseline keys absent from the fresh run —
+	// dropped benchmarks, which fail the gate.
+	MissingInFresh []string
+	// MissingInBaseline lists fresh keys with no baseline — new
+	// benchmarks, reported but not failing.
+	MissingInBaseline []string
+}
+
+// Failed reports whether the gate should fail CI.
+func (rep Report) Failed() bool {
+	return len(rep.Regressions) > 0 || len(rep.MissingInFresh) > 0
+}
+
+// Compare matches fresh records against baseline by key and flags every
+// wall-time metric whose fresh value exceeds baseline*threshold.
+// threshold is a ratio: 1.25 allows up to +25%.
+func Compare(baseline, fresh []Record, threshold float64) Report {
+	var rep Report
+	fm := make(map[string]Record, len(fresh))
+	for _, r := range fresh {
+		fm[r.Key()] = r
+	}
+	bm := make(map[string]Record, len(baseline))
+	for _, b := range baseline {
+		bm[b.Key()] = b
+	}
+	for _, b := range baseline {
+		f, ok := fm[b.Key()]
+		if !ok {
+			rep.MissingInFresh = append(rep.MissingInFresh, b.Key())
+			continue
+		}
+		check := func(metric string, baseNS, freshNS int64) {
+			if baseNS <= 0 {
+				return
+			}
+			rep.Compared++
+			// A fresh value of zero means the metric vanished (renamed
+			// field, dropped instrumentation) — that silently disables
+			// the gate, so it fails like a dropped benchmark.
+			if freshNS <= 0 {
+				rep.Regressions = append(rep.Regressions, Regression{
+					Key: b.Key(), Metric: metric + " (missing)",
+					BaselineNS: baseNS, FreshNS: freshNS, Ratio: 0,
+				})
+				return
+			}
+			ratio := float64(freshNS) / float64(baseNS)
+			if ratio > threshold {
+				rep.Regressions = append(rep.Regressions, Regression{
+					Key: b.Key(), Metric: metric,
+					BaselineNS: baseNS, FreshNS: freshNS, Ratio: ratio,
+				})
+			}
+		}
+		check("sequential", b.SequentialNS, f.SequentialNS)
+		check("parallel", b.ParallelNS, f.ParallelNS)
+	}
+	for _, f := range fresh {
+		if _, ok := bm[f.Key()]; !ok {
+			rep.MissingInBaseline = append(rep.MissingInBaseline, f.Key())
+		}
+	}
+	sort.Strings(rep.MissingInFresh)
+	sort.Strings(rep.MissingInBaseline)
+	return rep
+}

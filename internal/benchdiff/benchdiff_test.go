@@ -1,0 +1,150 @@
+package benchdiff
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func rec(n int, query string, seq, par int64) Record {
+	return Record{N: n, Query: query, SequentialNS: seq, ParallelNS: par}
+}
+
+// TestRegressionGate is the CI acceptance criterion: a benchmark
+// record regressing >25% against the committed baseline fails the
+// comparison; anything at or below the threshold passes.
+func TestRegressionGate(t *testing.T) {
+	baseline := []Record{
+		rec(16384, "", 1_000_000_000, 400_000_000),
+		rec(65536, "", 5_000_000_000, 2_000_000_000),
+	}
+
+	// +30% sequential wall time at n=16384: gate fails.
+	fresh := []Record{
+		rec(16384, "", 1_300_000_000, 400_000_000),
+		rec(65536, "", 5_000_000_000, 2_000_000_000),
+	}
+	rep := Compare(baseline, fresh, 1.25)
+	if !rep.Failed() || len(rep.Regressions) != 1 {
+		t.Fatalf("30%% regression not flagged: %+v", rep)
+	}
+	r := rep.Regressions[0]
+	if r.Key != "n=16384 workers=0" || r.Metric != "sequential" || r.Ratio < 1.29 || r.Ratio > 1.31 {
+		t.Fatalf("regression = %+v", r)
+	}
+	if rep.Compared != 4 {
+		t.Fatalf("Compared = %d, want 4", rep.Compared)
+	}
+
+	// Exactly +25%: within threshold, gate passes.
+	fresh[0].SequentialNS = 1_250_000_000
+	if rep := Compare(baseline, fresh, 1.25); rep.Failed() {
+		t.Fatalf("25%% flagged as regression: %+v", rep)
+	}
+
+	// Faster than baseline: passes.
+	fresh[0].SequentialNS = 700_000_000
+	if rep := Compare(baseline, fresh, 1.25); rep.Failed() {
+		t.Fatalf("improvement flagged as regression: %+v", rep)
+	}
+}
+
+// TestVanishedMetricFails: a fresh record whose wall-time field
+// decodes to zero (renamed JSON key, dropped instrumentation) must
+// fail rather than sail under the threshold with ratio 0.
+func TestVanishedMetricFails(t *testing.T) {
+	baseline := []Record{rec(1024, "", 100, 100)}
+	fresh := []Record{rec(1024, "", 0, 100)}
+	rep := Compare(baseline, fresh, 1.25)
+	if !rep.Failed() || len(rep.Regressions) != 1 || rep.Regressions[0].Metric != "sequential (missing)" {
+		t.Fatalf("vanished metric not flagged: %+v", rep)
+	}
+}
+
+func TestParallelMetricGates(t *testing.T) {
+	baseline := []Record{rec(1024, "", 100, 100)}
+	fresh := []Record{rec(1024, "", 100, 200)}
+	rep := Compare(baseline, fresh, 1.25)
+	if len(rep.Regressions) != 1 || rep.Regressions[0].Metric != "parallel" {
+		t.Fatalf("parallel regression not flagged: %+v", rep)
+	}
+}
+
+func TestSQLRecordsMatchOnQuery(t *testing.T) {
+	const q1 = "SELECT key FROM t1 JOIN t2 USING (key)"
+	const q2 = "SELECT key, COUNT(*) FROM t1 JOIN t2 USING (key) GROUP BY key"
+	baseline := []Record{rec(2048, q1, 100, 100), rec(2048, q2, 100, 100)}
+	// Same n, different query: must not cross-match.
+	fresh := []Record{rec(2048, q1, 100, 100), rec(2048, q2, 500, 100)}
+	rep := Compare(baseline, fresh, 1.25)
+	if len(rep.Regressions) != 1 || !strings.Contains(rep.Regressions[0].Key, "GROUP BY") {
+		t.Fatalf("SQL keying wrong: %+v", rep)
+	}
+}
+
+func TestMissingBenchmarks(t *testing.T) {
+	baseline := []Record{rec(1024, "", 100, 100), rec(2048, "", 100, 100)}
+	fresh := []Record{rec(2048, "", 100, 100), rec(4096, "", 100, 100)}
+	rep := Compare(baseline, fresh, 1.25)
+	// A dropped benchmark fails the gate; a new one is only noted.
+	if !rep.Failed() {
+		t.Fatal("dropped benchmark did not fail the gate")
+	}
+	if len(rep.MissingInFresh) != 1 || rep.MissingInFresh[0] != "n=1024 workers=0" {
+		t.Fatalf("MissingInFresh = %v", rep.MissingInFresh)
+	}
+	if len(rep.MissingInBaseline) != 1 || rep.MissingInBaseline[0] != "n=4096 workers=0" {
+		t.Fatalf("MissingInBaseline = %v", rep.MissingInBaseline)
+	}
+}
+
+func TestLoadRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "BENCH_join.json")
+	body := `[
+  {"n": 16384, "m": 16384, "workers": 8, "sequential_ns": 123456789,
+   "parallel_ns": 45678901, "speedup": 2.7, "trace_events": 100,
+   "trace_event_counts_equal": true, "gomaxprocs": 8}
+]`
+	if err := os.WriteFile(path, []byte(body), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	recs, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 1 || recs[0].N != 16384 || recs[0].SequentialNS != 123456789 {
+		t.Fatalf("Load = %+v", recs)
+	}
+	if recs[0].Key() != "n=16384 workers=8" {
+		t.Fatalf("Key = %q", recs[0].Key())
+	}
+	if _, err := Load(filepath.Join(dir, "missing.json")); err == nil {
+		t.Fatal("Load of missing file succeeded")
+	}
+}
+
+// TestAgainstCommittedBaseline sanity-checks the committed baseline
+// files: they must parse and self-compare cleanly, so the CI gate can
+// never fail on baseline shape alone.
+func TestAgainstCommittedBaseline(t *testing.T) {
+	for _, name := range []string{"BENCH_join.json", "BENCH_sql.json"} {
+		path := filepath.Join("..", "..", "BENCH_baseline", name)
+		recs, err := Load(path)
+		if err != nil {
+			t.Fatalf("committed baseline %s: %v", name, err)
+		}
+		if len(recs) == 0 {
+			t.Fatalf("committed baseline %s is empty", name)
+		}
+		for _, r := range recs {
+			if r.SequentialNS <= 0 || r.ParallelNS <= 0 {
+				t.Fatalf("committed baseline %s has empty wall times: %+v", name, r)
+			}
+		}
+		if rep := Compare(recs, recs, 1.25); rep.Failed() || rep.Compared != 2*len(recs) {
+			t.Fatalf("baseline self-compare: %+v", rep)
+		}
+	}
+}

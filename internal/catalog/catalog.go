@@ -1,0 +1,324 @@
+// Package catalog is the shared named-table registry of the query
+// service layer: a concurrent-safe mapping from table names to row
+// sets, with per-table schemas, a monotonic version counter that the
+// plan cache keys on, and a choice of backing store — plain in-process
+// slices or AES-sealed blobs, the at-rest counterpart of the engine's
+// encrypted intermediate stores.
+//
+// Registration is copy-on-register: the catalog stores its own copy of
+// the rows, so later mutations of the caller's slice never leak into
+// running queries. Readers receive snapshots that they must treat as
+// immutable; every query operator in this repository already does
+// (operators allocate their own stores and never write into their
+// input slices), which is what makes one snapshot shareable across
+// concurrently executing queries.
+package catalog
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+
+	"oblivjoin/internal/crypto"
+	"oblivjoin/internal/table"
+)
+
+// Schema describes one registered table: its (normalized) name and its
+// public row count. All tables share the repository's fixed physical
+// schema — a uint64 join key and a fixed-width payload — so the row
+// count is the only per-table shape.
+type Schema struct {
+	Name string `json:"name"`
+	Rows int    `json:"rows"`
+}
+
+// TableExistsError reports a Register of a name that is already taken.
+// Overwriting is a separate, explicit operation (Replace), never an
+// accident of re-registration.
+type TableExistsError struct{ Name string }
+
+func (e *TableExistsError) Error() string {
+	return fmt.Sprintf("catalog: table %q already registered (use Replace to overwrite)", e.Name)
+}
+
+// UnknownTableError reports a reference to a table the catalog does not
+// hold — from a query plan, a Drop, or a schema lookup.
+type UnknownTableError struct{ Name string }
+
+func (e *UnknownTableError) Error() string {
+	return fmt.Sprintf("catalog: unknown table %q", e.Name)
+}
+
+// InvalidNameError reports a table name outside the accepted grammar
+// (a letter or underscore, then letters, digits and underscores; names
+// fold to lower case). The grammar matches the SQL lexer's identifier
+// rule, so every registrable name is also referenceable in a query.
+type InvalidNameError struct{ Name string }
+
+func (e *InvalidNameError) Error() string {
+	if e.Name == "" {
+		return "catalog: empty table name"
+	}
+	return fmt.Sprintf("catalog: invalid table name %q (want a letter or underscore, then letters, digits or underscores)", e.Name)
+}
+
+// ErrNoTables is returned when a query is prepared or executed against
+// a catalog with no registered tables.
+var ErrNoTables = errors.New("catalog: no tables registered")
+
+// Normalize folds name to lower case and validates it against the
+// table-name grammar.
+func Normalize(name string) (string, error) {
+	if name == "" {
+		return "", &InvalidNameError{Name: name}
+	}
+	b := []byte(name)
+	for i, r := range b {
+		if r >= 'A' && r <= 'Z' {
+			b[i] = r - 'A' + 'a'
+			r = b[i]
+		}
+		if (r < 'a' || r > 'z') && (r < '0' || r > '9') && r != '_' {
+			return "", &InvalidNameError{Name: name}
+		}
+		// The SQL lexer starts identifiers at a letter or underscore; a
+		// digit-leading name would register fine but be unqueryable.
+		if i == 0 && r >= '0' && r <= '9' {
+			return "", &InvalidNameError{Name: name}
+		}
+	}
+	return string(b), nil
+}
+
+// stored is one table's backing: exactly one of rows (plain) or sealed
+// (AES-sealed encoded rows) is set.
+type stored struct {
+	rows   []table.Row
+	sealed []byte
+	n      int
+}
+
+// Catalog is a concurrent-safe named-table registry. The zero value is
+// not usable; construct with New or NewSealed.
+type Catalog struct {
+	mu      sync.RWMutex
+	cipher  *crypto.Cipher // non-nil: sealed backing stores
+	tables  map[string]*stored
+	version uint64
+}
+
+// New returns an empty catalog with plain in-process backing.
+func New() *Catalog {
+	return &Catalog{tables: map[string]*stored{}}
+}
+
+// NewSealed returns an empty catalog whose backing stores are AES-
+// sealed under cipher: registered rows are encoded and sealed at rest,
+// and every snapshot authenticates and decrypts a fresh copy.
+func NewSealed(cipher *crypto.Cipher) *Catalog {
+	return &Catalog{cipher: cipher, tables: map[string]*stored{}}
+}
+
+// rowSize is the encoded width of one row in a sealed backing store.
+const rowSize = 8 + table.DataLen
+
+func encodeRows(rows []table.Row) []byte {
+	buf := make([]byte, len(rows)*rowSize)
+	for i, r := range rows {
+		o := i * rowSize
+		binary.LittleEndian.PutUint64(buf[o:], r.J)
+		copy(buf[o+8:o+rowSize], r.D[:])
+	}
+	return buf
+}
+
+func decodeRows(buf []byte, n int) []table.Row {
+	rows := make([]table.Row, n)
+	for i := range rows {
+		o := i * rowSize
+		rows[i].J = binary.LittleEndian.Uint64(buf[o:])
+		copy(rows[i].D[:], buf[o+8:o+rowSize])
+	}
+	return rows
+}
+
+func (c *Catalog) store(rows []table.Row) *stored {
+	if c.cipher == nil {
+		cp := make([]table.Row, len(rows))
+		copy(cp, rows)
+		return &stored{rows: cp, n: len(rows)}
+	}
+	blob := encodeRows(rows)
+	sealed := make([]byte, crypto.SealedLen(len(blob)))
+	c.cipher.Seal(sealed, blob)
+	return &stored{sealed: sealed, n: len(rows)}
+}
+
+func (c *Catalog) open(st *stored) ([]table.Row, error) {
+	if st.sealed == nil {
+		return st.rows, nil
+	}
+	blob := make([]byte, len(st.sealed)-crypto.Overhead)
+	if err := c.cipher.Open(blob, st.sealed); err != nil {
+		return nil, fmt.Errorf("catalog: sealed table store: %w", err)
+	}
+	return decodeRows(blob, st.n), nil
+}
+
+// Register makes rows queryable under name. It returns a
+// *TableExistsError when the name is already taken and an
+// *InvalidNameError when the name is outside the grammar. The catalog
+// keeps its own copy of rows.
+func (c *Catalog) Register(name string, rows []table.Row) error {
+	name, err := Normalize(name)
+	if err != nil {
+		return err
+	}
+	// Copying (and, for sealed catalogs, encrypting) the table happens
+	// before taking the write lock, so large registrations never stall
+	// concurrent readers.
+	st := c.store(rows)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, ok := c.tables[name]; ok {
+		return &TableExistsError{Name: name}
+	}
+	c.tables[name] = st
+	c.version++
+	return nil
+}
+
+// Replace registers rows under name, overwriting any previous table of
+// that name — the explicit counterpart of the Register duplicate error.
+func (c *Catalog) Replace(name string, rows []table.Row) error {
+	name, err := Normalize(name)
+	if err != nil {
+		return err
+	}
+	st := c.store(rows)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.tables[name] = st
+	c.version++
+	return nil
+}
+
+// Drop removes the named table, returning *UnknownTableError when it
+// is not registered.
+func (c *Catalog) Drop(name string) error {
+	name, err := Normalize(name)
+	if err != nil {
+		return err
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, ok := c.tables[name]; !ok {
+		return &UnknownTableError{Name: name}
+	}
+	delete(c.tables, name)
+	c.version++
+	return nil
+}
+
+// Has reports whether name resolves to a registered table.
+func (c *Catalog) Has(name string) bool {
+	name, err := Normalize(name)
+	if err != nil {
+		return false
+	}
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	_, ok := c.tables[name]
+	return ok
+}
+
+// Len returns the number of registered tables.
+func (c *Catalog) Len() int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return len(c.tables)
+}
+
+// Version returns the catalog's mutation counter. It increases on every
+// Register, Replace and Drop, so any value observed twice brackets an
+// unchanged catalog — the property the plan cache keys on.
+func (c *Catalog) Version() uint64 {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.version
+}
+
+// Schema returns the named table's schema.
+func (c *Catalog) Schema(name string) (Schema, error) {
+	name, err := Normalize(name)
+	if err != nil {
+		return Schema{}, err
+	}
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	st, ok := c.tables[name]
+	if !ok {
+		return Schema{}, &UnknownTableError{Name: name}
+	}
+	return Schema{Name: name, Rows: st.n}, nil
+}
+
+// Schemas lists every registered table, sorted by name.
+func (c *Catalog) Schemas() []Schema {
+	c.mu.RLock()
+	out := make([]Schema, 0, len(c.tables))
+	for name, st := range c.tables {
+		out = append(out, Schema{Name: name, Rows: st.n})
+	}
+	c.mu.RUnlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// Snapshot returns a point-in-time view of every registered table,
+// suitable for one query execution. Plain backing shares the catalog's
+// (immutable) row slices at zero copy cost; sealed backing
+// authenticates and decrypts a fresh copy per snapshot. The returned
+// map is owned by the caller; the row slices must not be mutated.
+func (c *Catalog) Snapshot() (map[string][]table.Row, error) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	out := make(map[string][]table.Row, len(c.tables))
+	for name, st := range c.tables {
+		rows, err := c.open(st)
+		if err != nil {
+			return nil, err
+		}
+		out[name] = rows
+	}
+	return out, nil
+}
+
+// SnapshotTables is Snapshot restricted to the named tables — what a
+// statement execution takes, so sealed catalogs pay decryption only
+// for the tables its plan references. A name no longer registered
+// (e.g. dropped after the statement was prepared) returns a
+// *UnknownTableError.
+func (c *Catalog) SnapshotTables(names []string) (map[string][]table.Row, error) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	out := make(map[string][]table.Row, len(names))
+	for _, name := range names {
+		name, err := Normalize(name)
+		if err != nil {
+			return nil, err
+		}
+		st, ok := c.tables[name]
+		if !ok {
+			return nil, &UnknownTableError{Name: name}
+		}
+		rows, err := c.open(st)
+		if err != nil {
+			return nil, err
+		}
+		out[name] = rows
+	}
+	return out, nil
+}

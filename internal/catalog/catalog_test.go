@@ -1,0 +1,212 @@
+package catalog
+
+import (
+	"errors"
+	"fmt"
+	"reflect"
+	"sync"
+	"testing"
+
+	"oblivjoin/internal/crypto"
+	"oblivjoin/internal/table"
+)
+
+func rows(n int, tag string) []table.Row {
+	out := make([]table.Row, n)
+	for i := range out {
+		out[i] = table.Row{J: uint64(i), D: table.MustData(fmt.Sprintf("%s%d", tag, i))}
+	}
+	return out
+}
+
+func TestRegisterDuplicateTyped(t *testing.T) {
+	c := New()
+	if err := c.Register("users", rows(3, "u")); err != nil {
+		t.Fatal(err)
+	}
+	err := c.Register("users", rows(5, "v"))
+	var dup *TableExistsError
+	if !errors.As(err, &dup) || dup.Name != "users" {
+		t.Fatalf("duplicate Register = %v, want *TableExistsError{users}", err)
+	}
+	// The original registration is untouched.
+	s, err := c.Schema("users")
+	if err != nil || s.Rows != 3 {
+		t.Fatalf("Schema after failed re-register = %+v, %v", s, err)
+	}
+}
+
+func TestReplaceAndDrop(t *testing.T) {
+	c := New()
+	if err := c.Replace("users", rows(3, "u")); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Replace("users", rows(5, "v")); err != nil {
+		t.Fatal(err)
+	}
+	if s, _ := c.Schema("users"); s.Rows != 5 {
+		t.Fatalf("Rows = %d after Replace, want 5", s.Rows)
+	}
+	if err := c.Drop("users"); err != nil {
+		t.Fatal(err)
+	}
+	var unk *UnknownTableError
+	if err := c.Drop("users"); !errors.As(err, &unk) || unk.Name != "users" {
+		t.Fatalf("Drop of missing table = %v, want *UnknownTableError", err)
+	}
+	if c.Len() != 0 {
+		t.Fatalf("Len = %d, want 0", c.Len())
+	}
+}
+
+func TestNameValidation(t *testing.T) {
+	c := New()
+	var inv *InvalidNameError
+	// Digit-leading names are rejected: the SQL lexer could never
+	// reference them, so registration would create an unqueryable table.
+	for _, bad := range []string{"", "bad name", "semi;colon", "dash-ed", "1t", "9"} {
+		if err := c.Register(bad, nil); !errors.As(err, &inv) {
+			t.Fatalf("Register(%q) = %v, want *InvalidNameError", bad, err)
+		}
+	}
+	if err := c.Register("_t9", nil); err != nil {
+		t.Fatalf("Register(_t9) = %v, want ok", err)
+	}
+	// Names fold to lower case; mixed-case duplicates collide.
+	if err := c.Register("Users_1", rows(1, "u")); err != nil {
+		t.Fatal(err)
+	}
+	if !c.Has("USERS_1") || !c.Has("users_1") {
+		t.Fatal("case-folded lookup failed")
+	}
+	var dup *TableExistsError
+	if err := c.Register("users_1", nil); !errors.As(err, &dup) {
+		t.Fatalf("case-folded duplicate = %v, want *TableExistsError", err)
+	}
+}
+
+func TestCopyOnRegisterIsolation(t *testing.T) {
+	c := New()
+	src := rows(4, "x")
+	if err := c.Register("t", src); err != nil {
+		t.Fatal(err)
+	}
+	src[0].J = 999 // caller mutates its slice after registration
+	snap, err := c.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap["t"][0].J != 0 {
+		t.Fatalf("snapshot saw caller mutation: J = %d", snap["t"][0].J)
+	}
+}
+
+func TestSealedRoundTrip(t *testing.T) {
+	cipher, _, err := crypto.NewRandom()
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := NewSealed(cipher)
+	want := rows(7, "s")
+	if err := c.Register("t", want); err != nil {
+		t.Fatal(err)
+	}
+	snap, err := c.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(snap["t"], want) {
+		t.Fatalf("sealed round trip mismatch:\n got %v\nwant %v", snap["t"], want)
+	}
+	// Each snapshot decodes a fresh copy; mutating one does not leak.
+	snap["t"][0].J = 999
+	again, err := c.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again["t"][0].J != 0 {
+		t.Fatal("sealed snapshots share backing memory")
+	}
+}
+
+func TestVersionBumps(t *testing.T) {
+	c := New()
+	v0 := c.Version()
+	if err := c.Register("a", nil); err != nil {
+		t.Fatal(err)
+	}
+	v1 := c.Version()
+	if v1 <= v0 {
+		t.Fatalf("Version did not increase on Register: %d -> %d", v0, v1)
+	}
+	if err := c.Replace("a", rows(1, "a")); err != nil {
+		t.Fatal(err)
+	}
+	if c.Version() <= v1 {
+		t.Fatal("Version did not increase on Replace")
+	}
+	v2 := c.Version()
+	if err := c.Drop("a"); err != nil {
+		t.Fatal(err)
+	}
+	if c.Version() <= v2 {
+		t.Fatal("Version did not increase on Drop")
+	}
+	// Failed mutations leave the version alone.
+	v3 := c.Version()
+	if err := c.Drop("a"); err == nil {
+		t.Fatal("expected error")
+	}
+	if c.Version() != v3 {
+		t.Fatal("failed Drop bumped the version")
+	}
+}
+
+// TestConcurrentUse exercises the registry from many goroutines at
+// once — registrations of distinct names interleaved with snapshots,
+// schema listings and lookups. Run under -race in CI.
+func TestConcurrentUse(t *testing.T) {
+	c := New()
+	if err := c.Register("base", rows(8, "b")); err != nil {
+		t.Fatal(err)
+	}
+	const writers, readers = 8, 8
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 20; i++ {
+				name := fmt.Sprintf("t%d_%d", w, i)
+				if err := c.Register(name, rows(4, name)); err != nil {
+					t.Errorf("Register(%s): %v", name, err)
+					return
+				}
+			}
+		}(w)
+	}
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				snap, err := c.Snapshot()
+				if err != nil {
+					t.Errorf("Snapshot: %v", err)
+					return
+				}
+				if len(snap["base"]) != 8 {
+					t.Errorf("base table corrupted: %d rows", len(snap["base"]))
+					return
+				}
+				c.Schemas()
+				c.Has("base")
+				c.Version()
+			}
+		}()
+	}
+	wg.Wait()
+	if got, want := c.Len(), 1+writers*20; got != want {
+		t.Fatalf("Len = %d, want %d", got, want)
+	}
+}

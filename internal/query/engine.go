@@ -5,14 +5,12 @@ import (
 	"strings"
 	"time"
 
-	"oblivjoin/internal/core"
+	"oblivjoin/internal/catalog"
 	"oblivjoin/internal/crypto"
-	"oblivjoin/internal/memory"
 	"oblivjoin/internal/obliv"
 	"oblivjoin/internal/ops"
 	"oblivjoin/internal/query/exec"
 	"oblivjoin/internal/table"
-	"oblivjoin/internal/trace"
 )
 
 // Options configures how an Engine executes its plans. The zero value
@@ -60,6 +58,10 @@ type PlanStats struct {
 	TraceHash string
 	// Total is the end-to-end execution wall time.
 	Total time.Duration
+	// CacheHit reports that the query executed from a cached prepared
+	// plan. Set only by the service layer; always false for direct
+	// Engine queries.
+	CacheHit bool
 }
 
 // OperatorStat is one pipeline stage's report.
@@ -105,17 +107,13 @@ func NewEngineWith(o Options) *Engine {
 	return &Engine{tables: map[string][]table.Row{}, opts: o}
 }
 
-// Register makes rows queryable under name (lower-cased). Re-registering
-// a name replaces the table.
+// Register makes rows queryable under name (normalized by
+// catalog.Normalize, so the engine and the service accept the same
+// name grammar). Re-registering a name replaces the table.
 func (e *Engine) Register(name string, rows []table.Row) error {
-	name = strings.ToLower(name)
-	if name == "" {
-		return fmt.Errorf("query: empty table name")
-	}
-	for _, r := range name {
-		if (r < 'a' || r > 'z') && (r < '0' || r > '9') && r != '_' {
-			return fmt.Errorf("query: invalid table name %q", name)
-		}
+	name, err := catalog.Normalize(name)
+	if err != nil {
+		return err
 	}
 	e.tables[name] = rows
 	return nil
@@ -162,96 +160,24 @@ func (e *Engine) Explain(src string) (string, error) {
 // or nil when stats collection is off (or no query ran yet).
 func (e *Engine) LastStats() *PlanStats { return e.last }
 
-// execContext assembles the per-query execution context: one shared
-// core.Config carrying the store allocator (plain or sealed), the
-// worker count, network selection and instrumentation, plus the trace
-// sink the stats report reads back.
-func (e *Engine) execContext() (*exec.Context, *core.Stats, *trace.Hasher, *trace.Counter, error) {
-	var (
-		rec     trace.Recorder
-		hasher  *trace.Hasher
-		counter *trace.Counter
-	)
-	if e.opts.TraceHash {
-		hasher = trace.NewHasher()
-		rec = hasher
-	} else if e.opts.CollectStats {
-		counter = &trace.Counter{}
-		rec = counter
-	}
-	sp := memory.NewSpace(rec, nil)
-
-	var alloc table.Alloc
-	if e.opts.Encrypted {
-		if e.cipher == nil {
-			c, _, err := crypto.NewRandom()
-			if err != nil {
-				return nil, nil, nil, nil, fmt.Errorf("query: encrypted store: %w", err)
-			}
-			e.cipher = c
-		}
-		alloc = table.EncryptedAlloc(sp, e.cipher)
-	} else {
-		alloc = table.PlainAlloc(sp)
-	}
-
-	var coreStats *core.Stats
-	if e.opts.CollectStats || e.opts.TraceHash {
-		coreStats = &core.Stats{}
-	}
-	cfg := &core.Config{
-		Alloc:         alloc,
-		Workers:       e.opts.Workers,
-		Probabilistic: e.opts.Probabilistic,
-		Seed:          e.opts.Seed,
-		Stats:         coreStats,
-	}
-	if e.opts.MergeExchange {
-		cfg.Net = core.MergeExchange
-	}
-	return &exec.Context{Cfg: cfg, Tables: e.tables}, coreStats, hasher, counter, nil
-}
-
-// execute runs the physical pipeline and reports the projected result.
+// execute runs the physical pipeline through Run and reports the
+// projected result, keeping the stats report for LastStats.
 func (e *Engine) execute(pipeline []exec.Operator) (*Result, error) {
-	ctx, coreStats, hasher, counter, err := e.execContext()
+	if e.opts.Encrypted && e.cipher == nil {
+		c, _, err := crypto.NewRandom()
+		if err != nil {
+			return nil, fmt.Errorf("query: encrypted store: %w", err)
+		}
+		e.cipher = c
+	}
+	res, ps, err := Run(e.opts, e.cipher, e.tables, pipeline)
 	if err != nil {
 		return nil, err
 	}
-	collect := e.opts.CollectStats || e.opts.TraceHash
-	var ps *PlanStats
-	if collect {
-		ps = &PlanStats{}
-	}
-
-	var rel exec.Relation
-	for _, op := range pipeline {
-		start := time.Now()
-		rel, err = op.Run(ctx, rel)
-		if err != nil {
-			return nil, err
-		}
-		if ps != nil {
-			wall := time.Since(start)
-			ps.Operators = append(ps.Operators, OperatorStat{Op: op.Name(), Wall: wall, Rows: rel.Size()})
-			ps.Total += wall
-		}
-	}
-	if rel.Kind != exec.KindResult {
-		return nil, fmt.Errorf("query: internal error: pipeline ended in relation kind %d", rel.Kind)
-	}
 	if ps != nil {
-		ps.Comparators = coreStats.Comparators()
-		ps.RouteOps = coreStats.RouteOps
-		if hasher != nil {
-			ps.TraceEvents = hasher.Count()
-			ps.TraceHash = hasher.Hex()
-		} else if counter != nil {
-			ps.TraceEvents = counter.Total()
-		}
 		e.last = ps
 	}
-	return rel.Result, nil
+	return res, nil
 }
 
 // conjuncts flattens the AND-tree of a predicate; nil yields none.

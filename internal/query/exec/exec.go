@@ -18,6 +18,7 @@ import (
 	"strings"
 
 	"oblivjoin/internal/aggregate"
+	"oblivjoin/internal/catalog"
 	"oblivjoin/internal/core"
 	"oblivjoin/internal/ops"
 	"oblivjoin/internal/table"
@@ -103,7 +104,7 @@ type Operator interface {
 func lookup(ctx *Context, name, role string) ([]table.Row, error) {
 	rows, ok := ctx.Tables[name]
 	if !ok {
-		return nil, fmt.Errorf("query: unknown table %q%s", name, role)
+		return nil, fmt.Errorf("query: execution%s: %w", role, &catalog.UnknownTableError{Name: name})
 	}
 	return rows, nil
 }

@@ -45,9 +45,10 @@ func FuzzParse(f *testing.F) {
 		}
 		// A parsed query must plan and execute or fail cleanly (unknown
 		// tables, non-numeric aggregation, IN placement) — never panic.
+		// Unknown tables surface as typed catalog errors.
 		plan, err := eng.plan(q)
 		if err != nil {
-			if !strings.HasPrefix(err.Error(), "query:") {
+			if !strings.HasPrefix(err.Error(), "query:") && !strings.HasPrefix(err.Error(), "catalog:") {
 				t.Fatalf("non-package plan error %v", err)
 			}
 			return

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"strings"
 
+	"oblivjoin/internal/catalog"
 	"oblivjoin/internal/query/exec"
 )
 
@@ -116,6 +117,38 @@ func (n SortNode) Describe() string   { return exec.Sort{Free: n.Free}.Name() }
 func (n LimitNode) Describe() string  { return exec.Limit{N: n.N}.Name() }
 func (ProjectNode) Describe() string  { return exec.Project{}.Name() }
 
+// PlanTables lists the distinct catalog tables a plan references, in
+// first-reference order — the exact set an execution must snapshot.
+func PlanTables(n PlanNode) []string {
+	var names []string
+	seen := map[string]bool{}
+	add := func(t string) {
+		if !seen[t] {
+			seen[t] = true
+			names = append(names, t)
+		}
+	}
+	var walk func(PlanNode)
+	walk = func(n PlanNode) {
+		if n == nil {
+			return
+		}
+		walk(n.Input())
+		switch v := n.(type) {
+		case ScanNode:
+			add(v.Table)
+		case SemijoinNode:
+			add(v.Table)
+		case JoinNode:
+			add(v.Table)
+		case JoinAggNode:
+			add(v.Table)
+		}
+	}
+	walk(n)
+	return names
+}
+
 // RenderPlan walks the tree leaf-to-root and joins the stage labels —
 // the EXPLAIN form.
 func RenderPlan(n PlanNode) string {
@@ -133,11 +166,17 @@ func RenderPlan(n PlanNode) string {
 }
 
 // plan builds the logical plan for q against the engine's catalog.
-// Every referenced table is resolved here, so planning (and therefore
-// Explain) reports unknown tables without touching any data.
 func (e *Engine) plan(q *Query) (PlanNode, error) {
-	if _, ok := e.tables[q.From]; !ok {
-		return nil, fmt.Errorf("query: unknown table %q", q.From)
+	return BuildPlan(q, func(name string) bool { _, ok := e.tables[name]; return ok })
+}
+
+// BuildPlan builds the logical plan for q against a catalog known only
+// through its table-existence predicate. Every referenced table is
+// resolved here, so planning (and therefore Explain) reports unknown
+// tables — as *catalog.UnknownTableError — without touching any data.
+func BuildPlan(q *Query, has func(string) bool) (PlanNode, error) {
+	if !has(q.From) {
+		return nil, &catalog.UnknownTableError{Name: q.From}
 	}
 	var n PlanNode = ScanNode{Table: q.From}
 
@@ -146,8 +185,8 @@ func (e *Engine) plan(q *Query) (PlanNode, error) {
 	var predConjuncts []Expr
 	for _, c := range conjuncts(q.Where) {
 		if in, ok := c.(In); ok {
-			if _, ok := e.tables[in.Table]; !ok {
-				return nil, fmt.Errorf("query: unknown table %q in IN subquery", in.Table)
+			if !has(in.Table) {
+				return nil, &catalog.UnknownTableError{Name: in.Table}
 			}
 			n = SemijoinNode{In: n, Table: in.Table}
 			continue
@@ -162,8 +201,8 @@ func (e *Engine) plan(q *Query) (PlanNode, error) {
 	}
 
 	for _, t := range q.Joins {
-		if _, ok := e.tables[t]; !ok {
-			return nil, fmt.Errorf("query: unknown table %q", t)
+		if !has(t) {
+			return nil, &catalog.UnknownTableError{Name: t}
 		}
 	}
 
@@ -210,6 +249,12 @@ func (e *Engine) plan(q *Query) (PlanNode, error) {
 	}
 	return ProjectNode{In: n, Items: expandStar(q)}, nil
 }
+
+// LowerPlan maps a logical plan onto its physical operator pipeline.
+// The operators are immutable values: one lowered pipeline may execute
+// from any number of goroutines at once, each run threading its own
+// exec.Context.
+func LowerPlan(n PlanNode) ([]exec.Operator, error) { return lower(n) }
 
 // lower maps the logical plan onto its physical operator pipeline,
 // leaf first.

@@ -1,0 +1,105 @@
+package query
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"oblivjoin/internal/core"
+	"oblivjoin/internal/crypto"
+	"oblivjoin/internal/memory"
+	"oblivjoin/internal/query/exec"
+	"oblivjoin/internal/table"
+	"oblivjoin/internal/trace"
+)
+
+// ErrInternal marks failures that are the engine's fault, never the
+// query's — broken pipeline invariants, missing execution state.
+// Callers (e.g. the HTTP layer) test with errors.Is to report them as
+// server faults.
+var ErrInternal = errors.New("internal engine error")
+
+// Run executes a lowered physical pipeline against tables under opts
+// and returns the projected result plus, when opts collects, the
+// PlanStats report (nil otherwise).
+//
+// Each call assembles a private execution context — a fresh memory
+// space, trace sink and core.Config — so the same pipeline and the
+// same table snapshot can Run from any number of goroutines at once;
+// only cipher is shared, and crypto.Cipher is safe for concurrent use.
+// cipher must be non-nil when opts.Encrypted is set.
+func Run(opts Options, cipher *crypto.Cipher, tables map[string][]table.Row, pipeline []exec.Operator) (*Result, *PlanStats, error) {
+	var (
+		rec     trace.Recorder
+		hasher  *trace.Hasher
+		counter *trace.Counter
+	)
+	if opts.TraceHash {
+		hasher = trace.NewHasher()
+		rec = hasher
+	} else if opts.CollectStats {
+		counter = &trace.Counter{}
+		rec = counter
+	}
+	sp := memory.NewSpace(rec, nil)
+
+	var alloc table.Alloc
+	if opts.Encrypted {
+		if cipher == nil {
+			return nil, nil, fmt.Errorf("query: encrypted execution without a cipher: %w", ErrInternal)
+		}
+		alloc = table.EncryptedAlloc(sp, cipher)
+	} else {
+		alloc = table.PlainAlloc(sp)
+	}
+
+	collect := opts.CollectStats || opts.TraceHash
+	var coreStats *core.Stats
+	if collect {
+		coreStats = &core.Stats{}
+	}
+	cfg := &core.Config{
+		Alloc:         alloc,
+		Workers:       opts.Workers,
+		Probabilistic: opts.Probabilistic,
+		Seed:          opts.Seed,
+		Stats:         coreStats,
+	}
+	if opts.MergeExchange {
+		cfg.Net = core.MergeExchange
+	}
+	ctx := &exec.Context{Cfg: cfg, Tables: tables}
+
+	var ps *PlanStats
+	if collect {
+		ps = &PlanStats{}
+	}
+	var rel exec.Relation
+	var err error
+	for _, op := range pipeline {
+		start := time.Now()
+		rel, err = op.Run(ctx, rel)
+		if err != nil {
+			return nil, nil, err
+		}
+		if ps != nil {
+			wall := time.Since(start)
+			ps.Operators = append(ps.Operators, OperatorStat{Op: op.Name(), Wall: wall, Rows: rel.Size()})
+			ps.Total += wall
+		}
+	}
+	if rel.Kind != exec.KindResult {
+		return nil, nil, fmt.Errorf("query: pipeline ended in relation kind %d: %w", rel.Kind, ErrInternal)
+	}
+	if ps != nil {
+		ps.Comparators = coreStats.Comparators()
+		ps.RouteOps = coreStats.RouteOps
+		if hasher != nil {
+			ps.TraceEvents = hasher.Count()
+			ps.TraceHash = hasher.Hex()
+		} else if counter != nil {
+			ps.TraceEvents = counter.Total()
+		}
+	}
+	return rel.Result, ps, nil
+}

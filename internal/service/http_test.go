@@ -1,0 +1,192 @@
+package service
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+)
+
+func newServer(t *testing.T) (*Service, *httptest.Server) {
+	t.Helper()
+	s, err := New(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(NewHandler(s))
+	t.Cleanup(srv.Close)
+	return s, srv
+}
+
+func postJSON(t *testing.T, url string, body any) (*http.Response, []byte) {
+	t.Helper()
+	data, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	return resp, buf.Bytes()
+}
+
+func getJSON(t *testing.T, url string, v any) *http.Response {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if err := json.NewDecoder(resp.Body).Decode(v); err != nil {
+		t.Fatal(err)
+	}
+	return resp
+}
+
+func registerHTTP(t *testing.T, base, name string, n int) {
+	t.Helper()
+	rows := make([]RowJSON, n)
+	for i := range rows {
+		rows[i] = RowJSON{Key: uint64(i % 4), Data: fmt.Sprintf("%s%d", name[:1], i)}
+	}
+	resp, body := postJSON(t, base+"/tables", TableRequest{Name: name, Rows: rows})
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("register %s: status %d: %s", name, resp.StatusCode, body)
+	}
+}
+
+func TestHTTPQueryLifecycle(t *testing.T) {
+	_, srv := newServer(t)
+	registerHTTP(t, srv.URL, "users", 8)
+	registerHTTP(t, srv.URL, "orders", 8)
+
+	// /tables lists both, sorted.
+	var tl struct {
+		Tables []struct {
+			Name string `json:"name"`
+			Rows int    `json:"rows"`
+		} `json:"tables"`
+	}
+	if resp := getJSON(t, srv.URL+"/tables", &tl); resp.StatusCode != http.StatusOK {
+		t.Fatalf("/tables status %d", resp.StatusCode)
+	}
+	if len(tl.Tables) != 2 || tl.Tables[0].Name != "orders" || tl.Tables[1].Rows != 8 {
+		t.Fatalf("/tables = %+v", tl)
+	}
+
+	// /query with stats and trace hashing.
+	stats := true
+	hash := true
+	resp, body := postJSON(t, srv.URL+"/query", QueryRequest{
+		SQL:       "SELECT key, left.data, right.data FROM users JOIN orders USING (key)",
+		Stats:     &stats,
+		TraceHash: &hash,
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/query status %d: %s", resp.StatusCode, body)
+	}
+	var qr QueryResponse
+	if err := json.Unmarshal(body, &qr); err != nil {
+		t.Fatal(err)
+	}
+	if len(qr.Columns) != 3 || len(qr.Rows) == 0 {
+		t.Fatalf("/query result = %+v", qr)
+	}
+	if qr.Stats == nil || qr.Stats.TraceHash == "" || len(qr.Stats.Operators) == 0 {
+		t.Fatalf("/query stats = %+v", qr.Stats)
+	}
+
+	// The same query again is a cache hit, visible in the stats.
+	_, body = postJSON(t, srv.URL+"/query", QueryRequest{
+		SQL:       "SELECT key, left.data, right.data FROM users JOIN orders USING (key)",
+		Stats:     &stats,
+		TraceHash: &hash,
+	})
+	if err := json.Unmarshal(body, &qr); err != nil {
+		t.Fatal(err)
+	}
+	if qr.Stats == nil || !qr.Stats.CacheHit {
+		t.Fatalf("second run stats = %+v, want cache hit", qr.Stats)
+	}
+
+	// Explain-only.
+	resp, body = postJSON(t, srv.URL+"/query", QueryRequest{SQL: "SELECT key FROM users", Explain: true})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("explain status %d", resp.StatusCode)
+	}
+	if err := json.Unmarshal(body, &qr); err != nil {
+		t.Fatal(err)
+	}
+	if qr.Plan != "scan(users) → project" {
+		t.Fatalf("explain plan = %q", qr.Plan)
+	}
+
+	// /healthz reports catalog size and plan-cache counters.
+	var h HealthResponse
+	if resp := getJSON(t, srv.URL+"/healthz", &h); resp.StatusCode != http.StatusOK {
+		t.Fatalf("/healthz status %d", resp.StatusCode)
+	}
+	if h.Status != "ok" || h.Tables != 2 || h.PlanCache.Hits == 0 {
+		t.Fatalf("/healthz = %+v", h)
+	}
+}
+
+func TestHTTPErrorMapping(t *testing.T) {
+	_, srv := newServer(t)
+
+	// Query with an empty catalog: 409.
+	resp, _ := postJSON(t, srv.URL+"/query", QueryRequest{SQL: "SELECT key FROM users"})
+	if resp.StatusCode != http.StatusConflict {
+		t.Fatalf("empty catalog status = %d, want 409", resp.StatusCode)
+	}
+
+	registerHTTP(t, srv.URL, "users", 4)
+
+	// Unknown table: 404.
+	resp, _ = postJSON(t, srv.URL+"/query", QueryRequest{SQL: "SELECT key FROM nope"})
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown table status = %d, want 404", resp.StatusCode)
+	}
+
+	// Parse error: 400.
+	resp, _ = postJSON(t, srv.URL+"/query", QueryRequest{SQL: "SELEC key"})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("parse error status = %d, want 400", resp.StatusCode)
+	}
+
+	// Missing SQL: 400.
+	resp, _ = postJSON(t, srv.URL+"/query", QueryRequest{})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("missing sql status = %d, want 400", resp.StatusCode)
+	}
+
+	// Duplicate registration: 409; replace: 201.
+	resp, _ = postJSON(t, srv.URL+"/tables", TableRequest{Name: "users"})
+	if resp.StatusCode != http.StatusConflict {
+		t.Fatalf("duplicate register status = %d, want 409", resp.StatusCode)
+	}
+	resp, _ = postJSON(t, srv.URL+"/tables", TableRequest{Name: "users", Replace: true})
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("replace status = %d, want 201", resp.StatusCode)
+	}
+
+	// Invalid name: 400. Oversized payload: 400.
+	resp, _ = postJSON(t, srv.URL+"/tables", TableRequest{Name: "bad name"})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("invalid name status = %d, want 400", resp.StatusCode)
+	}
+	resp, _ = postJSON(t, srv.URL+"/tables", TableRequest{
+		Name: "big", Rows: []RowJSON{{Key: 1, Data: "this payload exceeds sixteen bytes"}},
+	})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("oversized payload status = %d, want 400", resp.StatusCode)
+	}
+}

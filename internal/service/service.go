@@ -1,0 +1,307 @@
+// Package service is the long-lived concurrent serving layer over the
+// plan-IR SQL engine: one Service holds a shared catalog and a bounded
+// LRU cache of prepared plans, and any number of goroutines prepare
+// and execute statements against it at once.
+//
+// A prepared statement parses, plans and lowers exactly once; the
+// cached pipeline is a tree of immutable operator values, so N
+// goroutines executing the same statement share the plan and differ
+// only in their per-run execution contexts (memory space, trace sink,
+// stats). Results and canonical trace hashes are therefore identical
+// across concurrent and sequential execution — the serving layer
+// inherits the engine's determinism story wholesale.
+//
+// Plans are cached keyed by (SQL text, configuration fingerprint,
+// catalog version): changing the worker count, store backend or
+// sorting network fingerprints differently, and any catalog mutation
+// bumps the version, so stale plans are never served — they simply age
+// out of the LRU.
+package service
+
+import (
+	"fmt"
+	"sync"
+
+	"oblivjoin/internal/catalog"
+	"oblivjoin/internal/crypto"
+	"oblivjoin/internal/query"
+	"oblivjoin/internal/query/exec"
+	"oblivjoin/internal/table"
+)
+
+// DefaultPlanCache is the plan-cache capacity when Config.PlanCache is
+// unset.
+const DefaultPlanCache = 64
+
+// Config configures a new Service.
+type Config struct {
+	// Defaults are the engine options every session starts from;
+	// sessions may override Workers and the instrumentation flags per
+	// call (see SessionOption).
+	Defaults query.Options
+	// PlanCache bounds the number of cached prepared plans (LRU);
+	// 0 means DefaultPlanCache.
+	PlanCache int
+	// SealedCatalog stores registered tables AES-sealed at rest, the
+	// catalog counterpart of Defaults.Encrypted intermediate stores.
+	SealedCatalog bool
+}
+
+// Service is a concurrent oblivious query service: a shared catalog,
+// shared execution defaults, and a bounded cache of prepared plans.
+// All methods are safe for concurrent use.
+type Service struct {
+	cat      *catalog.Catalog
+	defaults query.Options
+	cipher   *crypto.Cipher
+
+	mu    sync.Mutex // guards cache and stats
+	cache *lru
+	stats CacheStats
+}
+
+// New builds a Service from cfg. The returned service owns a fresh
+// random cipher used for sealed catalog storage and encrypted
+// execution; it fails only when the platform entropy source does.
+func New(cfg Config) (*Service, error) {
+	cipher, _, err := crypto.NewRandom()
+	if err != nil {
+		return nil, fmt.Errorf("service: %w", err)
+	}
+	cat := catalog.New()
+	if cfg.SealedCatalog {
+		cat = catalog.NewSealed(cipher)
+	}
+	size := cfg.PlanCache
+	if size <= 0 {
+		size = DefaultPlanCache
+	}
+	return &Service{
+		cat:      cat,
+		defaults: cfg.Defaults,
+		cipher:   cipher,
+		cache:    newLRU(size),
+	}, nil
+}
+
+// Catalog returns the service's shared catalog.
+func (s *Service) Catalog() *catalog.Catalog { return s.cat }
+
+// Register makes rows queryable under name; it returns a
+// *catalog.TableExistsError when the name is taken.
+func (s *Service) Register(name string, rows []table.Row) error {
+	return s.cat.Register(name, rows)
+}
+
+// Replace registers rows under name, overwriting any previous table.
+func (s *Service) Replace(name string, rows []table.Row) error {
+	return s.cat.Replace(name, rows)
+}
+
+// Drop removes the named table.
+func (s *Service) Drop(name string) error { return s.cat.Drop(name) }
+
+// Tables lists the registered tables' schemas, sorted by name.
+func (s *Service) Tables() []catalog.Schema { return s.cat.Schemas() }
+
+// ── sessions ─────────────────────────────────────────────────────────
+
+// Session is the per-call layer over the service defaults: unset
+// fields inherit, set fields override. Only execution knobs that keep
+// the plan shape unchanged are per-session; store backend and sorting
+// network stay service-wide.
+type Session struct {
+	// Workers overrides the parallelism of every oblivious operator.
+	Workers *int
+	// Stats overrides PlanStats collection.
+	Stats *bool
+	// TraceHash overrides access-pattern hashing (implies stats).
+	TraceHash *bool
+}
+
+// SessionOption mutates a Session.
+type SessionOption func(*Session)
+
+// WithWorkers overrides the worker count for this call.
+func WithWorkers(n int) SessionOption {
+	return func(se *Session) { se.Workers = &n }
+}
+
+// WithStats turns PlanStats collection on or off for this call.
+func WithStats(on bool) SessionOption {
+	return func(se *Session) { se.Stats = &on }
+}
+
+// WithTraceHash turns access-pattern hashing on or off for this call.
+func WithTraceHash(on bool) SessionOption {
+	return func(se *Session) { se.TraceHash = &on }
+}
+
+// effective layers opts over the service defaults.
+func (s *Service) effective(opts []SessionOption) query.Options {
+	var se Session
+	for _, opt := range opts {
+		opt(&se)
+	}
+	o := s.defaults
+	if se.Workers != nil {
+		o.Workers = *se.Workers
+	}
+	if se.Stats != nil {
+		o.CollectStats = *se.Stats
+	}
+	if se.TraceHash != nil {
+		o.TraceHash = *se.TraceHash
+	}
+	if o.TraceHash {
+		o.CollectStats = true
+	}
+	return o
+}
+
+// fingerprint canonicalizes the execution-shaping options into the
+// plan-cache key. Keying on these knobs partitions the cache per
+// configuration — a fingerprint change always re-plans, never reuses —
+// at the cost of caching an identical pipeline once per worker-count a
+// client sweeps. Instrumentation (stats, trace hashing) changes
+// neither the plan nor execution semantics, so it is excluded:
+// flipping stats on reuses the cached plan.
+func fingerprint(o query.Options) string {
+	return fmt.Sprintf("w%d|e%t|m%t|p%t|s%d",
+		o.Workers, o.Encrypted, o.MergeExchange, o.Probabilistic, o.Seed)
+}
+
+func planKey(sql string, o query.Options, version uint64) string {
+	return fmt.Sprintf("%s\x1f%s\x1fv%d", sql, fingerprint(o), version)
+}
+
+// ── prepared statements ──────────────────────────────────────────────
+
+// Stmt is a prepared statement: parsed, planned and lowered once, then
+// executable any number of times from any number of goroutines. Each
+// Exec snapshots the catalog and runs with a private execution
+// context; the pipeline itself is shared and immutable.
+type Stmt struct {
+	svc      *Service
+	sql      string
+	opts     query.Options
+	plan     query.PlanNode
+	pipeline []exec.Operator
+	tables   []string // catalog tables the plan references
+	cached   bool
+}
+
+// SQL returns the statement's source text.
+func (st *Stmt) SQL() string { return st.sql }
+
+// Explain renders the statement's oblivious logical plan.
+func (st *Stmt) Explain() string { return query.RenderPlan(st.plan) }
+
+// Exec runs the prepared pipeline against a snapshot of the catalog
+// tables the plan references. It returns the result and, when the
+// session collects, the PlanStats report with CacheHit set when the
+// plan came from the cache. Exec is safe to call concurrently on the
+// same Stmt. A referenced table dropped since Prepare surfaces as a
+// *catalog.UnknownTableError.
+func (st *Stmt) Exec() (*query.Result, *query.PlanStats, error) {
+	tables, err := st.svc.cat.SnapshotTables(st.tables)
+	if err != nil {
+		return nil, nil, err
+	}
+	res, ps, err := query.Run(st.opts, st.svc.cipher, tables, st.pipeline)
+	if err != nil {
+		return nil, nil, err
+	}
+	if ps != nil {
+		ps.CacheHit = st.cached
+	}
+	return res, ps, nil
+}
+
+// Prepare parses, plans and lowers sql under the session's effective
+// options, consulting the plan cache first. Preparing against an empty
+// catalog returns catalog.ErrNoTables; unknown tables surface as
+// *catalog.UnknownTableError.
+func (s *Service) Prepare(sql string, opts ...SessionOption) (*Stmt, error) {
+	if s.cat.Len() == 0 {
+		return nil, catalog.ErrNoTables
+	}
+	eff := s.effective(opts)
+	key := planKey(sql, eff, s.cat.Version())
+
+	s.mu.Lock()
+	if ent, ok := s.cache.get(key); ok {
+		s.stats.Hits++
+		s.mu.Unlock()
+		return &Stmt{svc: s, sql: sql, opts: eff,
+			plan: ent.plan, pipeline: ent.pipeline, tables: ent.tables, cached: true}, nil
+	}
+	s.mu.Unlock()
+
+	q, err := query.Parse(sql)
+	if err != nil {
+		return nil, err
+	}
+	plan, err := query.BuildPlan(q, s.cat.Has)
+	if err != nil {
+		return nil, err
+	}
+	pipeline, err := query.LowerPlan(plan)
+	if err != nil {
+		return nil, err
+	}
+	tables := query.PlanTables(plan)
+
+	// Counted here, after planning succeeded: failed prepares cache
+	// nothing, so they are neither hits nor misses.
+	s.mu.Lock()
+	s.stats.Misses++
+	s.stats.Evictions += uint64(s.cache.put(key, &planEntry{plan: plan, pipeline: pipeline, tables: tables}))
+	s.mu.Unlock()
+	return &Stmt{svc: s, sql: sql, opts: eff, plan: plan, pipeline: pipeline, tables: tables}, nil
+}
+
+// Query prepares (or reuses a cached plan for) sql and executes it
+// once: the one-shot form of Prepare + Exec.
+func (s *Service) Query(sql string, opts ...SessionOption) (*query.Result, *query.PlanStats, error) {
+	st, err := s.Prepare(sql, opts...)
+	if err != nil {
+		return nil, nil, err
+	}
+	return st.Exec()
+}
+
+// Explain returns the oblivious plan sql would execute, without
+// touching any data.
+func (s *Service) Explain(sql string) (string, error) {
+	st, err := s.Prepare(sql)
+	if err != nil {
+		return "", err
+	}
+	return st.Explain(), nil
+}
+
+// CacheStats reports the plan cache's cumulative hit/miss/eviction
+// counters and its current occupancy.
+func (s *Service) CacheStats() CacheStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st := s.stats
+	st.Size = s.cache.len()
+	st.Cap = s.cache.cap
+	return st
+}
+
+// CacheStats is the plan cache report.
+type CacheStats struct {
+	// Hits counts Prepares answered from the cache.
+	Hits uint64 `json:"hits"`
+	// Misses counts Prepares that planned from scratch.
+	Misses uint64 `json:"misses"`
+	// Evictions counts plans dropped at the LRU bound.
+	Evictions uint64 `json:"evictions"`
+	// Size is the number of currently cached plans.
+	Size int `json:"size"`
+	// Cap is the cache capacity.
+	Cap int `json:"cap"`
+}

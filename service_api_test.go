@@ -1,0 +1,147 @@
+package oblivjoin
+
+import (
+	"errors"
+	"reflect"
+	"sync"
+	"testing"
+)
+
+// These tests cover the serving-layer surface of the public API: typed
+// misuse errors, catalog management, prepared statements and the plan
+// cache.
+
+func TestRegisterDuplicateTypedError(t *testing.T) {
+	eng := NewEngine()
+	tb := NewTable()
+	tb.MustAppend(1, "a")
+	if err := eng.Register("users", tb); err != nil {
+		t.Fatal(err)
+	}
+	err := eng.Register("users", tb)
+	var dup *TableExistsError
+	if !errors.As(err, &dup) || dup.Name != "users" {
+		t.Fatalf("duplicate Register = %v, want *TableExistsError{users}", err)
+	}
+	// Replace is the explicit overwrite.
+	bigger := NewTable()
+	bigger.MustAppend(1, "a")
+	bigger.MustAppend(2, "b")
+	if err := eng.Replace("users", bigger); err != nil {
+		t.Fatal(err)
+	}
+	infos := eng.Tables()
+	if len(infos) != 1 || infos[0].Rows != 2 {
+		t.Fatalf("Tables after Replace = %+v", infos)
+	}
+}
+
+func TestQueryBeforeRegisterTypedError(t *testing.T) {
+	eng := NewEngine()
+	if _, err := eng.Query("SELECT key FROM users"); !errors.Is(err, ErrNoTables) {
+		t.Fatalf("Query on empty engine = %v, want ErrNoTables", err)
+	}
+	if _, err := eng.Prepare("SELECT key FROM users"); !errors.Is(err, ErrNoTables) {
+		t.Fatalf("Prepare on empty engine = %v, want ErrNoTables", err)
+	}
+}
+
+func TestRegisterNilAndInvalid(t *testing.T) {
+	eng := NewEngine()
+	if err := eng.Register("users", nil); !errors.Is(err, ErrNilTable) {
+		t.Fatalf("Register(nil) = %v, want ErrNilTable", err)
+	}
+	var inv *InvalidNameError
+	if err := eng.Register("bad name", NewTable()); !errors.As(err, &inv) {
+		t.Fatalf("Register(bad name) = %v, want *InvalidNameError", err)
+	}
+	var unk *UnknownTableError
+	if err := eng.Drop("ghost"); !errors.As(err, &unk) {
+		t.Fatalf("Drop(ghost) = %v, want *UnknownTableError", err)
+	}
+}
+
+func TestUnknownTableTypedFromQuery(t *testing.T) {
+	eng := newEngineFixture(t)
+	_, err := eng.Query("SELECT key FROM nope")
+	var unk *UnknownTableError
+	if !errors.As(err, &unk) || unk.Name != "nope" {
+		t.Fatalf("Query(unknown) = %v, want *UnknownTableError{nope}", err)
+	}
+}
+
+// TestPreparedConcurrentEquivalence is the acceptance criterion at the
+// public API: a prepared statement executed from 8+ goroutines returns
+// results and canonical trace hashes identical to a sequential run.
+func TestPreparedConcurrentEquivalence(t *testing.T) {
+	eng := multiwayFixture(t, WithTraceHash())
+	st, err := eng.Prepare(
+		"SELECT key, left.data, right.data FROM users JOIN orders USING (key) JOIN ships USING (key)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	refRes, refPS, err := st.ExecStats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if refPS == nil || refPS.TraceHash == "" {
+		t.Fatal("no reference trace hash")
+	}
+
+	const goroutines = 8
+	var wg sync.WaitGroup
+	errs := make([]error, goroutines)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			res, ps, err := st.ExecStats()
+			if err != nil {
+				errs[g] = err
+				return
+			}
+			if !reflect.DeepEqual(res, refRes) {
+				errs[g] = errors.New("result diverged from sequential run")
+				return
+			}
+			if ps.TraceHash != refPS.TraceHash {
+				errs[g] = errors.New("trace hash diverged from sequential run")
+			}
+		}(g)
+	}
+	wg.Wait()
+	for g, err := range errs {
+		if err != nil {
+			t.Fatalf("goroutine %d: %v", g, err)
+		}
+	}
+}
+
+func TestEngineCacheStats(t *testing.T) {
+	eng := newEngineFixture(t)
+	const sql = "SELECT key FROM users"
+	if _, err := eng.Query(sql); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := eng.Query(sql); err != nil {
+		t.Fatal(err)
+	}
+	cs := eng.CacheStats()
+	if cs.Misses != 1 || cs.Hits != 1 || cs.Size != 1 {
+		t.Fatalf("CacheStats = %+v, want 1 miss, 1 hit, size 1", cs)
+	}
+}
+
+func TestStmtExplain(t *testing.T) {
+	eng := newEngineFixture(t)
+	st, err := eng.Prepare("SELECT key FROM users WHERE key = 1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := st.Explain(); got != "scan(users) → filter[branch-free] → project" {
+		t.Fatalf("Stmt.Explain = %q", got)
+	}
+	if st.SQL() != "SELECT key FROM users WHERE key = 1" {
+		t.Fatalf("Stmt.SQL = %q", st.SQL())
+	}
+}
