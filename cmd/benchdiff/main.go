@@ -5,12 +5,13 @@
 //
 // Usage:
 //
-//	benchdiff -baseline BENCH_baseline [-threshold 1.25] BENCH_join.json BENCH_sql.json
+//	benchdiff -baseline BENCH_baseline [-threshold 1.25] BENCH_join.json BENCH_sql.json BENCH_sealed.json
 //
 // Each fresh file is matched to the baseline file of the same name.
-// Records match by input size (and query text for SQL records); both
-// the sequential and parallel wall times are gated. New benchmarks
-// with no baseline entry are reported but do not fail.
+// Records match by input size, worker count and sealed-block
+// granularity (and query text for SQL records); every "*_ns" wall-time
+// metric a baseline record carries is gated. New benchmarks with no
+// baseline entry are reported but do not fail.
 package main
 
 import (

@@ -3,21 +3,25 @@
 //
 // Usage:
 //
-//	oblivbench -exp table1|table2|table3|fig7|fig8|circuit|bench|sql|all [flags]
+//	oblivbench -exp table1|table2|table3|fig7|fig8|circuit|bench|sql|sealed|all [flags]
 //
-//	-n int        input size for table1/table3 (default 4096 / 65536)
-//	-sizes list   comma-separated n values for fig8
-//	-pgm path     also write Figure 7 as a PGM image
-//	-bsizes list  comma-separated n values for the bench experiment
-//	-ssizes list  comma-separated n values for the sql experiment
-//	-workers int  parallel lanes for bench/sql (0 = GOMAXPROCS)
-//	-json path    write bench results as JSON (default BENCH_join.json)
-//	-sqljson path write sql results as JSON (default BENCH_sql.json)
+//	-n int          input size for table1/table3 (default 4096 / 65536)
+//	-sizes list     comma-separated n values for fig8
+//	-pgm path       also write Figure 7 as a PGM image
+//	-bsizes list    comma-separated n values for the bench experiment
+//	-ssizes list    comma-separated n values for the sql experiment
+//	-zsizes list    comma-separated n values for the sealed experiment
+//	-workers int    parallel lanes for bench/sql/sealed (0 = GOMAXPROCS)
+//	-block int      entries per sealed block for the sealed experiment (0 = default 16)
+//	-json path      write bench results as JSON (default BENCH_join.json)
+//	-sqljson path   write sql results as JSON (default BENCH_sql.json)
+//	-sealedjson path write sealed results as JSON (default BENCH_sealed.json)
 //
 // bench (sequential vs parallel join wall times, tracing on, with a
-// BENCH_join.json perf record) and sql (the same comparison for the
-// SQL plan pipeline, BENCH_sql.json) are opt-in: they run only with
-// -exp bench / -exp sql, never under -exp all.
+// BENCH_join.json perf record), sql (the same comparison for the SQL
+// plan pipeline, BENCH_sql.json) and sealed (plain vs per-entry sealed
+// vs block-sealed storage, BENCH_sealed.json) are opt-in: they run
+// only with -exp bench / -exp sql / -exp sealed, never under -exp all.
 //
 // Absolute timings depend on the host; the reproduction targets are the
 // orderings and growth shapes (see EXPERIMENTS.md).
@@ -34,16 +38,19 @@ import (
 )
 
 func main() {
-	which := flag.String("exp", "all", "experiment: table1, table2, table3, fig7, fig8, circuit, bench, sql, all")
+	which := flag.String("exp", "all", "experiment: table1, table2, table3, fig7, fig8, circuit, bench, sql, sealed, all")
 	n := flag.Int("n", 0, "input size for table1/table3 (defaults: 4096, 65536)")
 	sizes := flag.String("sizes", "25000,50000,100000,200000", "comma-separated input sizes for fig8")
 	pgm := flag.String("pgm", "", "write Figure 7 as a PGM image to this path")
 	nlCap := flag.Int("nlcap", 2048, "largest n for the quadratic nested-loop baseline")
 	bsizes := flag.String("bsizes", "16384,65536,131072", "comma-separated input sizes for bench")
 	ssizes := flag.String("ssizes", "4096,16384,65536", "comma-separated input sizes for sql")
-	workers := flag.Int("workers", 0, "parallel lanes for bench/sql (0 = GOMAXPROCS)")
+	zsizes := flag.String("zsizes", "4096,16384", "comma-separated input sizes for sealed")
+	workers := flag.Int("workers", 0, "parallel lanes for bench/sql/sealed (0 = GOMAXPROCS)")
+	block := flag.Int("block", 0, "entries per sealed block for the sealed experiment (0 = default)")
 	jsonPath := flag.String("json", "BENCH_join.json", "write bench results as JSON to this path (empty to skip)")
 	sqlJSONPath := flag.String("sqljson", "BENCH_sql.json", "write sql results as JSON to this path (empty to skip)")
+	sealedJSONPath := flag.String("sealedjson", "BENCH_sealed.json", "write sealed results as JSON to this path (empty to skip)")
 	flag.Parse()
 
 	parseSizes := func(s string) ([]int, error) {
@@ -61,7 +68,7 @@ func main() {
 	// bench is opt-in only: it is a perf experiment that writes
 	// BENCH_join.json to the working directory, not one of the paper's
 	// figures, so a bare `oblivbench` (-exp all) does not run it.
-	optIn := map[string]bool{"bench": true, "sql": true}
+	optIn := map[string]bool{"bench": true, "sql": true, "sealed": true}
 	run := func(name string, f func() error) {
 		if *which != name && (*which != "all" || optIn[name]) {
 			return
@@ -125,6 +132,23 @@ func main() {
 				return err
 			}
 			fmt.Printf("(bench results written to %s)\n", *jsonPath)
+		}
+		return nil
+	})
+	run("sealed", func() error {
+		ns, err := parseSizes(*zsizes)
+		if err != nil {
+			return err
+		}
+		results, err := exp.BenchSealed(os.Stdout, ns, *workers, *block)
+		if err != nil {
+			return err
+		}
+		if *sealedJSONPath != "" {
+			if err := exp.WriteSealedBenchJSON(*sealedJSONPath, results); err != nil {
+				return err
+			}
+			fmt.Printf("(sealed results written to %s)\n", *sealedJSONPath)
 		}
 		return nil
 	})

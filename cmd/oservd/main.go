@@ -9,6 +9,7 @@
 //	-addr string      listen address (default ":8343")
 //	-workers int      parallel lanes per oblivious operator (0 sequential, <0 GOMAXPROCS)
 //	-encrypted        AES-seal every intermediate table entry
+//	-sealed-block int entries per sealed ciphertext block (0 default 16, 1 per-entry; implies -encrypted)
 //	-sealed-catalog   AES-seal registered tables at rest
 //	-merge-exchange   Batcher's merge-exchange network instead of bitonic
 //	-stats            collect PlanStats for every query by default
@@ -66,6 +67,7 @@ func main() {
 	addr := flag.String("addr", ":8343", "listen address")
 	workers := flag.Int("workers", 0, "parallel lanes per oblivious operator (0 sequential, <0 GOMAXPROCS)")
 	encrypted := flag.Bool("encrypted", false, "AES-seal every intermediate table entry")
+	sealedBlock := flag.Int("sealed-block", 0, "entries per sealed ciphertext block (0 = default 16, 1 = per-entry; implies -encrypted)")
 	sealed := flag.Bool("sealed-catalog", false, "AES-seal registered tables at rest")
 	mergeEx := flag.Bool("merge-exchange", false, "use Batcher's merge-exchange sorting network")
 	stats := flag.Bool("stats", false, "collect PlanStats for every query by default")
@@ -81,6 +83,9 @@ func main() {
 	}
 	if *encrypted {
 		opts = append(opts, oblivjoin.WithEncryptedStore())
+	}
+	if *sealedBlock > 0 {
+		opts = append(opts, oblivjoin.WithSealedBlock(*sealedBlock))
 	}
 	if *sealed {
 		opts = append(opts, oblivjoin.WithSealedCatalog())

@@ -14,7 +14,9 @@
 //
 // Flags -workers, -encrypted and -stats select parallel execution, an
 // AES-sealed entry store, and a per-operator execution report on
-// stderr (add -tracehash for the access-pattern digest).
+// stderr (add -tracehash for the access-pattern digest;
+// -sealed-block sets the sealed store's entries-per-block granularity,
+// 1 for the per-entry store).
 //
 // Supported grammar: SELECT [DISTINCT] items FROM t {JOIN tN USING
 // (key)} [WHERE pred] [GROUP BY key] [ORDER BY key] [LIMIT n]; see the
@@ -50,6 +52,7 @@ func main() {
 	explain := flag.Bool("explain", false, "print the oblivious plan instead of executing")
 	workers := flag.Int("workers", 0, "parallel lanes for the oblivious operators (0 = sequential, < 0 = GOMAXPROCS)")
 	encrypted := flag.Bool("encrypted", false, "keep intermediate entries AES-sealed in public memory")
+	sealedBlock := flag.Int("sealed-block", 0, "entries per sealed ciphertext block (0 = default 16, 1 = per-entry; implies -encrypted)")
 	stats := flag.Bool("stats", false, "print a per-operator execution report to stderr")
 	traceHash := flag.Bool("tracehash", false, "also compute the SHA-256 access-pattern digest (implies -stats)")
 	flag.Parse()
@@ -72,6 +75,9 @@ func main() {
 	}
 	if *encrypted {
 		opts = append(opts, oblivjoin.WithEncryptedStore())
+	}
+	if *sealedBlock > 0 {
+		opts = append(opts, oblivjoin.WithSealedBlock(*sealedBlock))
 	}
 	if *stats {
 		opts = append(opts, oblivjoin.WithStats())

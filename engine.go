@@ -51,9 +51,19 @@ func WithWorkers(n int) EngineOption {
 // WithEncryptedStore keeps every intermediate table entry AES-sealed in
 // public memory under a fresh per-engine key: the cloud-database
 // deployment of the paper, where the server stores only ciphertexts and
-// observes only the (oblivious) access sequence.
+// observes only the (oblivious) access sequence. Entries are sealed in
+// blocks of 16 per ciphertext by default; see WithSealedBlock.
 func WithEncryptedStore() EngineOption {
 	return func(c *service.Config) { c.Defaults.Encrypted = true }
+}
+
+// WithSealedBlock sets the sealed store's granularity — entries per
+// ciphertext block — and implies WithEncryptedStore. 1 selects the
+// per-entry store (one nonce and MAC per entry); larger blocks
+// amortize one crypto operation over more entries. Results and
+// canonical traces are identical at every granularity.
+func WithSealedBlock(b int) EngineOption {
+	return func(c *service.Config) { c.Defaults.Encrypted = true; c.Defaults.SealedBlock = b }
 }
 
 // WithSealedCatalog additionally stores registered tables AES-sealed at

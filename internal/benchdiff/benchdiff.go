@@ -3,11 +3,15 @@
 // that turns the benchmark artifacts into a trajectory instead of a
 // pile of files.
 //
-// Records match on their key — the input size n plus, for SQL records,
-// the query text — and regress when a wall-time metric exceeds the
-// baseline by more than the threshold ratio. Benchmarks present in the
-// baseline but missing from the fresh run also fail the gate: a
-// benchmark silently dropped is a regression in coverage.
+// Records match on their key — the input size n, the worker count and
+// the sealed-block granularity, plus the query text for SQL records —
+// and regress when a wall-time metric exceeds the baseline by more
+// than the threshold ratio. Every JSON field ending in "_ns" is a
+// gated metric, so new benchmark families (BENCH_sealed.json's
+// plain/sealed/block columns, say) are covered without touching the
+// gate. Benchmarks present in the baseline but missing from the fresh
+// run also fail: a benchmark silently dropped is a regression in
+// coverage, and so is a metric that vanished from a record.
 package benchdiff
 
 import (
@@ -16,29 +20,78 @@ import (
 	"io"
 	"os"
 	"sort"
+	"strings"
 )
 
-// Record is the common shape of one benchmark row; it parses both the
-// join records (BENCH_join.json) and the SQL records (BENCH_sql.json),
-// whose extra fields are ignored.
+// Record is the common shape of one benchmark row: the identifying key
+// fields plus every wall-time metric the row carries. It parses the
+// join records (BENCH_join.json), the SQL records (BENCH_sql.json) and
+// the sealed-storage records (BENCH_sealed.json); non-metric extra
+// fields are ignored.
 type Record struct {
-	N            int    `json:"n"`
-	Query        string `json:"query,omitempty"`
-	Workers      int    `json:"workers,omitempty"`
-	SequentialNS int64  `json:"sequential_ns"`
-	ParallelNS   int64  `json:"parallel_ns"`
+	N       int
+	Query   string
+	Workers int
+	Block   int
+	// Metrics holds every "*_ns" field of the record, keyed by the
+	// metric name with the suffix stripped ("sequential_ns" →
+	// "sequential").
+	Metrics map[string]int64
 }
 
-// Key identifies the record for baseline matching: input size and
-// worker count, plus the query text for SQL records. Workers is part
-// of the key so a fresh run at a different parallelism config fails
-// loudly as a missing benchmark instead of silently comparing
-// mismatched configurations.
-func (r Record) Key() string {
-	if r.Query != "" {
-		return fmt.Sprintf("n=%d workers=%d query=%s", r.N, r.Workers, r.Query)
+// UnmarshalJSON collects the key fields and every *_ns metric.
+func (r *Record) UnmarshalJSON(data []byte) error {
+	var raw map[string]json.RawMessage
+	if err := json.Unmarshal(data, &raw); err != nil {
+		return err
 	}
-	return fmt.Sprintf("n=%d workers=%d", r.N, r.Workers)
+	get := func(key string, dst any) error {
+		v, ok := raw[key]
+		if !ok {
+			return nil
+		}
+		return json.Unmarshal(v, dst)
+	}
+	if err := get("n", &r.N); err != nil {
+		return err
+	}
+	if err := get("query", &r.Query); err != nil {
+		return err
+	}
+	if err := get("workers", &r.Workers); err != nil {
+		return err
+	}
+	if err := get("block", &r.Block); err != nil {
+		return err
+	}
+	r.Metrics = map[string]int64{}
+	for k, v := range raw {
+		if !strings.HasSuffix(k, "_ns") {
+			continue
+		}
+		var ns int64
+		if err := json.Unmarshal(v, &ns); err != nil {
+			return fmt.Errorf("benchdiff: metric %s: %w", k, err)
+		}
+		r.Metrics[strings.TrimSuffix(k, "_ns")] = ns
+	}
+	return nil
+}
+
+// Key identifies the record for baseline matching: input size, worker
+// count and block granularity, plus the query text for SQL records.
+// Workers is part of the key so a fresh run at a different parallelism
+// config fails loudly as a missing benchmark instead of silently
+// comparing mismatched configurations.
+func (r Record) Key() string {
+	k := fmt.Sprintf("n=%d workers=%d", r.N, r.Workers)
+	if r.Block != 0 {
+		k += fmt.Sprintf(" block=%d", r.Block)
+	}
+	if r.Query != "" {
+		k += " query=" + r.Query
+	}
+	return k
 }
 
 // Load reads a benchmark record file.
@@ -63,7 +116,7 @@ func Read(r io.Reader) ([]Record, error) {
 // Regression is one wall-time metric that exceeded the threshold.
 type Regression struct {
 	Key        string
-	Metric     string // "sequential" or "parallel"
+	Metric     string // metric name, e.g. "sequential" or "block_join"
 	BaselineNS int64
 	FreshNS    int64
 	Ratio      float64 // FreshNS / BaselineNS
@@ -112,31 +165,38 @@ func Compare(baseline, fresh []Record, threshold float64) Report {
 			rep.MissingInFresh = append(rep.MissingInFresh, b.Key())
 			continue
 		}
-		check := func(metric string, baseNS, freshNS int64) {
+		// Check the baseline's metrics in a stable order so reports
+		// are deterministic.
+		names := make([]string, 0, len(b.Metrics))
+		for name := range b.Metrics {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			baseNS := b.Metrics[name]
 			if baseNS <= 0 {
-				return
+				continue
 			}
 			rep.Compared++
+			freshNS := f.Metrics[name]
 			// A fresh value of zero means the metric vanished (renamed
 			// field, dropped instrumentation) — that silently disables
 			// the gate, so it fails like a dropped benchmark.
 			if freshNS <= 0 {
 				rep.Regressions = append(rep.Regressions, Regression{
-					Key: b.Key(), Metric: metric + " (missing)",
+					Key: b.Key(), Metric: name + " (missing)",
 					BaselineNS: baseNS, FreshNS: freshNS, Ratio: 0,
 				})
-				return
+				continue
 			}
 			ratio := float64(freshNS) / float64(baseNS)
 			if ratio > threshold {
 				rep.Regressions = append(rep.Regressions, Regression{
-					Key: b.Key(), Metric: metric,
+					Key: b.Key(), Metric: name,
 					BaselineNS: baseNS, FreshNS: freshNS, Ratio: ratio,
 				})
 			}
 		}
-		check("sequential", b.SequentialNS, f.SequentialNS)
-		check("parallel", b.ParallelNS, f.ParallelNS)
 	}
 	for _, f := range fresh {
 		if _, ok := bm[f.Key()]; !ok {

@@ -8,7 +8,7 @@ import (
 )
 
 func rec(n int, query string, seq, par int64) Record {
-	return Record{N: n, Query: query, SequentialNS: seq, ParallelNS: par}
+	return Record{N: n, Query: query, Metrics: map[string]int64{"sequential": seq, "parallel": par}}
 }
 
 // TestRegressionGate is the CI acceptance criterion: a benchmark
@@ -38,13 +38,13 @@ func TestRegressionGate(t *testing.T) {
 	}
 
 	// Exactly +25%: within threshold, gate passes.
-	fresh[0].SequentialNS = 1_250_000_000
+	fresh[0].Metrics["sequential"] = 1_250_000_000
 	if rep := Compare(baseline, fresh, 1.25); rep.Failed() {
 		t.Fatalf("25%% flagged as regression: %+v", rep)
 	}
 
 	// Faster than baseline: passes.
-	fresh[0].SequentialNS = 700_000_000
+	fresh[0].Metrics["sequential"] = 700_000_000
 	if rep := Compare(baseline, fresh, 1.25); rep.Failed() {
 		t.Fatalf("improvement flagged as regression: %+v", rep)
 	}
@@ -114,7 +114,7 @@ func TestLoadRoundTrip(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(recs) != 1 || recs[0].N != 16384 || recs[0].SequentialNS != 123456789 {
+	if len(recs) != 1 || recs[0].N != 16384 || recs[0].Metrics["sequential"] != 123456789 {
 		t.Fatalf("Load = %+v", recs)
 	}
 	if recs[0].Key() != "n=16384 workers=8" {
@@ -125,25 +125,75 @@ func TestLoadRoundTrip(t *testing.T) {
 	}
 }
 
+// TestSealedMetricsGate: every *_ns field of a record is a gated
+// metric, so the sealed-storage records (plain/sealed/block columns)
+// are covered by the same comparison, keyed on (n, workers, block).
+func TestSealedMetricsGate(t *testing.T) {
+	body := `[
+  {"n": 4096, "workers": 4, "block": 16,
+   "plain_join_ns": 100, "sealed_join_ns": 1000, "block_join_ns": 400,
+   "plain_sort_ns": 50, "sealed_sort_ns": 500, "block_sort_ns": 200}
+]`
+	baseline, err := Read(strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := baseline[0].Key(); got != "n=4096 workers=4 block=16" {
+		t.Fatalf("Key = %q", got)
+	}
+	fresh, _ := Read(strings.NewReader(body))
+	if rep := Compare(baseline, fresh, 1.25); rep.Failed() || rep.Compared != 6 {
+		t.Fatalf("self-compare: %+v", rep)
+	}
+	fresh[0].Metrics["block_join"] = 600 // +50%
+	rep := Compare(baseline, fresh, 1.25)
+	if len(rep.Regressions) != 1 || rep.Regressions[0].Metric != "block_join" {
+		t.Fatalf("sealed metric regression not flagged: %+v", rep)
+	}
+	delete(fresh[0].Metrics, "sealed_sort") // vanished metric
+	rep = Compare(baseline, fresh, 1.25)
+	found := false
+	for _, r := range rep.Regressions {
+		if r.Metric == "sealed_sort (missing)" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("vanished sealed metric not flagged: %+v", rep)
+	}
+}
+
 // TestAgainstCommittedBaseline sanity-checks the committed baseline
 // files: they must parse and self-compare cleanly, so the CI gate can
 // never fail on baseline shape alone.
 func TestAgainstCommittedBaseline(t *testing.T) {
-	for _, name := range []string{"BENCH_join.json", "BENCH_sql.json"} {
-		path := filepath.Join("..", "..", "BENCH_baseline", name)
+	for _, tc := range []struct {
+		name    string
+		metrics int // gated wall-time metrics per record
+	}{
+		{"BENCH_join.json", 2},
+		{"BENCH_sql.json", 2},
+		{"BENCH_sealed.json", 6},
+	} {
+		path := filepath.Join("..", "..", "BENCH_baseline", tc.name)
 		recs, err := Load(path)
 		if err != nil {
-			t.Fatalf("committed baseline %s: %v", name, err)
+			t.Fatalf("committed baseline %s: %v", tc.name, err)
 		}
 		if len(recs) == 0 {
-			t.Fatalf("committed baseline %s is empty", name)
+			t.Fatalf("committed baseline %s is empty", tc.name)
 		}
 		for _, r := range recs {
-			if r.SequentialNS <= 0 || r.ParallelNS <= 0 {
-				t.Fatalf("committed baseline %s has empty wall times: %+v", name, r)
+			for name, ns := range r.Metrics {
+				if ns <= 0 {
+					t.Fatalf("committed baseline %s has empty wall time %s: %+v", tc.name, name, r)
+				}
+			}
+			if len(r.Metrics) != tc.metrics {
+				t.Fatalf("committed baseline %s carries %d metrics, want %d: %+v", tc.name, len(r.Metrics), tc.metrics, r)
 			}
 		}
-		if rep := Compare(recs, recs, 1.25); rep.Failed() || rep.Compared != 2*len(recs) {
+		if rep := Compare(recs, recs, 1.25); rep.Failed() || rep.Compared != tc.metrics*len(recs) {
 			t.Fatalf("baseline self-compare: %+v", rep)
 		}
 	}

@@ -47,6 +47,13 @@ type PairOp[T any] func(i, j int, dir uint64, x, y *T)
 // degree of parallelism.
 const chunkSize = 512
 
+// spanChunk is the entry capacity of one coalesced span chunk (see
+// runRound): adjacent dense segments are grouped until their combined
+// footprint reaches this many entries. Like chunkSize it is a fixed
+// constant, so the chunk cut — and with it the canonical trace — is a
+// pure function of the round.
+const spanChunk = 2 * chunkSize
+
 // workerPool is the persistent process-wide pool that executes round
 // partitions. Workers are started once, sized to GOMAXPROCS, and live
 // for the life of the process; individual sorts only borrow them.
@@ -101,11 +108,32 @@ func (p *workerPool) do(fns []func()) {
 	wg.Wait()
 }
 
-// chunk is one canonically-cut block of a segment: comparators
-// (seg.Lo+off+k, seg.Lo+seg.Hop+off+k) for k ∈ [0, cnt).
+// chunk is one canonically-cut unit of a round, in one of two forms.
+//
+// Pair form (span == nil): one block of a single segment's comparators
+// (seg.Lo+off+k, seg.Lo+seg.Hop+off+k) for k ∈ [0, cnt), executed as
+// two batched ranges (the low sides and the high sides).
+//
+// Span form (span != nil): a run of adjacent dense segments — each with
+// Cnt == Hop, tiling the contiguous entry range [lo, lo+n) with no gap
+// — executed as ONE batched range read, the compare–exchanges in local
+// memory, and one batched range write. This is what keeps small-hop
+// rounds batch-granular: without it a hop-h round decomposes into
+// h-entry ranges, which defeats range batching (and block-sealed
+// storage) exactly in the rounds that dominate the network.
 type chunk struct {
-	seg      Segment
+	span     []Segment // span form: adjacent dense segments
+	lo, n    int       // span form: covered entry range [lo, lo+n)
+	seg      Segment   // pair form
 	off, cnt int
+}
+
+// comparators returns the number of compare–exchanges the chunk holds.
+func (c chunk) comparators() int {
+	if c.span == nil {
+		return c.cnt
+	}
+	return c.n / 2
 }
 
 // lane is one worker's execution context: a shard alias of the store, a
@@ -115,7 +143,8 @@ type lane[T any] struct {
 	arr        Array[T]
 	rng        RangeArray[T] // arr as RangeArray, or nil
 	buf        *trace.Buffer // nil when the store is untraced
-	bufX, bufY []T
+	bufX, bufY []T           // pair-form blocks (chunkSize each)
+	bufS       []T           // span-form block (spanChunk)
 }
 
 // roundExec executes rounds of disjoint comparator segments over one
@@ -154,6 +183,7 @@ func newRoundExec[T any](a Array[T], op PairOp[T], workers int) *roundExec[T] {
 	// so it always needs its value blocks.
 	ex.seq.bufX = make([]T, chunkSize)
 	ex.seq.bufY = make([]T, chunkSize)
+	ex.seq.bufS = make([]T, spanChunk)
 	return ex
 }
 
@@ -193,6 +223,7 @@ func makeLanes[T any](a Array[T], wantRange bool, workers int) []lane[T] {
 		lanes[w] = lane[T]{
 			arr: arr, rng: rng, buf: buf,
 			bufX: make([]T, chunkSize), bufY: make([]T, chunkSize),
+			bufS: make([]T, spanChunk),
 		}
 	}
 	return lanes
@@ -200,20 +231,41 @@ func makeLanes[T any](a Array[T], wantRange bool, workers int) []lane[T] {
 
 // runRound executes one round of disjoint segments.
 func (ex *roundExec[T]) runRound(segs []Segment) {
-	// Cut segments into canonical chunks of at most chunkSize
-	// comparators; this cut depends only on the round, never on the
-	// worker count.
+	// Cut segments into canonical chunks; the cut depends only on the
+	// round, never on the worker count. Runs of adjacent dense
+	// segments (Cnt == Hop, no coverage gap, footprint ≤ spanChunk
+	// entries) coalesce into span chunks; everything else becomes
+	// pair chunks of at most chunkSize comparators.
 	ex.chunks = ex.chunks[:0]
 	total := 0
-	for _, s := range segs {
-		for off := 0; off < s.Cnt; off += chunkSize {
-			cnt := s.Cnt - off
-			if cnt > chunkSize {
-				cnt = chunkSize
-			}
-			ex.chunks = append(ex.chunks, chunk{seg: s, off: off, cnt: cnt})
-		}
+	for i := 0; i < len(segs); {
+		s := segs[i]
 		total += s.Cnt
+		if s.Cnt != s.Hop || 2*s.Cnt > spanChunk {
+			for off := 0; off < s.Cnt; off += chunkSize {
+				cnt := s.Cnt - off
+				if cnt > chunkSize {
+					cnt = chunkSize
+				}
+				ex.chunks = append(ex.chunks, chunk{seg: s, off: off, cnt: cnt})
+			}
+			i++
+			continue
+		}
+		// Greedily extend the span while the next segment is dense,
+		// exactly adjacent, and fits the fixed capacity.
+		j, end := i+1, s.Lo+2*s.Cnt
+		for j < len(segs) {
+			t := segs[j]
+			if t.Cnt != t.Hop || t.Lo != end || end+2*t.Cnt-s.Lo > spanChunk {
+				break
+			}
+			total += t.Cnt
+			end += 2 * t.Cnt
+			j++
+		}
+		ex.chunks = append(ex.chunks, chunk{span: segs[i:j:j], lo: s.Lo, n: end - s.Lo})
+		i = j
 	}
 	ex.count += uint64(total)
 	if total == 0 {
@@ -236,7 +288,7 @@ func (ex *roundExec[T]) runRound(segs []Segment) {
 	fns := make([]func(), 0, nw)
 	start, load, used := 0, 0, 0
 	for i, c := range ex.chunks {
-		load += c.cnt
+		load += c.comparators()
 		// Cut when the span reached its target, keeping enough chunks
 		// for the remaining lanes.
 		if load >= target || len(ex.chunks)-i-1 == nw-used-1 {
@@ -264,10 +316,15 @@ func (ex *roundExec[T]) runRound(segs []Segment) {
 
 // runChunk applies the op to every comparator of one chunk, batching
 // the store accesses when the store supports ranges. The emitted event
-// pattern — R-run(low side), R-run(high side), W-run(low side),
-// W-run(high side), or the interleaved per-pair pattern on stores
-// without range support — is a function of the chunk alone.
+// pattern — R-run(span), W-run(span) for span chunks; R-run(low side),
+// R-run(high side), W-run(low side), W-run(high side) for pair chunks;
+// or the interleaved per-pair pattern on stores without range support —
+// is a function of the chunk alone.
 func (l *lane[T]) runChunk(op PairOp[T], c chunk) {
+	if c.span != nil {
+		l.runSpan(op, c)
+		return
+	}
 	loX := c.seg.Lo + c.off
 	loY := loX + c.seg.Hop
 	if l.rng != nil {
@@ -287,6 +344,33 @@ func (l *lane[T]) runChunk(op PairOp[T], c chunk) {
 		op(i, j, c.seg.Dir, &x, &y)
 		l.arr.Set(i, x)
 		l.arr.Set(j, y)
+	}
+}
+
+// runSpan executes a span chunk: one contiguous read of the covered
+// entry range, every segment's compare–exchanges in local memory, one
+// contiguous write back.
+func (l *lane[T]) runSpan(op PairOp[T], c chunk) {
+	buf := l.bufS[:c.n]
+	if l.rng != nil {
+		l.rng.GetRange(c.lo, buf)
+	} else {
+		for k := range buf {
+			buf[k] = l.arr.Get(c.lo + k)
+		}
+	}
+	for _, s := range c.span {
+		base := s.Lo - c.lo
+		for k := 0; k < s.Cnt; k++ {
+			op(s.Lo+k, s.Lo+s.Hop+k, s.Dir, &buf[base+k], &buf[base+s.Hop+k])
+		}
+	}
+	if l.rng != nil {
+		l.rng.SetRange(c.lo, buf)
+	} else {
+		for k := range buf {
+			l.arr.Set(c.lo+k, buf[k])
+		}
 	}
 }
 

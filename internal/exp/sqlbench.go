@@ -27,7 +27,8 @@ type SQLBenchResult struct {
 	Speedup      float64 `json:"speedup"`
 	TraceEvents  uint64  `json:"trace_events"`
 	TraceDetEv   bool    `json:"trace_event_counts_equal"`
-	TraceDetHash *bool   `json:"trace_hashes_equal,omitempty"`
+	TraceDetHash bool    `json:"trace_hashes_equal"`
+	TraceSkipped string  `json:"trace_hash_skipped,omitempty"`
 	GOMAXPROCS   int     `json:"gomaxprocs"`
 }
 
@@ -72,10 +73,9 @@ func BenchSQL(w io.Writer, ns []int, workers int) ([]SQLBenchResult, error) {
 	var out []SQLBenchResult
 	for _, n := range ns {
 		catalog := sqlCatalog(n)
-		// Full canonical hashes are cross-checked up to hashCheckCap (the
-		// SHA-256 chain dwarfs the query itself beyond that; the unit
-		// tests cover hash equality exhaustively); larger sizes compare
-		// event counts.
+		// Full canonical hashes are cross-checked up to hashCheckCap;
+		// larger sizes compare event counts and say so explicitly in
+		// the record.
 		hash := n <= hashCheckCap
 		for _, src := range sqlBenchQueries {
 			run := func(wk int) (*query.Result, *query.PlanStats, time.Duration, error) {
@@ -108,10 +108,11 @@ func BenchSQL(w io.Writer, ns []int, workers int) ([]SQLBenchResult, error) {
 				GOMAXPROCS: runtime.GOMAXPROCS(0),
 			}
 			if hash {
-				hashEq := seqStats.TraceHash == parStats.TraceHash
-				r.TraceDetHash = &hashEq
+				r.TraceDetHash = seqStats.TraceHash == parStats.TraceHash
+			} else {
+				r.TraceSkipped = fmt.Sprintf("n exceeds hash check cap %d", hashCheckCap)
 			}
-			if !evEq || (r.TraceDetHash != nil && !*r.TraceDetHash) || !reflect.DeepEqual(seqRes, parRes) {
+			if !evEq || (hash && !r.TraceDetHash) || !reflect.DeepEqual(seqRes, parRes) {
 				return nil, fmt.Errorf("exp: parallel SQL run diverged from sequential at n=%d (%s)", n, src)
 			}
 			if parT > 0 {

@@ -133,24 +133,12 @@ func (a *Array[T]) touchRange(op trace.Op, lo, n int) {
 		}
 		return
 	}
-	// Emit the event run in fixed-size batches through the recorder's
-	// batch interface (one dynamic dispatch per batch instead of per
-	// event); for buffer-sharded parallel lanes this is a bulk append.
-	br, batched := a.space.rec.(trace.BatchRecorder)
-	if !batched {
-		for i := lo; i < lo+n; i++ {
-			a.space.rec.Record(trace.Event{Op: op, Array: a.id, Index: uint64(i)})
-		}
-		return
-	}
-	var evs [256]trace.Event
-	for i := lo; i < lo+n; {
-		k := 0
-		for ; k < len(evs) && i < lo+n; k, i = k+1, i+1 {
-			evs[k] = trace.Event{Op: op, Array: a.id, Index: uint64(i)}
-		}
-		br.RecordBatch(evs[:k])
-	}
+	// Emit the event run through the recorder's run interface: one
+	// dynamic dispatch for the whole range and no materialized event
+	// slice (a stack-side event buffer would escape through the
+	// interface call and allocate per range). Recorders without
+	// RecordRun get the equivalent per-event loop.
+	trace.RecordRunTo(a.space.rec, op, a.id, uint64(lo), n)
 }
 
 // Traced reports whether accesses to this array have an observable

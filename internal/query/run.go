@@ -44,12 +44,14 @@ func Run(opts Options, cipher *crypto.Cipher, tables map[string][]table.Row, pip
 	sp := memory.NewSpace(rec, nil)
 
 	var alloc table.Alloc
-	if opts.Encrypted {
-		if cipher == nil {
-			return nil, nil, fmt.Errorf("query: encrypted execution without a cipher: %w", ErrInternal)
-		}
+	switch {
+	case opts.Encrypted && cipher == nil:
+		return nil, nil, fmt.Errorf("query: encrypted execution without a cipher: %w", ErrInternal)
+	case opts.Encrypted && opts.SealedBlock == 1:
 		alloc = table.EncryptedAlloc(sp, cipher)
-	} else {
+	case opts.Encrypted:
+		alloc = table.BlockEncryptedAlloc(sp, cipher, opts.SealedBlock)
+	default:
 		alloc = table.PlainAlloc(sp)
 	}
 

@@ -167,8 +167,8 @@ func (s *Service) effective(opts []SessionOption) query.Options {
 // neither the plan nor execution semantics, so it is excluded:
 // flipping stats on reuses the cached plan.
 func fingerprint(o query.Options) string {
-	return fmt.Sprintf("w%d|e%t|m%t|p%t|s%d",
-		o.Workers, o.Encrypted, o.MergeExchange, o.Probabilistic, o.Seed)
+	return fmt.Sprintf("w%d|e%t|b%d|m%t|p%t|s%d",
+		o.Workers, o.Encrypted, o.SealedBlock, o.MergeExchange, o.Probabilistic, o.Seed)
 }
 
 func planKey(sql string, o query.Options, version uint64) string {

@@ -12,49 +12,65 @@ import (
 // nonce and MAC overhead.
 const SealedSize = EncodedSize + crypto.Overhead
 
-// sealed is the fixed-width ciphertext of one entry.
-type sealed [SealedSize]byte
-
-// Encrypted is a Store whose entries live sealed in public memory.
-// Every Get authenticates and decrypts; every Set re-encrypts under a
-// fresh nonce, so overwriting an entry with its previous value is
-// indistinguishable from a real update — the property that makes the
-// sorting network's dummy write-backs safe (§3.5).
+// Encrypted is a Store whose entries live sealed in public memory, one
+// ciphertext record per entry. Every Get authenticates and decrypts;
+// every Set re-encrypts under a fresh nonce, so overwriting an entry
+// with its previous value is indistinguishable from a real update — the
+// property that makes the sorting network's dummy write-backs safe
+// (§3.5).
+//
+// The trace is emitted through a zero-width traced array that aliases
+// the plain store's indices one-to-one, so an encrypted run's canonical
+// trace is bit-identical to a plain run's. Range operations ride
+// crypto.SealRange/OpenRange over the contiguous ciphertext region and
+// pooled plaintext scratch: in steady state no call allocates.
 type Encrypted struct {
-	arr    *memory.Array[sealed]
+	ev     *memory.Array[struct{}] // per-entry trace/cost emitter
 	cipher *crypto.Cipher
+	ct     []byte // len(e) contiguous SealedSize-byte records, shared across shards
 }
 
+// initChunk bounds the plaintext staging buffer used when initializing
+// a sealed store, in entries.
+const initChunk = 1024
+
 // NewEncrypted allocates an encrypted store of n null entries in s,
-// sealed under c.
+// sealed under c. Every slot is initialized with a valid ciphertext of
+// the zero entry so that Get before first Set authenticates. The
+// initialization writes bypass the trace: like the allocation itself
+// they are a fixed function of the (public) size n, and keeping them
+// out of the event stream makes an encrypted run's trace identical to
+// a plain run's.
 func NewEncrypted(s *memory.Space, c *crypto.Cipher, n int) *Encrypted {
-	e := &Encrypted{arr: memory.Alloc[sealed](s, n, SealedSize), cipher: c}
-	// Initialize every slot with a valid ciphertext of the zero entry so
-	// that Get before first Set authenticates. The initialization writes
-	// bypass the trace: like the allocation itself they are a fixed
-	// function of the (public) size n, and keeping them out of the event
-	// stream makes an encrypted run's trace identical to a plain run's —
-	// the sealed array aliases the plain array's indices one-to-one.
-	var zero Entry
-	var buf [EncodedSize]byte
-	zero.Encode(buf[:])
-	raw := e.arr.Raw()
-	for i := range raw {
-		c.Seal(raw[i][:], buf[:])
+	e := &Encrypted{
+		ev:     memory.Alloc[struct{}](s, n, SealedSize),
+		cipher: c,
+		ct:     make([]byte, n*SealedSize),
+	}
+	chunk := min(n, initChunk)
+	p, zeros := getBuf(chunk * EncodedSize)
+	defer putBuf(p)
+	clear(zeros)
+	for lo := 0; lo < n; lo += chunk {
+		k := min(chunk, n-lo)
+		c.SealRange(e.ct[lo*SealedSize:(lo+k)*SealedSize], zeros[:k*EncodedSize], EncodedSize)
 	}
 	return e
 }
 
 // Len returns the number of entries.
-func (e *Encrypted) Len() int { return e.arr.Len() }
+func (e *Encrypted) Len() int { return e.ev.Len() }
+
+// rec returns entry i's ciphertext record.
+func (e *Encrypted) rec(i int) []byte { return e.ct[i*SealedSize : (i+1)*SealedSize] }
 
 // Get decrypts entry i. A failed authentication means the untrusted
 // server tampered with memory; that is a fatal integrity violation, not
 // a recoverable condition, so Get panics.
 func (e *Encrypted) Get(i int) Entry {
-	ct := e.arr.Get(i)
+	e.ev.Get(i)
 	var buf [EncodedSize]byte
-	if err := e.cipher.Open(buf[:], ct[:]); err != nil {
+	if err := e.cipher.Open(buf[:], e.rec(i)); err != nil {
 		panic("table: entry authentication failed: " + err.Error())
 	}
 	return DecodeEntry(buf[:])
@@ -62,75 +78,87 @@ func (e *Encrypted) Get(i int) Entry {
 
 // Set seals v under a fresh nonce and stores it at i.
 func (e *Encrypted) Set(i int, v Entry) {
+	e.ev.Set(i, struct{}{})
 	var buf [EncodedSize]byte
 	v.Encode(buf[:])
-	var ct sealed
-	e.cipher.Seal(ct[:], buf[:])
-	e.arr.Set(i, ct)
+	e.cipher.Seal(e.rec(i), buf[:])
 }
 
-// sealedScratch pools ciphertext blocks for the batched range
-// operations so hot sorting rounds do not allocate per call.
-var sealedScratch = sync.Pool{
+// bufPool pools plaintext staging buffers for the batched range
+// operations of the sealed stores, so hot sorting rounds and scans do
+// not allocate per call.
+var bufPool = sync.Pool{
 	New: func() any {
-		s := make([]sealed, 0, 1024)
-		return &s
+		b := make([]byte, 0, 64<<10)
+		return &b
 	},
 }
 
-func getSealedScratch(n int) (*[]sealed, []sealed) {
-	p := sealedScratch.Get().(*[]sealed)
+func getBuf(n int) (*[]byte, []byte) {
+	p := bufPool.Get().(*[]byte)
 	if cap(*p) < n {
-		*p = make([]sealed, n)
+		*p = make([]byte, n)
 	}
 	return p, (*p)[:n]
 }
 
-// GetRange decrypts the run [lo, lo+len(dst)) into dst. The underlying
-// sealed array is read as one batched range, so the trace events are
-// the per-index reads in ascending order.
+func putBuf(p *[]byte) { bufPool.Put(p) }
+
+// touches returns a zero-width slice for emitting an n-event trace run
+// through a memory.Array[struct{}]; it performs no allocation (zero-size
+// elements share the runtime's zero base).
+func touches(n int) []struct{} { return make([]struct{}, n) }
+
+// GetRange decrypts the run [lo, lo+len(dst)) into dst, emitting the
+// per-index read events in ascending order; the ciphertexts are opened
+// as one contiguous record range.
 func (e *Encrypted) GetRange(lo int, dst []Entry) {
-	p, cts := getSealedScratch(len(dst))
-	defer sealedScratch.Put(p)
-	e.arr.GetRange(lo, cts)
-	var buf [EncodedSize]byte
+	e.ev.GetRange(lo, touches(len(dst)))
+	if len(dst) == 0 {
+		return
+	}
+	p, plain := getBuf(len(dst) * EncodedSize)
+	defer putBuf(p)
+	if err := e.cipher.OpenRange(plain, e.ct[lo*SealedSize:(lo+len(dst))*SealedSize], EncodedSize); err != nil {
+		panic("table: entry authentication failed: " + err.Error())
+	}
 	for k := range dst {
-		if err := e.cipher.Open(buf[:], cts[k][:]); err != nil {
-			panic("table: entry authentication failed: " + err.Error())
-		}
-		dst[k] = DecodeEntry(buf[:])
+		dst[k] = DecodeEntry(plain[k*EncodedSize : (k+1)*EncodedSize])
 	}
 }
 
 // SetRange seals src under fresh nonces and writes the run
-// [lo, lo+len(src)) as one batched range.
+// [lo, lo+len(src)) as one contiguous record range.
 func (e *Encrypted) SetRange(lo int, src []Entry) {
-	p, cts := getSealedScratch(len(src))
-	defer sealedScratch.Put(p)
-	var buf [EncodedSize]byte
-	for k := range src {
-		src[k].Encode(buf[:])
-		e.cipher.Seal(cts[k][:], buf[:])
+	e.ev.SetRange(lo, touches(len(src)))
+	if len(src) == 0 {
+		return
 	}
-	e.arr.SetRange(lo, cts)
+	p, plain := getBuf(len(src) * EncodedSize)
+	defer putBuf(p)
+	for k := range src {
+		src[k].Encode(plain[k*EncodedSize : (k+1)*EncodedSize])
+	}
+	e.cipher.SealRange(e.ct[lo*SealedSize:(lo+len(src))*SealedSize], plain, EncodedSize)
 }
 
 // Traced reports whether accesses to the sealed storage are recorded.
-func (e *Encrypted) Traced() bool { return e.arr.Traced() }
+func (e *Encrypted) Traced() bool { return e.ev.Traced() }
 
 // Recorder returns the recorder the sealed storage feeds.
-func (e *Encrypted) Recorder() trace.Recorder { return e.arr.Recorder() }
+func (e *Encrypted) Recorder() trace.Recorder { return e.ev.Recorder() }
 
 // Shard returns an alias of the store recording to rec, for parallel
 // executors (see bitonic.Sharder); nil when the underlying memory
-// cannot be sharded. The cipher is shared — Seal and Open are safe for
-// concurrent use.
+// cannot be sharded. The cipher and ciphertext region are shared —
+// parallel lanes touch disjoint entries, hence disjoint byte ranges,
+// and the cipher is safe for concurrent use.
 func (e *Encrypted) Shard(rec trace.Recorder) any {
-	res := e.arr.Shard(rec)
+	res := e.ev.Shard(rec)
 	if res == nil {
 		return nil
 	}
-	return &Encrypted{arr: res.(*memory.Array[sealed]), cipher: e.cipher}
+	return &Encrypted{ev: res.(*memory.Array[struct{}]), cipher: e.cipher, ct: e.ct}
 }
 
 // Alloc abstracts allocation of entry stores so the join can run over
@@ -144,7 +172,8 @@ func PlainAlloc(s *memory.Space) Alloc {
 	}
 }
 
-// EncryptedAlloc returns an Alloc producing sealed stores in s under c.
+// EncryptedAlloc returns an Alloc producing per-entry sealed stores in
+// s under c.
 func EncryptedAlloc(s *memory.Space, c *crypto.Cipher) Alloc {
 	return func(n int) Store {
 		return NewEncrypted(s, c, n)

@@ -1,6 +1,7 @@
 package table
 
 import (
+	"bytes"
 	"testing"
 
 	"oblivjoin/internal/crypto"
@@ -43,10 +44,9 @@ func TestEncryptedCiphertextChangesOnRewrite(t *testing.T) {
 	enc := NewEncrypted(s, newCipher(t), 1)
 	e := entryFixture()
 	enc.Set(0, e)
-	ct1 := enc.arr.Get(0)
+	ct1 := append([]byte(nil), enc.rec(0)...)
 	enc.Set(0, e) // same logical value
-	ct2 := enc.arr.Get(0)
-	if ct1 == ct2 {
+	if bytes.Equal(ct1, enc.rec(0)) {
 		t.Fatal("rewriting identical entry produced identical ciphertext")
 	}
 	if enc.Get(0) != e {
@@ -57,9 +57,7 @@ func TestEncryptedCiphertextChangesOnRewrite(t *testing.T) {
 func TestEncryptedPanicsOnTamper(t *testing.T) {
 	s := memory.NewSpace(nil, nil)
 	enc := NewEncrypted(s, newCipher(t), 1)
-	ct := enc.arr.Get(0)
-	ct[5] ^= 0xff
-	enc.arr.Set(0, ct)
+	enc.ct[5] ^= 0xff
 	defer func() {
 		if recover() == nil {
 			t.Fatal("expected panic on tampered ciphertext")

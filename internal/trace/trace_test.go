@@ -101,6 +101,109 @@ func TestHasherOrderSensitive(t *testing.T) {
 	}
 }
 
+// TestHasherBatchAndRunMatchRecord pins the core invariant of the
+// canonical hash: RecordBatch and RecordRun must produce exactly the
+// digest (and count) of the equivalent per-event Record sequence,
+// including across the internal buffer's flush boundary.
+func TestHasherBatchAndRunMatchRecord(t *testing.T) {
+	const n = 1000 // larger than the internal buffer's 248-event capacity
+	evs := make([]Event, n)
+	for i := range evs {
+		evs[i] = Event{Op: Op(i & 1), Array: uint32(i % 7), Index: uint64(i * 3)}
+	}
+	one, batch := NewHasher(), NewHasher()
+	for _, e := range evs {
+		one.Record(e)
+	}
+	batch.RecordBatch(evs)
+	if one.Sum() != batch.Sum() || one.Count() != batch.Count() {
+		t.Fatal("RecordBatch diverges from per-event Record")
+	}
+
+	run, loop := NewHasher(), NewHasher()
+	run.RecordRun(Write, 3, 100, n)
+	for k := 0; k < n; k++ {
+		loop.Record(Event{Op: Write, Array: 3, Index: 100 + uint64(k)})
+	}
+	if run.Sum() != loop.Sum() || run.Count() != loop.Count() {
+		t.Fatal("RecordRun diverges from per-event Record")
+	}
+}
+
+// TestHasherSumIsResumable: Sum must report the running digest without
+// finalizing the stream — recording may continue, and repeated Sums
+// agree with a fresh hasher fed the same prefix.
+func TestHasherSumIsResumable(t *testing.T) {
+	a, b := NewHasher(), NewHasher()
+	e1 := Event{Read, 0, 1}
+	e2 := Event{Write, 1, 2}
+	a.Record(e1)
+	mid := a.Sum()
+	if mid != a.Sum() {
+		t.Fatal("repeated Sum changed the digest")
+	}
+	a.Record(e2)
+	b.Record(e1)
+	b.Record(e2)
+	if a.Sum() != b.Sum() {
+		t.Fatal("recording after Sum diverged from an uninterrupted stream")
+	}
+}
+
+// TestRecordRunToFallback: recorders without RecordRun receive the
+// equivalent per-event sequence.
+func TestRecordRunToFallback(t *testing.T) {
+	s := NewSummary() // implements only Record
+	RecordRunTo(s, Write, 2, 5, 3)
+	st := s.PerArray[2]
+	if st == nil || st.Writes != 3 || st.Extent != 8 {
+		t.Fatalf("fallback run mis-recorded: %+v", st)
+	}
+	var c Counter
+	RecordRunTo(&c, Read, 0, 0, 4)
+	if c.Reads != 4 {
+		t.Fatalf("Counter.RecordRun: %+v", c)
+	}
+	l := NewLog()
+	RecordRunTo(l, Read, 1, 10, 2)
+	want := []Event{{Read, 1, 10}, {Read, 1, 11}}
+	if len(l.Events) != 2 || l.Events[0] != want[0] || l.Events[1] != want[1] {
+		t.Fatalf("Log.RecordRun: %+v", l.Events)
+	}
+	var b Buffer
+	RecordRunTo(&b, Write, 1, 3, 2)
+	if len(b.Events) != 2 || b.Events[1] != (Event{Write, 1, 4}) {
+		t.Fatalf("Buffer.RecordRun: %+v", b.Events)
+	}
+}
+
+// TestHasherAllocFree: the streamed hasher must not allocate per event
+// (or per run) in steady state.
+func TestHasherAllocFree(t *testing.T) {
+	h := NewHasher()
+	evs := make([]Event, 300)
+	h.RecordBatch(evs) // warm-up, crosses a flush
+	if avg := testing.AllocsPerRun(50, func() { h.Record(Event{Write, 1, 9}) }); avg != 0 {
+		t.Errorf("Record: %.1f allocs/op, want 0", avg)
+	}
+	if avg := testing.AllocsPerRun(50, func() { h.RecordBatch(evs) }); avg != 0 {
+		t.Errorf("RecordBatch: %.1f allocs/op, want 0", avg)
+	}
+	if avg := testing.AllocsPerRun(50, func() { h.RecordRun(Read, 2, 0, 300) }); avg != 0 {
+		t.Errorf("RecordRun: %.1f allocs/op, want 0", avg)
+	}
+}
+
+func TestHasherZeroValueUsable(t *testing.T) {
+	var h Hasher
+	h.Record(Event{Read, 0, 0})
+	ref := NewHasher()
+	ref.Record(Event{Read, 0, 0})
+	if h.Sum() != ref.Sum() {
+		t.Fatal("zero-value Hasher diverges from NewHasher")
+	}
+}
+
 func TestHasherHexLength(t *testing.T) {
 	h := NewHasher()
 	h.Record(Event{Write, 2, 9})
@@ -223,7 +326,31 @@ func TestRenderPGMHeader(t *testing.T) {
 func BenchmarkHasherRecord(b *testing.B) {
 	h := NewHasher()
 	e := Event{Write, 1, 123456}
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		h.Record(e)
 	}
+}
+
+func BenchmarkHasherRecordBatch(b *testing.B) {
+	h := NewHasher()
+	evs := make([]Event, 512)
+	for i := range evs {
+		evs[i] = Event{Op: Op(i & 1), Array: 1, Index: uint64(i)}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h.RecordBatch(evs)
+	}
+	b.ReportMetric(float64(b.N)*512/b.Elapsed().Seconds()/1e6, "Mevents/s")
+}
+
+func BenchmarkHasherRecordRun(b *testing.B) {
+	h := NewHasher()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h.RecordRun(Read, 1, 0, 512)
+	}
+	b.ReportMetric(float64(b.N)*512/b.Elapsed().Seconds()/1e6, "Mevents/s")
 }

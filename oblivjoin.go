@@ -146,6 +146,13 @@ type Options struct {
 	// Encrypted stores all table entries AES-sealed in public memory,
 	// re-encrypted on every write.
 	Encrypted bool
+	// SealedBlock sets the granularity of the sealed store when
+	// Encrypted is on: entries per ciphertext block. 0 selects the
+	// default block store (16 entries per block); 1 selects the
+	// per-entry store; larger values amortize one nonce and MAC over
+	// more entries per crypto operation. The recorded trace is
+	// identical at every granularity.
+	SealedBlock int
 	// CollectStats fills Result.Stats.
 	CollectStats bool
 	// TraceHash computes the SHA-256 access-pattern hash of the run
@@ -246,7 +253,11 @@ func Join(left, right *Table, opts *Options) (*Result, error) {
 			if cerr != nil {
 				return nil, fmt.Errorf("oblivjoin: init cipher: %w", cerr)
 			}
-			alloc = table.EncryptedAlloc(sp, cipher)
+			if opts.SealedBlock == 1 {
+				alloc = table.EncryptedAlloc(sp, cipher)
+			} else {
+				alloc = table.BlockEncryptedAlloc(sp, cipher, opts.SealedBlock)
+			}
 		}
 		cfg := &core.Config{
 			Alloc:         alloc,
