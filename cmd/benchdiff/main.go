@@ -9,8 +9,10 @@
 //
 // Each fresh file is matched to the baseline file of the same name.
 // Records match by input size, worker count and sealed-block
-// granularity (and query text for SQL records); every "*_ns" wall-time
-// metric a baseline record carries is gated. New benchmarks with no
+// granularity (plus query text for SQL records and scenario × clients
+// for the BENCH_service.json load records); every "*_ns" wall-time
+// metric a baseline record carries is gated — including the load
+// records' p50/p95/p99 latency percentiles. New benchmarks with no
 // baseline entry are reported but do not fail.
 package main
 

@@ -6,18 +6,24 @@
 //
 //	oservd [flags]
 //
-//	-addr string      listen address (default ":8343")
-//	-workers int      parallel lanes per oblivious operator (0 sequential, <0 GOMAXPROCS)
-//	-encrypted        AES-seal every intermediate table entry
-//	-sealed-block int entries per sealed ciphertext block (0 default 16, 1 per-entry; implies -encrypted)
-//	-sealed-catalog   AES-seal registered tables at rest
-//	-merge-exchange   Batcher's merge-exchange network instead of bitonic
-//	-stats            collect PlanStats for every query by default
-//	-cache int        prepared-plan LRU capacity (default 64)
-//	-csv name=path    register a CSV file as a table (repeatable; key in
-//	                  column 0, data in column 1)
-//	-header           CSV files start with a header row
-//	-demo int         register demo tables t1, t2, t3 with this many rows
+//	-addr string        listen address (default ":8343")
+//	-workers int        parallel lanes per oblivious operator (0 sequential, <0 GOMAXPROCS)
+//	-encrypted          AES-seal every intermediate table entry
+//	-sealed-block int   entries per sealed ciphertext block (0 default 16, 1 per-entry; implies -encrypted)
+//	-sealed-catalog     AES-seal registered tables at rest
+//	-merge-exchange     Batcher's merge-exchange network instead of bitonic
+//	-stats              collect PlanStats for every query by default
+//	-cache int          prepared-plan LRU capacity (default 64)
+//	-max-inflight int   admission capacity in cost units of 4096 input
+//	                    rows (0 = unbounded); excess queries queue
+//	-queue int          admission wait-queue bound; a query arriving
+//	                    with the queue full gets 503 (default 64)
+//	-query-timeout dur  per-query deadline covering queue wait +
+//	                    execution (e.g. 30s; 0 = none)
+//	-csv name=path      register a CSV file as a table (repeatable; key in
+//	                    column 0, data in column 1)
+//	-header             CSV files start with a header row
+//	-demo int           register demo tables t1, t2, t3 with this many rows
 //
 // Endpoints (all JSON):
 //
@@ -27,23 +33,35 @@
 //	POST /tables   {"name": "t", "rows": [{"key": 1, "data": "a"}],
 //	                "replace": false}
 //	GET  /healthz  liveness, catalog size, plan-cache counters
+//	GET  /stats    admission occupancy, outcome counters, latency
+//	               percentiles (p50/p95/p99), goroutine high-water mark
+//
+// A query cancelled by its client (closed connection) or by
+// -query-timeout aborts within one execution round; overload returns
+// 503 with Retry-After. SIGINT/SIGTERM drain gracefully: the listener
+// closes, in-flight queries finish, then the process exits.
 //
 // Quickstart:
 //
-//	oservd -demo 1024 &
+//	oservd -demo 1024 -max-inflight 8 -queue 32 -query-timeout 30s &
 //	curl -s localhost:8343/healthz
 //	curl -s localhost:8343/query -d '{"sql":
 //	  "SELECT key, COUNT(*) FROM t1 JOIN t2 USING (key) GROUP BY key",
 //	  "stats": true}'
+//	curl -s localhost:8343/stats
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"net/http"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 	"time"
 
 	"oblivjoin"
@@ -72,6 +90,9 @@ func main() {
 	mergeEx := flag.Bool("merge-exchange", false, "use Batcher's merge-exchange sorting network")
 	stats := flag.Bool("stats", false, "collect PlanStats for every query by default")
 	cache := flag.Int("cache", 0, "prepared-plan LRU capacity (0 = default)")
+	maxInFlight := flag.Int("max-inflight", 0, "admission capacity in cost units of 4096 input rows (0 = unbounded)")
+	queueDepth := flag.Int("queue", 0, "admission wait-queue bound (0 = default 64)")
+	queryTimeout := flag.Duration("query-timeout", 0, "per-query deadline covering queue wait + execution (0 = none)")
 	header := flag.Bool("header", false, "CSV files start with a header row")
 	demo := flag.Int("demo", 0, "register demo tables t1, t2, t3 with this many rows")
 	flag.Var(&csvs, "csv", "register a CSV file as a table: name=path (repeatable)")
@@ -99,6 +120,15 @@ func main() {
 	if *cache > 0 {
 		opts = append(opts, oblivjoin.WithPlanCache(*cache))
 	}
+	if *maxInFlight > 0 {
+		opts = append(opts, oblivjoin.WithMaxInFlight(*maxInFlight))
+	}
+	if *queueDepth > 0 {
+		opts = append(opts, oblivjoin.WithQueueDepth(*queueDepth))
+	}
+	if *queryTimeout > 0 {
+		opts = append(opts, oblivjoin.WithQueryTimeout(*queryTimeout))
+	}
 	eng := oblivjoin.NewEngine(opts...)
 
 	for _, spec := range csvs {
@@ -124,7 +154,34 @@ func main() {
 		ReadTimeout:       time.Minute,
 		IdleTimeout:       2 * time.Minute,
 	}
-	log.Fatal(srv.ListenAndServe())
+
+	// Graceful drain: on SIGINT/SIGTERM stop accepting connections,
+	// let in-flight requests (and their queries) finish, then stop
+	// query admission and wait for the engine to drain.
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		sig := make(chan os.Signal, 1)
+		signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+		<-sig
+		log.Printf("oservd: draining (in-flight queries finish, new ones are refused)")
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(ctx); err != nil {
+			log.Printf("oservd: http shutdown: %v", err)
+		}
+		if err := eng.Shutdown(ctx); err != nil {
+			log.Printf("oservd: engine shutdown: %v", err)
+		}
+		st := eng.Stats()
+		log.Printf("oservd: drained: %d completed, %d failed, %d rejected, %d cancelled (p95 %s)",
+			st.Completed, st.Failed, st.Rejected, st.Canceled, time.Duration(st.P95NS))
+	}()
+
+	if err := srv.ListenAndServe(); !errors.Is(err, http.ErrServerClosed) {
+		log.Fatal(err)
+	}
+	<-done
 }
 
 func loadCSV(eng *oblivjoin.Engine, name, path string, header bool) error {

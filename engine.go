@@ -1,8 +1,10 @@
 package oblivjoin
 
 import (
+	"context"
 	"net/http"
 	"sync"
+	"time"
 
 	"oblivjoin/internal/catalog"
 	"oblivjoin/internal/query"
@@ -105,6 +107,32 @@ func WithPlanCache(n int) EngineOption {
 	return func(c *service.Config) { c.PlanCache = n }
 }
 
+// WithMaxInFlight bounds the summed cost of concurrently executing
+// queries to n admission units (one unit ≈ 4096 plan-referenced input
+// rows; every query costs at least one unit, and a single query's
+// cost clamps to n). Queries beyond the bound wait in a FIFO queue —
+// see WithQueueDepth — instead of admitting unbounded goroutines.
+// Unset or ≤ 0 leaves admission unbounded.
+func WithMaxInFlight(n int) EngineOption {
+	return func(c *service.Config) { c.MaxInFlight = n }
+}
+
+// WithQueueDepth bounds the admission wait queue used when
+// WithMaxInFlight is set: a query arriving with the queue full fails
+// immediately with ErrOverloaded (HTTP 503). Default
+// service.DefaultMaxQueue.
+func WithQueueDepth(n int) EngineOption {
+	return func(c *service.Config) { c.MaxQueue = n }
+}
+
+// WithQueryTimeout applies d as the deadline of every query execution
+// whose context does not already carry one, covering admission wait
+// plus execution; an execution exceeding it aborts within one
+// execution round with ErrDeadline (HTTP 503).
+func WithQueryTimeout(d time.Duration) EngineOption {
+	return func(c *service.Config) { c.QueryTimeout = d }
+}
+
 // NewEngine returns an empty engine configured by opts (sequential,
 // plaintext and uninstrumented by default). It panics only when the
 // platform entropy source fails to key the engine's cipher.
@@ -156,9 +184,22 @@ type QueryResult struct {
 // Query parses, plans and executes a SELECT statement obliviously,
 // reusing a cached plan when one exists for this SQL under the
 // engine's configuration. Querying before any table is registered
-// returns ErrNoTables.
+// returns ErrNoTables. Query is QueryContext with context.Background().
 func (e *Engine) Query(sql string) (*QueryResult, error) {
-	res, ps, err := e.svc.Query(sql)
+	return e.QueryContext(context.Background(), sql)
+}
+
+// QueryContext is Query governed by ctx, threaded end to end through
+// the oblivious operator stack: cancel the context — or let its
+// deadline (or the engine's WithQueryTimeout default) expire — and the
+// query aborts within one execution round of the innermost sort,
+// returning an error wrapping ErrCanceled or ErrDeadline. An aborted
+// query abandons only its private scratch stores; the catalog, the
+// plan cache and concurrent queries (including their trace hashes)
+// are untouched. The context also covers admission wait when the
+// engine bounds in-flight queries (WithMaxInFlight).
+func (e *Engine) QueryContext(ctx context.Context, sql string) (*QueryResult, error) {
+	res, ps, err := e.svc.Query(ctx, sql)
 	e.setLast(ps, err)
 	if err != nil {
 		return nil, err
@@ -188,7 +229,7 @@ type Stmt struct {
 // consulting the engine's plan cache. The returned statement is safe
 // for concurrent Exec.
 func (e *Engine) Prepare(sql string) (*Stmt, error) {
-	st, err := e.svc.Prepare(sql)
+	st, err := e.svc.Prepare(context.Background(), sql)
 	if err != nil {
 		return nil, err
 	}
@@ -208,12 +249,23 @@ func (s *Stmt) Exec() (*QueryResult, error) {
 	return res, err
 }
 
+// ExecContext is Exec governed by ctx; see QueryContext for the
+// cancellation and admission semantics.
+func (s *Stmt) ExecContext(ctx context.Context) (*QueryResult, error) {
+	res, _, err := s.execStats(ctx)
+	return res, err
+}
+
 // ExecStats is Exec returning the run's PlanStats report alongside the
 // result (nil when the engine does not collect stats). Concurrent
 // executions each receive their own report; LastStats only keeps the
 // latest to finish.
 func (s *Stmt) ExecStats() (*QueryResult, *PlanStats, error) {
-	res, ps, err := s.inner.Exec()
+	return s.execStats(context.Background())
+}
+
+func (s *Stmt) execStats(ctx context.Context) (*QueryResult, *PlanStats, error) {
+	res, ps, err := s.inner.Exec(ctx)
 	s.eng.setLast(ps, err)
 	if err != nil {
 		return nil, nil, err
@@ -263,6 +315,24 @@ type CacheStats = service.CacheStats
 
 // CacheStats returns the engine's plan-cache report.
 func (e *Engine) CacheStats() CacheStats { return e.svc.CacheStats() }
+
+// ServiceStats is the engine's serving report: admission occupancy
+// (in-flight and queued queries, cost units in use), cumulative
+// outcome counters (completed, failed, rejected, cancelled), latency
+// percentiles over recent completed queries, and the goroutine
+// high-water mark. Served over HTTP as GET /stats.
+type ServiceStats = service.ServiceStats
+
+// Stats returns the engine's serving report.
+func (e *Engine) Stats() ServiceStats { return e.svc.Stats() }
+
+// Shutdown stops admitting queries and drains the in-flight ones:
+// queued and newly arriving queries fail with ErrShuttingDown, and
+// Shutdown returns once the last executing query finishes — or with
+// ctx's error if the drain outlives it. In-flight queries are not
+// force-cancelled; give them deadline contexts (WithQueryTimeout or
+// per-call) when a hard stop matters. Idempotent.
+func (e *Engine) Shutdown(ctx context.Context) error { return e.svc.Shutdown(ctx) }
 
 // TableInfo describes one registered table: its normalized name and
 // public row count.

@@ -4,6 +4,8 @@ import (
 	"errors"
 
 	"oblivjoin/internal/catalog"
+	"oblivjoin/internal/query"
+	"oblivjoin/internal/service"
 )
 
 // The engine's misuse errors are typed so callers can distinguish them
@@ -28,3 +30,23 @@ var ErrNoTables = catalog.ErrNoTables
 
 // ErrNilTable is returned by Register and Replace for a nil *Table.
 var ErrNilTable = errors.New("oblivjoin: nil table")
+
+// ErrCanceled is wrapped by errors returned from a query whose context
+// was cancelled mid-run; such errors also match context.Canceled. A
+// cancelled query aborts within one execution round and leaves the
+// catalog, the plan cache and concurrent queries untouched.
+var ErrCanceled = query.ErrCanceled
+
+// ErrDeadline is wrapped by errors returned from a query whose
+// deadline — caller-supplied or the engine's WithQueryTimeout default
+// — expired mid-run; such errors also match context.DeadlineExceeded.
+var ErrDeadline = query.ErrDeadline
+
+// ErrOverloaded is wrapped by errors returned when a query arrives
+// while the admission queue is full (WithMaxInFlight/WithQueueDepth):
+// the engine is saturated and the caller should back off and retry.
+var ErrOverloaded = service.ErrOverloaded
+
+// ErrShuttingDown is wrapped by errors returned for queries arriving
+// after Shutdown began.
+var ErrShuttingDown = service.ErrShuttingDown

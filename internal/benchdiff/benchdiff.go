@@ -25,14 +25,17 @@ import (
 
 // Record is the common shape of one benchmark row: the identifying key
 // fields plus every wall-time metric the row carries. It parses the
-// join records (BENCH_join.json), the SQL records (BENCH_sql.json) and
-// the sealed-storage records (BENCH_sealed.json); non-metric extra
-// fields are ignored.
+// join records (BENCH_join.json), the SQL records (BENCH_sql.json),
+// the sealed-storage records (BENCH_sealed.json) and the service load
+// records (BENCH_service.json, whose latency percentiles are keyed on
+// scenario, clients and workers); non-metric extra fields are ignored.
 type Record struct {
-	N       int
-	Query   string
-	Workers int
-	Block   int
+	N        int
+	Query    string
+	Workers  int
+	Block    int
+	Scenario string
+	Clients  int
 	// Metrics holds every "*_ns" field of the record, keyed by the
 	// metric name with the suffix stripped ("sequential_ns" →
 	// "sequential").
@@ -64,6 +67,12 @@ func (r *Record) UnmarshalJSON(data []byte) error {
 	if err := get("block", &r.Block); err != nil {
 		return err
 	}
+	if err := get("scenario", &r.Scenario); err != nil {
+		return err
+	}
+	if err := get("clients", &r.Clients); err != nil {
+		return err
+	}
 	r.Metrics = map[string]int64{}
 	for k, v := range raw {
 		if !strings.HasSuffix(k, "_ns") {
@@ -79,14 +88,19 @@ func (r *Record) UnmarshalJSON(data []byte) error {
 }
 
 // Key identifies the record for baseline matching: input size, worker
-// count and block granularity, plus the query text for SQL records.
-// Workers is part of the key so a fresh run at a different parallelism
-// config fails loudly as a missing benchmark instead of silently
-// comparing mismatched configurations.
+// count and block granularity, plus the query text for SQL records and
+// the (scenario, clients) pair for service load records — latency
+// percentiles only compare within the same workload at the same
+// closed-loop concurrency. Workers is part of the key so a fresh run
+// at a different parallelism config fails loudly as a missing
+// benchmark instead of silently comparing mismatched configurations.
 func (r Record) Key() string {
 	k := fmt.Sprintf("n=%d workers=%d", r.N, r.Workers)
 	if r.Block != 0 {
 		k += fmt.Sprintf(" block=%d", r.Block)
+	}
+	if r.Scenario != "" {
+		k += fmt.Sprintf(" scenario=%s clients=%d", r.Scenario, r.Clients)
 	}
 	if r.Query != "" {
 		k += " query=" + r.Query

@@ -163,6 +163,43 @@ func TestSealedMetricsGate(t *testing.T) {
 	}
 }
 
+// TestServiceRecordsKeyOnScenario: the load records' latency
+// percentiles gate keyed on (scenario, clients, workers) — the same
+// scenario at a different concurrency is a different benchmark, and a
+// p95 regression beyond the threshold fails.
+func TestServiceRecordsKeyOnScenario(t *testing.T) {
+	body := `[
+  {"scenario": "uniform", "n": 2048, "clients": 8, "workers": 2,
+   "wall_ns": 4000000000, "p50_ns": 200000000, "p95_ns": 800000000, "p99_ns": 900000000,
+   "throughput_qps": 16.0, "rejection_rate": 0.0, "goroutine_hwm": 40}
+]`
+	baseline, err := Read(strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := baseline[0].Key(); got != "n=2048 workers=2 scenario=uniform clients=8" {
+		t.Fatalf("Key = %q", got)
+	}
+	fresh, _ := Read(strings.NewReader(body))
+	if rep := Compare(baseline, fresh, 1.25); rep.Failed() || rep.Compared != 4 {
+		t.Fatalf("self-compare: %+v", rep)
+	}
+	fresh[0].Metrics["p95"] = 1100000000 // +37.5%
+	rep := Compare(baseline, fresh, 1.25)
+	if len(rep.Regressions) != 1 || rep.Regressions[0].Metric != "p95" {
+		t.Fatalf("p95 regression not flagged: %+v", rep)
+	}
+
+	// Same scenario at different concurrency must not compare: it
+	// surfaces as a missing benchmark instead.
+	moved, _ := Read(strings.NewReader(body))
+	moved[0].Clients = 16
+	rep = Compare(baseline, moved, 1.25)
+	if len(rep.MissingInFresh) != 1 || len(rep.Regressions) != 0 {
+		t.Fatalf("cross-concurrency compare: %+v", rep)
+	}
+}
+
 // TestAgainstCommittedBaseline sanity-checks the committed baseline
 // files: they must parse and self-compare cleanly, so the CI gate can
 // never fail on baseline shape alone.
@@ -174,6 +211,7 @@ func TestAgainstCommittedBaseline(t *testing.T) {
 		{"BENCH_join.json", 2},
 		{"BENCH_sql.json", 2},
 		{"BENCH_sealed.json", 6},
+		{"BENCH_service.json", 4},
 	} {
 		path := filepath.Join("..", "..", "BENCH_baseline", tc.name)
 		recs, err := Load(path)

@@ -157,6 +157,7 @@ type lane[T any] struct {
 type roundExec[T any] struct {
 	op      PairOp[T]
 	workers int
+	check   func()    // cancellation probe; nil = never cancelled
 	seq     lane[T]   // direct-access lane for sequential execution
 	lanes   []lane[T] // shard lanes, parallel mode only
 	rec     trace.Recorder
@@ -164,11 +165,11 @@ type roundExec[T any] struct {
 	count   uint64 // comparators executed
 }
 
-func newRoundExec[T any](a Array[T], op PairOp[T], workers int) *roundExec[T] {
+func newRoundExec[T any](a Array[T], op PairOp[T], workers int, check func()) *roundExec[T] {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	ex := &roundExec[T]{op: op, workers: workers}
+	ex := &roundExec[T]{op: op, workers: workers, check: check}
 	baseRng, _ := a.(RangeArray[T])
 	ex.seq = lane[T]{arr: a, rng: baseRng}
 	if workers > 1 {
@@ -229,8 +230,15 @@ func makeLanes[T any](a Array[T], wantRange bool, workers int) []lane[T] {
 	return lanes
 }
 
-// runRound executes one round of disjoint segments.
+// runRound executes one round of disjoint segments. The cancellation
+// probe runs on the scheduling goroutine only — at the round barrier
+// in parallel mode, and between chunks in sequential mode — so an
+// abort (the probe panics) never unwinds a pool worker and never
+// interrupts a store access mid-flight.
 func (ex *roundExec[T]) runRound(segs []Segment) {
+	if ex.check != nil {
+		ex.check()
+	}
 	// Cut segments into canonical chunks; the cut depends only on the
 	// round, never on the worker count. Runs of adjacent dense
 	// segments (Cnt == Hop, no coverage gap, footprint ≤ spanChunk
@@ -272,7 +280,13 @@ func (ex *roundExec[T]) runRound(segs []Segment) {
 		return
 	}
 	if ex.workers == 1 || len(ex.chunks) == 1 {
-		for _, c := range ex.chunks {
+		for i, c := range ex.chunks {
+			// Sequential rounds can be long (one round of a 64k sort is
+			// tens of thousands of comparators); probing per chunk keeps
+			// the cancellation latency at one chunk instead of one round.
+			if ex.check != nil && i > 0 {
+				ex.check()
+			}
 			ex.seq.runChunk(ex.op, c)
 		}
 		return
@@ -393,7 +407,19 @@ func RunTasks(fns []func()) {
 // RunRounds barriers between rounds. It is the execution engine behind
 // the sorting networks and the routing network of internal/core.
 func RunRounds[T any](a Array[T], op PairOp[T], workers int, schedule func(round func([]Segment))) uint64 {
-	ex := newRoundExec(a, op, workers)
+	return RunRoundsCheck(a, op, workers, nil, schedule)
+}
+
+// RunRoundsCheck is RunRounds with a cancellation probe: check (when
+// non-nil) is invoked on the scheduling goroutine at every round
+// barrier — and between chunks of sequential rounds — and may panic to
+// abort the run. Because the probe never runs on a pool worker, an
+// abort unwinds only the caller's stack: lanes always finish the round
+// they started, no store access is torn, and the shared pool keeps its
+// workers. This is how a cancelled query stops an in-flight oblivious
+// sort within one round.
+func RunRoundsCheck[T any](a Array[T], op PairOp[T], workers int, check func(), schedule func(round func([]Segment))) uint64 {
+	ex := newRoundExec(a, op, workers, check)
 	schedule(ex.runRound)
 	return ex.count
 }

@@ -22,11 +22,17 @@ package bitonic
 // implementation, or an enclave cost model attached) degrade to
 // sequential execution over the same schedule, preserving the trace.
 func SortParallel[T any](a Array[T], less LessFunc[T], swap CondSwapFunc[T], st *Stats, workers int) {
+	SortParallelCheck(a, less, swap, st, workers, nil)
+}
+
+// SortParallelCheck is SortParallel with a cancellation probe invoked
+// at round barriers (see RunRoundsCheck); check may be nil.
+func SortParallelCheck[T any](a Array[T], less LessFunc[T], swap CondSwapFunc[T], st *Stats, workers int, check func()) {
 	n := a.Len()
 	if n <= 1 {
 		return
 	}
-	c := RunRounds(a, compareExchangeOp(less, swap), workers, func(round func([]Segment)) {
+	c := RunRoundsCheck(a, compareExchangeOp(less, swap), workers, check, func(round func([]Segment)) {
 		bitonicRounds(n, round)
 	})
 	if st != nil {
@@ -40,11 +46,17 @@ func SortParallel[T any](a Array[T], less LessFunc[T], swap CondSwapFunc[T], st 
 // the (p, q, r, d) passes of Knuth's Algorithm M, which are fewer but
 // less uniform than the bitonic rounds.
 func MergeExchangeSortParallel[T any](a Array[T], less LessFunc[T], swap CondSwapFunc[T], st *Stats, workers int) {
+	MergeExchangeSortParallelCheck(a, less, swap, st, workers, nil)
+}
+
+// MergeExchangeSortParallelCheck is MergeExchangeSortParallel with a
+// cancellation probe invoked at round barriers; check may be nil.
+func MergeExchangeSortParallelCheck[T any](a Array[T], less LessFunc[T], swap CondSwapFunc[T], st *Stats, workers int, check func()) {
 	n := a.Len()
 	if n <= 1 {
 		return
 	}
-	c := RunRounds(a, compareExchangeOp(less, swap), workers, func(round func([]Segment)) {
+	c := RunRoundsCheck(a, compareExchangeOp(less, swap), workers, check, func(round func([]Segment)) {
 		mergeExchangeRounds(n, round)
 	})
 	if st != nil {

@@ -14,6 +14,7 @@
 package core
 
 import (
+	"context"
 	"runtime"
 	"time"
 
@@ -71,6 +72,14 @@ type Config struct {
 	// Unlike the pre-round-schedule implementation it composes with
 	// Stats, tracing and MergeExchange; see Workers.
 	Parallel bool
+	// Ctx, when non-nil and cancellable, makes the run abortable: the
+	// sorting networks, routing waves and blocked scans probe it at
+	// round barriers and block boundaries and abort by panicking with
+	// an Abort (see cancel.go) within one round of cancellation. A nil
+	// context (or context.Background()) costs nothing. The probe
+	// cadence is a fixed function of the public input sizes, so
+	// cancellation support leaks nothing about table contents.
+	Ctx context.Context
 }
 
 // Stats records the per-phase cost breakdown reported in Table 3 of the
@@ -142,11 +151,12 @@ func (c *Config) workerCount() int {
 // query pipeline.
 func (c *Config) SortStore(st table.Store, less bitonic.LessFunc[table.Entry], bs *bitonic.Stats) {
 	w := c.workerCount()
+	check := c.checkFn()
 	if c.Net == MergeExchange {
-		bitonic.MergeExchangeSortParallel[table.Entry](st, less, table.CondSwapEntry, bs, w)
+		bitonic.MergeExchangeSortParallelCheck[table.Entry](st, less, table.CondSwapEntry, bs, w, check)
 		return
 	}
-	bitonic.SortParallel[table.Entry](st, less, table.CondSwapEntry, bs, w)
+	bitonic.SortParallelCheck[table.Entry](st, less, table.CondSwapEntry, bs, w, check)
 }
 
 func (c *Config) stats() *Stats {

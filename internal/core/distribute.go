@@ -78,7 +78,7 @@ func routeDown(cfg *Config, a table.Store, l int, st *Stats) {
 		c := obliv.GreaterEq(y.F, uint64(j+1))
 		table.CondSwapEntry(c, y, y2)
 	}
-	st.RouteOps += bitonic.RunRounds[table.Entry](a, op, cfg.workerCount(),
+	st.RouteOps += bitonic.RunRoundsCheck[table.Entry](a, op, cfg.workerCount(), cfg.checkFn(),
 		func(round func([]bitonic.Segment)) {
 			seg := make([]bitonic.Segment, 1)
 			for j := 1 << (bits.Len(uint(l-1)) - 1); j >= 1; j >>= 1 {

@@ -28,7 +28,7 @@ func Join(cfg *Config, rows1, rows2 []table.Row) []table.Pair {
 
 	t0 = time.Now()
 	out := make([]table.Pair, m)
-	zipStores(s1, s2, m, func(i int, e1, e2 *table.Entry) {
+	zipStores(cfg, s1, s2, m, func(i int, e1, e2 *table.Entry) {
 		out[i] = table.Pair{D1: e1.D, D2: e2.D}
 	})
 	st.TZip += time.Since(t0)
@@ -36,11 +36,16 @@ func Join(cfg *Config, rows1, rows2 []table.Row) []table.Pair {
 }
 
 // zipStores reads s1 and s2 in lockstep blocks (batched when the
-// stores support ranges) and hands each aligned entry pair to fn.
-func zipStores(s1, s2 table.Store, m int, fn func(i int, e1, e2 *table.Entry)) {
+// stores support ranges) and hands each aligned entry pair to fn,
+// probing for cancellation at block boundaries.
+func zipStores(cfg *Config, s1, s2 table.Store, m int, fn func(i int, e1, e2 *table.Entry)) {
 	const blk = 1024
+	check := cfg.checkFn()
 	var b1, b2 [blk]table.Entry
 	for lo := 0; lo < m; lo += blk {
+		if check != nil && lo > 0 {
+			check()
+		}
 		cnt := m - lo
 		if cnt > blk {
 			cnt = blk
@@ -75,7 +80,7 @@ func JoinKeyed(cfg *Config, rows1, rows2 []table.Row) []table.KeyedPair {
 
 	t0 = time.Now()
 	out := make([]table.KeyedPair, m)
-	zipStores(s1, s2, m, func(i int, e1, e2 *table.Entry) {
+	zipStores(cfg, s1, s2, m, func(i int, e1, e2 *table.Entry) {
 		out[i] = table.KeyedPair{J: e1.J, D1: e1.D, D2: e2.D}
 	})
 	st.TZip += time.Since(t0)

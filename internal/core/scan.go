@@ -92,9 +92,16 @@ func applyBlock(blk []table.Entry, lo int, reverse bool, fn func(i int, e *table
 // scanSequential is the direct path: one block of protected memory,
 // blocks visited in canonical order (ascending; descending when
 // reverse), each read, transformed and written back before the next.
+// The cancellation probe runs at block boundaries — between a block's
+// write-back and the next block's read — so an abort never tears a
+// block access.
 func (c *Config) scanSequential(st table.Store, n, nb int, reverse bool, fn func(i int, e *table.Entry)) {
+	check := c.checkFn()
 	var buf [scanBlock]table.Entry
 	for b := 0; b < nb; b++ {
+		if check != nil && b > 0 {
+			check()
+		}
 		k := b
 		if reverse {
 			k = nb - 1 - b
@@ -173,7 +180,18 @@ func (c *Config) scanParallel(sh bitonic.Sharder, st table.Store, n, nb, lanes i
 	if probe := sh.Shard(nil); probe == nil {
 		return false
 	}
+	// Cancellation probes run at the phase barriers (before the read
+	// sweep, between the sweeps, before the write sweep) on the
+	// coordinating goroutine — never inside a lane — so an abort
+	// leaves no lane mid-access and no event shard half-replayed.
+	check := c.checkFn()
+	if check != nil {
+		check()
+	}
 	sweep(rbufs, false)
+	if check != nil {
+		check()
+	}
 	if reverse {
 		for i := n - 1; i >= 0; i-- {
 			fn(i, &all[i])
@@ -182,6 +200,9 @@ func (c *Config) scanParallel(sh bitonic.Sharder, st table.Store, n, nb, lanes i
 		for i := 0; i < n; i++ {
 			fn(i, &all[i])
 		}
+	}
+	if check != nil {
+		check()
 	}
 	sweep(wbufs, true)
 	if traced {

@@ -1,0 +1,129 @@
+package exp
+
+import (
+	"io"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestRunLoadShort drives a miniature closed loop over two scenario
+// families and asserts the properties the CI load job gates: every
+// operation accounted for, no goroutine leak after Shutdown, and every
+// completed query reproducing the sequential reference trace hash.
+func TestRunLoadShort(t *testing.T) {
+	cfg := LoadConfig{
+		Scenarios:   []string{"uniform", "mixed"},
+		N:           256,
+		Clients:     4,
+		Ops:         12,
+		Workers:     2,
+		MaxInFlight: 4,
+		Queue:       8,
+		Timeout:     time.Minute,
+		Seed:        7,
+		CheckTraces: true,
+	}
+	results, err := RunLoad(io.Discard, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 2 {
+		t.Fatalf("got %d records, want 2", len(results))
+	}
+	for _, r := range results {
+		if got := r.Completed + r.Rejected + r.Canceled + r.Failed; got != cfg.Ops {
+			t.Errorf("%s: %d outcomes for %d ops", r.Scenario, got, cfg.Ops)
+		}
+		if r.Failed > 0 {
+			t.Errorf("%s: %d hard failures", r.Scenario, r.Failed)
+		}
+		if r.GoroutineLeak > 0 {
+			t.Errorf("%s: leaked %d goroutines after Shutdown", r.Scenario, r.GoroutineLeak)
+		}
+		if !r.TraceHashesMatch || r.TraceChecked != r.Completed {
+			t.Errorf("%s: trace verification: %d checked / %d completed, %d mismatches",
+				r.Scenario, r.TraceChecked, r.Completed, r.TraceMismatches)
+		}
+		if r.Completed > 0 && (r.P50NS <= 0 || r.P95NS < r.P50NS || r.P99NS < r.P95NS) {
+			t.Errorf("%s: implausible percentiles p50=%d p95=%d p99=%d", r.Scenario, r.P50NS, r.P95NS, r.P99NS)
+		}
+		if r.WallNS <= 0 || r.ThroughputQPS <= 0 {
+			t.Errorf("%s: wall=%d qps=%f", r.Scenario, r.WallNS, r.ThroughputQPS)
+		}
+	}
+}
+
+// TestRunLoadRejectsUnderPressure squeezes admission (capacity 1, no
+// queue slack beyond 1) so the closed loop must see ErrOverloaded
+// rejections, and verifies completed queries still trace-match.
+func TestRunLoadRejectsUnderPressure(t *testing.T) {
+	cfg := LoadConfig{
+		Scenarios:   []string{"uniform"},
+		N:           512,
+		Clients:     6,
+		Ops:         18,
+		Workers:     1,
+		MaxInFlight: 1,
+		Queue:       1,
+		Timeout:     time.Minute,
+		Seed:        3,
+		CheckTraces: true,
+	}
+	results, err := RunLoad(io.Discard, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := results[0]
+	if r.Rejected == 0 {
+		t.Error("no rejections despite capacity 1, queue 1, 6 clients")
+	}
+	if r.Failed > 0 {
+		t.Errorf("%d hard failures", r.Failed)
+	}
+	if !r.TraceHashesMatch {
+		t.Errorf("%d trace mismatches among completed queries", r.TraceMismatches)
+	}
+	if r.RejectionRate <= 0 {
+		t.Errorf("rejection rate %f", r.RejectionRate)
+	}
+	if r.GoroutineLeak > 0 {
+		t.Errorf("leaked %d goroutines", r.GoroutineLeak)
+	}
+}
+
+// TestMergeBest: per-metric minima for timings, maxima for failure
+// signals, counts from the first run, scenarios matched by name.
+func TestMergeBest(t *testing.T) {
+	a := []LoadResult{{Scenario: "uniform", Completed: 10, WallNS: 100, P50NS: 10, P95NS: 50, P99NS: 90,
+		ThroughputQPS: 1.0, TraceChecked: 10, TraceHashesMatch: true}}
+	b := []LoadResult{{Scenario: "uniform", Completed: 10, WallNS: 80, P50NS: 12, P95NS: 40, P99NS: 95,
+		ThroughputQPS: 1.2, GoroutineLeak: 2, TraceChecked: 10, TraceMismatches: 1}}
+	m := MergeBest(a, b)
+	if len(m) != 1 {
+		t.Fatalf("merged %d records", len(m))
+	}
+	r := m[0]
+	if r.WallNS != 80 || r.P50NS != 10 || r.P95NS != 40 || r.P99NS != 90 {
+		t.Fatalf("timing minima wrong: %+v", r)
+	}
+	if r.ThroughputQPS != 1.2 || r.GoroutineLeak != 2 {
+		t.Fatalf("maxima wrong: %+v", r)
+	}
+	if r.TraceChecked != 20 || r.TraceMismatches != 1 || r.TraceHashesMatch {
+		t.Fatalf("trace accumulation wrong: %+v", r)
+	}
+	if r.Completed != 10 {
+		t.Fatalf("counts must come from the first run: %+v", r)
+	}
+	if got := MergeBest(); got != nil {
+		t.Fatalf("MergeBest() = %v", got)
+	}
+}
+
+func TestRunLoadUnknownScenario(t *testing.T) {
+	_, err := RunLoad(io.Discard, LoadConfig{Scenarios: []string{"nope"}, N: 16, Clients: 1, Ops: 1})
+	if err == nil || !strings.Contains(err.Error(), "unknown load scenario") {
+		t.Fatalf("err = %v, want unknown scenario", err)
+	}
+}

@@ -1,6 +1,7 @@
 package query
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"time"
@@ -177,7 +178,7 @@ func (e *Engine) execute(pipeline []exec.Operator) (*Result, error) {
 		}
 		e.cipher = c
 	}
-	res, ps, err := Run(e.opts, e.cipher, e.tables, pipeline)
+	res, ps, err := Run(context.Background(), e.opts, e.cipher, e.tables, pipeline)
 	if err != nil {
 		return nil, err
 	}

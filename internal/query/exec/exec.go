@@ -101,6 +101,22 @@ type Operator interface {
 	Run(ctx *Context, in Relation) (Relation, error)
 }
 
+// probeEvery is the row stride between cancellation probes in the
+// operators' own per-row materialization loops (Rekey, GroupBy). The
+// oblivious primitives probe at their round barriers already; this
+// covers the plain-Go loops over m rows, which can dominate when a
+// join output is large. A fixed constant, so the probe cadence is a
+// function of the (public) row count alone.
+const probeEvery = 8192
+
+// probe checks the run's context for cancellation; nil-safe so
+// operators stay directly testable without an execution context.
+func probe(ctx *Context) {
+	if ctx != nil && ctx.Cfg != nil {
+		ctx.Cfg.CheckCtx()
+	}
+}
+
 func lookup(ctx *Context, name, role string) ([]table.Row, error) {
 	rows, ok := ctx.Tables[name]
 	if !ok {
@@ -228,9 +244,12 @@ type Rekey struct{}
 func (Rekey) Name() string { return "rekey" }
 
 // Run implements Operator.
-func (Rekey) Run(_ *Context, in Relation) (Relation, error) {
+func (Rekey) Run(ctx *Context, in Relation) (Relation, error) {
 	rows := make([]table.Row, len(in.Pairs))
 	for i, p := range in.Pairs {
+		if i%probeEvery == 0 {
+			probe(ctx)
+		}
 		joined := table.DataString(p.D1) + RekeySep + table.DataString(p.D2)
 		d, err := table.MakeData(joined)
 		if err != nil {
@@ -347,6 +366,9 @@ func (GroupBy) Name() string { return "group-by[oblivious]" }
 func (g GroupBy) Run(ctx *Context, in Relation) (Relation, error) {
 	items := make([]aggregate.Item, len(in.Rows))
 	for i, r := range in.Rows {
+		if i%probeEvery == 0 {
+			probe(ctx)
+		}
 		items[i] = aggregate.Item{K: r.J}
 		if g.NeedValue {
 			v, err := strconv.ParseUint(table.DataString(r.D), 10, 64)

@@ -1,6 +1,7 @@
 package query
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"time"
@@ -19,6 +20,26 @@ import (
 // server faults.
 var ErrInternal = errors.New("internal engine error")
 
+// ErrCanceled is the typed error of a query whose context was
+// cancelled mid-run. The returned error wraps both this sentinel and
+// context.Canceled, so errors.Is matches either.
+var ErrCanceled = errors.New("query canceled")
+
+// ErrDeadline is the typed error of a query whose context deadline
+// expired mid-run (a per-query timeout or a caller-supplied deadline).
+// The returned error wraps both this sentinel and
+// context.DeadlineExceeded.
+var ErrDeadline = errors.New("query deadline exceeded")
+
+// ctxErr maps a context error onto the engine's typed sentinels,
+// wrapping both so callers can match whichever vocabulary they speak.
+func ctxErr(cause error) error {
+	if errors.Is(cause, context.DeadlineExceeded) {
+		return fmt.Errorf("query: %w: %w", ErrDeadline, cause)
+	}
+	return fmt.Errorf("query: %w: %w", ErrCanceled, cause)
+}
+
 // Run executes a lowered physical pipeline against tables under opts
 // and returns the projected result plus, when opts collects, the
 // PlanStats report (nil otherwise).
@@ -28,7 +49,42 @@ var ErrInternal = errors.New("internal engine error")
 // same table snapshot can Run from any number of goroutines at once;
 // only cipher is shared, and crypto.Cipher is safe for concurrent use.
 // cipher must be non-nil when opts.Encrypted is set.
-func Run(opts Options, cipher *crypto.Cipher, tables map[string][]table.Row, pipeline []exec.Operator) (*Result, *PlanStats, error) {
+//
+// Cancelling ctx (or letting its deadline expire) stops the run within
+// one execution round of the innermost oblivious pass — the sorting
+// networks, routing waves and blocked scans all probe the context at
+// their round barriers — and returns an error wrapping ErrCanceled or
+// ErrDeadline. An aborted run abandons only its private scratch
+// stores: the table snapshot, the shared plan and the cipher are
+// untouched, so concurrent runs of the same pipeline are unaffected
+// and their trace hashes stay bit-identical. A nil ctx means
+// context.Background().
+func Run(ctx context.Context, opts Options, cipher *crypto.Cipher, tables map[string][]table.Row, pipeline []exec.Operator) (res *Result, ps *PlanStats, err error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	cancellable := ctx.Done() != nil
+	if cancellable {
+		// Refuse cheaply before assembling anything.
+		if cause := ctx.Err(); cause != nil {
+			return nil, nil, ctxErr(cause)
+		}
+		// The oblivious operator stack has no error returns on its hot
+		// paths; cancellation surfaces as a core.Abort panic from a
+		// round barrier, recovered here — exactly once, on the
+		// goroutine that called Run.
+		defer func() {
+			if r := recover(); r != nil {
+				ab, ok := r.(core.Abort)
+				if !ok {
+					panic(r)
+				}
+				res, ps = nil, nil
+				err = ctxErr(ab.Err)
+			}
+		}()
+	}
+
 	var (
 		rec     trace.Recorder
 		hasher  *trace.Hasher
@@ -66,21 +122,25 @@ func Run(opts Options, cipher *crypto.Cipher, tables map[string][]table.Row, pip
 		Probabilistic: opts.Probabilistic,
 		Seed:          opts.Seed,
 		Stats:         coreStats,
+		Ctx:           ctx,
 	}
 	if opts.MergeExchange {
 		cfg.Net = core.MergeExchange
 	}
-	ctx := &exec.Context{Cfg: cfg, Tables: tables}
+	ectx := &exec.Context{Cfg: cfg, Tables: tables}
 
-	var ps *PlanStats
 	if collect {
 		ps = &PlanStats{}
 	}
 	var rel exec.Relation
-	var err error
 	for _, op := range pipeline {
+		if cancellable {
+			if cause := ctx.Err(); cause != nil {
+				return nil, nil, ctxErr(cause)
+			}
+		}
 		start := time.Now()
-		rel, err = op.Run(ctx, rel)
+		rel, err = op.Run(ectx, rel)
 		if err != nil {
 			return nil, nil, err
 		}

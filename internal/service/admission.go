@@ -1,0 +1,216 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+
+	"oblivjoin/internal/query"
+)
+
+// This file is the service's admission-control layer: a weighted
+// semaphore bounding the summed cost of concurrently executing
+// queries, with a bounded FIFO wait queue in front of it. Cost is
+// estimated from the (public) row counts of the tables a plan
+// references — a 64k-row join weighs more than a 1k-row filter — so
+// the bound tracks memory and CPU pressure instead of a bare query
+// count. A query that cannot be admitted immediately waits in FIFO
+// order until capacity frees, its context expires, or the service
+// shuts down; a query arriving with the queue already full is rejected
+// on the spot with ErrOverloaded, which is what keeps an overload
+// burst from accumulating unbounded goroutines.
+
+// ErrOverloaded is returned (wrapped) when a query arrives while the
+// admission queue is full: the service is saturated and the caller
+// should back off and retry. The HTTP layer maps it to 503.
+var ErrOverloaded = errors.New("service overloaded")
+
+// ErrShuttingDown is returned (wrapped) for queries arriving after
+// Shutdown began; in-flight queries drain, new ones are refused.
+var ErrShuttingDown = errors.New("service shutting down")
+
+// CostQuantum is the number of plan-referenced input rows per
+// admission cost unit: a query's cost is ceil(totalRows/CostQuantum),
+// at least 1, clamped to the configured capacity. With the default
+// 4096-row quantum, Config.MaxInFlight = 8 admits eight 4k-row
+// queries, or two 16k-row ones, or one 64k-row join (16 units clamps
+// to 8) — concurrently.
+const CostQuantum = 4096
+
+// DefaultMaxQueue is the admission queue bound when Config.MaxQueue is
+// unset.
+const DefaultMaxQueue = 64
+
+// mapCtxErr turns a context error into the engine's typed vocabulary,
+// wrapping both sentinels so errors.Is matches either spelling.
+func mapCtxErr(cause error) error {
+	if errors.Is(cause, context.DeadlineExceeded) {
+		return fmt.Errorf("service: %w: %w", query.ErrDeadline, cause)
+	}
+	return fmt.Errorf("service: %w: %w", query.ErrCanceled, cause)
+}
+
+// waiter is one queued admission request. err is set before ready is
+// closed when the grant fails (shutdown); a plain close is a grant.
+type waiter struct {
+	weight int64
+	ready  chan struct{}
+	err    error
+}
+
+// admitter is the weighted semaphore plus its bounded FIFO queue. A
+// capacity ≤ 0 means unbounded admission (the queue is never used),
+// but in-use cost is still tracked so Shutdown can drain and stats can
+// report.
+type admitter struct {
+	mu          sync.Mutex
+	capacity    int64
+	maxQueue    int
+	inUse       int64
+	queue       []*waiter
+	closed      bool
+	drainClosed bool
+	drained     chan struct{}
+}
+
+func newAdmitter(capacity int64, maxQueue int) *admitter {
+	if maxQueue <= 0 {
+		maxQueue = DefaultMaxQueue
+	}
+	return &admitter{capacity: capacity, maxQueue: maxQueue, drained: make(chan struct{})}
+}
+
+// clampWeight bounds a cost estimate to something the semaphore can
+// ever grant: at least one unit, at most the full capacity.
+func (a *admitter) clampWeight(w int64) int64 {
+	if w < 1 {
+		w = 1
+	}
+	if a.capacity > 0 && w > a.capacity {
+		w = a.capacity
+	}
+	return w
+}
+
+// acquire admits a query of the given (clamped) weight, waiting in
+// FIFO order when the semaphore is full. It returns nil on admission;
+// a wrapped ErrOverloaded when the wait queue is full; a wrapped
+// ErrShuttingDown when the service is closing; or the typed
+// cancellation error when ctx expires while queued.
+func (a *admitter) acquire(ctx context.Context, weight int64) error {
+	a.mu.Lock()
+	if a.closed {
+		a.mu.Unlock()
+		return fmt.Errorf("service: %w", ErrShuttingDown)
+	}
+	// Admit immediately when capacity allows and nobody is ahead in
+	// the queue (FIFO: a late small query must not starve a queued big
+	// one).
+	if a.capacity <= 0 || (len(a.queue) == 0 && a.inUse+weight <= a.capacity) {
+		a.inUse += weight
+		a.mu.Unlock()
+		return nil
+	}
+	if len(a.queue) >= a.maxQueue {
+		inUse, queued := a.inUse, len(a.queue)
+		a.mu.Unlock()
+		return fmt.Errorf("service: %w: cost %d/%d in flight, %d queued",
+			ErrOverloaded, inUse, a.capacity, queued)
+	}
+	w := &waiter{weight: weight, ready: make(chan struct{})}
+	a.queue = append(a.queue, w)
+	a.mu.Unlock()
+
+	select {
+	case <-w.ready:
+		return w.err
+	case <-ctx.Done():
+	}
+
+	// Cancelled while queued. The grant may have raced the
+	// cancellation: if it did, give the capacity straight back. Either
+	// way waiters behind the departed one may now fit — a cancelled
+	// heavy waiter at the head must not keep blocking lighter ones
+	// until the next release — so the grant loop runs in both branches.
+	a.mu.Lock()
+	select {
+	case <-w.ready:
+		if w.err == nil {
+			a.inUse -= weight
+		}
+	default:
+		for i, q := range a.queue {
+			if q == w {
+				a.queue = append(a.queue[:i], a.queue[i+1:]...)
+				break
+			}
+		}
+	}
+	a.grantLocked()
+	a.checkDrainedLocked()
+	a.mu.Unlock()
+	return mapCtxErr(ctx.Err())
+}
+
+// release returns a query's weight to the semaphore and hands the
+// freed capacity to queued waiters in FIFO order.
+func (a *admitter) release(weight int64) {
+	a.mu.Lock()
+	a.inUse -= weight
+	a.grantLocked()
+	a.checkDrainedLocked()
+	a.mu.Unlock()
+}
+
+// grantLocked admits queued waiters, in order, while capacity lasts.
+func (a *admitter) grantLocked() {
+	for len(a.queue) > 0 {
+		w := a.queue[0]
+		if a.inUse+w.weight > a.capacity {
+			break
+		}
+		a.inUse += w.weight
+		a.queue = a.queue[1:]
+		close(w.ready)
+	}
+}
+
+// checkDrainedLocked signals Shutdown once the service is closed and
+// the last in-flight query has released.
+func (a *admitter) checkDrainedLocked() {
+	if a.closed && a.inUse == 0 && !a.drainClosed {
+		a.drainClosed = true
+		close(a.drained)
+	}
+}
+
+// close stops admission: queued waiters fail with ErrShuttingDown,
+// future acquires are refused, in-flight queries keep their grants.
+func (a *admitter) close() {
+	a.mu.Lock()
+	if !a.closed {
+		a.closed = true
+		for _, w := range a.queue {
+			w.err = fmt.Errorf("service: %w", ErrShuttingDown)
+			close(w.ready)
+		}
+		a.queue = nil
+		a.checkDrainedLocked()
+	}
+	a.mu.Unlock()
+}
+
+// isClosed reports whether Shutdown has begun.
+func (a *admitter) isClosed() bool {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.closed
+}
+
+// snapshot reports the semaphore's instantaneous occupancy.
+func (a *admitter) snapshot() (inUse int64, queued int, closed bool) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.inUse, len(a.queue), a.closed
+}

@@ -20,9 +20,15 @@ import (
 //	GET  /tables   list registered schemas
 //	POST /tables   {"name": "t", "rows": [{"key": 1, "data": "a"}]}
 //	GET  /healthz  liveness + catalog and plan-cache counters
+//	GET  /stats    admission occupancy, outcome counters, latency
+//	               percentiles, plan-cache counters
 //
 // Every response is JSON; errors are {"error": "..."} with a status
-// code mapped from the service's typed errors.
+// code mapped from the service's typed errors: overload, shutdown and
+// query timeouts are 503 (with Retry-After on overload), a
+// client-driven cancellation is 499. Query execution runs under the
+// request's context, so a client that disconnects mid-query cancels
+// it within one execution round instead of leaving it running.
 
 // QueryRequest is the POST /query body. Unset option fields inherit
 // the service defaults.
@@ -125,7 +131,7 @@ func NewHandler(s *Service) http.Handler {
 		if req.TraceHash != nil {
 			opts = append(opts, WithTraceHash(*req.TraceHash))
 		}
-		st, err := s.Prepare(req.SQL, opts...)
+		st, err := s.Prepare(r.Context(), req.SQL, opts...)
 		if err != nil {
 			writeErr(w, errStatus(err), err)
 			return
@@ -134,7 +140,7 @@ func NewHandler(s *Service) http.Handler {
 			writeJSON(w, http.StatusOK, QueryResponse{Plan: st.Explain()})
 			return
 		}
-		res, ps, err := st.Exec()
+		res, ps, err := st.Exec(r.Context())
 		if err != nil {
 			writeErr(w, errStatus(err), err)
 			return
@@ -185,7 +191,20 @@ func NewHandler(s *Service) http.Handler {
 			PlanCache: s.CacheStats(),
 		})
 	})
+
+	mux.HandleFunc("GET /stats", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, StatsResponse{
+			Service:   s.Stats(),
+			PlanCache: s.CacheStats(),
+		})
+	})
 	return mux
+}
+
+// StatsResponse is the GET /stats reply.
+type StatsResponse struct {
+	Service   ServiceStats `json:"service"`
+	PlanCache CacheStats   `json:"plan_cache"`
 }
 
 // maxHTTPWorkers bounds the per-request worker count a remote client
@@ -211,17 +230,31 @@ func clampWorkers(n int) int {
 	return n
 }
 
+// statusClientClosedRequest is nginx's conventional status for a
+// request whose client went away before the response; there is no
+// standard-library constant. The code is almost always unobservable
+// (the connection is gone) but it keeps access logs honest about why
+// the query aborted.
+const statusClientClosedRequest = 499
+
 // errStatus maps the service's typed errors onto HTTP status codes;
 // anything unrecognized (parse errors, payload validation) is a 400.
 // Server-side faults — a sealed catalog store failing authentication,
 // a broken engine invariant, a missing cipher — are 500s, not the
-// client's doing.
+// client's doing. Admission rejections, shutdown and query timeouts
+// are 503: the request was well-formed, the service just cannot take
+// it right now (or took too long) — retryable, unlike a 4xx.
 func errStatus(err error) int {
 	var unknown *catalog.UnknownTableError
 	var exists *catalog.TableExistsError
 	switch {
 	case errors.Is(err, crypto.ErrAuth), errors.Is(err, query.ErrInternal):
 		return http.StatusInternalServerError
+	case errors.Is(err, ErrOverloaded), errors.Is(err, ErrShuttingDown),
+		errors.Is(err, query.ErrDeadline):
+		return http.StatusServiceUnavailable
+	case errors.Is(err, query.ErrCanceled):
+		return statusClientClosedRequest
 	case errors.As(err, &unknown):
 		return http.StatusNotFound
 	case errors.As(err, &exists), errors.Is(err, catalog.ErrNoTables):
@@ -240,5 +273,8 @@ func writeJSON(w http.ResponseWriter, code int, v any) {
 }
 
 func writeErr(w http.ResponseWriter, code int, err error) {
+	if code == http.StatusServiceUnavailable {
+		w.Header().Set("Retry-After", "1")
+	}
 	writeJSON(w, code, map[string]string{"error": err.Error()})
 }

@@ -1,0 +1,150 @@
+package service
+
+import (
+	"context"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"oblivjoin/internal/table"
+)
+
+// These tests cover the traffic-facing error paths of the HTTP
+// surface: malformed bodies, the admission-control and query-timeout
+// 503s, and the /stats endpoint.
+
+func TestHTTPMalformedJSON400(t *testing.T) {
+	_, srv := newServer(t)
+	for _, body := range []string{"{nope", "", "[]", `{"sql": 42}`} {
+		resp, err := http.Post(srv.URL+"/query", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Fatalf("body %q: status %d, want 400", body, resp.StatusCode)
+		}
+	}
+	resp, err := http.Post(srv.URL+"/tables", "application/json", strings.NewReader("{bad"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("tables malformed body: status %d, want 400", resp.StatusCode)
+	}
+}
+
+func TestHTTPUnknownTable404(t *testing.T) {
+	_, srv := newServer(t)
+	registerHTTP(t, srv.URL, "users", 4)
+	resp, body := postJSON(t, srv.URL+"/query", QueryRequest{SQL: "SELECT key FROM ghosts"})
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("status %d (%s), want 404", resp.StatusCode, body)
+	}
+}
+
+// TestHTTPQueryTimeout503: a service-wide QueryTimeout shorter than
+// the query maps the resulting ErrDeadline onto a 503 with
+// Retry-After.
+func TestHTTPQueryTimeout503(t *testing.T) {
+	s, err := New(Config{QueryTimeout: time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := make([]table.Row, 8192)
+	for i := range rows {
+		rows[i] = table.Row{J: uint64(i), D: table.MustData("x")}
+	}
+	if err := s.Register("big", rows); err != nil {
+		t.Fatal(err)
+	}
+	srv := newTestServer(t, s)
+	resp, body := postJSON(t, srv.URL+"/query",
+		QueryRequest{SQL: "SELECT key, left.data, right.data FROM big JOIN big USING (key)"})
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("status %d (%s), want 503", resp.StatusCode, body)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("503 without Retry-After")
+	}
+	if !strings.Contains(string(body), "deadline") {
+		t.Fatalf("body %s does not name the deadline", body)
+	}
+}
+
+// TestHTTPOverload503: with the admission slot held and the queue
+// full, POST /query returns 503 naming the overload, with Retry-After.
+func TestHTTPOverload503(t *testing.T) {
+	s, err := New(Config{MaxInFlight: 1, MaxQueue: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := []table.Row{{J: 1, D: table.MustData("x")}}
+	if err := s.Register("t", rows); err != nil {
+		t.Fatal(err)
+	}
+	srv := newTestServer(t, s)
+
+	// Hold the slot and fill the single queue position.
+	if err := s.adm.acquire(context.Background(), 1); err != nil {
+		t.Fatal(err)
+	}
+	defer s.adm.release(1)
+	waiterCtx, waiterCancel := context.WithCancel(context.Background())
+	waiterDone := make(chan error, 1)
+	go func() { waiterDone <- s.adm.acquire(waiterCtx, 1) }()
+	waitUntil(t, func() bool { _, q, _ := s.adm.snapshot(); return q == 1 })
+	defer func() { waiterCancel(); <-waiterDone }()
+
+	resp, body := postJSON(t, srv.URL+"/query", QueryRequest{SQL: "SELECT key FROM t"})
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("status %d (%s), want 503", resp.StatusCode, body)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("503 without Retry-After")
+	}
+	if !strings.Contains(string(body), "overloaded") {
+		t.Fatalf("body %s does not name the overload", body)
+	}
+}
+
+// TestHTTPStatsEndpoint: /stats reports admission occupancy, outcome
+// counters and percentiles alongside the plan-cache counters.
+func TestHTTPStatsEndpoint(t *testing.T) {
+	s, srv := newServer(t)
+	registerHTTP(t, srv.URL, "users", 8)
+	if _, _, err := s.Query(context.Background(), "SELECT key FROM users"); err != nil {
+		t.Fatal(err)
+	}
+	var st StatsResponse
+	if resp := getJSON(t, srv.URL+"/stats", &st); resp.StatusCode != http.StatusOK {
+		t.Fatalf("/stats status %d", resp.StatusCode)
+	}
+	if st.Service.Completed != 1 || st.Service.Started != 1 {
+		t.Fatalf("service stats = %+v", st.Service)
+	}
+	if st.Service.P50NS <= 0 || st.Service.LatencySamples != 1 {
+		t.Fatalf("latency stats = %+v", st.Service)
+	}
+	if st.Service.GoroutineHWM <= 0 {
+		t.Fatalf("goroutine HWM = %d", st.Service.GoroutineHWM)
+	}
+	if st.PlanCache.Misses == 0 {
+		t.Fatalf("plan cache stats = %+v", st.PlanCache)
+	}
+}
+
+// TestHTTPShutdown503: queries arriving after Shutdown get 503.
+func TestHTTPShutdown503(t *testing.T) {
+	s, srv := newServer(t)
+	registerHTTP(t, srv.URL, "users", 4)
+	if err := s.Shutdown(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	resp, body := postJSON(t, srv.URL+"/query", QueryRequest{SQL: "SELECT key FROM users"})
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("status %d (%s), want 503", resp.StatusCode, body)
+	}
+}

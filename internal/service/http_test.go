@@ -15,9 +15,14 @@ func newServer(t *testing.T) (*Service, *httptest.Server) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	return s, newTestServer(t, s)
+}
+
+func newTestServer(t *testing.T, s *Service) *httptest.Server {
+	t.Helper()
 	srv := httptest.NewServer(NewHandler(s))
 	t.Cleanup(srv.Close)
-	return s, srv
+	return srv
 }
 
 func postJSON(t *testing.T, url string, body any) (*http.Response, []byte) {

@@ -1,0 +1,7 @@
+//go:build !race
+
+package service
+
+// raceEnabled reports that the race detector is instrumenting this
+// build; the heaviest timing-sensitive tests skip themselves under it.
+const raceEnabled = false

@@ -16,11 +16,23 @@
 // sorting network fingerprints differently, and any catalog mutation
 // bumps the version, so stale plans are never served — they simply age
 // out of the LRU.
+//
+// The service is traffic-hardened: every execution runs under a
+// context.Context threaded end to end through the operator stack (a
+// cancelled or deadline-expired query aborts within one execution
+// round with a typed query.ErrCanceled/ErrDeadline), admission is
+// bounded by a cost-weighted semaphore with a bounded FIFO wait queue
+// (ErrOverloaded on saturation, see admission.go), Shutdown drains
+// in-flight queries gracefully, and Stats reports in-flight/queued
+// occupancy, outcome counters and latency percentiles (stats.go).
 package service
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"sync"
+	"time"
 
 	"oblivjoin/internal/catalog"
 	"oblivjoin/internal/crypto"
@@ -45,15 +57,34 @@ type Config struct {
 	// SealedCatalog stores registered tables AES-sealed at rest, the
 	// catalog counterpart of Defaults.Encrypted intermediate stores.
 	SealedCatalog bool
+	// MaxInFlight caps the summed admission cost of concurrently
+	// executing queries, in cost units of CostQuantum plan-referenced
+	// input rows (every query costs at least one unit; a single
+	// query's cost clamps to the capacity). 0 or negative leaves
+	// admission unbounded — the pre-admission behavior.
+	MaxInFlight int
+	// MaxQueue bounds the admission wait queue when MaxInFlight is
+	// set: a query arriving with the queue full is rejected
+	// immediately with ErrOverloaded. 0 means DefaultMaxQueue.
+	MaxQueue int
+	// QueryTimeout, when positive, applies a deadline to every
+	// execution whose context does not already carry one; an
+	// execution exceeding it returns query.ErrDeadline. The timeout
+	// covers admission wait plus execution.
+	QueryTimeout time.Duration
 }
 
 // Service is a concurrent oblivious query service: a shared catalog,
-// shared execution defaults, and a bounded cache of prepared plans.
-// All methods are safe for concurrent use.
+// shared execution defaults, a bounded cache of prepared plans, and an
+// admission-control layer bounding concurrent execution cost. All
+// methods are safe for concurrent use.
 type Service struct {
 	cat      *catalog.Catalog
 	defaults query.Options
 	cipher   *crypto.Cipher
+	adm      *admitter
+	met      *metrics
+	timeout  time.Duration
 
 	mu    sync.Mutex // guards cache and stats
 	cache *lru
@@ -80,8 +111,30 @@ func New(cfg Config) (*Service, error) {
 		cat:      cat,
 		defaults: cfg.Defaults,
 		cipher:   cipher,
+		adm:      newAdmitter(int64(cfg.MaxInFlight), cfg.MaxQueue),
+		met:      &metrics{},
+		timeout:  cfg.QueryTimeout,
 		cache:    newLRU(size),
 	}, nil
+}
+
+// Shutdown stops admitting queries and drains the in-flight ones:
+// queued queries fail with ErrShuttingDown, new arrivals are refused,
+// and Shutdown returns once the last executing query releases — or
+// with ctx's error when the drain outlives it (in-flight queries are
+// NOT force-cancelled; callers wanting a hard stop pass deadline
+// contexts to the queries themselves). Shutdown is idempotent.
+func (s *Service) Shutdown(ctx context.Context) error {
+	s.adm.close()
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	select {
+	case <-s.adm.drained:
+		return nil
+	case <-ctx.Done():
+		return fmt.Errorf("service: shutdown: %w", ctx.Err())
+	}
 }
 
 // Catalog returns the service's shared catalog.
@@ -197,18 +250,87 @@ func (st *Stmt) SQL() string { return st.sql }
 // Explain renders the statement's oblivious logical plan.
 func (st *Stmt) Explain() string { return query.RenderPlan(st.plan) }
 
+// cost estimates a statement's admission weight from the (public) row
+// counts of the catalog tables its plan references: one unit per
+// CostQuantum input rows, at least one. Tables dropped since Prepare
+// contribute nothing — the execution will fail fast on the snapshot
+// anyway.
+func (s *Service) cost(tables []string) int64 {
+	var rows int64
+	for _, name := range tables {
+		if sch, err := s.cat.Schema(name); err == nil {
+			rows += int64(sch.Rows)
+		}
+	}
+	w := (rows + CostQuantum - 1) / CostQuantum
+	return s.adm.clampWeight(w)
+}
+
 // Exec runs the prepared pipeline against a snapshot of the catalog
 // tables the plan references. It returns the result and, when the
 // session collects, the PlanStats report with CacheHit set when the
 // plan came from the cache. Exec is safe to call concurrently on the
 // same Stmt. A referenced table dropped since Prepare surfaces as a
 // *catalog.UnknownTableError.
-func (st *Stmt) Exec() (*query.Result, *query.PlanStats, error) {
+//
+// Execution is admission-controlled: the run first acquires its
+// cost-weighted share of the service's MaxInFlight semaphore (waiting
+// its turn in a bounded FIFO queue, failing fast with ErrOverloaded
+// when the queue is full) and is governed by ctx — cancel it, or let
+// its deadline (or the service's QueryTimeout default) expire, and the
+// query aborts within one execution round with an error wrapping
+// query.ErrCanceled or query.ErrDeadline. An aborted run leaves the
+// catalog, the plan cache and every sealed store untouched: concurrent
+// queries are unaffected and completed queries' trace hashes stay
+// bit-identical whether or not neighbors were cancelled. A nil ctx
+// means context.Background().
+func (st *Stmt) Exec(ctx context.Context) (*query.Result, *query.PlanStats, error) {
+	s := st.svc
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if s.timeout > 0 {
+		if _, has := ctx.Deadline(); !has {
+			var cancel context.CancelFunc
+			ctx, cancel = context.WithTimeout(ctx, s.timeout)
+			defer cancel()
+		}
+	}
+	weight := s.cost(st.tables)
+	start := time.Now()
+	if err := s.adm.acquire(ctx, weight); err != nil {
+		s.met.reject(isCancellation(err))
+		return nil, nil, err
+	}
+	defer s.adm.release(weight)
+	s.met.begin()
+
+	res, ps, err := st.run(ctx)
+	d := time.Since(start)
+	switch {
+	case err == nil:
+		s.met.end(d, outcomeCompleted)
+	case isCancellation(err):
+		s.met.end(d, outcomeCanceled)
+	default:
+		s.met.end(d, outcomeFailed)
+	}
+	return res, ps, err
+}
+
+// isCancellation reports whether err is a context-driven abort (either
+// typed sentinel).
+func isCancellation(err error) bool {
+	return errors.Is(err, query.ErrCanceled) || errors.Is(err, query.ErrDeadline)
+}
+
+// run snapshots the referenced tables and executes the pipeline.
+func (st *Stmt) run(ctx context.Context) (*query.Result, *query.PlanStats, error) {
 	tables, err := st.svc.cat.SnapshotTables(st.tables)
 	if err != nil {
 		return nil, nil, err
 	}
-	res, ps, err := query.Run(st.opts, st.svc.cipher, tables, st.pipeline)
+	res, ps, err := query.Run(ctx, st.opts, st.svc.cipher, tables, st.pipeline)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -222,7 +344,15 @@ func (st *Stmt) Exec() (*query.Result, *query.PlanStats, error) {
 // options, consulting the plan cache first. Preparing against an empty
 // catalog returns catalog.ErrNoTables; unknown tables surface as
 // *catalog.UnknownTableError.
-func (s *Service) Prepare(sql string, opts ...SessionOption) (*Stmt, error) {
+func (s *Service) Prepare(ctx context.Context, sql string, opts ...SessionOption) (*Stmt, error) {
+	if s.adm.isClosed() {
+		return nil, fmt.Errorf("service: %w", ErrShuttingDown)
+	}
+	if ctx != nil {
+		if cause := ctx.Err(); cause != nil {
+			return nil, mapCtxErr(cause)
+		}
+	}
 	if s.cat.Len() == 0 {
 		return nil, catalog.ErrNoTables
 	}
@@ -262,19 +392,19 @@ func (s *Service) Prepare(sql string, opts ...SessionOption) (*Stmt, error) {
 }
 
 // Query prepares (or reuses a cached plan for) sql and executes it
-// once: the one-shot form of Prepare + Exec.
-func (s *Service) Query(sql string, opts ...SessionOption) (*query.Result, *query.PlanStats, error) {
-	st, err := s.Prepare(sql, opts...)
+// once under ctx: the one-shot form of Prepare + Exec.
+func (s *Service) Query(ctx context.Context, sql string, opts ...SessionOption) (*query.Result, *query.PlanStats, error) {
+	st, err := s.Prepare(ctx, sql, opts...)
 	if err != nil {
 		return nil, nil, err
 	}
-	return st.Exec()
+	return st.Exec(ctx)
 }
 
 // Explain returns the oblivious plan sql would execute, without
 // touching any data.
 func (s *Service) Explain(sql string) (string, error) {
-	st, err := s.Prepare(sql)
+	st, err := s.Prepare(context.Background(), sql)
 	if err != nil {
 		return "", err
 	}

@@ -1,6 +1,7 @@
 package service
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"reflect"
@@ -37,7 +38,7 @@ func newFixture(t *testing.T, cfg Config) *Service {
 func TestQueryMatchesEngine(t *testing.T) {
 	const sql = "SELECT key, left.data, right.data FROM users JOIN orders USING (key)"
 	s := newFixture(t, Config{})
-	got, _, err := s.Query(sql)
+	got, _, err := s.Query(context.Background(), sql)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -62,17 +63,17 @@ func TestPrepareEmptyCatalog(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := s.Prepare("SELECT key FROM users"); !errors.Is(err, catalog.ErrNoTables) {
+	if _, err := s.Prepare(context.Background(), "SELECT key FROM users"); !errors.Is(err, catalog.ErrNoTables) {
 		t.Fatalf("Prepare on empty catalog = %v, want ErrNoTables", err)
 	}
-	if _, _, err := s.Query("SELECT key FROM users"); !errors.Is(err, catalog.ErrNoTables) {
+	if _, _, err := s.Query(context.Background(), "SELECT key FROM users"); !errors.Is(err, catalog.ErrNoTables) {
 		t.Fatalf("Query on empty catalog = %v, want ErrNoTables", err)
 	}
 }
 
 func TestPrepareUnknownTableTyped(t *testing.T) {
 	s := newFixture(t, Config{})
-	_, err := s.Prepare("SELECT key FROM nope")
+	_, err := s.Prepare(context.Background(), "SELECT key FROM nope")
 	var unk *catalog.UnknownTableError
 	if !errors.As(err, &unk) || unk.Name != "nope" {
 		t.Fatalf("Prepare(unknown) = %v, want *UnknownTableError{nope}", err)
@@ -87,11 +88,11 @@ func TestPlanCacheHitMiss(t *testing.T) {
 		t.Fatalf("fresh service cache stats = %+v", base)
 	}
 
-	st1, err := s.Prepare(sql)
+	st1, err := s.Prepare(context.Background(), sql)
 	if err != nil {
 		t.Fatal(err)
 	}
-	st2, err := s.Prepare(sql)
+	st2, err := s.Prepare(context.Background(), sql)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -104,14 +105,14 @@ func TestPlanCacheHitMiss(t *testing.T) {
 	}
 
 	// CacheHit surfaces in PlanStats when collecting.
-	_, ps, err := st2.Exec()
+	_, ps, err := st2.Exec(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
 	if ps != nil {
 		t.Fatal("stats collected without WithStats")
 	}
-	_, ps, err = s.Query(sql, WithStats(true))
+	_, ps, err = s.Query(context.Background(), sql, WithStats(true))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -123,12 +124,12 @@ func TestPlanCacheHitMiss(t *testing.T) {
 func TestPlanCacheFingerprintBypass(t *testing.T) {
 	const sql = "SELECT key FROM users WHERE key < 5"
 	s := newFixture(t, Config{})
-	if _, err := s.Prepare(sql); err != nil {
+	if _, err := s.Prepare(context.Background(), sql); err != nil {
 		t.Fatal(err)
 	}
 	// Same SQL, different worker count: different config fingerprint,
 	// so the cache is bypassed.
-	if _, err := s.Prepare(sql, WithWorkers(4)); err != nil {
+	if _, err := s.Prepare(context.Background(), sql, WithWorkers(4)); err != nil {
 		t.Fatal(err)
 	}
 	cs := s.CacheStats()
@@ -136,7 +137,7 @@ func TestPlanCacheFingerprintBypass(t *testing.T) {
 		t.Fatalf("after fingerprint change: %+v, want 2 misses", cs)
 	}
 	// Instrumentation flags do NOT fingerprint: stats-on reuses the plan.
-	if _, err := s.Prepare(sql, WithStats(true)); err != nil {
+	if _, err := s.Prepare(context.Background(), sql, WithStats(true)); err != nil {
 		t.Fatal(err)
 	}
 	if cs := s.CacheStats(); cs.Hits != 1 {
@@ -147,13 +148,13 @@ func TestPlanCacheFingerprintBypass(t *testing.T) {
 func TestPlanCacheCatalogVersionBypass(t *testing.T) {
 	const sql = "SELECT key FROM users"
 	s := newFixture(t, Config{})
-	if _, err := s.Prepare(sql); err != nil {
+	if _, err := s.Prepare(context.Background(), sql); err != nil {
 		t.Fatal(err)
 	}
 	if err := s.Register("extra", fixtureRows(4, "e")); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := s.Prepare(sql); err != nil {
+	if _, err := s.Prepare(context.Background(), sql); err != nil {
 		t.Fatal(err)
 	}
 	cs := s.CacheStats()
@@ -176,7 +177,7 @@ func TestPlanCacheEviction(t *testing.T) {
 		"SELECT DISTINCT key, data FROM users",
 	}
 	for _, q := range queries {
-		if _, err := s.Prepare(q); err != nil {
+		if _, err := s.Prepare(context.Background(), q); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -185,14 +186,14 @@ func TestPlanCacheEviction(t *testing.T) {
 		t.Fatalf("after overfilling a 2-entry cache: %+v", cs)
 	}
 	// The oldest plan was evicted: preparing it again misses.
-	if _, err := s.Prepare(queries[0]); err != nil {
+	if _, err := s.Prepare(context.Background(), queries[0]); err != nil {
 		t.Fatal(err)
 	}
 	if cs := s.CacheStats(); cs.Misses != 4 || cs.Hits != 0 {
 		t.Fatalf("evicted plan served from cache: %+v", cs)
 	}
 	// The most recent one is still cached.
-	if _, err := s.Prepare(queries[2]); err != nil {
+	if _, err := s.Prepare(context.Background(), queries[2]); err != nil {
 		t.Fatal(err)
 	}
 	if cs := s.CacheStats(); cs.Hits != 1 {
@@ -206,13 +207,13 @@ func TestPlanCacheEviction(t *testing.T) {
 func concurrentStmtCheck(t *testing.T, cfg Config, sql string) {
 	t.Helper()
 	s := newFixture(t, cfg)
-	st, err := s.Prepare(sql, WithTraceHash(true))
+	st, err := s.Prepare(context.Background(), sql, WithTraceHash(true))
 	if err != nil {
 		t.Fatal(err)
 	}
 
 	// Sequential reference.
-	refRes, refPS, err := st.Exec()
+	refRes, refPS, err := st.Exec(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -229,7 +230,7 @@ func concurrentStmtCheck(t *testing.T, cfg Config, sql string) {
 		wg.Add(1)
 		go func(g int) {
 			defer wg.Done()
-			res, ps, err := st.Exec()
+			res, ps, err := st.Exec(context.Background())
 			if err != nil {
 				errs[g] = err
 				return
@@ -285,7 +286,7 @@ func TestConcurrentMixedTraffic(t *testing.T) {
 		go func(g int) {
 			defer wg.Done()
 			for i := 0; i < 10; i++ {
-				if _, _, err := s.Query(queries[(g+i)%len(queries)], WithStats(i%2 == 0)); err != nil {
+				if _, _, err := s.Query(context.Background(), queries[(g+i)%len(queries)], WithStats(i%2 == 0)); err != nil {
 					t.Errorf("goroutine %d query %d: %v", g, i, err)
 					return
 				}
@@ -313,7 +314,7 @@ func TestConcurrentMixedTraffic(t *testing.T) {
 // error rather than a stale result.
 func TestStmtSnapshotsOnlyReferencedTables(t *testing.T) {
 	s := newFixture(t, Config{})
-	st, err := s.Prepare("SELECT key, left.data, right.data FROM users JOIN orders USING (key)")
+	st, err := s.Prepare(context.Background(), "SELECT key, left.data, right.data FROM users JOIN orders USING (key)")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -324,7 +325,7 @@ func TestStmtSnapshotsOnlyReferencedTables(t *testing.T) {
 	if err := s.Drop("ships"); err != nil {
 		t.Fatal(err)
 	}
-	if _, _, err := st.Exec(); err != nil {
+	if _, _, err := st.Exec(context.Background()); err != nil {
 		t.Fatalf("Exec after unrelated drop: %v", err)
 	}
 	// Dropping a referenced table is a typed error at Exec.
@@ -332,7 +333,7 @@ func TestStmtSnapshotsOnlyReferencedTables(t *testing.T) {
 		t.Fatal(err)
 	}
 	var unk *catalog.UnknownTableError
-	if _, _, err := st.Exec(); !errors.As(err, &unk) || unk.Name != "orders" {
+	if _, _, err := st.Exec(context.Background()); !errors.As(err, &unk) || unk.Name != "orders" {
 		t.Fatalf("Exec after drop = %v, want *UnknownTableError{orders}", err)
 	}
 }

@@ -1,10 +1,12 @@
 package oblivjoin
 
 import (
+	"context"
 	"errors"
 	"reflect"
 	"sync"
 	"testing"
+	"time"
 )
 
 // These tests cover the serving-layer surface of the public API: typed
@@ -143,5 +145,114 @@ func TestStmtExplain(t *testing.T) {
 	}
 	if st.SQL() != "SELECT key FROM users WHERE key = 1" {
 		t.Fatalf("Stmt.SQL = %q", st.SQL())
+	}
+}
+
+// TestQueryContextCancelTyped: the public context-aware surface — a
+// cancelled QueryContext returns an error matching both ErrCanceled
+// and context.Canceled, and the engine keeps serving afterwards.
+func TestQueryContextCancelTyped(t *testing.T) {
+	eng := newEngineFixture(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := eng.QueryContext(ctx, "SELECT key FROM users"); !errors.Is(err, ErrCanceled) || !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled QueryContext = %v, want ErrCanceled", err)
+	}
+	if _, err := eng.Query("SELECT key FROM users"); err != nil {
+		t.Fatalf("query after cancellation: %v", err)
+	}
+	st, err := eng.Prepare("SELECT key FROM users")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.ExecContext(ctx); !errors.Is(err, ErrCanceled) {
+		t.Fatalf("cancelled ExecContext = %v, want ErrCanceled", err)
+	}
+}
+
+// TestEngineQueryTimeoutTyped: WithQueryTimeout surfaces ErrDeadline.
+func TestEngineQueryTimeoutTyped(t *testing.T) {
+	eng := NewEngine(WithQueryTimeout(time.Nanosecond))
+	tb := NewTable()
+	for i := 0; i < 512; i++ {
+		tb.MustAppend(uint64(i), "x")
+	}
+	if err := eng.Register("t", tb); err != nil {
+		t.Fatal(err)
+	}
+	_, err := eng.Query("SELECT key, left.data, right.data FROM t JOIN t USING (key)")
+	if !errors.Is(err, ErrDeadline) {
+		t.Fatalf("err = %v, want ErrDeadline", err)
+	}
+}
+
+// TestEngineShutdownAndStats: Shutdown drains, refuses new queries
+// with ErrShuttingDown, and Stats reports the lifecycle counters.
+func TestEngineShutdownAndStats(t *testing.T) {
+	eng := newEngineFixture(t)
+	if _, err := eng.Query("SELECT key FROM users"); err != nil {
+		t.Fatal(err)
+	}
+	st := eng.Stats()
+	if st.Completed != 1 || st.P50NS <= 0 {
+		t.Fatalf("Stats = %+v", st)
+	}
+	if err := eng.Shutdown(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := eng.Query("SELECT key FROM users"); !errors.Is(err, ErrShuttingDown) {
+		t.Fatalf("query after Shutdown = %v, want ErrShuttingDown", err)
+	}
+	if !eng.Stats().ShuttingDown {
+		t.Fatal("Stats().ShuttingDown = false after Shutdown")
+	}
+}
+
+// TestEngineOverloadTyped: capacity 1 and queue 1 under a held slot
+// surfaces ErrOverloaded through the public API.
+func TestEngineOverloadTyped(t *testing.T) {
+	eng := NewEngine(WithMaxInFlight(1), WithQueueDepth(1))
+	tb := NewTable()
+	for i := 0; i < 4096; i++ {
+		tb.MustAppend(uint64(i), "x")
+	}
+	if err := eng.Register("big", tb); err != nil {
+		t.Fatal(err)
+	}
+	// Saturate: one long query in flight, one queued, then overload.
+	started := make(chan struct{}, 2)
+	res := make(chan error, 2)
+	for i := 0; i < 2; i++ {
+		go func() {
+			started <- struct{}{}
+			_, err := eng.Query("SELECT key, left.data, right.data FROM big JOIN big USING (key)")
+			res <- err
+		}()
+	}
+	<-started
+	<-started
+	// Wait until one executes and one queues, then the next must bounce.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		s := eng.Stats()
+		if s.InFlight == 1 && s.Queued == 1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("saturation never reached: %+v", s)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if _, err := eng.Query("SELECT key FROM big WHERE key = 1"); !errors.Is(err, ErrOverloaded) {
+		t.Fatalf("err = %v, want ErrOverloaded", err)
+	}
+	if err := <-res; err != nil {
+		t.Fatal(err)
+	}
+	if err := <-res; err != nil {
+		t.Fatal(err)
+	}
+	if s := eng.Stats(); s.Rejected != 1 || s.Completed != 2 {
+		t.Fatalf("Stats = %+v", s)
 	}
 }
