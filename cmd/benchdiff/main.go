@@ -1,7 +1,8 @@
 // Command benchdiff is the CI perf-regression gate: it compares fresh
 // BENCH_*.json records against the committed baseline directory and
-// exits non-zero when any wall-time metric regresses beyond the
-// threshold, or when a baseline benchmark vanished from the fresh run.
+// exits non-zero when any wall-time or memory metric regresses beyond
+// the threshold, or when a baseline benchmark vanished from the fresh
+// run.
 //
 // Usage:
 //
@@ -12,8 +13,10 @@
 // granularity (plus query text for SQL records and scenario × clients
 // for the BENCH_service.json load records); every "*_ns" wall-time
 // metric a baseline record carries is gated — including the load
-// records' p50/p95/p99 latency percentiles. New benchmarks with no
-// baseline entry are reported but do not fail.
+// records' p50/p95/p99 latency percentiles — and so is every
+// "*_bytes" memory metric (the deterministic peak/total allocation
+// gauges), at the same threshold. New benchmarks with no baseline
+// entry are reported but do not fail.
 package main
 
 import (

@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	oblivbench -exp table1|table2|table3|fig7|fig8|circuit|bench|sql|sealed|all [flags]
+//	oblivbench -exp table1|table2|table3|fig7|fig8|circuit|bench|sql|sealed|stream|all [flags]
 //
 //	-n int          input size for table1/table3 (default 4096 / 65536)
 //	-sizes list     comma-separated n values for fig8
@@ -11,17 +11,22 @@
 //	-bsizes list    comma-separated n values for the bench experiment
 //	-ssizes list    comma-separated n values for the sql experiment
 //	-zsizes list    comma-separated n values for the sealed experiment
-//	-workers int    parallel lanes for bench/sql/sealed (0 = GOMAXPROCS)
-//	-block int      entries per sealed block for the sealed experiment (0 = default 16)
+//	-tsizes list    comma-separated n values for the stream experiment
+//	-workers int    parallel lanes for bench/sql/sealed/stream (0 = GOMAXPROCS)
+//	-block int      entries per sealed block for sealed/stream (0 = default 16)
+//	-short          stream preset: small sizes for the CI gate
 //	-json path      write bench results as JSON (default BENCH_join.json)
 //	-sqljson path   write sql results as JSON (default BENCH_sql.json)
 //	-sealedjson path write sealed results as JSON (default BENCH_sealed.json)
+//	-streamjson path write stream results as JSON (default BENCH_stream.json)
 //
 // bench (sequential vs parallel join wall times, tracing on, with a
 // BENCH_join.json perf record), sql (the same comparison for the SQL
-// plan pipeline, BENCH_sql.json) and sealed (plain vs per-entry sealed
-// vs block-sealed storage, BENCH_sealed.json) are opt-in: they run
-// only with -exp bench / -exp sql / -exp sealed, never under -exp all.
+// plan pipeline, BENCH_sql.json), sealed (plain vs per-entry sealed
+// vs block-sealed storage, BENCH_sealed.json) and stream (stage-at-a-
+// time vs block-granular streaming peak memory, BENCH_stream.json) are
+// opt-in: they run only with an explicit -exp name, never under
+// -exp all.
 //
 // Absolute timings depend on the host; the reproduction targets are the
 // orderings and growth shapes (see EXPERIMENTS.md).
@@ -38,7 +43,7 @@ import (
 )
 
 func main() {
-	which := flag.String("exp", "all", "experiment: table1, table2, table3, fig7, fig8, circuit, bench, sql, sealed, all")
+	which := flag.String("exp", "all", "experiment: table1, table2, table3, fig7, fig8, circuit, bench, sql, sealed, stream, all")
 	n := flag.Int("n", 0, "input size for table1/table3 (defaults: 4096, 65536)")
 	sizes := flag.String("sizes", "25000,50000,100000,200000", "comma-separated input sizes for fig8")
 	pgm := flag.String("pgm", "", "write Figure 7 as a PGM image to this path")
@@ -46,11 +51,14 @@ func main() {
 	bsizes := flag.String("bsizes", "16384,65536,131072", "comma-separated input sizes for bench")
 	ssizes := flag.String("ssizes", "4096,16384,65536", "comma-separated input sizes for sql")
 	zsizes := flag.String("zsizes", "4096,16384", "comma-separated input sizes for sealed")
-	workers := flag.Int("workers", 0, "parallel lanes for bench/sql/sealed (0 = GOMAXPROCS)")
-	block := flag.Int("block", 0, "entries per sealed block for the sealed experiment (0 = default)")
+	tsizes := flag.String("tsizes", "16384,65536", "comma-separated input sizes for stream")
+	workers := flag.Int("workers", 0, "parallel lanes for bench/sql/sealed/stream (0 = GOMAXPROCS)")
+	block := flag.Int("block", 0, "entries per sealed block for sealed/stream (0 = default)")
+	short := flag.Bool("short", false, "stream preset: small sizes for the CI gate (overridable by -tsizes)")
 	jsonPath := flag.String("json", "BENCH_join.json", "write bench results as JSON to this path (empty to skip)")
 	sqlJSONPath := flag.String("sqljson", "BENCH_sql.json", "write sql results as JSON to this path (empty to skip)")
 	sealedJSONPath := flag.String("sealedjson", "BENCH_sealed.json", "write sealed results as JSON to this path (empty to skip)")
+	streamJSONPath := flag.String("streamjson", "BENCH_stream.json", "write stream results as JSON to this path (empty to skip)")
 	flag.Parse()
 
 	parseSizes := func(s string) ([]int, error) {
@@ -68,7 +76,7 @@ func main() {
 	// bench is opt-in only: it is a perf experiment that writes
 	// BENCH_join.json to the working directory, not one of the paper's
 	// figures, so a bare `oblivbench` (-exp all) does not run it.
-	optIn := map[string]bool{"bench": true, "sql": true, "sealed": true}
+	optIn := map[string]bool{"bench": true, "sql": true, "sealed": true, "stream": true}
 	run := func(name string, f func() error) {
 		if *which != name && (*which != "all" || optIn[name]) {
 			return
@@ -149,6 +157,31 @@ func main() {
 				return err
 			}
 			fmt.Printf("(sealed results written to %s)\n", *sealedJSONPath)
+		}
+		return nil
+	})
+	run("stream", func() error {
+		sz := *tsizes
+		if *short {
+			set := map[string]bool{}
+			flag.Visit(func(f *flag.Flag) { set[f.Name] = true })
+			if !set["tsizes"] {
+				sz = "4096,16384"
+			}
+		}
+		ns, err := parseSizes(sz)
+		if err != nil {
+			return err
+		}
+		results, err := exp.BenchStream(os.Stdout, ns, *workers, *block)
+		if err != nil {
+			return err
+		}
+		if *streamJSONPath != "" {
+			if err := exp.WriteStreamBenchJSON(*streamJSONPath, results); err != nil {
+				return err
+			}
+			fmt.Printf("(stream results written to %s)\n", *streamJSONPath)
 		}
 		return nil
 	})

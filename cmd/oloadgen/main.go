@@ -8,7 +8,9 @@
 //	oloadgen [flags]
 //
 //	-scenarios list  comma-separated scenario families: uniform,
-//	                 powerlaw, pkfk, mixed (default all)
+//	                 powerlaw, pkfk, mixed, spill (default all; spill
+//	                 runs its rotation under a 256 KiB per-query memory
+//	                 budget, forcing the sealed spill path)
 //	-n int           rows per generated table (default 2048)
 //	-clients int     closed-loop client goroutines (default 8)
 //	-ops int         operations per scenario (default 96)
@@ -48,7 +50,7 @@ import (
 )
 
 func main() {
-	scenarios := flag.String("scenarios", "", "comma-separated scenario families (default all)")
+	scenarios := flag.String("scenarios", "", "comma-separated scenario families: uniform, powerlaw, pkfk, mixed, spill (default all)")
 	n := flag.Int("n", 2048, "rows per generated table")
 	clients := flag.Int("clients", 8, "closed-loop client goroutines")
 	ops := flag.Int("ops", 96, "operations per scenario")

@@ -93,6 +93,9 @@ func main() {
 	maxInFlight := flag.Int("max-inflight", 0, "admission capacity in cost units of 4096 input rows (0 = unbounded)")
 	queueDepth := flag.Int("queue", 0, "admission wait-queue bound (0 = default 64)")
 	queryTimeout := flag.Duration("query-timeout", 0, "per-query deadline covering queue wait + execution (0 = none)")
+	memBudget := flag.Int64("mem-budget", 0, "bound tracked per-query memory to this many bytes, spilling stores to sealed disk blocks (0 = unbounded)")
+	spillDir := flag.String("spill-dir", "", "directory for sealed spill files (default: system temp)")
+	materialized := flag.Bool("materialized", false, "use the stage-at-a-time executor instead of the streaming default")
 	header := flag.Bool("header", false, "CSV files start with a header row")
 	demo := flag.Int("demo", 0, "register demo tables t1, t2, t3 with this many rows")
 	flag.Var(&csvs, "csv", "register a CSV file as a table: name=path (repeatable)")
@@ -125,6 +128,15 @@ func main() {
 	}
 	if *queueDepth > 0 {
 		opts = append(opts, oblivjoin.WithQueueDepth(*queueDepth))
+	}
+	if *memBudget > 0 {
+		opts = append(opts, oblivjoin.WithMemBudget(*memBudget))
+	}
+	if *spillDir != "" {
+		opts = append(opts, oblivjoin.WithSpillDir(*spillDir))
+	}
+	if *materialized {
+		opts = append(opts, oblivjoin.WithMaterialized())
 	}
 	if *queryTimeout > 0 {
 		opts = append(opts, oblivjoin.WithQueryTimeout(*queryTimeout))

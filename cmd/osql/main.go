@@ -55,6 +55,9 @@ func main() {
 	sealedBlock := flag.Int("sealed-block", 0, "entries per sealed ciphertext block (0 = default 16, 1 = per-entry; implies -encrypted)")
 	stats := flag.Bool("stats", false, "print a per-operator execution report to stderr")
 	traceHash := flag.Bool("tracehash", false, "also compute the SHA-256 access-pattern digest (implies -stats)")
+	memBudget := flag.Int64("mem-budget", 0, "bound tracked run memory to this many bytes, spilling stores to sealed disk blocks (0 = unbounded)")
+	spillDir := flag.String("spill-dir", "", "directory for sealed spill files (default: system temp)")
+	materialized := flag.Bool("materialized", false, "use the stage-at-a-time executor instead of the streaming default")
 	flag.Parse()
 
 	if flag.NArg() == 0 || len(tables) == 0 {
@@ -84,6 +87,15 @@ func main() {
 	}
 	if *traceHash {
 		opts = append(opts, oblivjoin.WithTraceHash())
+	}
+	if *memBudget > 0 {
+		opts = append(opts, oblivjoin.WithMemBudget(*memBudget))
+	}
+	if *spillDir != "" {
+		opts = append(opts, oblivjoin.WithSpillDir(*spillDir))
+	}
+	if *materialized {
+		opts = append(opts, oblivjoin.WithMaterialized())
 	}
 	eng := oblivjoin.NewEngine(opts...)
 	for name, path := range tables {

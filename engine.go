@@ -89,6 +89,41 @@ func WithTraceHash() EngineOption {
 	return func(c *service.Config) { c.Defaults.TraceHash = true; c.Defaults.CollectStats = true }
 }
 
+// WithMemBudget bounds the tracked in-memory bytes of every query run:
+// a store allocation that would push a run's live total past bytes is
+// diverted to a sealed spill file on disk — ciphertext-only, the same
+// block format as the sealed store, deleted the moment the store is
+// released or the run ends. Plain-store engines seal their spill
+// blocks under a fresh per-run key. 0 or negative leaves runs
+// unbounded. Results and canonical traces are identical with and
+// without spilling.
+func WithMemBudget(bytes int64) EngineOption {
+	return func(c *service.Config) { c.Defaults.MemBudget = bytes }
+}
+
+// WithSpillDir puts budget-diverted spill files under dir instead of
+// the system temp directory; see WithMemBudget.
+func WithSpillDir(dir string) EngineOption {
+	return func(c *service.Config) { c.Defaults.SpillDir = dir }
+}
+
+// WithMaterialized restores the stage-at-a-time executor, where every
+// operator hand-off is a whole relation. The default is the streaming
+// executor: block-granular batches between stages and eager release of
+// drained intermediates, bounding peak memory by the widest adjacent
+// stages instead of the sum of all intermediates. Results, comparator
+// counts and canonical trace hashes are identical either way.
+func WithMaterialized() EngineOption {
+	return func(c *service.Config) { c.Defaults.Materialized = true }
+}
+
+// WithStreamBatch sets the streaming executor's hand-off granularity
+// in rows (0 selects the default), rounded up to a multiple of the
+// sealed block width so batches align with ciphertext blocks.
+func WithStreamBatch(n int) EngineOption {
+	return func(c *service.Config) { c.Defaults.StreamBatch = n }
+}
+
 // WithMergeExchange selects Batcher's odd-even merge-exchange sorting
 // network instead of the bitonic default.
 func WithMergeExchange() EngineOption {

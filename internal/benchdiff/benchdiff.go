@@ -5,13 +5,15 @@
 //
 // Records match on their key — the input size n, the worker count and
 // the sealed-block granularity, plus the query text for SQL records —
-// and regress when a wall-time metric exceeds the baseline by more
-// than the threshold ratio. Every JSON field ending in "_ns" is a
-// gated metric, so new benchmark families (BENCH_sealed.json's
-// plain/sealed/block columns, say) are covered without touching the
-// gate. Benchmarks present in the baseline but missing from the fresh
-// run also fail: a benchmark silently dropped is a regression in
-// coverage, and so is a metric that vanished from a record.
+// and regress when a gated metric exceeds the baseline by more than
+// the threshold ratio. Every JSON field ending in "_ns" (wall times,
+// latency percentiles) or "_bytes" (the deterministic peak/total
+// allocation gauges) is a gated metric, so new benchmark families
+// (BENCH_sealed.json's plain/sealed/block columns, BENCH_stream.json's
+// peak-memory columns, say) are covered without touching the gate.
+// Benchmarks present in the baseline but missing from the fresh run
+// also fail: a benchmark silently dropped is a regression in coverage,
+// and so is a metric that vanished from a record.
 package benchdiff
 
 import (
@@ -36,13 +38,15 @@ type Record struct {
 	Block    int
 	Scenario string
 	Clients  int
-	// Metrics holds every "*_ns" field of the record, keyed by the
-	// metric name with the suffix stripped ("sequential_ns" →
-	// "sequential").
+	// Metrics holds every gated field of the record: "*_ns" metrics
+	// keyed by the metric name with the suffix stripped
+	// ("sequential_ns" → "sequential"), and "*_bytes" metrics keyed by
+	// their full name ("peak_bytes") so reports stay unit-aware.
 	Metrics map[string]int64
 }
 
-// UnmarshalJSON collects the key fields and every *_ns metric.
+// UnmarshalJSON collects the key fields and every *_ns and *_bytes
+// metric.
 func (r *Record) UnmarshalJSON(data []byte) error {
 	var raw map[string]json.RawMessage
 	if err := json.Unmarshal(data, &raw); err != nil {
@@ -75,14 +79,20 @@ func (r *Record) UnmarshalJSON(data []byte) error {
 	}
 	r.Metrics = map[string]int64{}
 	for k, v := range raw {
-		if !strings.HasSuffix(k, "_ns") {
+		name := ""
+		switch {
+		case strings.HasSuffix(k, "_ns"):
+			name = strings.TrimSuffix(k, "_ns")
+		case strings.HasSuffix(k, "_bytes"):
+			name = k
+		default:
 			continue
 		}
-		var ns int64
-		if err := json.Unmarshal(v, &ns); err != nil {
+		var m int64
+		if err := json.Unmarshal(v, &m); err != nil {
 			return fmt.Errorf("benchdiff: metric %s: %w", k, err)
 		}
-		r.Metrics[strings.TrimSuffix(k, "_ns")] = ns
+		r.Metrics[name] = m
 	}
 	return nil
 }
@@ -127,16 +137,22 @@ func Read(r io.Reader) ([]Record, error) {
 	return recs, nil
 }
 
-// Regression is one wall-time metric that exceeded the threshold.
+// Regression is one gated metric that exceeded the threshold.
 type Regression struct {
-	Key        string
-	Metric     string // metric name, e.g. "sequential" or "block_join"
+	Key    string
+	Metric string // metric name, e.g. "sequential" or "peak_bytes"
+	// BaselineNS and FreshNS hold the metric values in its native unit:
+	// nanoseconds for "*_ns" metrics, bytes for "*_bytes" metrics.
 	BaselineNS int64
 	FreshNS    int64
 	Ratio      float64 // FreshNS / BaselineNS
 }
 
 func (r Regression) String() string {
+	if strings.HasSuffix(strings.TrimSuffix(r.Metric, " (missing)"), "_bytes") {
+		return fmt.Sprintf("%s %s: %.2fx baseline (%d B -> %d B)",
+			r.Key, r.Metric, r.Ratio, r.BaselineNS, r.FreshNS)
+	}
 	return fmt.Sprintf("%s %s: %.2fx baseline (%.3fms -> %.3fms)",
 		r.Key, r.Metric, r.Ratio, float64(r.BaselineNS)/1e6, float64(r.FreshNS)/1e6)
 }

@@ -163,6 +163,50 @@ func TestSealedMetricsGate(t *testing.T) {
 	}
 }
 
+// TestBytesMetricsGate: *_bytes fields are gated alongside the wall
+// times — a memory regression past the threshold fails, and the
+// regression renders in bytes, not milliseconds.
+func TestBytesMetricsGate(t *testing.T) {
+	body := `[
+  {"n": 16384, "workers": 4, "block": 16,
+   "materialized_ns": 1000000, "streamed_ns": 900000,
+   "materialized_peak_bytes": 8000000, "streamed_peak_bytes": 4500000}
+]`
+	baseline, err := Read(strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(baseline[0].Metrics); got != 4 {
+		t.Fatalf("decoded %d metrics, want 4: %+v", got, baseline[0].Metrics)
+	}
+	fresh, _ := Read(strings.NewReader(body))
+	if rep := Compare(baseline, fresh, 1.25); rep.Failed() || rep.Compared != 4 {
+		t.Fatalf("self-compare: %+v", rep)
+	}
+	fresh[0].Metrics["streamed_peak_bytes"] = 6_750_000 // +50%
+	rep := Compare(baseline, fresh, 1.25)
+	if len(rep.Regressions) != 1 || rep.Regressions[0].Metric != "streamed_peak_bytes" {
+		t.Fatalf("bytes regression not flagged: %+v", rep)
+	}
+	if s := rep.Regressions[0].String(); !strings.Contains(s, "B)") || strings.Contains(s, "ms)") {
+		t.Fatalf("bytes regression rendered in the wrong unit: %q", s)
+	}
+	delete(fresh[0].Metrics, "materialized_peak_bytes") // vanished metric
+	rep = Compare(baseline, fresh, 1.25)
+	found := false
+	for _, r := range rep.Regressions {
+		if r.Metric == "materialized_peak_bytes (missing)" {
+			found = true
+			if s := r.String(); !strings.Contains(s, "B)") {
+				t.Fatalf("missing bytes metric rendered in the wrong unit: %q", s)
+			}
+		}
+	}
+	if !found {
+		t.Fatalf("vanished bytes metric not flagged: %+v", rep)
+	}
+}
+
 // TestServiceRecordsKeyOnScenario: the load records' latency
 // percentiles gate keyed on (scenario, clients, workers) — the same
 // scenario at a different concurrency is a different benchmark, and a
@@ -206,12 +250,13 @@ func TestServiceRecordsKeyOnScenario(t *testing.T) {
 func TestAgainstCommittedBaseline(t *testing.T) {
 	for _, tc := range []struct {
 		name    string
-		metrics int // gated wall-time metrics per record
+		metrics int // gated metrics per record (wall times + bytes)
 	}{
 		{"BENCH_join.json", 2},
 		{"BENCH_sql.json", 2},
 		{"BENCH_sealed.json", 6},
 		{"BENCH_service.json", 4},
+		{"BENCH_stream.json", 8},
 	} {
 		path := filepath.Join("..", "..", "BENCH_baseline", tc.name)
 		recs, err := Load(path)

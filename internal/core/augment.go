@@ -44,6 +44,57 @@ func AugmentTables(cfg *Config, rows1, rows2 []table.Row) (tc table.Store, t1, t
 // executed by the blocked scan engine (scan.go) so the store traffic
 // batches and parallelizes; all data-dependent state lives in a
 // constant number of local variables and is manipulated branch-free.
+// RowFeed supplies one table's rows batch-wise: Len is the public total
+// row count, Next returns the next batch (the slice may be reused
+// between calls; nil at end of stream) and Close releases whatever the
+// feed drains from. The streaming query executor's row sources satisfy
+// it, which is how a join consumes an upstream stage's batches straight
+// into TC without a whole-relation copy.
+type RowFeed interface {
+	Len() int
+	Next() ([]table.Row, error)
+	Close()
+}
+
+// AugmentTablesFeed is AugmentTables with the left table supplied
+// batch-wise: batches append straight into TC through a table.Builder,
+// so the staging slice of the materialized variant never exists. Trace
+// equivalence: the builder emits the same ascending per-entry write
+// events over [0, n1+n2), deferred behind any upstream drain reads, so
+// the canonical trace matches a materialized run's bit for bit.
+func AugmentTablesFeed(cfg *Config, feed RowFeed, rows2 []table.Row) (tc table.Store, t1, t2 table.Store, m int, err error) {
+	st := cfg.stats()
+	n1, n2 := feed.Len(), len(rows2)
+	n := n1 + n2
+	tc = cfg.Alloc(n)
+	bld := table.NewBuilder(tc)
+	for {
+		b, ferr := feed.Next()
+		if ferr != nil {
+			feed.Close()
+			return nil, nil, nil, 0, ferr
+		}
+		if b == nil {
+			break
+		}
+		bld.AppendRows(b, 1)
+	}
+	feed.Close()
+	if bld.Pos() != n1 {
+		panic("core: row feed yielded a different count than its public length")
+	}
+	bld.AppendRows(rows2, 2)
+	bld.Flush()
+
+	cfg.SortStore(tc, table.LessJTID, &st.AugmentSort)
+	m = fillDimensions(cfg, tc)
+	cfg.SortStore(tc, table.LessTIDJD, &st.AugmentSort)
+
+	t1 = view{s: tc, off: 0, size: n1}
+	t2 = view{s: tc, off: n1, size: n2}
+	return tc, t1, t2, m, nil
+}
+
 func fillDimensions(cfg *Config, tc table.Store) int {
 	// Forward pass: store incremental counts. Within a group (a run of
 	// equal j), entries from T1 precede entries from T2; c1 counts T1

@@ -80,6 +80,33 @@ type Config struct {
 	// cadence is a fixed function of the public input sizes, so
 	// cancellation support leaks nothing about table contents.
 	Ctx context.Context
+	// Mem, when non-nil, is the run's allocation gauge: every store
+	// handed out by Alloc is tracked in it, the query driver charges
+	// relation hand-off buffers to it, and the streaming stages release
+	// what they have drained through ReleaseStore. The query layer uses
+	// it to report PeakBytes/TotalAllocBytes and to divert allocations
+	// to sealed spill files under a memory budget.
+	Mem *table.Gauge
+}
+
+// ReleaseStore marks st dead for the run's allocation gauge (freeing
+// its spill file, if any); a no-op without a gauge. The feed-based join
+// and the streaming stages call it the moment an intermediate store is
+// fully drained.
+func (c *Config) ReleaseStore(st table.Store) {
+	if c.Mem == nil {
+		return
+	}
+	// Unwrap windowed aliases: releasing a view means releasing the
+	// store it windows (a view never outlives its phase).
+	for {
+		v, ok := st.(view)
+		if !ok {
+			break
+		}
+		st = v.s
+	}
+	c.Mem.Release(st)
 }
 
 // Stats records the per-phase cost breakdown reported in Table 3 of the

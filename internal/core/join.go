@@ -87,6 +87,44 @@ func JoinKeyed(cfg *Config, rows1, rows2 []table.Row) []table.KeyedPair {
 	return out
 }
 
+// JoinKeyedFeed is JoinKeyed with the left table supplied batch-wise by
+// a RowFeed: upstream batches append straight into TC (no staging
+// slice), and the join's internal stores are released into the run's
+// gauge the moment the pipeline is done with them — TC after the two
+// expands, S1 and S2 after the zip — so the streaming executor's peak
+// is the phase maximum, not the sum. The access pattern, and hence the
+// canonical trace, is identical to JoinKeyed over the same sizes.
+func JoinKeyedFeed(cfg *Config, feed RowFeed, rows2 []table.Row) ([]table.KeyedPair, error) {
+	if cfg.Alloc == nil {
+		panic("core: Config.Alloc is required")
+	}
+	st := cfg.stats()
+	st.N1, st.N2 = feed.Len(), len(rows2)
+
+	t0 := time.Now()
+	tc, t1, t2, m, err := AugmentTablesFeed(cfg, feed, rows2)
+	if err != nil {
+		return nil, err
+	}
+	st.TAugment += time.Since(t0)
+	st.M = m
+
+	s1 := ObliviousExpand(cfg, t1, GAlpha2, m)
+	s2 := ObliviousExpand(cfg, t2, GAlpha1, m)
+	cfg.ReleaseStore(tc)
+	AlignTable(cfg, s2)
+
+	t0 = time.Now()
+	out := make([]table.KeyedPair, m)
+	zipStores(cfg, s1, s2, m, func(i int, e1, e2 *table.Entry) {
+		out[i] = table.KeyedPair{J: e1.J, D1: e1.D, D2: e2.D}
+	})
+	cfg.ReleaseStore(s1)
+	cfg.ReleaseStore(s2)
+	st.TZip += time.Since(t0)
+	return out, nil
+}
+
 // OutputSize runs only the Augment-Tables stage and reports the join's
 // output cardinality m without materializing it. The paper's two-stage
 // circuit decomposition (§3.4, constraint 3) needs exactly this value

@@ -25,17 +25,23 @@ import (
 // silently omit the hash evidence again. Future sessions diff these
 // files to track the perf trajectory.
 type JoinBenchResult struct {
-	N              int     `json:"n"`
-	M              int     `json:"m"`
-	Workers        int     `json:"workers"`
-	SequentialNS   int64   `json:"sequential_ns"`
-	ParallelNS     int64   `json:"parallel_ns"`
-	Speedup        float64 `json:"speedup"`
-	TraceEvents    uint64  `json:"trace_events"`
-	TraceDetEvents bool    `json:"trace_event_counts_equal"`
-	TraceDetHash   bool    `json:"trace_hashes_equal"`
-	TraceSkipped   string  `json:"trace_hash_skipped,omitempty"`
-	GOMAXPROCS     int     `json:"gomaxprocs"`
+	N            int     `json:"n"`
+	M            int     `json:"m"`
+	Workers      int     `json:"workers"`
+	SequentialNS int64   `json:"sequential_ns"`
+	ParallelNS   int64   `json:"parallel_ns"`
+	Speedup      float64 `json:"speedup"`
+	// PeakBytes and TotalAllocBytes are the run's deterministic
+	// allocation-gauge readings (see table.Gauge): peak outstanding and
+	// cumulative store bytes, a pure function of the input sizes — so
+	// benchdiff gates them like the wall times.
+	PeakBytes       int64  `json:"peak_bytes"`
+	TotalAllocBytes int64  `json:"total_alloc_bytes"`
+	TraceEvents     uint64 `json:"trace_events"`
+	TraceDetEvents  bool   `json:"trace_event_counts_equal"`
+	TraceDetHash    bool   `json:"trace_hashes_equal"`
+	TraceSkipped    string `json:"trace_hash_skipped,omitempty"`
+	GOMAXPROCS      int    `json:"gomaxprocs"`
 }
 
 // hashCheckCap bounds the sizes at which the bench experiments
@@ -58,7 +64,7 @@ func BenchJoin(w io.Writer, ns []int, workers int) ([]JoinBenchResult, error) {
 	var out []JoinBenchResult
 	for _, n := range ns {
 		t1, t2 := workload.MatchingPairs(n)
-		run := func(wk int) (time.Duration, uint64, string, int) {
+		run := func(wk int) (time.Duration, uint64, string, int, *table.Gauge) {
 			var rec trace.Recorder
 			var hasher *trace.Hasher
 			var counter trace.Counter
@@ -69,20 +75,23 @@ func BenchJoin(w io.Writer, ns []int, workers int) ([]JoinBenchResult, error) {
 				rec = &counter
 			}
 			sp := memory.NewSpace(rec, nil)
-			cfg := &core.Config{Alloc: table.PlainAlloc(sp), Workers: wk}
+			g := &table.Gauge{}
+			defer g.ReleaseAll()
+			cfg := &core.Config{Alloc: table.TrackedAlloc(table.PlainAlloc(sp), g), Workers: wk, Mem: g}
 			start := time.Now()
 			pairs := core.Join(cfg, t1, t2)
 			el := time.Since(start)
 			if hasher != nil {
-				return el, hasher.Count(), hasher.Hex(), len(pairs)
+				return el, hasher.Count(), hasher.Hex(), len(pairs), g
 			}
-			return el, counter.Total(), "", len(pairs)
+			return el, counter.Total(), "", len(pairs), g
 		}
-		seqT, seqEv, seqH, m := run(1)
-		parT, parEv, parH, _ := run(workers)
+		seqT, seqEv, seqH, m, seqG := run(1)
+		parT, parEv, parH, _, _ := run(workers)
 		r := JoinBenchResult{
 			N: n, M: m, Workers: workers,
 			SequentialNS: seqT.Nanoseconds(), ParallelNS: parT.Nanoseconds(),
+			PeakBytes: seqG.Peak(), TotalAllocBytes: seqG.Total(),
 			TraceEvents: seqEv, TraceDetEvents: seqEv == parEv,
 			GOMAXPROCS: runtime.GOMAXPROCS(0),
 		}

@@ -42,6 +42,12 @@ type LoadScenario struct {
 	Name    string
 	Tables  func(n int, seed int64) map[string][]table.Row
 	Queries []string
+	// MemBudget, when positive, caps every query's tracked memory at
+	// this many bytes, diverting over-budget intermediates to sealed
+	// spill files — the scenario then exercises the spill path under
+	// concurrent traffic (and the trace check verifies spilling never
+	// changes a canonical trace).
+	MemBudget int64
 }
 
 // shortRows rewrites rows with compact tagged payloads (≤ 4 chars) so
@@ -56,8 +62,9 @@ func shortRows(rows []table.Row, tag byte) []table.Row {
 
 // LoadScenarios returns the scenario families, covering the paper's
 // evaluation input classes (§6): uniform keys, power-law group sizes,
-// primary–foreign key references, and a mixed SQL rotation with join
-// chains and aggregates.
+// primary–foreign key references, a mixed SQL rotation with join
+// chains and aggregates, and a memory-budgeted rotation that forces
+// every query through the sealed spill path.
 func LoadScenarios() []LoadScenario {
 	return []LoadScenario{
 		{
@@ -114,6 +121,27 @@ func LoadScenarios() []LoadScenario {
 				"SELECT DISTINCT key FROM t2",
 			},
 		},
+		{
+			// spill runs a join-heavy rotation under a 256 KiB per-query
+			// memory budget: at the default n=2048 every join's combined
+			// table alone (2n entries) exceeds the budget, so each query
+			// crosses the sealed spill path while neighbors do the same
+			// concurrently. The trace check compares against an
+			// unbudgeted sequential reference, so this scenario is also
+			// the under-traffic proof that spilling never changes a
+			// canonical trace.
+			Name:      "spill",
+			MemBudget: 256 << 10,
+			Tables: func(n int, seed int64) map[string][]table.Row {
+				t1, t2 := workload.MatchingPairs(n)
+				return map[string][]table.Row{"t1": shortRows(t1, 'a'), "t2": shortRows(t2, 'b')}
+			},
+			Queries: []string{
+				"SELECT key, left.data, right.data FROM t1 JOIN t2 USING (key) ORDER BY key",
+				"SELECT DISTINCT key, data FROM t1 ORDER BY key",
+				"SELECT key, COUNT(*) FROM t1 JOIN t2 USING (key) GROUP BY key",
+			},
+		},
 	}
 }
 
@@ -168,6 +196,15 @@ type LoadResult struct {
 	P95NS         int64   `json:"p95_ns"`
 	P99NS         int64   `json:"p99_ns"`
 	RejectionRate float64 `json:"rejection_rate"`
+
+	// PeakBytes is the largest per-query allocation-gauge peak among
+	// the completed queries — deterministic for a fixed rotation, so
+	// benchdiff gates it like the latency percentiles.
+	PeakBytes int64 `json:"peak_bytes"`
+	// SpillQueries counts completed queries that diverted at least one
+	// store to a spill file; positive for the spill scenario, zero
+	// elsewhere.
+	SpillQueries int `json:"spill_queries,omitempty"`
 
 	GoroutineBase int `json:"goroutine_base"`
 	GoroutineHWM  int `json:"goroutine_hwm"`
@@ -291,6 +328,7 @@ func runScenario(cfg LoadConfig, sc LoadScenario) (LoadResult, error) {
 			Encrypted:    cfg.Encrypted,
 			CollectStats: true,
 			TraceHash:    cfg.CheckTraces,
+			MemBudget:    sc.MemBudget,
 		},
 		MaxInFlight:  cfg.MaxInFlight,
 		MaxQueue:     cfg.Queue,
@@ -342,6 +380,14 @@ func runScenario(cfg LoadConfig, sc LoadScenario) (LoadResult, error) {
 				case err == nil:
 					r.Completed++
 					latencies = append(latencies, d.Nanoseconds())
+					if ps != nil {
+						if ps.PeakBytes > r.PeakBytes {
+							r.PeakBytes = ps.PeakBytes
+						}
+						if ps.SpillCount > 0 {
+							r.SpillQueries++
+						}
+					}
 					if cfg.CheckTraces {
 						r.TraceChecked++
 						if ps == nil || ps.TraceHash != ref[sql] {
@@ -433,6 +479,14 @@ func MergeBest(runs ...[]LoadResult) []LoadResult {
 			}
 			if r.GoroutineHWM > out[i].GoroutineHWM {
 				out[i].GoroutineHWM = r.GoroutineHWM
+			}
+			// Deterministic gauges: equal across runs by construction;
+			// the max is a cheap cross-run consistency fold.
+			if r.PeakBytes > out[i].PeakBytes {
+				out[i].PeakBytes = r.PeakBytes
+			}
+			if r.SpillQueries > out[i].SpillQueries {
+				out[i].SpillQueries = r.SpillQueries
 			}
 			out[i].TraceChecked += r.TraceChecked
 			out[i].TraceMismatches += r.TraceMismatches

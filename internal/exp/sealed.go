@@ -39,6 +39,16 @@ type SealedBenchResult struct {
 	SealedJoinAllocs uint64 `json:"sealed_join_allocs"`
 	BlockJoinAllocs  uint64 `json:"block_join_allocs"`
 
+	// Per-backend allocation-gauge readings of the join phase —
+	// deterministic functions of (n, block), gated by benchdiff like
+	// the wall times.
+	PlainPeakBytes   int64 `json:"plain_peak_bytes"`
+	SealedPeakBytes  int64 `json:"sealed_peak_bytes"`
+	BlockPeakBytes   int64 `json:"block_peak_bytes"`
+	PlainTotalBytes  int64 `json:"plain_total_alloc_bytes"`
+	SealedTotalBytes int64 `json:"sealed_total_alloc_bytes"`
+	BlockTotalBytes  int64 `json:"block_total_alloc_bytes"`
+
 	// SealedOverBlock is the speedup of the block-sealed join over the
 	// per-entry sealed join (sealed_join_ns / block_join_ns).
 	SealedOverBlock float64 `json:"sealed_over_block"`
@@ -89,6 +99,8 @@ func BenchSealed(w io.Writer, ns []int, workers, block int) ([]SealedBenchResult
 		sorts := make([]time.Duration, len(backends))
 		joins := make([]time.Duration, len(backends))
 		allocs := make([]uint64, len(backends))
+		peaks := make([]int64, len(backends))
+		totals := make([]int64, len(backends))
 		events := make([]uint64, len(backends))
 		hashes := make([]string, len(backends))
 		for i, be := range backends {
@@ -118,7 +130,8 @@ func BenchSealed(w io.Writer, ns []int, workers, block int) ([]SealedBenchResult
 				rec = &counter
 			}
 			jsp := memory.NewSpace(rec, nil)
-			jcfg := &core.Config{Alloc: be.alloc(jsp), Workers: workers}
+			g := &table.Gauge{}
+			jcfg := &core.Config{Alloc: table.TrackedAlloc(be.alloc(jsp), g), Workers: workers, Mem: g}
 			var ms0, ms1 runtime.MemStats
 			runtime.ReadMemStats(&ms0)
 			start = time.Now()
@@ -126,6 +139,8 @@ func BenchSealed(w io.Writer, ns []int, workers, block int) ([]SealedBenchResult
 			joins[i] = time.Since(start)
 			runtime.ReadMemStats(&ms1)
 			allocs[i] = ms1.Mallocs - ms0.Mallocs
+			g.ReleaseAll()
+			peaks[i], totals[i] = g.Peak(), g.Total()
 			r.M = len(pairs)
 			if hasher != nil {
 				events[i] = hasher.Count()
@@ -137,6 +152,8 @@ func BenchSealed(w io.Writer, ns []int, workers, block int) ([]SealedBenchResult
 		r.PlainSortNS, r.SealedSortNS, r.BlockSortNS = sorts[0].Nanoseconds(), sorts[1].Nanoseconds(), sorts[2].Nanoseconds()
 		r.PlainJoinNS, r.SealedJoinNS, r.BlockJoinNS = joins[0].Nanoseconds(), joins[1].Nanoseconds(), joins[2].Nanoseconds()
 		r.PlainJoinAllocs, r.SealedJoinAllocs, r.BlockJoinAllocs = allocs[0], allocs[1], allocs[2]
+		r.PlainPeakBytes, r.SealedPeakBytes, r.BlockPeakBytes = peaks[0], peaks[1], peaks[2]
+		r.PlainTotalBytes, r.SealedTotalBytes, r.BlockTotalBytes = totals[0], totals[1], totals[2]
 		if r.BlockJoinNS > 0 {
 			r.SealedOverBlock = float64(r.SealedJoinNS) / float64(r.BlockJoinNS)
 		}

@@ -25,11 +25,16 @@ type SQLBenchResult struct {
 	SequentialNS int64   `json:"sequential_ns"`
 	ParallelNS   int64   `json:"parallel_ns"`
 	Speedup      float64 `json:"speedup"`
-	TraceEvents  uint64  `json:"trace_events"`
-	TraceDetEv   bool    `json:"trace_event_counts_equal"`
-	TraceDetHash bool    `json:"trace_hashes_equal"`
-	TraceSkipped string  `json:"trace_hash_skipped,omitempty"`
-	GOMAXPROCS   int     `json:"gomaxprocs"`
+	// PeakBytes and TotalAllocBytes come from the sequential run's
+	// PlanStats: the deterministic allocation-gauge readings, gated by
+	// benchdiff alongside the wall times.
+	PeakBytes       int64  `json:"peak_bytes"`
+	TotalAllocBytes int64  `json:"total_alloc_bytes"`
+	TraceEvents     uint64 `json:"trace_events"`
+	TraceDetEv      bool   `json:"trace_event_counts_equal"`
+	TraceDetHash    bool   `json:"trace_hashes_equal"`
+	TraceSkipped    string `json:"trace_hash_skipped,omitempty"`
+	GOMAXPROCS      int    `json:"gomaxprocs"`
 }
 
 // sqlBenchQueries are the representative shapes the benchmark times:
@@ -104,6 +109,7 @@ func BenchSQL(w io.Writer, ns []int, workers int) ([]SQLBenchResult, error) {
 			r := SQLBenchResult{
 				N: n, Query: src, Rows: len(seqRes.Rows), Workers: workers,
 				SequentialNS: seqT.Nanoseconds(), ParallelNS: parT.Nanoseconds(),
+				PeakBytes: seqStats.PeakBytes, TotalAllocBytes: seqStats.TotalAllocBytes,
 				TraceEvents: seqStats.TraceEvents, TraceDetEv: evEq,
 				GOMAXPROCS: runtime.GOMAXPROCS(0),
 			}

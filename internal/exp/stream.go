@@ -1,0 +1,237 @@
+package exp
+
+import (
+	"fmt"
+	"io"
+	"reflect"
+	"runtime"
+	"time"
+
+	"oblivjoin/internal/crypto"
+	"oblivjoin/internal/obliv"
+	"oblivjoin/internal/query"
+	"oblivjoin/internal/query/exec"
+	"oblivjoin/internal/table"
+)
+
+// StreamBenchResult is one row of the streaming-executor benchmark:
+// the same scan→join→rekey→filter→project chain executed three ways —
+// materialized (stage-at-a-time, every intermediate charged and never
+// discharged), streamed (block-granular batches, eager releases, the
+// default executor), and streamed into a RowSink (the result itself
+// never materializes) — at one input size over one store backend.
+//
+// The memory columns are the deterministic allocation-gauge readings
+// (table.Gauge), a pure function of the plan and the public sizes, so
+// benchdiff gates them at the same threshold as the wall times. The
+// trace columns are the equivalence evidence: all three executions
+// must record bit-identical canonical traces.
+type StreamBenchResult struct {
+	N       int    `json:"n"`
+	M       int    `json:"m"`
+	Rows    int    `json:"rows"`
+	Workers int    `json:"workers"`
+	Mode    string `json:"mode"`
+	Block   int    `json:"block,omitempty"`
+
+	MaterializedNS int64 `json:"materialized_ns"`
+	StreamedNS     int64 `json:"streamed_ns"`
+	SinkNS         int64 `json:"streamed_sink_ns"`
+
+	MaterializedPeakBytes int64 `json:"materialized_peak_bytes"`
+	StreamedPeakBytes     int64 `json:"streamed_peak_bytes"`
+	SinkPeakBytes         int64 `json:"streamed_sink_peak_bytes"`
+
+	MaterializedTotalBytes int64 `json:"materialized_total_alloc_bytes"`
+	StreamedTotalBytes     int64 `json:"streamed_total_alloc_bytes"`
+
+	// PeakReduction is 1 − streamed_peak/materialized_peak: the
+	// fraction of the stage-at-a-time peak the streaming executor
+	// avoids on this chain.
+	PeakReduction float64 `json:"peak_reduction"`
+	// WallRatio is streamed_ns/materialized_ns (1.0 = parity; the
+	// streaming executor must not trade memory for wall time).
+	WallRatio float64 `json:"wall_ratio"`
+
+	TraceEvents    uint64 `json:"trace_events"`
+	TraceDetEvents bool   `json:"trace_event_counts_equal"`
+	TraceDetHash   bool   `json:"trace_hashes_equal"`
+	TraceSkipped   string `json:"trace_hash_skipped,omitempty"`
+	GOMAXPROCS     int    `json:"gomaxprocs"`
+}
+
+// countSink consumes a streamed result without retaining it: the
+// realistic sink-mode client (a wire encoder), reduced to a row count
+// and a cheap checksum over the cell bytes.
+type countSink struct {
+	rows int
+	sum  uint64
+}
+
+func (s *countSink) Columns([]string) error { return nil }
+
+func (s *countSink) Rows(rows [][]string) error {
+	s.rows += len(rows)
+	for _, r := range rows {
+		for _, c := range r {
+			for i := 0; i < len(c); i++ {
+				s.sum = s.sum*131 + uint64(c[i])
+			}
+		}
+	}
+	return nil
+}
+
+// streamChain is the measured pipeline: a one-to-one join whose keyed
+// output is rekeyed, filtered at ~15/16 selectivity (key%16 != 0,
+// branch-free) and projected — the filter/project/rekey chain the
+// streaming executor fuses between the join barrier and the output.
+func streamChain() []exec.Operator {
+	return []exec.Operator{
+		exec.Scan{Table: "t1"},
+		exec.Join{Table: "t2"},
+		exec.Rekey{},
+		exec.Filter{Pred: func(r table.Row) uint64 { return obliv.Not(obliv.Eq(r.J%16, 0)) }},
+		exec.Project{Items: []exec.ProjItem{{Col: exec.ColKey}, {Col: exec.ColData}}},
+	}
+}
+
+// streamTables builds the one-to-one matched catalog for streamChain:
+// every key 0..n-1 appears once per side with a short tagged payload,
+// so the join output is exactly n pairs and the rekeyed payloads stay
+// inside the fixed width.
+func streamTables(n int) map[string][]table.Row {
+	t1 := make([]table.Row, n)
+	t2 := make([]table.Row, n)
+	for i := 0; i < n; i++ {
+		t1[i] = table.Row{J: uint64(i), D: table.MustData(fmt.Sprintf("a%d", i%1000))}
+		t2[i] = table.Row{J: uint64(i), D: table.MustData(fmt.Sprintf("b%d", i%1000))}
+	}
+	return map[string][]table.Row{"t1": t1, "t2": t2}
+}
+
+// streamMode is one store backend of the stream experiment.
+type streamMode struct {
+	name      string
+	encrypted bool
+	block     int
+}
+
+// BenchStream measures the peak tracked memory and wall time of the
+// streaming executor against the stage-at-a-time baseline on the
+// streamChain pipeline, per input size, over plain and block-sealed
+// storage, cross-checking rows and canonical traces between every
+// execution strategy (hashes up to hashCheckCap, event counts always).
+// workers ≤ 0 means GOMAXPROCS; block ≤ 0 selects the default width.
+func BenchStream(w io.Writer, ns []int, workers, block int) ([]StreamBenchResult, error) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if block <= 0 {
+		block = table.DefaultSealedBlock
+	}
+	cipher, _, err := crypto.NewRandom()
+	if err != nil {
+		return nil, fmt.Errorf("exp: init cipher: %w", err)
+	}
+	modes := []streamMode{
+		{name: "plain"},
+		{name: "block-sealed", encrypted: true, block: block},
+	}
+	fmt.Fprintf(w, "Streaming benchmark — stage-at-a-time vs block-granular streaming, scan→join→rekey→filter→project (workers=%d, tracing on)\n", workers)
+	fmt.Fprintf(w, "%8s %-12s %12s %12s %12s %14s %14s %10s %7s %s\n",
+		"n", "mode", "mat", "streamed", "sink", "mat peak", "stream peak", "reduction", "wall", "trace")
+
+	var out []StreamBenchResult
+	for _, n := range ns {
+		tables := streamTables(n)
+		for _, mode := range modes {
+			hash := n <= hashCheckCap
+			opts := query.Options{
+				Workers:      workers,
+				CollectStats: true,
+				TraceHash:    hash,
+				Encrypted:    mode.encrypted,
+				SealedBlock:  mode.block,
+			}
+			var c *crypto.Cipher
+			if mode.encrypted {
+				c = cipher
+			}
+			pipeline := streamChain()
+
+			mo := opts
+			mo.Materialized = true
+			t0 := time.Now()
+			matRes, matPS, err := query.Run(nil, mo, c, tables, pipeline)
+			matT := time.Since(t0)
+			if err != nil {
+				return nil, fmt.Errorf("exp: stream n=%d %s materialized: %w", n, mode.name, err)
+			}
+
+			t0 = time.Now()
+			strRes, strPS, err := query.Run(nil, opts, c, tables, pipeline)
+			strT := time.Since(t0)
+			if err != nil {
+				return nil, fmt.Errorf("exp: stream n=%d %s streamed: %w", n, mode.name, err)
+			}
+
+			sink := &countSink{}
+			t0 = time.Now()
+			sinkPS, err := query.RunStream(nil, opts, c, tables, pipeline, sink)
+			sinkT := time.Since(t0)
+			if err != nil {
+				return nil, fmt.Errorf("exp: stream n=%d %s sink: %w", n, mode.name, err)
+			}
+
+			if !reflect.DeepEqual(matRes, strRes) || sink.rows != len(matRes.Rows) {
+				return nil, fmt.Errorf("exp: stream n=%d %s: executions disagree on the result", n, mode.name)
+			}
+			r := StreamBenchResult{
+				N: n, M: n, Rows: len(matRes.Rows), Workers: workers,
+				Mode: mode.name, Block: mode.block,
+				MaterializedNS: matT.Nanoseconds(), StreamedNS: strT.Nanoseconds(), SinkNS: sinkT.Nanoseconds(),
+				MaterializedPeakBytes: matPS.PeakBytes, StreamedPeakBytes: strPS.PeakBytes, SinkPeakBytes: sinkPS.PeakBytes,
+				MaterializedTotalBytes: matPS.TotalAllocBytes, StreamedTotalBytes: strPS.TotalAllocBytes,
+				TraceEvents: matPS.TraceEvents, GOMAXPROCS: runtime.GOMAXPROCS(0),
+			}
+			if matPS.PeakBytes > 0 {
+				r.PeakReduction = 1 - float64(strPS.PeakBytes)/float64(matPS.PeakBytes)
+			}
+			if matT > 0 {
+				r.WallRatio = float64(strT) / float64(matT)
+			}
+			r.TraceDetEvents = matPS.TraceEvents == strPS.TraceEvents && strPS.TraceEvents == sinkPS.TraceEvents
+			det := "events=eq"
+			if !r.TraceDetEvents {
+				det = "events=DIVERGED"
+			}
+			if hash {
+				r.TraceDetHash = matPS.TraceHash == strPS.TraceHash && strPS.TraceHash == sinkPS.TraceHash
+				if r.TraceDetHash {
+					det += " hash=eq"
+				} else {
+					det += " hash=DIVERGED"
+				}
+			} else {
+				r.TraceSkipped = fmt.Sprintf("n exceeds hash check cap %d", hashCheckCap)
+				det += " hash=skipped"
+			}
+			if !r.TraceDetEvents || (hash && !r.TraceDetHash) {
+				return nil, fmt.Errorf("exp: stream n=%d %s: canonical traces diverged across executors", n, mode.name)
+			}
+			fmt.Fprintf(w, "%8d %-12s %12s %12s %12s %14d %14d %9.1f%% %6.2fx %s\n",
+				n, mode.name,
+				matT.Round(time.Microsecond), strT.Round(time.Microsecond), sinkT.Round(time.Microsecond),
+				matPS.PeakBytes, strPS.PeakBytes, 100*r.PeakReduction, r.WallRatio, det)
+			out = append(out, r)
+		}
+	}
+	return out, nil
+}
+
+// WriteStreamBenchJSON writes the streaming benchmark rows as indented
+// JSON to path.
+func WriteStreamBenchJSON(path string, results []StreamBenchResult) error {
+	return writeJSON(path, results)
+}

@@ -52,6 +52,15 @@ func collect(a table.Store, k uint64) []table.Row {
 // output size k — not which rows passed.
 func Filter(cfg *core.Config, rows []table.Row, pred Predicate) []table.Row {
 	a := load(cfg, rows)
+	return collect(a, FilterStore(cfg, a, pred))
+}
+
+// FilterStore is Filter over an already-loaded store: it nulls the
+// failing entries, compacts, and returns the (public) number of
+// survivors occupying the store's prefix. The streaming executor loads
+// the store batch-wise and drains the prefix batch-wise, so the
+// whole-relation slices of the materialized path never exist.
+func FilterStore(cfg *core.Config, a table.Store, pred Predicate) uint64 {
 	var k uint64
 	cfg.ScanStore(a, false, func(_ int, e *table.Entry) {
 		keep := pred(table.Row{J: e.J, D: e.D})
@@ -59,7 +68,7 @@ func Filter(cfg *core.Config, rows []table.Row, pred Predicate) []table.Row {
 		e.Null = obliv.Not(keep)
 	})
 	compaction.Compact(a, nil)
-	return collect(a, k)
+	return k
 }
 
 // Distinct returns the unique rows of the input, sorted by (key, data).
@@ -67,6 +76,12 @@ func Filter(cfg *core.Config, rows []table.Row, pred Predicate) []table.Row {
 // and removed by oblivious compaction.
 func Distinct(cfg *core.Config, rows []table.Row) []table.Row {
 	a := load(cfg, rows)
+	return collect(a, DistinctStore(cfg, a))
+}
+
+// DistinctStore is Distinct over an already-loaded store; see
+// FilterStore for the prefix contract.
+func DistinctStore(cfg *core.Config, a table.Store) uint64 {
 	cfg.SortStore(a, table.LessJD, cfg.RelationalSortStats())
 	var prev table.Entry
 	started := uint64(0)
@@ -80,7 +95,7 @@ func Distinct(cfg *core.Config, rows []table.Row) []table.Row {
 		started = 1
 	})
 	compaction.Compact(a, nil)
-	return collect(a, k)
+	return k
 }
 
 // Union returns the set union of two tables (duplicates across and
@@ -108,6 +123,13 @@ func Semijoin(cfg *core.Config, left, right []table.Row) []table.Row {
 	for i, r := range left {
 		a.Set(len(right)+i, table.Entry{J: r.J, D: r.D, TID: 2})
 	}
+	return collect(a, SemijoinStore(cfg, a))
+}
+
+// SemijoinStore is the sort-scan-compact body of Semijoin over a store
+// already loaded with the tagged concatenation (right rows TID 1 first,
+// then left rows TID 2); see FilterStore for the prefix contract.
+func SemijoinStore(cfg *core.Config, a table.Store) uint64 {
 	// Sort by ⟨j, tid, d⟩: right rows first within each group (so one
 	// forward scan knows membership), left rows in data order (so the
 	// output order is deterministic).
@@ -132,13 +154,19 @@ func Semijoin(cfg *core.Config, left, right []table.Row) []table.Row {
 		started = 1
 	})
 	compaction.Compact(a, nil)
-	return collect(a, k)
+	return k
 }
 
 // SortByKey sorts rows by (key, data) obliviously, in place semantics
 // (a new slice is returned; the input is untouched).
 func SortByKey(cfg *core.Config, rows []table.Row) []table.Row {
 	a := load(cfg, rows)
+	return collect(a, SortByKeyStore(cfg, a))
+}
+
+// SortByKeyStore sorts an already-loaded store by (key, data) and
+// returns its (public) length; the whole store is live output.
+func SortByKeyStore(cfg *core.Config, a table.Store) uint64 {
 	cfg.SortStore(a, table.LessJD, cfg.RelationalSortStats())
-	return collect(a, uint64(len(rows)))
+	return uint64(a.Len())
 }

@@ -46,6 +46,26 @@ type Options struct {
 	// SHA-256 trace hash (the §6.1 construction), reported in
 	// PlanStats.TraceHash. Implies stats collection.
 	TraceHash bool
+	// Materialized restores the stage-at-a-time executor, where every
+	// operator hand-off is a whole relation. The zero value selects the
+	// streaming executor: block-granular batches between stages, eager
+	// release of drained intermediates, bounded peak memory. Results,
+	// comparator counts and canonical trace hashes are identical either
+	// way.
+	Materialized bool
+	// StreamBatch sets the streaming hand-off granularity in rows (0
+	// selects the default); the driver rounds it up to a multiple of
+	// the sealed block width.
+	StreamBatch int
+	// MemBudget, when > 0, bounds the tracked in-memory bytes of a run:
+	// a store allocation that would push the live total past the budget
+	// is diverted to a sealed spill file on disk (ciphertext-only, same
+	// block format as the sealed store) and deleted when the store is
+	// released or the run ends. 0 means unbounded.
+	MemBudget int64
+	// SpillDir is where budget-diverted stores keep their sealed files
+	// ("" selects the system temp directory).
+	SpillDir string
 }
 
 // PlanStats is the per-query execution report: one entry per physical
@@ -64,6 +84,21 @@ type PlanStats struct {
 	// TraceHash is the hex SHA-256 access-pattern digest when
 	// Options.TraceHash is set.
 	TraceHash string
+	// PeakBytes is the high-water mark of the run's tracked memory:
+	// stores charged at allocation, relation hand-offs charged at fixed
+	// per-record weights, both discharged at their release points. A
+	// deterministic function of the pipeline, the (public) sizes and
+	// the executor mode — not a live heap sample — so it is
+	// reproducible and CI-gateable.
+	PeakBytes int64
+	// TotalAllocBytes is the cumulative tracked bytes ever charged.
+	TotalAllocBytes int64
+	// SpillCount is the number of stores diverted to sealed spill files
+	// under Options.MemBudget.
+	SpillCount int64
+	// SpillBytes is the total on-disk ciphertext written by those
+	// diversions.
+	SpillBytes int64
 	// Total is the end-to-end execution wall time.
 	Total time.Duration
 	// CacheHit reports that the query executed from a cached prepared
@@ -90,6 +125,10 @@ func (s *PlanStats) String() string {
 	}
 	fmt.Fprintf(&b, "%-40s %12s\n", "total", s.Total.Round(time.Microsecond))
 	fmt.Fprintf(&b, "comparators=%d route-ops=%d trace-events=%d", s.Comparators, s.RouteOps, s.TraceEvents)
+	fmt.Fprintf(&b, "\npeak-bytes=%d total-alloc-bytes=%d", s.PeakBytes, s.TotalAllocBytes)
+	if s.SpillCount > 0 {
+		fmt.Fprintf(&b, " spills=%d spill-bytes=%d", s.SpillCount, s.SpillBytes)
+	}
 	if s.TraceHash != "" {
 		fmt.Fprintf(&b, "\ntrace-hash=%s", s.TraceHash)
 	}
@@ -171,7 +210,7 @@ func (e *Engine) LastStats() *PlanStats { return e.last }
 // execute runs the physical pipeline through Run and reports the
 // projected result, keeping the stats report for LastStats.
 func (e *Engine) execute(pipeline []exec.Operator) (*Result, error) {
-	if e.opts.Encrypted && e.cipher == nil {
+	if (e.opts.Encrypted || e.opts.MemBudget > 0) && e.cipher == nil {
 		c, _, err := crypto.NewRandom()
 		if err != nil {
 			return nil, fmt.Errorf("query: encrypted store: %w", err)

@@ -33,6 +33,11 @@ type Context struct {
 	Cfg *core.Config
 	// Tables resolves table names for Scan/Semijoin/Join operators.
 	Tables map[string][]table.Row
+	// Batch is the row granularity of the streaming executor's
+	// hand-offs (0 selects DefaultBatch). The driver keeps it a
+	// multiple of the sealed block width so batch boundaries align
+	// with ciphertext blocks.
+	Batch int
 }
 
 // Kind discriminates the shape a Relation currently has as it flows
@@ -82,6 +87,9 @@ func (r Relation) Size() int {
 	case KindJoinSums:
 		return len(r.JoinSums)
 	case KindResult:
+		if r.Result == nil { // sink-delivered: never materialized
+			return 0
+		}
 		return len(r.Result.Rows)
 	}
 	return 0
@@ -207,7 +215,8 @@ type Limit struct{ N int }
 func (l Limit) Name() string { return fmt.Sprintf("limit(%d)", l.N) }
 
 // Run implements Operator.
-func (l Limit) Run(_ *Context, in Relation) (Relation, error) {
+func (l Limit) Run(ctx *Context, in Relation) (Relation, error) {
+	probe(ctx)
 	if l.N >= in.Size() {
 		return in, nil
 	}

@@ -77,7 +77,7 @@ type Project struct{ Items []ProjItem }
 func (Project) Name() string { return "project" }
 
 // Run implements Operator.
-func (p Project) Run(_ *Context, in Relation) (Relation, error) {
+func (p Project) Run(ctx *Context, in Relation) (Relation, error) {
 	res := &Result{}
 	for _, it := range p.Items {
 		res.Columns = append(res.Columns, p.columnName(in, it))
@@ -87,6 +87,9 @@ func (p Project) Run(_ *Context, in Relation) (Relation, error) {
 		return Relation{}, err
 	}
 	for i := 0; i < in.Size(); i++ {
+		if i%probeEvery == 0 {
+			probe(ctx)
+		}
 		row, err := emit(i)
 		if err != nil {
 			return Relation{}, err
@@ -94,6 +97,54 @@ func (p Project) Run(_ *Context, in Relation) (Relation, error) {
 		res.Rows = append(res.Rows, row)
 	}
 	return Relation{Kind: KindResult, Result: res}, nil
+}
+
+// RunStream renders a row stream batch by batch. With a sink, batches
+// are delivered as they render and the result is never materialized —
+// the peak memory of the projection is one batch. Without a sink the
+// rows accumulate into a Result as Run would build.
+func (p Project) RunStream(ctx *Context, src RowSource, sink RowSink) (*Result, error) {
+	defer src.Close()
+	cols := make([]string, 0, len(p.Items))
+	for _, it := range p.Items {
+		cols = append(cols, p.columnName(Relation{Kind: KindRows}, it))
+	}
+	var res *Result
+	if sink != nil {
+		if err := sink.Columns(cols); err != nil {
+			return nil, err
+		}
+	} else {
+		res = &Result{Columns: cols}
+	}
+	for {
+		probe(ctx)
+		b, err := src.Next()
+		if err != nil {
+			return nil, err
+		}
+		if b == nil {
+			return res, nil
+		}
+		rel := Relation{Kind: KindRows, Rows: b}
+		emit, err := p.rowEmitter(rel)
+		if err != nil {
+			return nil, err
+		}
+		out := make([][]string, len(b))
+		for i := range b {
+			if out[i], err = emit(i); err != nil {
+				return nil, err
+			}
+		}
+		if sink != nil {
+			if err := sink.Rows(out); err != nil {
+				return nil, err
+			}
+		} else {
+			res.Rows = append(res.Rows, out...)
+		}
+	}
 }
 
 // columnName resolves a header, specializing SUM headers over the join

@@ -1,0 +1,421 @@
+package exec
+
+import (
+	"fmt"
+
+	"oblivjoin/internal/core"
+	"oblivjoin/internal/ops"
+	"oblivjoin/internal/table"
+)
+
+// Batch is one block-granular hand-off between pipeline stages: a
+// window of rows whose backing array the producer may reuse after the
+// next call to Next. It is a type alias (not a defined type) so a
+// RowSource satisfies core.RowFeed structurally and a join can consume
+// an upstream stage's batches straight into TC.
+type Batch = []table.Row
+
+// DefaultBatch is the default hand-off granularity in rows: 64 sealed
+// blocks of the default block width, so batch boundaries always align
+// with ciphertext blocks and a sealed drain never splits a block RMW.
+const DefaultBatch = 64 * table.DefaultSealedBlock
+
+// RowSource is the pull side of the streaming contract. Len is the
+// public total row count (known up front — every operator's output
+// size is public by design). Next returns the next batch, nil at end
+// of stream; the returned slice is only valid until the following
+// call. Close releases whatever the source drains from (idempotent;
+// Next at end of stream releases implicitly).
+type RowSource interface {
+	Len() int
+	Next() (Batch, error)
+	Close()
+}
+
+// Streamer is implemented by operators that can consume and produce
+// batch streams. Barrier operators (filter, distinct, sort, semijoin)
+// are eager: RunStream fills a store from the upstream batches,
+// runs the oblivious body, and returns a lazy drain of the surviving
+// prefix. Row-level operators (limit) are lazy end to end.
+type Streamer interface {
+	Operator
+	RunStream(ctx *Context, src RowSource) (RowSource, error)
+}
+
+// RowSink consumes a streamed result incrementally: Columns once, then
+// any number of Rows calls in output order. When a query runs against
+// a sink the final result is never materialized, so the peak memory of
+// a streaming run is bounded by the widest single stage.
+type RowSink interface {
+	Columns(cols []string) error
+	Rows(rows [][]string) error
+}
+
+// batchRows resolves the configured hand-off granularity.
+func (c *Context) batchRows() int {
+	if c != nil && c.Batch > 0 {
+		return c.Batch
+	}
+	return DefaultBatch
+}
+
+// NewStore allocates an n-entry store through the run's configured
+// allocator — the shared allocation helper the store-backed operators
+// and streaming fills go through instead of each repeating the
+// cfg-plumbing boilerplate.
+func (c *Context) NewStore(n int) table.Store {
+	return c.Cfg.Alloc(n)
+}
+
+// fillFrom drains src into bld, tagging every row with tid, probing
+// for cancellation at batch boundaries. It closes src in all cases.
+func (c *Context) fillFrom(bld *table.Builder, src RowSource, tid uint64) error {
+	defer src.Close()
+	for {
+		probe(c)
+		b, err := src.Next()
+		if err != nil {
+			return err
+		}
+		if b == nil {
+			return nil
+		}
+		bld.AppendRows(b, tid)
+	}
+}
+
+// fillStore loads src into a fresh store of exactly src.Len() entries.
+// The builder's deferred-trace write replay keeps the recorded event
+// order identical to the materialized collect-then-load sequence.
+func (c *Context) fillStore(src RowSource) (table.Store, error) {
+	a := c.NewStore(src.Len())
+	bld := table.NewBuilder(a)
+	if err := c.fillFrom(bld, src, 0); err != nil {
+		return nil, err
+	}
+	bld.Flush()
+	return a, nil
+}
+
+// ── sources ──────────────────────────────────────────────────────────
+
+// sliceSource streams an in-memory row slice as zero-copy subslices.
+type sliceSource struct {
+	ctx     *Context
+	rows    []table.Row
+	pos     int
+	onClose func()
+}
+
+// NewSliceSource wraps rows as a RowSource. onClose (optional) runs
+// once when the source is closed or fully drained — the driver uses it
+// to discharge the slice's gauge weight the moment downstream is done
+// with it.
+func NewSliceSource(ctx *Context, rows []table.Row, onClose func()) RowSource {
+	return &sliceSource{ctx: ctx, rows: rows, onClose: onClose}
+}
+
+func (s *sliceSource) Len() int { return len(s.rows) }
+
+func (s *sliceSource) Next() (Batch, error) {
+	probe(s.ctx)
+	if s.pos >= len(s.rows) {
+		s.Close()
+		return nil, nil
+	}
+	hi := min(s.pos+s.ctx.batchRows(), len(s.rows))
+	b := s.rows[s.pos:hi]
+	s.pos = hi
+	return b, nil
+}
+
+func (s *sliceSource) Close() {
+	if s.onClose != nil {
+		s.onClose()
+		s.onClose = nil
+	}
+}
+
+// storeSource drains the live prefix [0, k) of a store in batch-sized
+// range reads, releasing the store into the run's gauge once drained.
+// The range reads canonicalize to the same per-entry read events the
+// materialized executor's collect loop emits.
+type storeSource struct {
+	ctx      *Context
+	st       table.Store
+	k        int
+	pos      int
+	buf      []table.Entry
+	rows     []table.Row
+	released bool
+}
+
+func newStoreSource(ctx *Context, st table.Store, k int) *storeSource {
+	return &storeSource{ctx: ctx, st: st, k: k}
+}
+
+func (s *storeSource) Len() int { return s.k }
+
+func (s *storeSource) Next() (Batch, error) {
+	probe(s.ctx)
+	if s.pos >= s.k {
+		s.Close()
+		return nil, nil
+	}
+	if s.buf == nil {
+		bw := s.ctx.batchRows()
+		s.buf = make([]table.Entry, bw)
+		s.rows = make([]table.Row, bw)
+	}
+	n := min(len(s.buf), s.k-s.pos)
+	loadStoreRange(s.st, s.pos, s.buf[:n])
+	for i := range s.buf[:n] {
+		s.rows[i] = table.Row{J: s.buf[i].J, D: s.buf[i].D}
+	}
+	s.pos += n
+	return s.rows[:n], nil
+}
+
+func (s *storeSource) Close() {
+	if s.released {
+		return
+	}
+	s.released = true
+	if s.ctx != nil && s.ctx.Cfg != nil {
+		s.ctx.Cfg.ReleaseStore(s.st)
+	}
+}
+
+// loadStoreRange reads [lo, lo+len(dst)) of st, batched when the store
+// supports ranges; the element-loop fallback emits the same events.
+func loadStoreRange(st table.Store, lo int, dst []table.Entry) {
+	if rs, ok := st.(table.RangeStore); ok {
+		rs.GetRange(lo, dst)
+		return
+	}
+	for i := range dst {
+		dst[i] = st.Get(lo + i)
+	}
+}
+
+// rekeySource converts keyed join output into a row stream batch-wise
+// — the streaming form of Rekey, so a join feeding a downstream stage
+// never materializes the rekeyed whole-relation slice.
+type rekeySource struct {
+	ctx     *Context
+	pairs   []table.KeyedPair
+	pos     int
+	rows    []table.Row
+	onClose func()
+}
+
+// NewRekeySource wraps keyed join output as a row stream. onClose
+// (optional) runs once on close or full drain, discharging the pairs.
+func NewRekeySource(ctx *Context, pairs []table.KeyedPair, onClose func()) RowSource {
+	return &rekeySource{ctx: ctx, pairs: pairs, onClose: onClose}
+}
+
+func (s *rekeySource) Len() int { return len(s.pairs) }
+
+func (s *rekeySource) Next() (Batch, error) {
+	probe(s.ctx)
+	if s.pos >= len(s.pairs) {
+		s.Close()
+		return nil, nil
+	}
+	if s.rows == nil {
+		s.rows = make([]table.Row, s.ctx.batchRows())
+	}
+	n := min(len(s.rows), len(s.pairs)-s.pos)
+	for i, p := range s.pairs[s.pos : s.pos+n] {
+		joined := table.DataString(p.D1) + RekeySep + table.DataString(p.D2)
+		d, err := table.MakeData(joined)
+		if err != nil {
+			return nil, fmt.Errorf(
+				"query: intermediate join payload %q exceeds %d bytes; project fewer columns or shorten payloads",
+				joined, table.DataLen)
+		}
+		s.rows[i] = table.Row{J: p.J, D: d}
+	}
+	s.pos += n
+	return s.rows[:n], nil
+}
+
+func (s *rekeySource) Close() {
+	if s.onClose != nil {
+		s.onClose()
+		s.onClose = nil
+	}
+}
+
+// limitSource forwards the first total rows of src and then keeps
+// draining the remainder without forwarding it. The dummy drain keeps
+// the upstream read pattern — and hence the canonical trace —
+// identical to a materialized run, where the full prefix is collected
+// before the limit truncates it.
+type limitSource struct {
+	ctx   *Context
+	src   RowSource
+	total int
+	sent  int
+}
+
+func (l *limitSource) Len() int { return l.total }
+
+func (l *limitSource) Next() (Batch, error) {
+	for {
+		b, err := l.src.Next()
+		if err != nil {
+			return nil, err
+		}
+		if b == nil {
+			return nil, nil
+		}
+		if l.sent >= l.total {
+			continue // dummy drain past the limit
+		}
+		take := min(len(b), l.total-l.sent)
+		l.sent += take
+		return b[:take], nil
+	}
+}
+
+func (l *limitSource) Close() { l.src.Close() }
+
+// Materialize drains src into one contiguous slice — the bridge from a
+// streamed prefix to operators that need the whole relation at once
+// (GroupBy, the §7 join aggregates).
+func Materialize(ctx *Context, src RowSource) ([]table.Row, error) {
+	out := make([]table.Row, 0, src.Len())
+	defer src.Close()
+	for {
+		b, err := src.Next()
+		if err != nil {
+			return nil, err
+		}
+		if b == nil {
+			return out, nil
+		}
+		out = append(out, b...)
+	}
+}
+
+// ── barrier operators' streaming forms ───────────────────────────────
+
+// RunStream implements Streamer: fill, null-and-compact, drain prefix.
+func (f Filter) RunStream(ctx *Context, src RowSource) (RowSource, error) {
+	a, err := ctx.fillStore(src)
+	if err != nil {
+		return nil, err
+	}
+	k := ops.FilterStore(ctx.Cfg, a, f.Pred)
+	return newStoreSource(ctx, a, int(k)), nil
+}
+
+// RunStream implements Streamer.
+func (Distinct) RunStream(ctx *Context, src RowSource) (RowSource, error) {
+	a, err := ctx.fillStore(src)
+	if err != nil {
+		return nil, err
+	}
+	k := ops.DistinctStore(ctx.Cfg, a)
+	return newStoreSource(ctx, a, int(k)), nil
+}
+
+// RunStream implements Streamer.
+func (s Sort) RunStream(ctx *Context, src RowSource) (RowSource, error) {
+	if s.Free {
+		return src, nil
+	}
+	a, err := ctx.fillStore(src)
+	if err != nil {
+		return nil, err
+	}
+	k := ops.SortByKeyStore(ctx.Cfg, a)
+	return newStoreSource(ctx, a, int(k)), nil
+}
+
+// RunStream implements Streamer. The subquery table is appended before
+// the upstream rows (right TID 1, then left TID 2), matching the
+// materialized load order entry for entry.
+func (s Semijoin) RunStream(ctx *Context, src RowSource) (RowSource, error) {
+	sub, err := lookup(ctx, s.Table, " in IN subquery")
+	if err != nil {
+		src.Close()
+		return nil, err
+	}
+	a := ctx.NewStore(len(sub) + src.Len())
+	bld := table.NewBuilder(a)
+	bld.AppendRows(sub, 1)
+	if err := ctx.fillFrom(bld, src, 2); err != nil {
+		return nil, err
+	}
+	bld.Flush()
+	k := ops.SemijoinStore(ctx.Cfg, a)
+	return newStoreSource(ctx, a, int(k)), nil
+}
+
+// RunFeed is Join's streaming form: the left table arrives batch-wise
+// and appends straight into the join's combined store
+// (core.JoinKeyedFeed), so the upstream relation is never staged as a
+// slice. The keyed output is materialized — a join is a barrier; its
+// m output rows exist at once by construction.
+func (j Join) RunFeed(ctx *Context, src RowSource) (Relation, error) {
+	right, err := lookup(ctx, j.Table, "")
+	if err != nil {
+		src.Close()
+		return Relation{}, err
+	}
+	pairs, err := core.JoinKeyedFeed(ctx.Cfg, src, right)
+	if err != nil {
+		return Relation{}, err
+	}
+	return Relation{Kind: KindPairs, Pairs: pairs}, nil
+}
+
+// RunStream implements Streamer: forward the first N rows lazily, then
+// dummy-drain the rest so the access pattern matches a materialized
+// run (where the whole prefix is read before truncation).
+func (l Limit) RunStream(ctx *Context, src RowSource) (RowSource, error) {
+	return &limitSource{ctx: ctx, src: src, total: min(l.N, src.Len())}, nil
+}
+
+// ── accounting ───────────────────────────────────────────────────────
+
+// RelationFootprint is the deterministic accounting weight, in bytes,
+// of a materialized relation hand-off. Fixed per-record costs (not
+// live heap measurements) so PeakBytes is reproducible across runs,
+// platforms and GC schedules, and therefore CI-gateable.
+func RelationFootprint(r Relation) int64 {
+	switch r.Kind {
+	case KindRows:
+		return int64(len(r.Rows)) * int64(8+table.DataLen)
+	case KindPairs:
+		return int64(len(r.Pairs)) * int64(8+2*table.DataLen)
+	case KindGroups:
+		return int64(len(r.Groups)) * 40
+	case KindJoinStats:
+		return int64(len(r.JoinStats)) * 32
+	case KindJoinSums:
+		return int64(len(r.JoinSums)) * 48
+	case KindResult:
+		return ResultFootprint(r.Result)
+	}
+	return 0
+}
+
+// ResultFootprint is the accounting weight of a rendered result: one
+// slice header per row plus a string header and payload per cell.
+func ResultFootprint(res *Result) int64 {
+	if res == nil {
+		return 0
+	}
+	var t int64
+	for _, row := range res.Rows {
+		t += 24
+		for _, c := range row {
+			t += 16 + int64(len(c))
+		}
+	}
+	return t
+}

@@ -44,22 +44,100 @@ func ctxErr(cause error) error {
 // and returns the projected result plus, when opts collects, the
 // PlanStats report (nil otherwise).
 //
+// By default the pipeline executes in streaming mode: row-shaped
+// relations flow between operators as block-granular batches, barrier
+// operators fill their stores straight from the upstream batches, and
+// each intermediate store is released the moment it is drained — so
+// peak memory is bounded by the widest adjacent pair of stages, not
+// the sum of every intermediate. Options.Materialized restores the
+// stage-at-a-time executor. Both modes produce identical results,
+// identical comparator counts and bit-identical canonical trace
+// hashes: the streaming fills defer their write events behind the
+// upstream reads they interleave with (table.Builder), so the
+// recorded access pattern is a function of the pipeline and the
+// public sizes alone, never of the execution strategy.
+//
 // Each call assembles a private execution context — a fresh memory
-// space, trace sink and core.Config — so the same pipeline and the
-// same table snapshot can Run from any number of goroutines at once;
-// only cipher is shared, and crypto.Cipher is safe for concurrent use.
-// cipher must be non-nil when opts.Encrypted is set.
+// space, trace sink, allocation gauge and core.Config — so the same
+// pipeline and the same table snapshot can Run from any number of
+// goroutines at once; only cipher is shared, and crypto.Cipher is safe
+// for concurrent use. cipher must be non-nil when opts.Encrypted is
+// set.
 //
 // Cancelling ctx (or letting its deadline expire) stops the run within
 // one execution round of the innermost oblivious pass — the sorting
-// networks, routing waves and blocked scans all probe the context at
-// their round barriers — and returns an error wrapping ErrCanceled or
+// networks, routing waves, blocked scans and the batch drivers all
+// probe the context — and returns an error wrapping ErrCanceled or
 // ErrDeadline. An aborted run abandons only its private scratch
-// stores: the table snapshot, the shared plan and the cipher are
-// untouched, so concurrent runs of the same pipeline are unaffected
-// and their trace hashes stay bit-identical. A nil ctx means
-// context.Background().
-func Run(ctx context.Context, opts Options, cipher *crypto.Cipher, tables map[string][]table.Row, pipeline []exec.Operator) (res *Result, ps *PlanStats, err error) {
+// stores (spill files included: the run's gauge deletes them on the
+// way out). A nil ctx means context.Background().
+func Run(ctx context.Context, opts Options, cipher *crypto.Cipher, tables map[string][]table.Row, pipeline []exec.Operator) (*Result, *PlanStats, error) {
+	return run(ctx, opts, cipher, tables, pipeline, nil)
+}
+
+// RunStream executes pipeline in streaming mode and delivers the
+// result incrementally to sink — Columns once, then the output rows in
+// order, batch by batch — so the final result is never materialized
+// and the run's peak memory is bounded by its widest stage. Everything
+// else matches Run: same options, same concurrency contract, same
+// cancellation behavior, same canonical trace.
+func RunStream(ctx context.Context, opts Options, cipher *crypto.Cipher, tables map[string][]table.Row, pipeline []exec.Operator, sink exec.RowSink) (*PlanStats, error) {
+	if sink == nil {
+		return nil, fmt.Errorf("query: RunStream needs a sink: %w", ErrInternal)
+	}
+	opts.Materialized = false
+	_, ps, err := run(ctx, opts, cipher, tables, pipeline, sink)
+	return ps, err
+}
+
+// blockUnit resolves the sealed-block width of the run's store mode;
+// plain runs keep the default width as their spill and batch unit.
+func blockUnit(opts Options) int {
+	if opts.Encrypted && opts.SealedBlock >= 1 {
+		return opts.SealedBlock
+	}
+	return table.DefaultSealedBlock
+}
+
+// batchWidth resolves the streaming hand-off granularity: StreamBatch
+// (default exec.DefaultBatch) rounded up to a multiple of the sealed
+// block width, so a batch boundary never splits a ciphertext block.
+func batchWidth(opts Options) int {
+	b := opts.StreamBatch
+	if b <= 0 {
+		b = exec.DefaultBatch
+	}
+	u := blockUnit(opts)
+	if r := b % u; r != 0 {
+		b += u - r
+	}
+	return b
+}
+
+// modeFootprint returns the in-memory footprint model of the run's
+// store mode, used to predict whether an allocation fits the budget.
+func modeFootprint(opts Options) func(n int) int64 {
+	switch {
+	case opts.Encrypted && opts.SealedBlock == 1:
+		return table.EncryptedFootprint
+	case opts.Encrypted:
+		bw := blockUnit(opts)
+		return func(n int) int64 { return table.BlockFootprint(n, bw) }
+	default:
+		return table.PlainFootprint
+	}
+}
+
+// footprint is the gauge weight of an operator's materialized output.
+// Scan outputs alias the catalog snapshot, which the run does not own.
+func footprint(op exec.Operator, rel exec.Relation) int64 {
+	if _, ok := op.(exec.Scan); ok {
+		return 0
+	}
+	return exec.RelationFootprint(rel)
+}
+
+func run(ctx context.Context, opts Options, cipher *crypto.Cipher, tables map[string][]table.Row, pipeline []exec.Operator, sink exec.RowSink) (res *Result, ps *PlanStats, err error) {
 	if ctx == nil {
 		ctx = context.Background()
 	}
@@ -72,7 +150,7 @@ func Run(ctx context.Context, opts Options, cipher *crypto.Cipher, tables map[st
 		// The oblivious operator stack has no error returns on its hot
 		// paths; cancellation surfaces as a core.Abort panic from a
 		// round barrier, recovered here — exactly once, on the
-		// goroutine that called Run.
+		// goroutine that called run.
 		defer func() {
 			if r := recover(); r != nil {
 				ab, ok := r.(core.Abort)
@@ -111,6 +189,27 @@ func Run(ctx context.Context, opts Options, cipher *crypto.Cipher, tables map[st
 		alloc = table.PlainAlloc(sp)
 	}
 
+	// Every store the run allocates is tracked in the gauge; ReleaseAll
+	// frees whatever is still live on the way out — including spill
+	// files abandoned by an error or a cancellation panic.
+	gauge := &table.Gauge{}
+	defer gauge.ReleaseAll()
+	alloc = table.TrackedAlloc(alloc, gauge)
+	if opts.MemBudget > 0 {
+		sc := cipher
+		if sc == nil {
+			// Plain-mode spill still seals its on-disk blocks: a fresh
+			// per-run key, never persisted, is all the file needs.
+			c, _, cerr := crypto.NewRandom()
+			if cerr != nil {
+				return nil, nil, fmt.Errorf("query: spill cipher: %w", cerr)
+			}
+			sc = c
+		}
+		spiller := table.NewSpiller(sp, sc, opts.SpillDir, blockUnit(opts), gauge)
+		alloc = table.BudgetAlloc(alloc, spiller, gauge, opts.MemBudget, modeFootprint(opts))
+	}
+
 	collect := opts.CollectStats || opts.TraceHash
 	var coreStats *core.Stats
 	if collect {
@@ -123,32 +222,59 @@ func Run(ctx context.Context, opts Options, cipher *crypto.Cipher, tables map[st
 		Seed:          opts.Seed,
 		Stats:         coreStats,
 		Ctx:           ctx,
+		Mem:           gauge,
 	}
 	if opts.MergeExchange {
 		cfg.Net = core.MergeExchange
 	}
-	ectx := &exec.Context{Cfg: cfg, Tables: tables}
+	ectx := &exec.Context{Cfg: cfg, Tables: tables, Batch: batchWidth(opts)}
 
 	if collect {
 		ps = &PlanStats{}
 	}
+	record := func(op exec.Operator, start time.Time, rows int) {
+		if ps == nil {
+			return
+		}
+		wall := time.Since(start)
+		ps.Operators = append(ps.Operators, OperatorStat{Op: op.Name(), Wall: wall, Rows: rows})
+		ps.Total += wall
+	}
+
 	var rel exec.Relation
-	for _, op := range pipeline {
-		if cancellable {
-			if cause := ctx.Err(); cause != nil {
-				return nil, nil, ctxErr(cause)
+	if opts.Materialized && sink == nil {
+		// Stage-at-a-time executor: every hand-off is a whole relation,
+		// charged to the gauge and never discharged mid-run — the
+		// legacy peak is the sum of the intermediates.
+		for _, op := range pipeline {
+			if cancellable {
+				if cause := ctx.Err(); cause != nil {
+					return nil, nil, ctxErr(cause)
+				}
 			}
+			start := time.Now()
+			rel, err = op.Run(ectx, rel)
+			if err != nil {
+				return nil, nil, err
+			}
+			gauge.Charge(footprint(op, rel))
+			record(op, start, rel.Size())
 		}
-		start := time.Now()
-		rel, err = op.Run(ectx, rel)
-		if err != nil {
-			return nil, nil, err
+	} else {
+		d := &streamDriver{ectx: ectx, g: gauge, sink: sink}
+		for _, op := range pipeline {
+			if cancellable {
+				if cause := ctx.Err(); cause != nil {
+					return nil, nil, ctxErr(cause)
+				}
+			}
+			start := time.Now()
+			if err = d.step(op); err != nil {
+				return nil, nil, err
+			}
+			record(op, start, d.outRows())
 		}
-		if ps != nil {
-			wall := time.Since(start)
-			ps.Operators = append(ps.Operators, OperatorStat{Op: op.Name(), Wall: wall, Rows: rel.Size()})
-			ps.Total += wall
-		}
+		rel = d.rel
 	}
 	if rel.Kind != exec.KindResult {
 		return nil, nil, fmt.Errorf("query: pipeline ended in relation kind %d: %w", rel.Kind, ErrInternal)
@@ -156,6 +282,10 @@ func Run(ctx context.Context, opts Options, cipher *crypto.Cipher, tables map[st
 	if ps != nil {
 		ps.Comparators = coreStats.Comparators()
 		ps.RouteOps = coreStats.RouteOps
+		ps.PeakBytes = gauge.Peak()
+		ps.TotalAllocBytes = gauge.Total()
+		ps.SpillCount = gauge.Spills()
+		ps.SpillBytes = gauge.SpillBytes()
 		if hasher != nil {
 			ps.TraceEvents = hasher.Count()
 			ps.TraceHash = hasher.Hex()
@@ -164,4 +294,117 @@ func Run(ctx context.Context, opts Options, cipher *crypto.Cipher, tables map[st
 		}
 	}
 	return rel.Result, ps, nil
+}
+
+// streamDriver walks a pipeline in streaming mode: row-shaped data
+// flows between operators as a RowSource of block-granular batches;
+// everything else (keyed join output, aggregates, the result) is a
+// materialized Relation charged to the run's gauge and discharged the
+// moment the next stage has consumed it.
+type streamDriver struct {
+	ectx      *exec.Context
+	g         *table.Gauge
+	sink      exec.RowSink
+	src       exec.RowSource
+	rel       exec.Relation
+	relCharge int64
+}
+
+// outRows is the current stage's (public) output cardinality.
+func (d *streamDriver) outRows() int {
+	if d.src != nil {
+		return d.src.Len()
+	}
+	return d.rel.Size()
+}
+
+func (d *streamDriver) setSource(s exec.RowSource) {
+	d.src, d.rel, d.relCharge = s, exec.Relation{}, 0
+}
+
+func (d *streamDriver) setRel(rel exec.Relation, charge int64) {
+	d.g.Charge(charge)
+	d.g.Discharge(d.relCharge)
+	d.src, d.rel, d.relCharge = nil, rel, charge
+}
+
+func (d *streamDriver) step(op exec.Operator) error {
+	switch o := op.(type) {
+	case exec.Scan:
+		rel, err := o.Run(d.ectx, exec.Relation{})
+		if err != nil {
+			return err
+		}
+		// Scan rows alias the catalog snapshot, which the run does not
+		// own: stream them uncharged.
+		d.setSource(exec.NewSliceSource(d.ectx, rel.Rows, nil))
+		return nil
+	case exec.Rekey:
+		if d.rel.Kind == exec.KindPairs {
+			// The pairs stay live while downstream drains; their charge
+			// drops when the source closes.
+			g, charge := d.g, d.relCharge
+			pairs := d.rel.Pairs
+			d.rel, d.relCharge = exec.Relation{}, 0
+			d.setSource(exec.NewRekeySource(d.ectx, pairs, func() { g.Discharge(charge) }))
+			return nil
+		}
+		return d.runLegacy(op)
+	case exec.Join:
+		if d.src == nil {
+			return d.runLegacy(op)
+		}
+		src := d.src
+		d.src = nil
+		rel, err := o.RunFeed(d.ectx, src)
+		if err != nil {
+			return err
+		}
+		d.setRel(rel, exec.RelationFootprint(rel))
+		return nil
+	case exec.Project:
+		if d.src == nil {
+			return d.runLegacy(op)
+		}
+		src := d.src
+		d.src = nil
+		result, err := o.RunStream(d.ectx, src, d.sink)
+		if err != nil {
+			return err
+		}
+		d.setRel(exec.Relation{Kind: exec.KindResult, Result: result}, exec.ResultFootprint(result))
+		return nil
+	}
+	if st, ok := op.(exec.Streamer); ok && d.src != nil {
+		out, err := st.RunStream(d.ectx, d.src)
+		d.src = nil
+		if err != nil {
+			return err
+		}
+		d.setSource(out)
+		return nil
+	}
+	return d.runLegacy(op)
+}
+
+// runLegacy bridges to an operator's materialized Run: a live stream
+// is drained into a slice first, and the input relation's charge drops
+// once the operator has produced its output.
+func (d *streamDriver) runLegacy(op exec.Operator) error {
+	if d.src != nil {
+		src := d.src
+		d.src = nil
+		rows, err := exec.Materialize(d.ectx, src)
+		if err != nil {
+			return err
+		}
+		rel := exec.Relation{Kind: exec.KindRows, Rows: rows}
+		d.setRel(rel, exec.RelationFootprint(rel))
+	}
+	out, err := op.Run(d.ectx, d.rel)
+	if err != nil {
+		return err
+	}
+	d.setRel(out, footprint(op, out))
+	return nil
 }

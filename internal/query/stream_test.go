@@ -1,0 +1,366 @@
+package query
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"reflect"
+	"testing"
+
+	"oblivjoin/internal/query/exec"
+	"oblivjoin/internal/table"
+)
+
+// storeModes are the three storage backends the equality properties
+// quantify over.
+var storeModes = []struct {
+	name string
+	set  func(o *Options)
+}{
+	{"plain", func(o *Options) {}},
+	{"sealed", func(o *Options) { o.Encrypted = true; o.SealedBlock = 1 }},
+	{"block-sealed", func(o *Options) { o.Encrypted = true }},
+}
+
+// runModes pairs a streamed run with its materialized reference.
+func queryBoth(t *testing.T, o Options, sql string, tables map[string][]table.Row) (streamed, materialized *Result, ss, ms *PlanStats) {
+	t.Helper()
+	run := func(o Options) (*Result, *PlanStats) {
+		e := NewEngineWith(o)
+		for name, rows := range tables {
+			if err := e.Register(name, rows); err != nil {
+				t.Fatal(err)
+			}
+		}
+		res, err := e.Query(sql)
+		if err != nil {
+			t.Fatalf("Query(%q) [materialized=%t]: %v", sql, o.Materialized, err)
+		}
+		return res, e.LastStats()
+	}
+	o.TraceHash = true
+	o.Materialized = false
+	streamed, ss = run(o)
+	o.Materialized = true
+	materialized, ms = run(o)
+	return
+}
+
+func checkEqual(t *testing.T, label string, streamed, materialized *Result, ss, ms *PlanStats) {
+	t.Helper()
+	if !reflect.DeepEqual(streamed, materialized) {
+		t.Fatalf("%s: streamed result diverges:\n%v\nvs materialized\n%v", label, streamed, materialized)
+	}
+	if ss.TraceHash != ms.TraceHash {
+		t.Fatalf("%s: streamed trace hash %s != materialized %s", label, ss.TraceHash, ms.TraceHash)
+	}
+	if ss.TraceEvents != ms.TraceEvents {
+		t.Fatalf("%s: trace events %d != %d", label, ss.TraceEvents, ms.TraceEvents)
+	}
+	if ss.Comparators != ms.Comparators {
+		t.Fatalf("%s: comparators %d != %d", label, ss.Comparators, ms.Comparators)
+	}
+}
+
+// TestStreamedMatchesMaterializedCorpus: every corpus query, under
+// every store mode, produces identical rows, comparator counts and
+// bit-identical canonical trace hashes in streaming and materialized
+// execution.
+func TestStreamedMatchesMaterializedCorpus(t *testing.T) {
+	for _, mode := range storeModes {
+		for _, sql := range queryCorpus {
+			var o Options
+			mode.set(&o)
+			s, m, ss, ms := queryBoth(t, o, sql, corpusCatalog("x"))
+			checkEqual(t, fmt.Sprintf("%s/%q", mode.name, sql), s, m, ss, ms)
+		}
+	}
+}
+
+// TestStreamedMatchesMaterializedSizes sweeps the boundary input sizes
+// around the batch width — 1, B−1, B, B+1 and a many-batch 4096 — and
+// several batch widths, for every store mode, over a
+// scan→filter→distinct→sort→limit chain (every streamable stage).
+func TestStreamedMatchesMaterializedSizes(t *testing.T) {
+	const sql = "SELECT DISTINCT key, data FROM t WHERE key > 5 ORDER BY key LIMIT 1000"
+	batches := []int{16, 128}
+	if testing.Short() {
+		batches = []int{16}
+	}
+	for _, b := range batches {
+		sizes := []int{1, b - 1, b, b + 1, 4096}
+		for _, mode := range storeModes {
+			for _, n := range sizes {
+				if n < 1 {
+					continue
+				}
+				rows := make([]table.Row, n)
+				for i := range rows {
+					rows[i] = table.Row{J: uint64(i % 97), D: table.MustData(fmt.Sprintf("d%d", i%13))}
+				}
+				o := Options{StreamBatch: b}
+				mode.set(&o)
+				s, m, ss, ms := queryBoth(t, o, sql, map[string][]table.Row{"t": rows})
+				checkEqual(t, fmt.Sprintf("%s/b=%d/n=%d", mode.name, b, n), s, m, ss, ms)
+				if ss.PeakBytes <= 0 || ms.PeakBytes <= 0 {
+					t.Fatalf("%s/b=%d/n=%d: peak bytes not reported (%d, %d)",
+						mode.name, b, n, ss.PeakBytes, ms.PeakBytes)
+				}
+				if ss.PeakBytes > ms.PeakBytes {
+					t.Fatalf("%s/b=%d/n=%d: streamed peak %d exceeds materialized %d",
+						mode.name, b, n, ss.PeakBytes, ms.PeakBytes)
+				}
+			}
+		}
+	}
+}
+
+// TestStreamedJoinMatchesMaterialized covers the feed-based join path
+// (filter upstream of a join, rekey downstream) at batch-boundary
+// sizes.
+func TestStreamedJoinMatchesMaterialized(t *testing.T) {
+	const sql = "SELECT key, left.data, right.data FROM l JOIN r USING (key) WHERE key < 60 ORDER BY key"
+	for _, mode := range storeModes {
+		for _, n := range []int{1, 15, 16, 17, 200} {
+			l := make([]table.Row, n)
+			r := make([]table.Row, (n+1)/2)
+			for i := range l {
+				l[i] = table.Row{J: uint64(i % 71), D: table.MustData(fmt.Sprintf("l%d", i))}
+			}
+			for i := range r {
+				r[i] = table.Row{J: uint64(i % 71), D: table.MustData(fmt.Sprintf("r%d", i))}
+			}
+			var o Options
+			mode.set(&o)
+			o.StreamBatch = 16
+			s, m, ss, ms := queryBoth(t, o, sql, map[string][]table.Row{"l": l, "r": r})
+			checkEqual(t, fmt.Sprintf("join/%s/n=%d", mode.name, n), s, m, ss, ms)
+		}
+	}
+}
+
+// collectSink accumulates a streamed result for comparison.
+type collectSink struct {
+	cols []string
+	rows [][]string
+}
+
+func (c *collectSink) Columns(cols []string) error {
+	c.cols = append([]string(nil), cols...)
+	return nil
+}
+
+func (c *collectSink) Rows(rows [][]string) error {
+	for _, r := range rows {
+		c.rows = append(c.rows, append([]string(nil), r...))
+	}
+	return nil
+}
+
+// TestRunStreamSinkDelivery: sink-mode execution delivers the same
+// columns and rows Run materializes, with the same trace, and reports
+// a peak no larger than the materialized run's.
+func TestRunStreamSinkDelivery(t *testing.T) {
+	rows := make([]table.Row, 1000)
+	for i := range rows {
+		rows[i] = table.Row{J: uint64(i % 31), D: table.MustData(fmt.Sprintf("v%d", i))}
+	}
+	tables := map[string][]table.Row{"t": rows}
+	queries := []struct {
+		sql string
+		// strictPeak marks queries whose peak is the materialized
+		// result itself, so sink delivery must strictly lower it.
+		strictPeak bool
+	}{
+		{"SELECT key, data FROM t", true},
+		{"SELECT key, data FROM t WHERE key >= 4 ORDER BY key", false},
+	}
+	for _, qc := range queries {
+		pipeline := lowerSQL(t, qc.sql, tables)
+		opts := Options{TraceHash: true}
+		res, ps, err := Run(context.Background(), opts, nil, tables, pipeline)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sink := &collectSink{}
+		sps, err := RunStream(context.Background(), opts, nil, tables, pipeline, sink)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(sink.cols, res.Columns) || !reflect.DeepEqual(sink.rows, res.Rows) {
+			t.Fatalf("%q: sink delivery diverges from materialized result", qc.sql)
+		}
+		if sps.TraceHash != ps.TraceHash {
+			t.Fatalf("%q: sink trace hash %s != run trace hash %s", qc.sql, sps.TraceHash, ps.TraceHash)
+		}
+		if sps.PeakBytes > ps.PeakBytes {
+			t.Fatalf("%q: sink peak %d above result-materializing peak %d", qc.sql, sps.PeakBytes, ps.PeakBytes)
+		}
+		if qc.strictPeak && sps.PeakBytes >= ps.PeakBytes {
+			t.Fatalf("%q: sink peak %d not below result-materializing peak %d", qc.sql, sps.PeakBytes, ps.PeakBytes)
+		}
+	}
+}
+
+// lowerSQL parses, plans and lowers sql against tables.
+func lowerSQL(t *testing.T, sql string, tables map[string][]table.Row) []exec.Operator {
+	t.Helper()
+	q, err := Parse(sql)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := NewEngineWith(Options{})
+	for name, rows := range tables {
+		if err := e.Register(name, rows); err != nil {
+			t.Fatal(err)
+		}
+	}
+	plan, err := e.plan(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pipeline, err := lower(plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return pipeline
+}
+
+// TestSpillUnderMemBudget: a join whose intermediates exceed a 1 MiB
+// budget diverts stores to sealed spill files, produces the same rows
+// and the same canonical trace as an unbudgeted run, and removes every
+// spill file by the end of the run.
+func TestSpillUnderMemBudget(t *testing.T) {
+	// n is sized so the join's combined table alone (2n entries) plus
+	// one m-entry intermediate crosses the 1 MiB budget in every store
+	// mode; smaller joins stay in memory thanks to eager releases.
+	const n = 4096
+	l := make([]table.Row, n)
+	r := make([]table.Row, n)
+	for i := range l {
+		l[i] = table.Row{J: uint64(i), D: table.MustData(fmt.Sprintf("L%d", i))}
+		r[i] = table.Row{J: uint64(i), D: table.MustData(fmt.Sprintf("R%d", i))}
+	}
+	tables := map[string][]table.Row{"l": l, "r": r}
+	const sql = "SELECT key, left.data, right.data FROM l JOIN r USING (key) ORDER BY key"
+
+	dir := t.TempDir()
+	for _, mode := range storeModes {
+		if testing.Short() && mode.name != "plain" {
+			continue
+		}
+		var base Options
+		mode.set(&base)
+		base.TraceHash = true
+
+		run := func(o Options) (*Result, *PlanStats) {
+			e := NewEngineWith(o)
+			for name, rows := range tables {
+				if err := e.Register(name, rows); err != nil {
+					t.Fatal(err)
+				}
+			}
+			res, err := e.Query(sql)
+			if err != nil {
+				t.Fatalf("%s: %v", mode.name, err)
+			}
+			return res, e.LastStats()
+		}
+
+		wantRes, wantPS := run(base)
+
+		budgeted := base
+		budgeted.MemBudget = 1 << 20
+		budgeted.SpillDir = dir
+		res, ps := run(budgeted)
+
+		if ps.SpillCount == 0 || ps.SpillBytes == 0 {
+			t.Fatalf("%s: budget run did not spill (count=%d bytes=%d)", mode.name, ps.SpillCount, ps.SpillBytes)
+		}
+		if !reflect.DeepEqual(res, wantRes) {
+			t.Fatalf("%s: spilled result diverges", mode.name)
+		}
+		if ps.TraceHash != wantPS.TraceHash {
+			t.Fatalf("%s: spilled trace hash %s != unbudgeted %s", mode.name, ps.TraceHash, wantPS.TraceHash)
+		}
+		ents, err := os.ReadDir(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(ents) != 0 {
+			t.Fatalf("%s: %d spill files survive the run", mode.name, len(ents))
+		}
+	}
+}
+
+// TestStreamBatchWidthAlignment: the resolved batch width is always a
+// positive multiple of the sealed block width.
+func TestStreamBatchWidthAlignment(t *testing.T) {
+	cases := []struct {
+		o    Options
+		unit int
+	}{
+		{Options{}, table.DefaultSealedBlock},
+		{Options{StreamBatch: 7}, table.DefaultSealedBlock},
+		{Options{Encrypted: true, SealedBlock: 24, StreamBatch: 25}, 24},
+		{Options{Encrypted: true, SealedBlock: 1, StreamBatch: 3}, 1},
+	}
+	for _, c := range cases {
+		b := batchWidth(c.o)
+		if b <= 0 || b%c.unit != 0 {
+			t.Fatalf("batchWidth(%+v) = %d, not a positive multiple of %d", c.o, b, c.unit)
+		}
+		if c.o.StreamBatch > 0 && b < c.o.StreamBatch {
+			t.Fatalf("batchWidth(%+v) = %d rounded down", c.o, b)
+		}
+	}
+}
+
+// TestStreamedCancellation: a pre-cancelled context aborts a streaming
+// run with the typed sentinel, leaving no spill files behind.
+func TestStreamedCancellation(t *testing.T) {
+	rows := make([]table.Row, 4096)
+	for i := range rows {
+		rows[i] = table.Row{J: uint64(i), D: table.MustData("x")}
+	}
+	q, err := Parse("SELECT DISTINCT key, data FROM t ORDER BY key")
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := NewEngineWith(Options{})
+	if err := e.Register("t", rows); err != nil {
+		t.Fatal(err)
+	}
+	plan, err := e.plan(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pipeline, err := lower(plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	dir := t.TempDir()
+	o := Options{MemBudget: 1, SpillDir: dir}
+	if _, _, err := Run(ctx, o, nil, map[string][]table.Row{"t": rows}, pipeline); err == nil {
+		t.Fatal("cancelled run succeeded")
+	}
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ents) != 0 {
+		t.Fatalf("%d spill files survive a cancelled run", len(ents))
+	}
+}
+
+// TestStreamerInterfaces pins which operators advertise the streaming
+// contract.
+func TestStreamerInterfaces(t *testing.T) {
+	for _, op := range []exec.Operator{exec.Filter{}, exec.Distinct{}, exec.Sort{}, exec.Semijoin{}, exec.Limit{}} {
+		if _, ok := op.(exec.Streamer); !ok {
+			t.Fatalf("%T does not implement Streamer", op)
+		}
+	}
+}

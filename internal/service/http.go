@@ -57,7 +57,14 @@ type StatsJSON struct {
 	TraceEvents uint64         `json:"trace_events"`
 	TraceHash   string         `json:"trace_hash,omitempty"`
 	TotalNS     int64          `json:"total_ns"`
-	CacheHit    bool           `json:"cache_hit"`
+	// PeakBytes and TotalAllocBytes are the run's deterministic
+	// allocation-gauge readings; SpillCount/SpillBytes report stores
+	// diverted to sealed spill files under a memory budget.
+	PeakBytes       int64 `json:"peak_bytes"`
+	TotalAllocBytes int64 `json:"total_alloc_bytes"`
+	SpillCount      int64 `json:"spill_count,omitempty"`
+	SpillBytes      int64 `json:"spill_bytes,omitempty"`
+	CacheHit        bool  `json:"cache_hit"`
 }
 
 // OperatorJSON is one plan stage's report on the wire.
@@ -72,12 +79,16 @@ func statsJSON(ps *query.PlanStats) *StatsJSON {
 		return nil
 	}
 	out := &StatsJSON{
-		Comparators: ps.Comparators,
-		RouteOps:    ps.RouteOps,
-		TraceEvents: ps.TraceEvents,
-		TraceHash:   ps.TraceHash,
-		TotalNS:     int64(ps.Total / time.Nanosecond),
-		CacheHit:    ps.CacheHit,
+		Comparators:     ps.Comparators,
+		RouteOps:        ps.RouteOps,
+		TraceEvents:     ps.TraceEvents,
+		TraceHash:       ps.TraceHash,
+		TotalNS:         int64(ps.Total / time.Nanosecond),
+		PeakBytes:       ps.PeakBytes,
+		TotalAllocBytes: ps.TotalAllocBytes,
+		SpillCount:      ps.SpillCount,
+		SpillBytes:      ps.SpillBytes,
+		CacheHit:        ps.CacheHit,
 	}
 	for _, op := range ps.Operators {
 		out.Operators = append(out.Operators, OperatorJSON{
