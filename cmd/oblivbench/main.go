@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	oblivbench -exp table1|table2|table3|fig7|fig8|circuit|bench|sql|sealed|stream|all [flags]
+//	oblivbench -exp table1|table2|table3|fig7|fig8|circuit|bench|sql|sealed|stream|shard|all [flags]
 //
 //	-n int          input size for table1/table3 (default 4096 / 65536)
 //	-sizes list     comma-separated n values for fig8
@@ -14,8 +14,11 @@
 //	-tsizes list    comma-separated n values for the stream experiment
 //	-workers int    parallel lanes for bench/sql/sealed/stream (0 = GOMAXPROCS)
 //	-block int      entries per sealed block for sealed/stream (0 = default 16)
-//	-short          stream preset: small sizes for the CI gate
+//	-short          stream/shard preset: small sizes for the CI gate
+//	-shardn int     input size for the shard experiment (default 65536)
+//	-shardset list  comma-separated shard counts for the shard experiment
 //	-json path      write bench results as JSON (default BENCH_join.json)
+//	-shardjson path write shard results as JSON (default BENCH_shard.json)
 //	-sqljson path   write sql results as JSON (default BENCH_sql.json)
 //	-sealedjson path write sealed results as JSON (default BENCH_sealed.json)
 //	-streamjson path write stream results as JSON (default BENCH_stream.json)
@@ -54,7 +57,10 @@ func main() {
 	tsizes := flag.String("tsizes", "16384,65536", "comma-separated input sizes for stream")
 	workers := flag.Int("workers", 0, "parallel lanes for bench/sql/sealed/stream (0 = GOMAXPROCS)")
 	block := flag.Int("block", 0, "entries per sealed block for sealed/stream (0 = default)")
-	short := flag.Bool("short", false, "stream preset: small sizes for the CI gate (overridable by -tsizes)")
+	short := flag.Bool("short", false, "stream/shard preset: small sizes for the CI gate (overridable by -tsizes/-shardn)")
+	shardN := flag.Int("shardn", 65536, "input size for the shard experiment")
+	shardSet := flag.String("shardset", "1,2,4,8", "comma-separated shard counts for the shard experiment")
+	shardJSONPath := flag.String("shardjson", "BENCH_shard.json", "write shard results as JSON to this path (empty to skip)")
 	jsonPath := flag.String("json", "BENCH_join.json", "write bench results as JSON to this path (empty to skip)")
 	sqlJSONPath := flag.String("sqljson", "BENCH_sql.json", "write sql results as JSON to this path (empty to skip)")
 	sealedJSONPath := flag.String("sealedjson", "BENCH_sealed.json", "write sealed results as JSON to this path (empty to skip)")
@@ -76,7 +82,7 @@ func main() {
 	// bench is opt-in only: it is a perf experiment that writes
 	// BENCH_join.json to the working directory, not one of the paper's
 	// figures, so a bare `oblivbench` (-exp all) does not run it.
-	optIn := map[string]bool{"bench": true, "sql": true, "sealed": true, "stream": true}
+	optIn := map[string]bool{"bench": true, "sql": true, "sealed": true, "stream": true, "shard": true}
 	run := func(name string, f func() error) {
 		if *which != name && (*which != "all" || optIn[name]) {
 			return
@@ -182,6 +188,31 @@ func main() {
 				return err
 			}
 			fmt.Printf("(stream results written to %s)\n", *streamJSONPath)
+		}
+		return nil
+	})
+	run("shard", func() error {
+		size := *shardN
+		if *short {
+			set := map[string]bool{}
+			flag.Visit(func(f *flag.Flag) { set[f.Name] = true })
+			if !set["shardn"] {
+				size = 8192
+			}
+		}
+		ss, err := parseSizes(*shardSet)
+		if err != nil {
+			return err
+		}
+		results, err := exp.BenchShard(os.Stdout, size, *workers, ss)
+		if err != nil {
+			return err
+		}
+		if *shardJSONPath != "" {
+			if err := exp.WriteShardBenchJSON(*shardJSONPath, results); err != nil {
+				return err
+			}
+			fmt.Printf("(shard results written to %s)\n", *shardJSONPath)
 		}
 		return nil
 	})

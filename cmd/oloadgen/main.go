@@ -8,9 +8,13 @@
 //	oloadgen [flags]
 //
 //	-scenarios list  comma-separated scenario families: uniform,
-//	                 powerlaw, pkfk, mixed, spill (default all; spill
-//	                 runs its rotation under a 256 KiB per-query memory
-//	                 budget, forcing the sealed spill path)
+//	                 powerlaw, pkfk, mixed, spill, shard (default all;
+//	                 spill runs its rotation under a 256 KiB per-query
+//	                 memory budget, forcing the sealed spill path;
+//	                 shard hash-partitions every join across 4
+//	                 concurrent shard pipelines and verifies composed
+//	                 trace hashes against a sequential reference at the
+//	                 same shard count)
 //	-n int           rows per generated table (default 2048)
 //	-clients int     closed-loop client goroutines (default 8)
 //	-ops int         operations per scenario (default 96)
@@ -50,7 +54,7 @@ import (
 )
 
 func main() {
-	scenarios := flag.String("scenarios", "", "comma-separated scenario families: uniform, powerlaw, pkfk, mixed, spill (default all)")
+	scenarios := flag.String("scenarios", "", "comma-separated scenario families: uniform, powerlaw, pkfk, mixed, spill, shard (default all)")
 	n := flag.Int("n", 2048, "rows per generated table")
 	clients := flag.Int("clients", 8, "closed-loop client goroutines")
 	ops := flag.Int("ops", 96, "operations per scenario")

@@ -12,6 +12,8 @@
 //	-sealed-block int   entries per sealed ciphertext block (0 default 16, 1 per-entry; implies -encrypted)
 //	-sealed-catalog     AES-seal registered tables at rest
 //	-merge-exchange     Batcher's merge-exchange network instead of bitonic
+//	-shards int         hash-partition each join across this many
+//	                    concurrent shard pipelines (<= 1 unsharded)
 //	-stats              collect PlanStats for every query by default
 //	-cache int          prepared-plan LRU capacity (default 64)
 //	-max-inflight int   admission capacity in cost units of 4096 input
@@ -96,6 +98,7 @@ func main() {
 	memBudget := flag.Int64("mem-budget", 0, "bound tracked per-query memory to this many bytes, spilling stores to sealed disk blocks (0 = unbounded)")
 	spillDir := flag.String("spill-dir", "", "directory for sealed spill files (default: system temp)")
 	materialized := flag.Bool("materialized", false, "use the stage-at-a-time executor instead of the streaming default")
+	shards := flag.Int("shards", 0, "hash-partition each join across this many concurrent shard pipelines (<= 1 unsharded)")
 	header := flag.Bool("header", false, "CSV files start with a header row")
 	demo := flag.Int("demo", 0, "register demo tables t1, t2, t3 with this many rows")
 	flag.Var(&csvs, "csv", "register a CSV file as a table: name=path (repeatable)")
@@ -137,6 +140,9 @@ func main() {
 	}
 	if *materialized {
 		opts = append(opts, oblivjoin.WithMaterialized())
+	}
+	if *shards > 1 {
+		opts = append(opts, oblivjoin.WithShards(*shards))
 	}
 	if *queryTimeout > 0 {
 		opts = append(opts, oblivjoin.WithQueryTimeout(*queryTimeout))

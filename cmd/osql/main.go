@@ -58,6 +58,7 @@ func main() {
 	memBudget := flag.Int64("mem-budget", 0, "bound tracked run memory to this many bytes, spilling stores to sealed disk blocks (0 = unbounded)")
 	spillDir := flag.String("spill-dir", "", "directory for sealed spill files (default: system temp)")
 	materialized := flag.Bool("materialized", false, "use the stage-at-a-time executor instead of the streaming default")
+	shards := flag.Int("shards", 0, "hash-partition each join across this many concurrent shard pipelines (<= 1 unsharded)")
 	flag.Parse()
 
 	if flag.NArg() == 0 || len(tables) == 0 {
@@ -96,6 +97,9 @@ func main() {
 	}
 	if *materialized {
 		opts = append(opts, oblivjoin.WithMaterialized())
+	}
+	if *shards > 1 {
+		opts = append(opts, oblivjoin.WithShards(*shards))
 	}
 	eng := oblivjoin.NewEngine(opts...)
 	for name, path := range tables {

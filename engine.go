@@ -124,6 +124,19 @@ func WithStreamBatch(n int) EngineOption {
 	return func(c *service.Config) { c.Defaults.StreamBatch = n }
 }
 
+// WithShards hash-partitions every join barrier into n concurrently
+// executed per-shard pipelines: rows route obliviously into partitions
+// padded to a public size (⌈rows/n⌉ plus fixed slack), each partition
+// joins in its own worker group, and an oblivious merge recombines the
+// outputs. Results are identical at every shard count; the composed
+// trace hash is a deterministic function of the (public) sizes, the
+// shard count and the store mode. A key distribution too skewed for
+// the padding falls back deterministically to fewer shards. ≤ 1
+// selects the unsharded path.
+func WithShards(n int) EngineOption {
+	return func(c *service.Config) { c.Defaults.Shards = n }
+}
+
 // WithMergeExchange selects Batcher's odd-even merge-exchange sorting
 // network instead of the bitonic default.
 func WithMergeExchange() EngineOption {

@@ -38,6 +38,7 @@ type Record struct {
 	Block    int
 	Scenario string
 	Clients  int
+	Shards   int
 	// Metrics holds every gated field of the record: "*_ns" metrics
 	// keyed by the metric name with the suffix stripped
 	// ("sequential_ns" → "sequential"), and "*_bytes" metrics keyed by
@@ -77,6 +78,9 @@ func (r *Record) UnmarshalJSON(data []byte) error {
 	if err := get("clients", &r.Clients); err != nil {
 		return err
 	}
+	if err := get("shards", &r.Shards); err != nil {
+		return err
+	}
 	r.Metrics = map[string]int64{}
 	for k, v := range raw {
 		name := ""
@@ -108,6 +112,9 @@ func (r Record) Key() string {
 	k := fmt.Sprintf("n=%d workers=%d", r.N, r.Workers)
 	if r.Block != 0 {
 		k += fmt.Sprintf(" block=%d", r.Block)
+	}
+	if r.Shards != 0 {
+		k += fmt.Sprintf(" shards=%d", r.Shards)
 	}
 	if r.Scenario != "" {
 		k += fmt.Sprintf(" scenario=%s clients=%d", r.Scenario, r.Clients)

@@ -56,34 +56,79 @@ type RowFeed interface {
 	Close()
 }
 
+// RowsFeed adapts an in-memory row slice to the RowFeed contract: one
+// batch holding every row, then end of stream. It is how the
+// materialized call paths reuse the feed-shaped pipeline entry points
+// (and emits no events of its own, matching a staged slice exactly).
+func RowsFeed(rows []table.Row) RowFeed { return &sliceFeed{rows: rows} }
+
+type sliceFeed struct {
+	rows []table.Row
+	done bool
+}
+
+func (f *sliceFeed) Len() int { return len(f.rows) }
+
+func (f *sliceFeed) Next() ([]table.Row, error) {
+	if f.done || len(f.rows) == 0 {
+		return nil, nil
+	}
+	f.done = true
+	return f.rows, nil
+}
+
+func (f *sliceFeed) Close() {}
+
+// drainInto appends every batch of feed into bld tagged tid, closing
+// the feed in all cases.
+func drainInto(bld *table.Builder, feed RowFeed, tid uint64) error {
+	defer feed.Close()
+	for {
+		b, err := feed.Next()
+		if err != nil {
+			return err
+		}
+		if b == nil {
+			return nil
+		}
+		bld.AppendRows(b, tid)
+	}
+}
+
 // AugmentTablesFeed is AugmentTables with the left table supplied
-// batch-wise: batches append straight into TC through a table.Builder,
-// so the staging slice of the materialized variant never exists. Trace
-// equivalence: the builder emits the same ascending per-entry write
-// events over [0, n1+n2), deferred behind any upstream drain reads, so
-// the canonical trace matches a materialized run's bit for bit.
+// batch-wise; see AugmentTablesFeed2 for the trace-equivalence
+// argument (a slice is just a one-batch feed).
 func AugmentTablesFeed(cfg *Config, feed RowFeed, rows2 []table.Row) (tc table.Store, t1, t2 table.Store, m int, err error) {
+	return AugmentTablesFeed2(cfg, feed, RowsFeed(rows2))
+}
+
+// AugmentTablesFeed2 is AugmentTables with both tables supplied
+// batch-wise: batches append straight into TC through a table.Builder,
+// so neither side's staging slice of the materialized variant ever
+// exists — the join barrier consumes both pre-join scans incrementally
+// in sealed-block batches. Trace equivalence: the builder emits the
+// same ascending per-entry write events over [0, n1+n2), deferred
+// behind any upstream drain reads, so the canonical trace matches a
+// materialized run's bit for bit.
+func AugmentTablesFeed2(cfg *Config, feed1, feed2 RowFeed) (tc table.Store, t1, t2 table.Store, m int, err error) {
 	st := cfg.stats()
-	n1, n2 := feed.Len(), len(rows2)
+	n1, n2 := feed1.Len(), feed2.Len()
 	n := n1 + n2
 	tc = cfg.Alloc(n)
 	bld := table.NewBuilder(tc)
-	for {
-		b, ferr := feed.Next()
-		if ferr != nil {
-			feed.Close()
-			return nil, nil, nil, 0, ferr
-		}
-		if b == nil {
-			break
-		}
-		bld.AppendRows(b, 1)
+	if err := drainInto(bld, feed1, 1); err != nil {
+		feed2.Close()
+		return nil, nil, nil, 0, err
 	}
-	feed.Close()
 	if bld.Pos() != n1 {
 		panic("core: row feed yielded a different count than its public length")
 	}
-	bld.AppendRows(rows2, 2)
+	if err := drainInto(bld, feed2, 2); err != nil {
+		return nil, nil, nil, 0, err
+	}
+	if bld.Pos() != n {
+		panic("core: row feed yielded a different count than its public length")
+	}
 	bld.Flush()
 
 	cfg.SortStore(tc, table.LessJTID, &st.AugmentSort)

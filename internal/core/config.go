@@ -87,6 +87,13 @@ type Config struct {
 	// it to report PeakBytes/TotalAllocBytes and to divert allocations
 	// to sealed spill files under a memory budget.
 	Mem *table.Gauge
+	// Shards is the hash-partition fan-out requested for join
+	// execution. The core operators themselves never branch on it — a
+	// single Config always drives one sequential-equivalent pipeline —
+	// but the sharded scheduler (internal/shard) reads it off the
+	// parent config, and per-shard configs carry 1. ≤ 1 means
+	// unsharded.
+	Shards int
 }
 
 // ReleaseStore marks st dead for the run's allocation gauge (freeing
@@ -144,6 +151,27 @@ func (c *Config) RelationalSortStats() *bitonic.Stats {
 	return &c.Stats.RelationalSort
 }
 
+// Add accumulates o's comparator, route-op and phase-duration counters
+// into s. Input/output sizes (N1, N2, M) are per-join figures, not
+// additive, and are left alone. The sharded scheduler folds per-shard
+// stats into the parent run's Stats through this, in shard order, at
+// the post-barrier synchronization point — so totals stay
+// deterministic at every concurrency degree.
+func (s *Stats) Add(o *Stats) {
+	s.AugmentSort.CompareExchanges += o.AugmentSort.CompareExchanges
+	s.DistributeSort.CompareExchanges += o.DistributeSort.CompareExchanges
+	s.AlignSort.CompareExchanges += o.AlignSort.CompareExchanges
+	s.RelationalSort.CompareExchanges += o.RelationalSort.CompareExchanges
+	s.RouteOps += o.RouteOps
+
+	s.TAugment += o.TAugment
+	s.TDistSort += o.TDistSort
+	s.TDistRoute += o.TDistRoute
+	s.TExpandScan += o.TExpandScan
+	s.TAlign += o.TAlign
+	s.TZip += o.TZip
+}
+
 // Comparators returns the total compare–exchange count across every
 // sorting network the run executed, all phases included.
 func (s *Stats) Comparators() uint64 {
@@ -152,6 +180,11 @@ func (s *Stats) Comparators() uint64 {
 		s.AlignSort.CompareExchanges +
 		s.RelationalSort.CompareExchanges
 }
+
+// WorkerCount resolves the configured parallelism to a concrete lane
+// count (≥ 1) — exported for the sharded scheduler, which divides the
+// parent's lanes among concurrent execution units.
+func (c *Config) WorkerCount() int { return c.workerCount() }
 
 // workerCount resolves the configured parallelism to a concrete lane
 // count (≥ 1).

@@ -88,21 +88,27 @@ func JoinKeyed(cfg *Config, rows1, rows2 []table.Row) []table.KeyedPair {
 }
 
 // JoinKeyedFeed is JoinKeyed with the left table supplied batch-wise by
-// a RowFeed: upstream batches append straight into TC (no staging
-// slice), and the join's internal stores are released into the run's
-// gauge the moment the pipeline is done with them — TC after the two
-// expands, S1 and S2 after the zip — so the streaming executor's peak
-// is the phase maximum, not the sum. The access pattern, and hence the
-// canonical trace, is identical to JoinKeyed over the same sizes.
+// a RowFeed; see JoinKeyedFeed2 (a slice is just a one-batch feed).
 func JoinKeyedFeed(cfg *Config, feed RowFeed, rows2 []table.Row) ([]table.KeyedPair, error) {
+	return JoinKeyedFeed2(cfg, feed, RowsFeed(rows2))
+}
+
+// JoinKeyedFeed2 is JoinKeyed with both tables supplied batch-wise:
+// upstream batches append straight into TC (no staging slices), and
+// the join's internal stores are released into the run's gauge the
+// moment the pipeline is done with them — TC after the two expands, S1
+// and S2 after the zip — so the streaming executor's peak is the phase
+// maximum, not the sum. The access pattern, and hence the canonical
+// trace, is identical to JoinKeyed over the same sizes.
+func JoinKeyedFeed2(cfg *Config, feed1, feed2 RowFeed) ([]table.KeyedPair, error) {
 	if cfg.Alloc == nil {
 		panic("core: Config.Alloc is required")
 	}
 	st := cfg.stats()
-	st.N1, st.N2 = feed.Len(), len(rows2)
+	st.N1, st.N2 = feed1.Len(), feed2.Len()
 
 	t0 := time.Now()
-	tc, t1, t2, m, err := AugmentTablesFeed(cfg, feed, rows2)
+	tc, t1, t2, m, err := AugmentTablesFeed2(cfg, feed1, feed2)
 	if err != nil {
 		return nil, err
 	}

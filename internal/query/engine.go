@@ -66,6 +66,14 @@ type Options struct {
 	// SpillDir is where budget-diverted stores keep their sealed files
 	// ("" selects the system temp directory).
 	SpillDir string
+	// Shards, when > 1, hash-partitions every join barrier into that
+	// many concurrently executed per-shard pipelines (internal/shard):
+	// rows route obliviously into partitions padded to a public size,
+	// each partition joins in its own worker group, and an oblivious
+	// merge recombines the outputs. Results are identical at every
+	// shard count; the composed trace hash is a deterministic function
+	// of (sizes, Shards, store mode). ≤ 1 selects the unsharded path.
+	Shards int
 }
 
 // PlanStats is the per-query execution report: one entry per physical

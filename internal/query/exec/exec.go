@@ -21,6 +21,7 @@ import (
 	"oblivjoin/internal/catalog"
 	"oblivjoin/internal/core"
 	"oblivjoin/internal/ops"
+	"oblivjoin/internal/shard"
 	"oblivjoin/internal/table"
 )
 
@@ -38,6 +39,11 @@ type Context struct {
 	// multiple of the sealed block width so batch boundaries align
 	// with ciphertext blocks.
 	Batch int
+	// Shard, when non-nil, routes join barriers through the sharded
+	// scheduler (Options.Shards > 1): hash-partitioned concurrent
+	// per-shard pipelines with an oblivious merge. Every other
+	// operator keeps running on Cfg unchanged.
+	Shard *shard.Group
 }
 
 // Kind discriminates the shape a Relation currently has as it flows
@@ -284,6 +290,13 @@ func (j Join) Run(ctx *Context, in Relation) (Relation, error) {
 	right, err := lookup(ctx, j.Table, "")
 	if err != nil {
 		return Relation{}, err
+	}
+	if ctx.Shard != nil {
+		pairs, err := ctx.Shard.JoinKeyed(core.RowsFeed(in.Rows), core.RowsFeed(right))
+		if err != nil {
+			return Relation{}, err
+		}
+		return Relation{Kind: KindPairs, Pairs: pairs}, nil
 	}
 	pairs := core.JoinKeyed(ctx.Cfg, in.Rows, right)
 	return Relation{Kind: KindPairs, Pairs: pairs}, nil

@@ -355,18 +355,26 @@ func (s Semijoin) RunStream(ctx *Context, src RowSource) (RowSource, error) {
 	return newStoreSource(ctx, a, int(k)), nil
 }
 
-// RunFeed is Join's streaming form: the left table arrives batch-wise
-// and appends straight into the join's combined store
-// (core.JoinKeyedFeed), so the upstream relation is never staged as a
-// slice. The keyed output is materialized — a join is a barrier; its
-// m output rows exist at once by construction.
+// RunFeed is Join's streaming form: both inputs arrive batch-wise and
+// append straight into the join's combined store
+// (core.JoinKeyedFeed2), so neither relation is ever staged as an
+// extra slice — the left is the upstream stage's stream, the right is
+// drained from the catalog in batch windows. The keyed output is
+// materialized — a join is a barrier; its m output rows exist at once
+// by construction. With sharding enabled the same two feeds drain into
+// the sharded scheduler instead.
 func (j Join) RunFeed(ctx *Context, src RowSource) (Relation, error) {
 	right, err := lookup(ctx, j.Table, "")
 	if err != nil {
 		src.Close()
 		return Relation{}, err
 	}
-	pairs, err := core.JoinKeyedFeed(ctx.Cfg, src, right)
+	var pairs []table.KeyedPair
+	if ctx.Shard != nil {
+		pairs, err = ctx.Shard.JoinKeyed(src, NewSliceSource(ctx, right, nil))
+	} else {
+		pairs, err = core.JoinKeyedFeed2(ctx.Cfg, src, NewSliceSource(ctx, right, nil))
+	}
 	if err != nil {
 		return Relation{}, err
 	}

@@ -10,6 +10,7 @@ import (
 	"oblivjoin/internal/crypto"
 	"oblivjoin/internal/memory"
 	"oblivjoin/internal/query/exec"
+	"oblivjoin/internal/shard"
 	"oblivjoin/internal/table"
 	"oblivjoin/internal/trace"
 )
@@ -114,6 +115,86 @@ func batchWidth(opts Options) int {
 	return b
 }
 
+// allocStack assembles one execution context's allocator chain — store
+// mode, gauge tracking, optional sealed spilling under budget — over a
+// fresh memory space recording into rec. The run's own context and the
+// sharded scheduler's per-unit contexts build through the same stack,
+// which is what makes a per-shard trace bit-identical to a standalone
+// run of the same sizes in the same mode. sc may be nil when budget
+// is 0.
+func allocStack(opts Options, cipher, sc *crypto.Cipher, rec trace.Recorder, budget int64) (table.Alloc, *table.Gauge) {
+	sp := memory.NewSpace(rec, nil)
+	var alloc table.Alloc
+	switch {
+	case opts.Encrypted && opts.SealedBlock == 1:
+		alloc = table.EncryptedAlloc(sp, cipher)
+	case opts.Encrypted:
+		alloc = table.BlockEncryptedAlloc(sp, cipher, opts.SealedBlock)
+	default:
+		alloc = table.PlainAlloc(sp)
+	}
+	g := &table.Gauge{}
+	alloc = table.TrackedAlloc(alloc, g)
+	if budget > 0 {
+		spiller := table.NewSpiller(sp, sc, opts.SpillDir, blockUnit(opts), g)
+		alloc = table.BudgetAlloc(alloc, spiller, g, budget, modeFootprint(opts))
+	}
+	return alloc, g
+}
+
+// unitFactory returns the sharded scheduler's Unit constructor: each
+// unit mirrors the run's own execution context — same store mode, same
+// network, same spill policy over a budget share — with private trace
+// sink, memory space and gauge, so units execute concurrently with no
+// shared mutable instrumentation and their digests fold back into the
+// run at deterministic barriers.
+func unitFactory(ctx context.Context, opts Options, cipher, sc *crypto.Cipher, net core.SortNet, collect bool) func() *shard.Unit {
+	budget := opts.MemBudget
+	if budget > 0 {
+		// Units run concurrently: each gets an equal share of the run's
+		// budget so the combined live total stays near the configured
+		// bound.
+		budget /= int64(opts.Shards)
+		if budget < 1 {
+			budget = 1
+		}
+	}
+	return func() *shard.Unit {
+		var (
+			urec trace.Recorder
+			uh   *trace.Hasher
+			uc   *trace.Counter
+		)
+		if opts.TraceHash {
+			uh = trace.NewHasher()
+			urec = uh
+		} else if opts.CollectStats {
+			uc = &trace.Counter{}
+			urec = uc
+		}
+		alloc, g := allocStack(opts, cipher, sc, urec, budget)
+		var ust *core.Stats
+		if collect {
+			ust = &core.Stats{}
+		}
+		return &shard.Unit{
+			Cfg: &core.Config{
+				Alloc:         alloc,
+				Net:           net,
+				Probabilistic: opts.Probabilistic,
+				Seed:          opts.Seed,
+				Stats:         ust,
+				Ctx:           ctx,
+				Mem:           g,
+				Shards:        1,
+			},
+			Hasher:  uh,
+			Counter: uc,
+			Gauge:   g,
+		}
+	}
+}
+
 // modeFootprint returns the in-memory footprint model of the run's
 // store mode, used to predict whether an allocation fits the budget.
 func modeFootprint(opts Options) func(n int) int64 {
@@ -175,28 +256,12 @@ func run(ctx context.Context, opts Options, cipher *crypto.Cipher, tables map[st
 		counter = &trace.Counter{}
 		rec = counter
 	}
-	sp := memory.NewSpace(rec, nil)
-
-	var alloc table.Alloc
-	switch {
-	case opts.Encrypted && cipher == nil:
+	if opts.Encrypted && cipher == nil {
 		return nil, nil, fmt.Errorf("query: encrypted execution without a cipher: %w", ErrInternal)
-	case opts.Encrypted && opts.SealedBlock == 1:
-		alloc = table.EncryptedAlloc(sp, cipher)
-	case opts.Encrypted:
-		alloc = table.BlockEncryptedAlloc(sp, cipher, opts.SealedBlock)
-	default:
-		alloc = table.PlainAlloc(sp)
 	}
-
-	// Every store the run allocates is tracked in the gauge; ReleaseAll
-	// frees whatever is still live on the way out — including spill
-	// files abandoned by an error or a cancellation panic.
-	gauge := &table.Gauge{}
-	defer gauge.ReleaseAll()
-	alloc = table.TrackedAlloc(alloc, gauge)
+	var sc *crypto.Cipher
 	if opts.MemBudget > 0 {
-		sc := cipher
+		sc = cipher
 		if sc == nil {
 			// Plain-mode spill still seals its on-disk blocks: a fresh
 			// per-run key, never persisted, is all the file needs.
@@ -206,9 +271,13 @@ func run(ctx context.Context, opts Options, cipher *crypto.Cipher, tables map[st
 			}
 			sc = c
 		}
-		spiller := table.NewSpiller(sp, sc, opts.SpillDir, blockUnit(opts), gauge)
-		alloc = table.BudgetAlloc(alloc, spiller, gauge, opts.MemBudget, modeFootprint(opts))
 	}
+
+	// Every store the run allocates is tracked in the gauge; ReleaseAll
+	// frees whatever is still live on the way out — including spill
+	// files abandoned by an error or a cancellation panic.
+	alloc, gauge := allocStack(opts, cipher, sc, rec, opts.MemBudget)
+	defer gauge.ReleaseAll()
 
 	collect := opts.CollectStats || opts.TraceHash
 	var coreStats *core.Stats
@@ -223,11 +292,22 @@ func run(ctx context.Context, opts Options, cipher *crypto.Cipher, tables map[st
 		Stats:         coreStats,
 		Ctx:           ctx,
 		Mem:           gauge,
+		Shards:        opts.Shards,
 	}
 	if opts.MergeExchange {
 		cfg.Net = core.MergeExchange
 	}
 	ectx := &exec.Context{Cfg: cfg, Tables: tables, Batch: batchWidth(opts)}
+	if opts.Shards > 1 {
+		ectx.Shard = &shard.Group{
+			Parent:  cfg,
+			Shards:  opts.Shards,
+			Hasher:  hasher,
+			Counter: counter,
+			Gauge:   gauge,
+			New:     unitFactory(ctx, opts, cipher, sc, cfg.Net, collect),
+		}
+	}
 
 	if collect {
 		ps = &PlanStats{}

@@ -1,0 +1,137 @@
+package shard
+
+// Shard geometry is public by construction: every figure computed here
+// — partition hash, padded capacities, the candidate fallback chain,
+// dummy keys — is a deterministic function of the (public) table sizes
+// and the requested shard count, plus the single declared leak of the
+// overflow fallback (see planFor). Nothing in this file touches a
+// table store; the data-dependent histogram lives in protected local
+// state and is accumulated branch-free.
+
+import "oblivjoin/internal/obliv"
+
+// MaxShards bounds the partition fan-out. The per-row routing work is
+// O(S) branch-free local operations and the padding overhead grows
+// with S, so far wider fan-outs than any worker pool can exploit stay
+// out of reach by construction.
+const MaxShards = 64
+
+// hashKey is the public partition hash: the splitmix64 finalizer, a
+// fixed bijection on uint64 with full avalanche, so `hashKey(j) mod S`
+// spreads any key set that isn't chosen adversarially. It is public
+// and deterministic — which keys land in which shard is not hidden,
+// only padded; the secrecy budget of the sharded path is spent
+// entirely on the padded per-shard sizes.
+func hashKey(k uint64) uint64 {
+	k ^= k >> 30
+	k *= 0xbf58476d1ce4e5b9
+	k ^= k >> 27
+	k *= 0x94d049bb133111eb
+	k ^= k >> 31
+	return k
+}
+
+// tagOf is the shard tag of key k at s partitions.
+func tagOf(k uint64, s int) uint64 { return hashKey(k) % uint64(s) }
+
+// capFor is the public padded per-shard capacity of a side with n rows
+// at s shards: ⌈n/s⌉ plus slack absorbing hash imbalance. At s = 1
+// there is nothing to balance and the capacity is exactly n — the
+// degenerate fallback shard holds every row and no dummies.
+func capFor(n, s int) int {
+	if s <= 1 {
+		return n
+	}
+	base := (n + s - 1) / s
+	return base + base/8 + 32
+}
+
+// chainFor is the deterministic fallback chain of candidate shard
+// counts: s, ⌈s/2⌉, …, 1. Every overflowing candidate hands off to the
+// next; 1 always fits (capFor(n, 1) = n).
+func chainFor(s int) []int {
+	var chain []int
+	for {
+		chain = append(chain, s)
+		if s == 1 {
+			return chain
+		}
+		s = (s + 1) / 2
+	}
+}
+
+// histogram is one side's per-candidate tag counts, accumulated
+// branch-free in protected local state while the side's feed drains —
+// counting emits no public-memory events.
+type histogram struct {
+	chain  []int
+	counts [][]uint64
+}
+
+func newHistogram(chain []int) *histogram {
+	h := &histogram{chain: chain, counts: make([][]uint64, len(chain))}
+	for i, c := range chain {
+		h.counts[i] = make([]uint64, c)
+	}
+	return h
+}
+
+// add counts one row's key under every candidate shard count.
+func (h *histogram) add(k uint64) {
+	hk := hashKey(k)
+	for i, c := range h.chain {
+		tag := hk % uint64(c)
+		cnt := h.counts[i]
+		for s := range cnt {
+			cnt[s] += obliv.Eq(tag, uint64(s))
+		}
+	}
+}
+
+// fits reports whether candidate index i keeps every shard within the
+// padded capacity for a side of n rows.
+func (h *histogram) fits(i, n int) bool {
+	limit := uint64(capFor(n, h.chain[i]))
+	for _, c := range h.counts[i] {
+		if c > limit {
+			return false
+		}
+	}
+	return true
+}
+
+// effective picks the first candidate of the chain that fits both
+// sides — the largest usable shard count. The choice is the sharded
+// path's one declared leak beyond the padded sizes themselves: an
+// adversarially skewed key set reveals (only) that it overflowed the
+// padding, exactly as the join's output length m is a declared leak of
+// the paper's algorithm.
+func effective(hl, hr *histogram, n1, n2 int) int {
+	for i := range hl.chain {
+		if hl.fits(i, n1) && hr.fits(i, n2) {
+			return hl.chain[i]
+		}
+	}
+	return 1
+}
+
+// dummyKeys returns two distinct keys that both hash outside shard s
+// at eff ≥ 2 partitions: every real key routed to shard s hashes to s,
+// so the left padding key joins no real row of the shard, the right
+// padding key joins no real row of the shard, and the two never join
+// each other. A pure function of (s, eff), found by scanning k = 0, 1,
+// 2, … — the finalizer's avalanche makes the expected scan a couple of
+// steps.
+func dummyKeys(s, eff int) (dl, dr uint64) {
+	found := false
+	for k := uint64(0); ; k++ {
+		if tagOf(k, eff) == uint64(s) {
+			continue
+		}
+		if !found {
+			dl, found = k, true
+			continue
+		}
+		return dl, k
+	}
+}

@@ -1,0 +1,338 @@
+package shard
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"oblivjoin/internal/core"
+	"oblivjoin/internal/memory"
+	"oblivjoin/internal/table"
+	"oblivjoin/internal/trace"
+)
+
+func TestCapFor(t *testing.T) {
+	if got := capFor(1000, 1); got != 1000 {
+		t.Fatalf("capFor(1000, 1) = %d, want exactly n", got)
+	}
+	if got := capFor(0, 1); got != 0 {
+		t.Fatalf("capFor(0, 1) = %d, want 0", got)
+	}
+	for _, s := range []int{2, 3, 4, 7, 64} {
+		for _, n := range []int{0, 1, s - 1, s, 1000, 65536} {
+			c := capFor(n, s)
+			base := (n + s - 1) / s
+			if c < base {
+				t.Fatalf("capFor(%d, %d) = %d below ⌈n/s⌉ = %d", n, s, c, base)
+			}
+			if s*c < n {
+				t.Fatalf("capFor(%d, %d) = %d: total capacity %d below n", n, s, c, s*c)
+			}
+		}
+	}
+}
+
+func TestChainFor(t *testing.T) {
+	got := chainFor(7)
+	want := []int{7, 4, 2, 1}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("chainFor(7) = %v, want %v", got, want)
+	}
+	if !reflect.DeepEqual(chainFor(1), []int{1}) {
+		t.Fatalf("chainFor(1) = %v", chainFor(1))
+	}
+}
+
+func TestDummyKeysHashElsewhereAndDiffer(t *testing.T) {
+	for eff := 2; eff <= 9; eff++ {
+		for s := 0; s < eff; s++ {
+			dl, dr := dummyKeys(s, eff)
+			if dl == dr {
+				t.Fatalf("dummyKeys(%d, %d): sides collide on %d", s, eff, dl)
+			}
+			if tagOf(dl, eff) == uint64(s) || tagOf(dr, eff) == uint64(s) {
+				t.Fatalf("dummyKeys(%d, %d) = (%d, %d): a dummy hashes into its own shard", s, eff, dl, dr)
+			}
+		}
+	}
+}
+
+func TestEffectiveOverflowFallback(t *testing.T) {
+	chain := chainFor(4)
+	hl, hr := newHistogram(chain), newHistogram(chain)
+	// All keys equal: every candidate > 1 funnels the whole side into
+	// one partition, overflowing the padded capacity for any
+	// reasonably large n.
+	n := 4096
+	for i := 0; i < n; i++ {
+		hl.add(42)
+		hr.add(42)
+	}
+	if eff := effective(hl, hr, n, n); eff != 1 {
+		t.Fatalf("effective on a single-key table = %d, want fallback to 1", eff)
+	}
+
+	// Uniform keys fit the requested count.
+	hl, hr = newHistogram(chain), newHistogram(chain)
+	for i := 0; i < n; i++ {
+		hl.add(uint64(i))
+		hr.add(uint64(i) * 7)
+	}
+	if eff := effective(hl, hr, n, n); eff != 4 {
+		t.Fatalf("effective on uniform keys = %d, want 4", eff)
+	}
+}
+
+// testRows builds n rows with keys drawn from [0, keyMod) — dup-heavy
+// for small keyMod — and payloads unique per (tag, index).
+func testRows(n int, seed int64, keyMod uint64, tag byte) []table.Row {
+	rng := rand.New(rand.NewSource(seed))
+	rows := make([]table.Row, n)
+	for i := range rows {
+		var d table.Data
+		d[0] = tag
+		binary.LittleEndian.PutUint64(d[1:9], uint64(i))
+		rows[i] = table.Row{J: rng.Uint64() % keyMod, D: d}
+	}
+	return rows
+}
+
+func plainCfg(rec trace.Recorder) *core.Config {
+	sp := memory.NewSpace(rec, nil)
+	g := &table.Gauge{}
+	return &core.Config{
+		Alloc: table.TrackedAlloc(table.PlainAlloc(sp), g),
+		Mem:   g,
+		Stats: &core.Stats{},
+	}
+}
+
+// testGroup assembles a Group over plain stores the way the query
+// runner does, capturing every unit it hands out.
+func testGroup(s, workers int, hash bool) (*Group, *trace.Hasher, *[]*Unit) {
+	var h *trace.Hasher
+	var rec trace.Recorder
+	if hash {
+		h = trace.NewHasher()
+		rec = h
+	}
+	parent := plainCfg(rec)
+	parent.Workers = workers
+	parent.Shards = s
+	var made []*Unit
+	g := &Group{
+		Parent: parent,
+		Shards: s,
+		Hasher: h,
+		Gauge:  parent.Mem,
+		New: func() *Unit {
+			var uh *trace.Hasher
+			var urec trace.Recorder
+			if hash {
+				uh = trace.NewHasher()
+				urec = uh
+			}
+			cfg := plainCfg(urec)
+			cfg.Shards = 1
+			u := &Unit{Cfg: cfg, Hasher: uh, Gauge: cfg.Mem}
+			made = append(made, u)
+			return u
+		},
+	}
+	return g, h, &made
+}
+
+// TestJoinKeyedMatchesUnsharded is the core equivalence property: at
+// every shard count the sharded join returns exactly the unsharded
+// output sequence — same rows, same order.
+func TestJoinKeyedMatchesUnsharded(t *testing.T) {
+	sizes := []struct{ n1, n2 int }{
+		{1, 1}, {3, 5}, {64, 64}, {257, 129}, {1024, 512},
+	}
+	for _, s := range []int{2, 4, 7} {
+		for _, sz := range sizes {
+			t.Run(fmt.Sprintf("s=%d/n1=%d/n2=%d", s, sz.n1, sz.n2), func(t *testing.T) {
+				rows1 := testRows(sz.n1, 1, uint64(max(sz.n1/2, 1)), 'L')
+				rows2 := testRows(sz.n2, 2, uint64(max(sz.n1/2, 1)), 'R')
+				want := core.JoinKeyed(plainCfg(nil), rows1, rows2)
+
+				g, _, _ := testGroup(s, 4, false)
+				got, err := g.JoinKeyed(core.RowsFeed(rows1), core.RowsFeed(rows2))
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !reflect.DeepEqual(got, want) {
+					t.Fatalf("sharded output diverges at s=%d: %d vs %d rows", s, len(got), len(want))
+				}
+				if g.Parent.Stats.M != len(want) {
+					t.Fatalf("parent stats M = %d, want %d", g.Parent.Stats.M, len(want))
+				}
+			})
+		}
+	}
+}
+
+// TestJoinKeyedSingleKeyFallsBack drives the overflow fallback end to
+// end: a single-key table cannot hash-partition, the chain collapses
+// to one shard, and the output still matches the unsharded join.
+func TestJoinKeyedSingleKeyFallsBack(t *testing.T) {
+	rows1 := testRows(300, 3, 1, 'L')
+	rows2 := testRows(10, 4, 1, 'R')
+	want := core.JoinKeyed(plainCfg(nil), rows1, rows2)
+
+	g, _, made := testGroup(4, 2, false)
+	got, err := g.JoinKeyed(core.RowsFeed(rows1), core.RowsFeed(rows2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("fallback output diverges: %d vs %d rows", len(got), len(want))
+	}
+	// 2 routing units + exactly one shard unit.
+	if len(*made) != 3 {
+		t.Fatalf("fallback spawned %d units, want 3", len(*made))
+	}
+}
+
+// TestComposedHashStable pins the composed trace hash: a pure function
+// of (sizes, S, store mode) — invariant across worker counts, repeats
+// and table contents, different across shard counts.
+func TestComposedHashStable(t *testing.T) {
+	run := func(s, workers int, seed int64) string {
+		// Near-uniform keys so the requested shard count sticks: a
+		// fallback to fewer shards produces — by design — the trace of
+		// the lower count, which would void the separation assertion.
+		rows1 := testRows(500, seed, 500, 'L')
+		rows2 := testRows(300, seed+1, 500, 'R')
+		g, h, made := testGroup(s, workers, true)
+		if _, err := g.JoinKeyed(core.RowsFeed(rows1), core.RowsFeed(rows2)); err != nil {
+			t.Fatal(err)
+		}
+		if eff := len(*made) - 2; eff != s {
+			t.Fatalf("requested %d shards, effective %d: pick a more uniform key set", s, eff)
+		}
+		return h.Hex()
+	}
+	base := run(4, 1, 1)
+	for _, w := range []int{1, 2, 8} {
+		if got := run(4, w, 1); got != base {
+			t.Fatalf("composed hash varies with workers=%d", w)
+		}
+	}
+	// Contents differ, sizes and key structure identical in
+	// distribution: the hash may only depend on sizes — draw fresh
+	// keys from the same modulus and expect... different shard m's.
+	// What must hold: same rows, same everything → same hash (repeat).
+	if got := run(4, 4, 1); got != base {
+		t.Fatal("composed hash not reproducible across repeats")
+	}
+	if got := run(2, 1, 1); got == base {
+		t.Fatal("composed hash does not separate shard counts")
+	}
+}
+
+// TestComposedHashDependsOnlyOnSizes: two inputs with identical sizes
+// and identical per-shard routing cardinalities but different payloads
+// hash identically — payload bytes never reach the trace.
+func TestComposedHashDependsOnlyOnSizes(t *testing.T) {
+	run := func(tagL, tagR byte) string {
+		// Same keys both runs (routing and m fixed), different payloads.
+		rows1 := testRows(256, 9, 30, tagL)
+		rows2 := testRows(128, 10, 30, tagR)
+		g, h, _ := testGroup(4, 2, true)
+		if _, err := g.JoinKeyed(core.RowsFeed(rows1), core.RowsFeed(rows2)); err != nil {
+			t.Fatal(err)
+		}
+		return h.Hex()
+	}
+	if run('L', 'R') != run('x', 'y') {
+		t.Fatal("composed hash depends on payload contents")
+	}
+}
+
+// TestPerShardTraceMatchesStandalone is the composition argument made
+// executable: each shard unit's canonical trace digest equals that of
+// a standalone feed-based join over the same padded partition — the
+// sharded scheduler runs the unmodified pipeline per shard, bit for
+// bit.
+func TestPerShardTraceMatchesStandalone(t *testing.T) {
+	const s, n1, n2 = 4, 400, 200
+	rows1 := testRows(n1, 5, 37, 'L')
+	rows2 := testRows(n2, 6, 37, 'R')
+
+	g, _, made := testGroup(s, 2, true)
+	if _, err := g.JoinKeyed(core.RowsFeed(rows1), core.RowsFeed(rows2)); err != nil {
+		t.Fatal(err)
+	}
+	eff := len(*made) - 2
+	if eff != s {
+		t.Fatalf("expected %d shard units, got %d", s, eff)
+	}
+	capL, capR := capFor(n1, eff), capFor(n2, eff)
+
+	// Rebuild each padded partition with plain bookkeeping: real rows
+	// in arrival order, dummies after.
+	partition := func(rows []table.Row, cap int, right bool) [][]table.Row {
+		parts := make([][]table.Row, eff)
+		for _, r := range rows {
+			tg := tagOf(r.J, eff)
+			parts[tg] = append(parts[tg], r)
+		}
+		for sh := range parts {
+			dl, dr := dummyKeys(sh, eff)
+			d := dl
+			if right {
+				d = dr
+			}
+			for len(parts[sh]) < cap {
+				parts[sh] = append(parts[sh], table.Row{J: d})
+			}
+		}
+		return parts
+	}
+	pl := partition(rows1, capL, false)
+	pr := partition(rows2, capR, true)
+
+	for sh := 0; sh < eff; sh++ {
+		h := trace.NewHasher()
+		cfg := plainCfg(h)
+		if _, err := core.JoinKeyedFeed2(cfg, core.RowsFeed(pl[sh]), core.RowsFeed(pr[sh])); err != nil {
+			t.Fatal(err)
+		}
+		unit := (*made)[2+sh]
+		if unit.Hasher.Sum() != h.Sum() {
+			t.Fatalf("shard %d trace digest diverges from a standalone join of the same padded sizes", sh)
+		}
+	}
+}
+
+// TestStatsAndGaugeFold checks the deterministic instrumentation fold:
+// comparator totals match across worker counts, and the parent gauge's
+// peak covers the summed unit peaks.
+func TestStatsAndGaugeFold(t *testing.T) {
+	run := func(workers int) (*core.Stats, int64) {
+		rows1 := testRows(512, 7, 50, 'L')
+		rows2 := testRows(256, 8, 50, 'R')
+		g, _, _ := testGroup(4, workers, true)
+		if _, err := g.JoinKeyed(core.RowsFeed(rows1), core.RowsFeed(rows2)); err != nil {
+			t.Fatal(err)
+		}
+		return g.Parent.Stats, g.Gauge.Peak()
+	}
+	s1, p1 := run(1)
+	s8, p8 := run(8)
+	if s1.Comparators() != s8.Comparators() {
+		t.Fatalf("comparator totals vary with workers: %d vs %d", s1.Comparators(), s8.Comparators())
+	}
+	if s1.Comparators() == 0 || s1.RouteOps == 0 {
+		t.Fatal("sharded run folded no comparator/route counts")
+	}
+	if p1 != p8 {
+		t.Fatalf("gauge peak varies with workers: %d vs %d", p1, p8)
+	}
+	if p1 <= 0 {
+		t.Fatal("gauge recorded no peak")
+	}
+}

@@ -320,6 +320,29 @@ func (s *Hasher) Hex() string {
 // must agree on this as well as on the digest.
 func (s *Hasher) Count() uint64 { return s.n }
 
+// Absorb folds the finished digest of a sub-stream into this hash and
+// adds the sub-stream's event count to the total. It is how the
+// sharded executor composes a run's canonical hash: each shard records
+// its own events into a private Hasher, and the parent absorbs the
+// per-shard digests in shard order between its own event runs, so the
+// composed digest is
+//
+//	H = SHA-256( … ‖ enc(e_i) ‖ … ‖ Sum(shard_0) ‖ … ‖ Sum(shard_S−1) ‖ … )
+//
+// — a deterministic function of the public sizes and the shard count.
+// The 32-byte digest injection is unambiguous in practice because the
+// absorption points are a fixed function of the (public) plan, never of
+// the data; composed digests are only ever compared against other
+// composed digests of the same shape.
+func (s *Hasher) Absorb(sum [sha256.Size]byte, events uint64) {
+	s.flush()
+	if s.h == nil {
+		s.h = sha256.New()
+	}
+	s.h.Write(sum[:])
+	s.n += events
+}
+
 // Counter tallies reads and writes without storing them; it is used for
 // the operation-count columns of Table 3.
 type Counter struct {
@@ -357,6 +380,14 @@ func (c *Counter) RecordRun(op Op, _ uint32, _ uint64, n int) {
 
 // Total returns reads + writes.
 func (c *Counter) Total() uint64 { return c.Reads + c.Writes }
+
+// Add accumulates another counter's tallies — the Counter analogue of
+// Hasher.Absorb, used when sharded execution units count events into
+// private counters folded into the run's counter at a barrier.
+func (c *Counter) Add(o *Counter) {
+	c.Reads += o.Reads
+	c.Writes += o.Writes
+}
 
 // Summary aggregates an event stream per array: how many reads and
 // writes each array received and its touched extent. It feeds the
