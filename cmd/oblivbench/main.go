@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	oblivbench -exp table1|table2|table3|fig7|fig8|circuit|bench|sql|sealed|stream|shard|all [flags]
+//	oblivbench -exp table1|table2|table3|fig7|fig8|circuit|bench|sql|sealed|stream|shard|wal|all [flags]
 //
 //	-n int          input size for table1/table3 (default 4096 / 65536)
 //	-sizes list     comma-separated n values for fig8
@@ -17,11 +17,14 @@
 //	-short          stream/shard preset: small sizes for the CI gate
 //	-shardn int     input size for the shard experiment (default 65536)
 //	-shardset list  comma-separated shard counts for the shard experiment
+//	-walrows int    rows per commit for the wal experiment (default 64)
+//	-walcommits int fsynced commits in the wal experiment (default 192)
 //	-json path      write bench results as JSON (default BENCH_join.json)
 //	-shardjson path write shard results as JSON (default BENCH_shard.json)
 //	-sqljson path   write sql results as JSON (default BENCH_sql.json)
 //	-sealedjson path write sealed results as JSON (default BENCH_sealed.json)
 //	-streamjson path write stream results as JSON (default BENCH_stream.json)
+//	-waljson path   write wal results as JSON (default BENCH_wal.json)
 //
 // bench (sequential vs parallel join wall times, tracing on, with a
 // BENCH_join.json perf record), sql (the same comparison for the SQL
@@ -46,7 +49,7 @@ import (
 )
 
 func main() {
-	which := flag.String("exp", "all", "experiment: table1, table2, table3, fig7, fig8, circuit, bench, sql, sealed, stream, all")
+	which := flag.String("exp", "all", "experiment: table1, table2, table3, fig7, fig8, circuit, bench, sql, sealed, stream, shard, wal, all")
 	n := flag.Int("n", 0, "input size for table1/table3 (defaults: 4096, 65536)")
 	sizes := flag.String("sizes", "25000,50000,100000,200000", "comma-separated input sizes for fig8")
 	pgm := flag.String("pgm", "", "write Figure 7 as a PGM image to this path")
@@ -61,6 +64,9 @@ func main() {
 	shardN := flag.Int("shardn", 65536, "input size for the shard experiment")
 	shardSet := flag.String("shardset", "1,2,4,8", "comma-separated shard counts for the shard experiment")
 	shardJSONPath := flag.String("shardjson", "BENCH_shard.json", "write shard results as JSON to this path (empty to skip)")
+	walRows := flag.Int("walrows", 64, "rows per commit for the wal experiment")
+	walCommits := flag.Int("walcommits", 192, "fsynced commits in the wal experiment")
+	walJSONPath := flag.String("waljson", "BENCH_wal.json", "write wal results as JSON to this path (empty to skip)")
 	jsonPath := flag.String("json", "BENCH_join.json", "write bench results as JSON to this path (empty to skip)")
 	sqlJSONPath := flag.String("sqljson", "BENCH_sql.json", "write sql results as JSON to this path (empty to skip)")
 	sealedJSONPath := flag.String("sealedjson", "BENCH_sealed.json", "write sealed results as JSON to this path (empty to skip)")
@@ -82,7 +88,7 @@ func main() {
 	// bench is opt-in only: it is a perf experiment that writes
 	// BENCH_join.json to the working directory, not one of the paper's
 	// figures, so a bare `oblivbench` (-exp all) does not run it.
-	optIn := map[string]bool{"bench": true, "sql": true, "sealed": true, "stream": true, "shard": true}
+	optIn := map[string]bool{"bench": true, "sql": true, "sealed": true, "stream": true, "shard": true, "wal": true}
 	run := func(name string, f func() error) {
 		if *which != name && (*which != "all" || optIn[name]) {
 			return
@@ -213,6 +219,29 @@ func main() {
 				return err
 			}
 			fmt.Printf("(shard results written to %s)\n", *shardJSONPath)
+		}
+		return nil
+	})
+	run("wal", func() error {
+		commits := *walCommits
+		lens := []int{256, 1024}
+		if *short {
+			set := map[string]bool{}
+			flag.Visit(func(f *flag.Flag) { set[f.Name] = true })
+			if !set["walcommits"] {
+				commits = 64
+			}
+			lens = []int{64, 256}
+		}
+		results, err := exp.BenchWAL(os.Stdout, *walRows, commits, lens)
+		if err != nil {
+			return err
+		}
+		if *walJSONPath != "" {
+			if err := exp.WriteWALBenchJSON(*walJSONPath, results); err != nil {
+				return err
+			}
+			fmt.Printf("(wal results written to %s)\n", *walJSONPath)
 		}
 		return nil
 	})

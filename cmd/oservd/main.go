@@ -26,6 +26,10 @@
 //	                    column 0, data in column 1)
 //	-header             CSV files start with a header row
 //	-demo int           register demo tables t1, t2, t3 with this many rows
+//	-data-dir path      durable catalog: sealed WAL + snapshots in this
+//	                    directory, recovered on boot (empty = memory-only)
+//	-snapshot-every n   commits between automatic snapshots (0 = 256)
+//	-history n          retained catalog versions for AS OF (0 = 64)
 //
 // Endpoints (all JSON):
 //
@@ -41,7 +45,8 @@
 // A query cancelled by its client (closed connection) or by
 // -query-timeout aborts within one execution round; overload returns
 // 503 with Retry-After. SIGINT/SIGTERM drain gracefully: the listener
-// closes, in-flight queries finish, then the process exits.
+// closes, in-flight queries finish, and with -data-dir the WAL is
+// fsynced and a final snapshot written before the process exits.
 //
 // Quickstart:
 //
@@ -59,6 +64,7 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"net"
 	"net/http"
 	"os"
 	"os/signal"
@@ -101,6 +107,9 @@ func main() {
 	shards := flag.Int("shards", 0, "hash-partition each join across this many concurrent shard pipelines (<= 1 unsharded)")
 	header := flag.Bool("header", false, "CSV files start with a header row")
 	demo := flag.Int("demo", 0, "register demo tables t1, t2, t3 with this many rows")
+	dataDir := flag.String("data-dir", "", "durable catalog directory: sealed WAL + snapshots, recovered on boot (empty = memory-only)")
+	snapshotEvery := flag.Int("snapshot-every", 0, "commits between automatic snapshots (0 = default 256, <0 disables)")
+	history := flag.Int("history", 0, "retained catalog versions for AS OF reads (0 = default 64, <0 unlimited)")
 	flag.Var(&csvs, "csv", "register a CSV file as a table: name=path (repeatable)")
 	flag.Parse()
 
@@ -147,7 +156,29 @@ func main() {
 	if *queryTimeout > 0 {
 		opts = append(opts, oblivjoin.WithQueryTimeout(*queryTimeout))
 	}
-	eng := oblivjoin.NewEngine(opts...)
+	if *dataDir != "" {
+		opts = append(opts, oblivjoin.WithDataDir(*dataDir))
+	}
+	if *snapshotEvery != 0 {
+		opts = append(opts, oblivjoin.WithSnapshotEvery(*snapshotEvery))
+	}
+	if *history != 0 {
+		opts = append(opts, oblivjoin.WithHistory(*history))
+	}
+	eng, err := oblivjoin.OpenEngine(opts...)
+	if err != nil {
+		log.Fatalf("oservd: %v", err)
+	}
+	if ri := eng.Recovery(); ri != nil {
+		log.Printf("oservd: recovered catalog v%d (%d tables: snapshot v%d + %d wal records)",
+			ri.Version, ri.Tables, ri.SnapshotVersion, ri.Replayed)
+		if ri.Tail != nil {
+			log.Printf("oservd: discarded torn wal tail (%d bytes): %v", ri.DiscardedBytes, ri.Tail)
+		}
+		if !ri.CleanShutdown && (ri.Version > 0 || ri.Replayed > 0) {
+			log.Printf("oservd: previous shutdown was not clean; recovered from log")
+		}
+	}
 
 	for _, spec := range csvs {
 		name, path, _ := strings.Cut(spec, "=")
@@ -164,9 +195,15 @@ func main() {
 	for _, ti := range eng.Tables() {
 		log.Printf("oservd: table %s (%d rows)", ti.Name, ti.Rows)
 	}
-	log.Printf("oservd: listening on %s", *addr)
+	// An explicit listener (rather than ListenAndServe) so the actual
+	// bound address is logged — ":0" deployments, like the crash-
+	// injection harness, read it from the log line.
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		log.Fatalf("oservd: listen: %v", err)
+	}
+	log.Printf("oservd: listening on %s", ln.Addr())
 	srv := &http.Server{
-		Addr:              *addr,
 		Handler:           eng.Handler(),
 		ReadHeaderTimeout: 10 * time.Second,
 		ReadTimeout:       time.Minute,
@@ -196,7 +233,7 @@ func main() {
 			st.Completed, st.Failed, st.Rejected, st.Canceled, time.Duration(st.P95NS))
 	}()
 
-	if err := srv.ListenAndServe(); !errors.Is(err, http.ErrServerClosed) {
+	if err := srv.Serve(ln); !errors.Is(err, http.ErrServerClosed) {
 		log.Fatal(err)
 	}
 	<-done
@@ -212,7 +249,20 @@ func loadCSV(eng *oblivjoin.Engine, name, path string, header bool) error {
 	if err != nil {
 		return err
 	}
-	return eng.Register(name, t)
+	return registerFresh(eng, name, t)
+}
+
+// registerFresh registers t under name, but keeps a recovered table of
+// the same name: with -data-dir, a reboot with the same -csv/-demo
+// flags must not clobber the durable contents.
+func registerFresh(eng *oblivjoin.Engine, name string, t *oblivjoin.Table) error {
+	err := eng.Register(name, t)
+	var exists *oblivjoin.TableExistsError
+	if errors.As(err, &exists) {
+		log.Printf("oservd: table %s already present (recovered); keeping stored contents", name)
+		return nil
+	}
+	return err
 }
 
 // loadDemo registers three matched tables of n rows each: every key
@@ -226,7 +276,7 @@ func loadDemo(eng *oblivjoin.Engine, n int) error {
 				return err
 			}
 		}
-		if err := eng.Register(fmt.Sprintf("t%d", ti+1), t); err != nil {
+		if err := registerFresh(eng, fmt.Sprintf("t%d", ti+1), t); err != nil {
 			return err
 		}
 	}

@@ -59,10 +59,12 @@ func main() {
 	spillDir := flag.String("spill-dir", "", "directory for sealed spill files (default: system temp)")
 	materialized := flag.Bool("materialized", false, "use the stage-at-a-time executor instead of the streaming default")
 	shards := flag.Int("shards", 0, "hash-partition each join across this many concurrent shard pipelines (<= 1 unsharded)")
+	dataDir := flag.String("data-dir", "", "durable catalog directory (sealed WAL + snapshots): query persisted tables, including AS OF versions")
+	replace := flag.Bool("replace", false, "-t overwrites an existing durable table instead of failing")
 	flag.Parse()
 
-	if flag.NArg() == 0 || len(tables) == 0 {
-		fmt.Fprintln(os.Stderr, "usage: osql -t name=file.csv [-t ...] \"[EXPLAIN] SELECT ...\"")
+	if flag.NArg() == 0 || (len(tables) == 0 && *dataDir == "") {
+		fmt.Fprintln(os.Stderr, "usage: osql [-data-dir dir] -t name=file.csv [-t ...] \"[EXPLAIN] SELECT ...\"")
 		flag.PrintDefaults()
 		os.Exit(2)
 	}
@@ -101,7 +103,17 @@ func main() {
 	if *shards > 1 {
 		opts = append(opts, oblivjoin.WithShards(*shards))
 	}
-	eng := oblivjoin.NewEngine(opts...)
+	if *dataDir != "" {
+		opts = append(opts, oblivjoin.WithDataDir(*dataDir))
+	}
+	eng, err := oblivjoin.OpenEngine(opts...)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "osql: %v\n", err)
+		os.Exit(1)
+	}
+	// Durable catalogs flush on exit so registrations done this run
+	// survive the next; a memory-only Shutdown is a no-op flush.
+	defer eng.Shutdown(nil)
 	for name, path := range tables {
 		f, err := os.Open(path)
 		if err != nil {
@@ -114,7 +126,12 @@ func main() {
 			fmt.Fprintf(os.Stderr, "osql: %s: %v\n", path, err)
 			os.Exit(1)
 		}
-		if err := eng.Register(name, t); err != nil {
+		if *replace {
+			err = eng.Replace(name, t)
+		} else {
+			err = eng.Register(name, t)
+		}
+		if err != nil {
 			fmt.Fprintf(os.Stderr, "osql: %v\n", err)
 			os.Exit(1)
 		}

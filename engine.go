@@ -9,6 +9,7 @@ import (
 	"oblivjoin/internal/catalog"
 	"oblivjoin/internal/query"
 	"oblivjoin/internal/service"
+	"oblivjoin/internal/wal"
 )
 
 // Engine is an oblivious SQL engine over registered tables: a small
@@ -181,19 +182,63 @@ func WithQueryTimeout(d time.Duration) EngineOption {
 	return func(c *service.Config) { c.QueryTimeout = d }
 }
 
+// WithDataDir makes the catalog durable under dir: every Register,
+// Replace, Drop, Branch and Restore is sealed, appended to a
+// write-ahead log and fsynced before it returns, the catalog is
+// checkpointed to sealed snapshot files periodically (see
+// WithSnapshotEvery) and on Shutdown, and engine construction recovers
+// the persisted state — replaying the WAL tail over the latest
+// snapshot, discarding a torn final record from a crashed append. All
+// secret bytes on disk are ciphertext under a per-directory key file;
+// construction can now fail on real corruption, so durable engines
+// should be built with OpenEngine.
+func WithDataDir(dir string) EngineOption {
+	return func(c *service.Config) { c.DataDir = dir }
+}
+
+// WithSnapshotEvery checkpoints the durable catalog every n committed
+// mutations (default wal.DefaultSnapshotEvery = 256; negative disables
+// automatic checkpoints — Shutdown and Checkpoint still write them).
+// Only meaningful with WithDataDir.
+func WithSnapshotEvery(n int) EngineOption {
+	return func(c *service.Config) { c.SnapshotEvery = n }
+}
+
+// WithHistory bounds how many recent catalog versions stay resolvable
+// for AS OF reads and Branch/Restore (default 64; negative keeps
+// unlimited history in memory).
+func WithHistory(n int) EngineOption {
+	return func(c *service.Config) { c.History = n }
+}
+
 // NewEngine returns an empty engine configured by opts (sequential,
-// plaintext and uninstrumented by default). It panics only when the
-// platform entropy source fails to key the engine's cipher.
+// plaintext and uninstrumented by default). It panics when engine
+// construction fails — for a memory-only engine that is only the
+// platform entropy source failing; a durable engine (WithDataDir) can
+// also fail on recovery, so prefer OpenEngine there.
 func NewEngine(opts ...EngineOption) *Engine {
+	eng, err := OpenEngine(opts...)
+	if err != nil {
+		panic("oblivjoin: " + err.Error())
+	}
+	return eng
+}
+
+// OpenEngine is NewEngine returning construction errors instead of
+// panicking: with WithDataDir the persisted catalog is recovered here,
+// and a damaged store — a WAL record failing its checksum or
+// authentication, a corrupt snapshot — surfaces as a typed
+// *RecoveryError rather than silently serving partial data.
+func OpenEngine(opts ...EngineOption) (*Engine, error) {
 	var cfg service.Config
 	for _, opt := range opts {
 		opt(&cfg)
 	}
 	svc, err := service.New(cfg)
 	if err != nil {
-		panic("oblivjoin: " + err.Error())
+		return nil, err
 	}
-	return &Engine{svc: svc}
+	return &Engine{svc: svc}, nil
 }
 
 // Register makes a table queryable under name (folded to lower case;
@@ -219,6 +264,50 @@ func (e *Engine) Replace(name string, t *Table) error {
 // Drop removes the named table; it returns an *UnknownTableError when
 // no such table is registered.
 func (e *Engine) Drop(name string) error { return e.svc.Drop(name) }
+
+// Branch makes the contents of table src — at catalog version asOf, or
+// the current version when asOf is 0 — queryable under the new name
+// dst. In memory a branch aliases the immutable backing at zero copy
+// cost; on a durable engine the branched rows are also written to the
+// WAL so recovery needs no history. dst taken is a *TableExistsError;
+// an unretained asOf is a *catalog.VersionError.
+func (e *Engine) Branch(dst, src string, asOf uint64) error {
+	return e.svc.Branch(dst, src, asOf)
+}
+
+// Restore rewinds table name to its contents at catalog version asOf,
+// which must still be inside the retained history window (WithHistory).
+// It can resurrect a dropped table.
+func (e *Engine) Restore(name string, asOf uint64) error {
+	return e.svc.Restore(name, asOf)
+}
+
+// CatalogVersion returns the catalog's current version counter: it
+// increases by one on every Register, Replace, Drop, Branch and
+// Restore, and any retained version can be read back with an
+// `AS OF <version>` query, Branch or Restore.
+func (e *Engine) CatalogVersion() uint64 { return e.svc.Version() }
+
+// Checkpoint forces a durable snapshot of the catalog now. It is a
+// no-op (nil) for a memory-only engine.
+func (e *Engine) Checkpoint() error { return e.svc.Checkpoint() }
+
+// RecoveryInfo reports what a durable engine recovered at
+// construction: the snapshot version loaded, WAL records replayed over
+// it, the resulting catalog version and table count, whether the
+// previous process shut down cleanly, and a discarded torn tail if the
+// previous process crashed mid-append.
+type RecoveryInfo = wal.RecoveryInfo
+
+// RecoveryError is the typed error for damage found while recovering a
+// durable engine: which file, at what offset and record index, and the
+// cause — wal.ErrTruncated, wal.ErrChecksum, wal.ErrFormat or an
+// authentication failure wrapping crypto's ErrAuth.
+type RecoveryError = wal.TailError
+
+// Recovery returns what this engine recovered from its data directory
+// at construction, or nil for a memory-only engine.
+func (e *Engine) Recovery() *RecoveryInfo { return e.svc.Recovery() }
 
 // Tables lists the registered tables' schemas, sorted by name.
 func (e *Engine) Tables() []TableInfo { return e.svc.Tables() }
@@ -379,7 +468,10 @@ func (e *Engine) Stats() ServiceStats { return e.svc.Stats() }
 // Shutdown returns once the last executing query finishes — or with
 // ctx's error if the drain outlives it. In-flight queries are not
 // force-cancelled; give them deadline contexts (WithQueryTimeout or
-// per-call) when a hard stop matters. Idempotent.
+// per-call) when a hard stop matters. On a durable engine Shutdown
+// also flushes: the WAL is fsynced and a final snapshot with a
+// clean-shutdown marker is written in every exit path, even when the
+// drain outlives ctx. Idempotent.
 func (e *Engine) Shutdown(ctx context.Context) error { return e.svc.Shutdown(ctx) }
 
 // TableInfo describes one registered table: its normalized name and

@@ -308,6 +308,7 @@ func TestAgainstCommittedBaseline(t *testing.T) {
 		{"BENCH_service.json", 4},
 		{"BENCH_stream.json", 8},
 		{"BENCH_shard.json", 3},
+		{"BENCH_wal.json", 2},
 	} {
 		path := filepath.Join("..", "..", "BENCH_baseline", tc.name)
 		recs, err := Load(path)

@@ -1,0 +1,220 @@
+package exp
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"time"
+
+	"oblivjoin/internal/catalog"
+	"oblivjoin/internal/crypto"
+	"oblivjoin/internal/table"
+	"oblivjoin/internal/wal"
+)
+
+// WALBenchResult is one row of the durability benchmark. Scenarios:
+//
+//	commit    — Records fsynced Replace commits of N rows each; wall
+//	            is the whole loop (the per-commit latency is derived
+//	            reporting on stdout), wal_bytes the resulting log.
+//	snapshot  — write one whole-catalog checkpoint of N total rows.
+//	restore   — read that checkpoint back.
+//	recover   — full DB open (key load, replay, reopen-for-append)
+//	            over a WAL of N records; two lengths are recorded so
+//	            the baseline pins how recovery scales with log length.
+//
+// WallNS and WALBytes are the gated perf metrics — exactly two per
+// record, keyed by (scenario, n) through benchdiff's generic key.
+type WALBenchResult struct {
+	Scenario string `json:"scenario"`
+	N        int    `json:"n"`
+	Records  int    `json:"records,omitempty"`
+	Tables   int    `json:"tables,omitempty"`
+
+	WallNS   int64 `json:"wall_ns"`
+	WALBytes int64 `json:"wal_bytes"`
+}
+
+// walRows builds n deterministic rows.
+func walRows(n, salt int) []table.Row {
+	rows := make([]table.Row, n)
+	for i := range rows {
+		d, _ := table.MakeData(fmt.Sprintf("w%d-%d", salt, i%100))
+		rows[i] = table.Row{J: uint64(i), D: d}
+	}
+	return rows
+}
+
+// walFileSize returns the size of the single wal-*.log in dir.
+func walFileSize(dir string) (int64, error) {
+	matches, err := filepath.Glob(filepath.Join(dir, "wal-*.log"))
+	if err != nil {
+		return 0, err
+	}
+	if len(matches) != 1 {
+		return 0, fmt.Errorf("exp: wal: %d log files in %s, want 1", len(matches), dir)
+	}
+	st, err := os.Stat(matches[0])
+	if err != nil {
+		return 0, err
+	}
+	return st.Size(), nil
+}
+
+// BenchWAL measures the durable-catalog path: fsynced commit latency,
+// snapshot write and restore, and crash recovery at each WAL length in
+// recoverLens. rows is the table size per commit; commits the number
+// of Replace commits in the commit scenario.
+func BenchWAL(w io.Writer, rows, commits int, recoverLens []int) ([]WALBenchResult, error) {
+	root, err := os.MkdirTemp("", "oblivwalbench")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(root)
+
+	fmt.Fprintf(w, "WAL benchmark — sealed log commit, snapshot, recovery (rows/commit=%d)\n", rows)
+	fmt.Fprintf(w, "%-10s %8s %8s %12s %14s %s\n", "scenario", "n", "records", "wall", "wal bytes", "detail")
+	var out []WALBenchResult
+	report := func(r WALBenchResult, detail string) {
+		fmt.Fprintf(w, "%-10s %8d %8d %12s %14d %s\n",
+			r.Scenario, r.N, r.Records, time.Duration(r.WallNS).Round(time.Microsecond), r.WALBytes, detail)
+		out = append(out, r)
+	}
+
+	// commit: every Replace is append+fsync+apply — the latency a
+	// client pays for a durable acknowledgement.
+	dir := filepath.Join(root, "commit")
+	db, _, err := wal.Open(dir, catalog.New(), wal.Options{SnapshotEvery: -1})
+	if err != nil {
+		return nil, err
+	}
+	if err := db.Register("t", walRows(rows, 0)); err != nil {
+		return nil, err
+	}
+	t0 := time.Now()
+	for i := 1; i <= commits; i++ {
+		if err := db.Replace("t", walRows(rows, i)); err != nil {
+			return nil, err
+		}
+	}
+	wall := time.Since(t0)
+	size, err := walFileSize(dir)
+	if err != nil {
+		return nil, err
+	}
+	report(WALBenchResult{
+		Scenario: "commit", N: rows, Records: commits,
+		WallNS: wall.Nanoseconds(), WALBytes: size,
+	}, fmt.Sprintf("%s/commit fsynced", (wall/time.Duration(commits)).Round(time.Microsecond)))
+
+	// snapshot + restore: checkpoint the commit catalog (4 tables so
+	// the snapshot walks more than one frame) and read it back.
+	for i := 0; i < 3; i++ {
+		if err := db.Register(fmt.Sprintf("t%d", i), walRows(rows, i)); err != nil {
+			return nil, err
+		}
+	}
+	snap, err := db.Catalog().Snapshot()
+	if err != nil {
+		return nil, err
+	}
+	total := 0
+	for _, rs := range snap {
+		total += len(rs)
+	}
+	cipher, err := walBenchCipher(dir)
+	if err != nil {
+		return nil, err
+	}
+	snapPath := filepath.Join(root, "bench.snap")
+	ver := db.Catalog().Version()
+	t0 = time.Now()
+	if err := wal.WriteSnapshot(snapPath, cipher, ver, snap); err != nil {
+		return nil, err
+	}
+	wall = time.Since(t0)
+	st, err := os.Stat(snapPath)
+	if err != nil {
+		return nil, err
+	}
+	report(WALBenchResult{
+		Scenario: "snapshot", N: total, Tables: len(snap),
+		WallNS: wall.Nanoseconds(), WALBytes: st.Size(),
+	}, "atomic write+rename+fsync")
+
+	t0 = time.Now()
+	rv, tables, err := wal.ReadSnapshot(snapPath, cipher)
+	wall = time.Since(t0)
+	if err != nil {
+		return nil, err
+	}
+	if rv != ver || len(tables) != len(snap) {
+		return nil, fmt.Errorf("exp: wal: restore read v%d/%d tables, want v%d/%d", rv, len(tables), ver, len(snap))
+	}
+	report(WALBenchResult{
+		Scenario: "restore", N: total, Tables: len(tables),
+		WallNS: wall.Nanoseconds(), WALBytes: st.Size(),
+	}, "decrypt+verify all tables")
+	if err := db.Abandon(); err != nil {
+		return nil, err
+	}
+
+	// recover: cold open over a WAL of L records — what a restart
+	// after a crash pays before serving.
+	for _, l := range recoverLens {
+		dir := filepath.Join(root, fmt.Sprintf("recover-%d", l))
+		db, _, err := wal.Open(dir, catalog.New(), wal.Options{SnapshotEvery: -1})
+		if err != nil {
+			return nil, err
+		}
+		if err := db.Register("t", walRows(rows, 0)); err != nil {
+			return nil, err
+		}
+		for i := 1; i < l; i++ {
+			if err := db.Replace("t", walRows(rows, i)); err != nil {
+				return nil, err
+			}
+		}
+		if err := db.Abandon(); err != nil {
+			return nil, err
+		}
+		size, err := walFileSize(dir)
+		if err != nil {
+			return nil, err
+		}
+		t0 := time.Now()
+		db2, info, err := wal.Open(dir, catalog.New(), wal.Options{SnapshotEvery: -1})
+		wall := time.Since(t0)
+		if err != nil {
+			return nil, err
+		}
+		if info.Replayed != l || info.Version != uint64(l) {
+			return nil, fmt.Errorf("exp: wal: recovery replayed %d records to v%d, want %d", info.Replayed, info.Version, l)
+		}
+		if err := db2.Abandon(); err != nil {
+			return nil, err
+		}
+		report(WALBenchResult{
+			Scenario: "recover", N: l, Records: l,
+			WallNS: wall.Nanoseconds(), WALBytes: size,
+		}, fmt.Sprintf("replayed to v%d", info.Version))
+	}
+	return out, nil
+}
+
+// walBenchCipher opens the benchmark directory's persisted master key
+// — snapshot timing must use the same cipher the DB seals with.
+func walBenchCipher(dir string) (*crypto.Cipher, error) {
+	key, err := os.ReadFile(filepath.Join(dir, "master.key"))
+	if err != nil {
+		return nil, err
+	}
+	return crypto.New(key)
+}
+
+// WriteWALBenchJSON writes the WAL benchmark rows as indented JSON to
+// path.
+func WriteWALBenchJSON(path string, results []WALBenchResult) error {
+	return writeJSON(path, results)
+}

@@ -6,6 +6,7 @@ type Query struct {
 	Select   []SelectItem
 	From     string
 	Joins    []string // chained JOIN table names, in order; empty when absent
+	AsOf     int64    // AS OF catalog version; -1 when absent
 	Where    Expr     // nil when absent
 	GroupBy  bool     // GROUP BY key
 	OrderBy  bool     // ORDER BY key

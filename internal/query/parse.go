@@ -68,7 +68,7 @@ func (p *parser) expect(kind tokKind, text, what string) error {
 func (p *parser) keyword(kw string) bool { return p.accept(tokIdent, kw) }
 
 func (p *parser) query() (*Query, error) {
-	q := &Query{Limit: -1}
+	q := &Query{Limit: -1, AsOf: -1}
 	if err := p.expect(tokIdent, "select", "SELECT"); err != nil {
 		return nil, err
 	}
@@ -114,6 +114,22 @@ func (p *parser) query() (*Query, error) {
 		if err := p.expect(tokSymbol, ")", "')'"); err != nil {
 			return nil, err
 		}
+	}
+
+	// AS OF <version> pins every table the query reads (including IN
+	// subqueries) to one retained catalog version — a time-travel read.
+	if p.keyword("as") {
+		if err := p.expect(tokIdent, "of", "OF"); err != nil {
+			return nil, err
+		}
+		v, err := p.number()
+		if err != nil {
+			return nil, err
+		}
+		if v == 0 || v > 1<<62 {
+			return nil, fmt.Errorf("query: AS OF version must be between 1 and the current catalog version")
+		}
+		q.AsOf = int64(v)
 	}
 
 	if p.keyword("where") {

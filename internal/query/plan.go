@@ -167,6 +167,11 @@ func RenderPlan(n PlanNode) string {
 
 // plan builds the logical plan for q against the engine's catalog.
 func (e *Engine) plan(q *Query) (PlanNode, error) {
+	if q.AsOf >= 0 {
+		// The single-user engine keeps no version history; time travel
+		// is a service-layer feature over the MVCC catalog.
+		return nil, fmt.Errorf("query: AS OF requires the versioned catalog of the service engine")
+	}
 	return BuildPlan(q, func(name string) bool { _, ok := e.tables[name]; return ok })
 }
 

@@ -10,6 +10,7 @@
 //	SELECT [DISTINCT] select_list
 //	FROM table
 //	{JOIN table USING (key)}
+//	[AS OF version]
 //	[WHERE predicate]
 //	[GROUP BY key]
 //	[ORDER BY key]

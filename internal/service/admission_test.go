@@ -116,10 +116,10 @@ func TestAdmissionWeightsByCost(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if w := s.cost(stBig.tables); w != 2 {
+	if w := s.cost(s.cat.Pin(), stBig.tables); w != 2 {
 		t.Fatalf("big statement cost = %d, want 2", w)
 	}
-	if w := s.cost(stSmall.tables); w != 1 {
+	if w := s.cost(s.cat.Pin(), stSmall.tables); w != 1 {
 		t.Fatalf("small statement cost = %d, want 1", w)
 	}
 

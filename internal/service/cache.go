@@ -14,6 +14,7 @@ type planEntry struct {
 	plan     query.PlanNode
 	pipeline []exec.Operator
 	tables   []string
+	asOf     int64 // AS OF catalog version; -1 = current
 }
 
 // lru is a plain doubly-linked-list LRU keyed by the plan-cache key.

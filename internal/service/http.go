@@ -116,6 +116,7 @@ type RowJSON struct {
 type HealthResponse struct {
 	Status    string     `json:"status"`
 	Tables    int        `json:"tables"`
+	Version   uint64     `json:"version"`
 	PlanCache CacheStats `json:"plan_cache"`
 }
 
@@ -199,6 +200,7 @@ func NewHandler(s *Service) http.Handler {
 		writeJSON(w, http.StatusOK, HealthResponse{
 			Status:    "ok",
 			Tables:    s.cat.Len(),
+			Version:   s.cat.Version(),
 			PlanCache: s.CacheStats(),
 		})
 	})
@@ -258,6 +260,7 @@ const statusClientClosedRequest = 499
 func errStatus(err error) int {
 	var unknown *catalog.UnknownTableError
 	var exists *catalog.TableExistsError
+	var version *catalog.VersionError
 	switch {
 	case errors.Is(err, crypto.ErrAuth), errors.Is(err, query.ErrInternal):
 		return http.StatusInternalServerError
@@ -266,7 +269,9 @@ func errStatus(err error) int {
 		return http.StatusServiceUnavailable
 	case errors.Is(err, query.ErrCanceled):
 		return statusClientClosedRequest
-	case errors.As(err, &unknown):
+	case errors.As(err, &unknown), errors.As(err, &version):
+		// An AS OF version outside the retained window is "not found",
+		// like a missing table: correct request shape, absent object.
 		return http.StatusNotFound
 	case errors.As(err, &exists), errors.Is(err, catalog.ErrNoTables):
 		return http.StatusConflict

@@ -1,0 +1,358 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+
+	"oblivjoin/internal/catalog"
+	"oblivjoin/internal/table"
+)
+
+// genRows builds n rows stamped with a generation, so a query result
+// reveals which catalog version it actually read.
+func genRows(n, gen int) []table.Row {
+	out := make([]table.Row, n)
+	for i := range out {
+		out[i] = table.Row{J: uint64(i), D: table.MustData(fmt.Sprintf("g%d-%d", gen, i%10))}
+	}
+	return out
+}
+
+// resultGeneration extracts the single generation stamp from a result
+// over genRows, failing if rows blend generations — the signature of a
+// query reading across a concurrent Replace.
+func resultGeneration(t *testing.T, rows [][]string) int {
+	t.Helper()
+	gen := -1
+	for _, r := range rows {
+		stamp := r[len(r)-1] // data column
+		var g, i int
+		if _, err := fmt.Sscanf(stamp, "g%d-%d", &g, &i); err != nil {
+			t.Fatalf("payload %q: %v", stamp, err)
+		}
+		if gen == -1 {
+			gen = g
+		} else if g != gen {
+			t.Fatalf("result blends generations %d and %d", gen, g)
+		}
+	}
+	return gen
+}
+
+// TestMVCCPinnedQueryIsolation races pinned readers against a writer
+// replacing, dropping, re-registering and branching tables. Meant for
+// the -race matrix. Two invariants:
+//
+//   - an AS OF query reads exactly its pinned version, bit-for-bit,
+//     no matter what writers commit meanwhile;
+//   - an unpinned query reads SOME single version — one whole
+//     generation, never a blend of two Replaces.
+func TestMVCCPinnedQueryIsolation(t *testing.T) {
+	s, err := New(Config{History: -1}) // unlimited: the test pins old versions
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Register("hot", genRows(32, 0)); err != nil { // v1
+		t.Fatal(err)
+	}
+	pinnedVersion := s.Version()
+	wantPinned, _, err := s.Query(context.Background(),
+		fmt.Sprintf("SELECT key, data FROM hot AS OF %d ORDER BY key", pinnedVersion))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const rounds = 40
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+
+	// Writer: replaces generation after generation, with drops,
+	// re-registers and branches mixed in.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		defer close(stop)
+		for gen := 1; gen <= rounds; gen++ {
+			if err := s.Replace("hot", genRows(32, gen)); err != nil {
+				t.Errorf("replace: %v", err)
+				return
+			}
+			switch gen % 10 {
+			case 3:
+				if err := s.Branch(fmt.Sprintf("b%d", gen), "hot", 0); err != nil {
+					t.Errorf("branch: %v", err)
+					return
+				}
+			case 7:
+				if err := s.Drop("hot"); err != nil {
+					t.Errorf("drop: %v", err)
+					return
+				}
+				if err := s.Register("hot", genRows(32, gen)); err != nil {
+					t.Errorf("re-register: %v", err)
+					return
+				}
+			}
+		}
+	}()
+
+	// Pinned readers: always the seed generation.
+	for r := 0; r < 2; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			sql := fmt.Sprintf("SELECT key, data FROM hot AS OF %d ORDER BY key", pinnedVersion)
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				got, _, err := s.Query(context.Background(), sql)
+				if err != nil {
+					t.Errorf("pinned query: %v", err)
+					return
+				}
+				if !reflect.DeepEqual(got, wantPinned) {
+					t.Errorf("pinned query drifted:\n got %v\nwant %v", got, wantPinned)
+					return
+				}
+			}
+		}()
+	}
+
+	// Unpinned readers: whichever version, but exactly one.
+	for r := 0; r < 2; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				got, _, err := s.Query(context.Background(), "SELECT key, data FROM hot ORDER BY key")
+				if err != nil {
+					// The writer drops "hot" briefly; a reader landing in
+					// that window gets a typed unknown-table error, which
+					// is correct — just not a blend.
+					var unk *catalog.UnknownTableError
+					if errors.As(err, &unk) {
+						continue
+					}
+					t.Errorf("unpinned query: %v", err)
+					return
+				}
+				resultGeneration(t, got.Rows)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// TestAsOfOutsideHistoryTyped: a version never committed, version 0,
+// and a version trimmed out of the bounded history all surface as
+// *catalog.VersionError at Exec, not a panic or empty result.
+func TestAsOfOutsideHistoryTyped(t *testing.T) {
+	s, err := New(Config{History: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Register("t", genRows(8, 0)); err != nil {
+		t.Fatal(err)
+	}
+	for gen := 1; gen <= 4; gen++ {
+		if err := s.Replace("t", genRows(8, gen)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, asOf := range []uint64{1, 99} {
+		_, _, err := s.Query(context.Background(),
+			fmt.Sprintf("SELECT key FROM t AS OF %d", asOf))
+		var ve *catalog.VersionError
+		if !errors.As(err, &ve) {
+			t.Fatalf("AS OF %d: err = %v, want *catalog.VersionError", asOf, err)
+		}
+	}
+	if _, err := s.Prepare(context.Background(), "SELECT key FROM t AS OF 0"); err == nil {
+		t.Fatal("AS OF 0 accepted; versions start at 1")
+	}
+}
+
+// TestAsOfReadsDroppedTable: time travel reaches a table that no
+// longer exists at the current version.
+func TestAsOfReadsDroppedTable(t *testing.T) {
+	s, err := New(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Register("t", genRows(8, 5)); err != nil { // v1
+		t.Fatal(err)
+	}
+	if err := s.Register("other", genRows(4, 9)); err != nil { // v2
+		t.Fatal(err)
+	}
+	if err := s.Drop("t"); err != nil { // v3
+		t.Fatal(err)
+	}
+	got, _, err := s.Query(context.Background(), "SELECT key, data FROM t AS OF 1 ORDER BY key")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resultGeneration(t, got.Rows) != 5 || len(got.Rows) != 8 {
+		t.Fatalf("AS OF read of dropped table = %v", got.Rows)
+	}
+	var unk *catalog.UnknownTableError
+	if _, _, err := s.Query(context.Background(), "SELECT key FROM t"); !errors.As(err, &unk) {
+		t.Fatalf("current-version read of dropped table = %v, want UnknownTableError", err)
+	}
+}
+
+// TestDurableServiceRoundTrip: a durable service's acknowledged
+// mutations — including branches — survive Shutdown and are served
+// identically by a new service on the same directory.
+func TestDurableServiceRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	s, err := New(Config{DataDir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Register("t", genRows(24, 1)); err != nil { // v1
+		t.Fatal(err)
+	}
+	if err := s.Replace("t", genRows(24, 2)); err != nil { // v2
+		t.Fatal(err)
+	}
+	if err := s.Branch("t_v1", "t", 1); err != nil { // v3
+		t.Fatal(err)
+	}
+	const sql = "SELECT key, left.data, right.data FROM t JOIN t_v1 USING (key) ORDER BY key"
+	want, wantPS, err := s.Query(context.Background(), sql, WithStats(true), WithTraceHash(true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Shutdown(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	// Shutdown wrote the clean marker — the SIGTERM flush contract.
+	if b, err := os.ReadFile(filepath.Join(dir, "clean")); err != nil {
+		t.Fatalf("no clean marker after Shutdown: %v", err)
+	} else if v, _ := strconv.ParseUint(strings.TrimSpace(string(b)), 16, 64); v != 3 {
+		t.Fatalf("clean marker at v%d, want 3", v)
+	}
+	// Mutations after shutdown are refused, not silently dropped.
+	if err := s.Replace("t", genRows(1, 9)); err == nil {
+		t.Fatal("replace after Shutdown succeeded")
+	}
+
+	s2, err := New(Config{DataDir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Shutdown(context.Background())
+	ri := s2.Recovery()
+	if ri == nil || !ri.CleanShutdown || ri.Version != 3 || ri.Tables != 2 {
+		t.Fatalf("recovery info = %+v, want clean shutdown at v3 with 2 tables", ri)
+	}
+	got, gotPS, err := s2.Query(context.Background(), sql, WithStats(true), WithTraceHash(true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("recovered result differs:\n got %v\nwant %v", got, want)
+	}
+	if gotPS.TraceHash != wantPS.TraceHash {
+		t.Fatalf("recovered trace hash %s, want %s", gotPS.TraceHash, wantPS.TraceHash)
+	}
+}
+
+// TestAsOfMatchesSnapshotRestoredEngine: the time-travel contract made
+// external — "Q AS OF v" on the live, since-mutated service is
+// bit-identical (rows AND access-pattern digest) to plain Q on a fresh
+// service recovered from a checkpoint taken at v.
+func TestAsOfMatchesSnapshotRestoredEngine(t *testing.T) {
+	live := t.TempDir()
+	s, err := New(Config{DataDir: live})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Shutdown(context.Background())
+	if err := s.Register("users", genRows(32, 1)); err != nil { // v1
+		t.Fatal(err)
+	}
+	if err := s.Register("orders", genRows(32, 2)); err != nil { // v2
+		t.Fatal(err)
+	}
+	pinned := s.Version()
+	if err := s.Checkpoint(); err != nil { // snapshot at v2
+		t.Fatal(err)
+	}
+	// Freeze a copy of the directory as it stands at the checkpoint.
+	frozen := t.TempDir()
+	copyDir(t, live, frozen)
+	// The live service moves on.
+	for gen := 3; gen <= 6; gen++ {
+		if err := s.Replace("users", genRows(32, gen)); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	const qHead = "SELECT key, left.data, right.data FROM users JOIN orders USING (key)"
+	const qTail = " ORDER BY key"
+	liveRes, livePS, err := s.Query(context.Background(),
+		fmt.Sprintf("%s AS OF %d%s", qHead, pinned, qTail), WithStats(true), WithTraceHash(true))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	s2, err := New(Config{DataDir: frozen})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Shutdown(context.Background())
+	if v := s2.Version(); v != pinned {
+		t.Fatalf("frozen service recovered at v%d, want v%d", v, pinned)
+	}
+	frozenRes, frozenPS, err := s2.Query(context.Background(), qHead+qTail, WithStats(true), WithTraceHash(true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(liveRes, frozenRes) {
+		t.Fatalf("AS OF %d diverged from the snapshot-restored engine:\n live %v\nfrozen %v",
+			pinned, liveRes.Rows, frozenRes.Rows)
+	}
+	if livePS.TraceHash == "" || livePS.TraceHash != frozenPS.TraceHash {
+		t.Fatalf("trace hashes differ: live %s, frozen %s", livePS.TraceHash, frozenPS.TraceHash)
+	}
+}
+
+// copyDir copies the regular files of src into dst (the data-dir
+// layout is flat).
+func copyDir(t *testing.T, src, dst string) {
+	t.Helper()
+	ents, err := os.ReadDir(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range ents {
+		if e.IsDir() {
+			continue
+		}
+		b, err := os.ReadFile(filepath.Join(src, e.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(filepath.Join(dst, e.Name()), b, 0o600); err != nil {
+			t.Fatal(err)
+		}
+	}
+}

@@ -39,6 +39,7 @@ import (
 	"oblivjoin/internal/query"
 	"oblivjoin/internal/query/exec"
 	"oblivjoin/internal/table"
+	"oblivjoin/internal/wal"
 )
 
 // DefaultPlanCache is the plan-cache capacity when Config.PlanCache is
@@ -72,6 +73,21 @@ type Config struct {
 	// execution exceeding it returns query.ErrDeadline. The timeout
 	// covers admission wait plus execution.
 	QueryTimeout time.Duration
+	// DataDir, when set, makes the catalog durable: every mutation is
+	// sealed, appended to a write-ahead log in this directory and
+	// fsynced before it is acknowledged, snapshots checkpoint the
+	// catalog periodically, and New recovers the persisted state
+	// (replaying the WAL tail over the latest snapshot) before
+	// serving. Empty means memory-only, the prior behavior.
+	DataDir string
+	// SnapshotEvery is the number of committed mutations between
+	// automatic snapshots when DataDir is set; 0 means
+	// wal.DefaultSnapshotEvery, negative disables automatic snapshots.
+	SnapshotEvery int
+	// History bounds how many recent catalog versions stay resolvable
+	// for AS OF reads; 0 means catalog.DefaultHistory, negative means
+	// unlimited.
+	History int
 }
 
 // Service is a concurrent oblivious query service: a shared catalog,
@@ -85,6 +101,8 @@ type Service struct {
 	adm      *admitter
 	met      *metrics
 	timeout  time.Duration
+	db       *wal.DB           // non-nil: durable catalog (Config.DataDir)
+	recovery *wal.RecoveryInfo // what New recovered, when durable
 
 	mu    sync.Mutex // guards cache and stats
 	cache *lru
@@ -93,7 +111,10 @@ type Service struct {
 
 // New builds a Service from cfg. The returned service owns a fresh
 // random cipher used for sealed catalog storage and encrypted
-// execution; it fails only when the platform entropy source does.
+// execution (durable at-rest sealing uses the data directory's own
+// persisted key). With Config.DataDir set, New recovers the persisted
+// catalog before returning; recovery problems — a corrupt WAL record,
+// a damaged snapshot — surface here as typed errors.
 func New(cfg Config) (*Service, error) {
 	cipher, _, err := crypto.NewRandom()
 	if err != nil {
@@ -102,6 +123,17 @@ func New(cfg Config) (*Service, error) {
 	cat := catalog.New()
 	if cfg.SealedCatalog {
 		cat = catalog.NewSealed(cipher)
+	}
+	if cfg.History != 0 {
+		cat.SetHistory(cfg.History)
+	}
+	var db *wal.DB
+	var rec *wal.RecoveryInfo
+	if cfg.DataDir != "" {
+		db, rec, err = wal.Open(cfg.DataDir, cat, wal.Options{SnapshotEvery: cfg.SnapshotEvery})
+		if err != nil {
+			return nil, err
+		}
 	}
 	size := cfg.PlanCache
 	if size <= 0 {
@@ -114,6 +146,8 @@ func New(cfg Config) (*Service, error) {
 		adm:      newAdmitter(int64(cfg.MaxInFlight), cfg.MaxQueue),
 		met:      &metrics{},
 		timeout:  cfg.QueryTimeout,
+		db:       db,
+		recovery: rec,
 		cache:    newLRU(size),
 	}, nil
 }
@@ -124,35 +158,94 @@ func New(cfg Config) (*Service, error) {
 // with ctx's error when the drain outlives it (in-flight queries are
 // NOT force-cancelled; callers wanting a hard stop pass deadline
 // contexts to the queries themselves). Shutdown is idempotent.
+// For a durable service the WAL is flushed and a final snapshot with a
+// clean-shutdown marker is written in every exit path — including a
+// drain that outlives ctx — so a SIGTERM never loses acknowledged
+// mutations.
 func (s *Service) Shutdown(ctx context.Context) error {
 	s.adm.close()
 	if ctx == nil {
 		ctx = context.Background()
 	}
+	var drainErr error
 	select {
 	case <-s.adm.drained:
-		return nil
 	case <-ctx.Done():
-		return fmt.Errorf("service: shutdown: %w", ctx.Err())
+		drainErr = fmt.Errorf("service: shutdown: %w", ctx.Err())
 	}
+	if s.db != nil {
+		if err := s.db.Close(); err != nil && drainErr == nil {
+			drainErr = fmt.Errorf("service: shutdown flush: %w", err)
+		}
+	}
+	return drainErr
 }
 
 // Catalog returns the service's shared catalog.
 func (s *Service) Catalog() *catalog.Catalog { return s.cat }
 
 // Register makes rows queryable under name; it returns a
-// *catalog.TableExistsError when the name is taken.
+// *catalog.TableExistsError when the name is taken. On a durable
+// service the mutation is logged and fsynced before it is applied or
+// acknowledged; the same holds for Replace, Drop, Branch and Restore.
 func (s *Service) Register(name string, rows []table.Row) error {
+	if s.db != nil {
+		return s.db.Register(name, rows)
+	}
 	return s.cat.Register(name, rows)
 }
 
 // Replace registers rows under name, overwriting any previous table.
 func (s *Service) Replace(name string, rows []table.Row) error {
+	if s.db != nil {
+		return s.db.Replace(name, rows)
+	}
 	return s.cat.Replace(name, rows)
 }
 
 // Drop removes the named table.
-func (s *Service) Drop(name string) error { return s.cat.Drop(name) }
+func (s *Service) Drop(name string) error {
+	if s.db != nil {
+		return s.db.Drop(name)
+	}
+	return s.cat.Drop(name)
+}
+
+// Branch makes the contents of src at catalog version asOf (0 =
+// current) queryable under the new name dst. Branching shares the
+// immutable backing in memory; on a durable service the branched rows
+// are materialized into the WAL so replay needs no history.
+func (s *Service) Branch(dst, src string, asOf uint64) error {
+	if s.db != nil {
+		return s.db.Branch(dst, src, asOf)
+	}
+	return s.cat.Branch(dst, src, asOf)
+}
+
+// Restore rewinds table name to its contents at catalog version asOf
+// (which must still be retained). It can resurrect a dropped table.
+func (s *Service) Restore(name string, asOf uint64) error {
+	if s.db != nil {
+		return s.db.RestoreTable(name, asOf)
+	}
+	return s.cat.RestoreTable(name, asOf)
+}
+
+// Version returns the catalog's current version counter.
+func (s *Service) Version() uint64 { return s.cat.Version() }
+
+// Checkpoint forces a durable snapshot now; it is a no-op for a
+// memory-only service.
+func (s *Service) Checkpoint() error {
+	if s.db == nil {
+		return nil
+	}
+	return s.db.Checkpoint()
+}
+
+// Recovery reports what New recovered from the data directory, or nil
+// for a memory-only service.
+func (s *Service) Recovery() *wal.RecoveryInfo { return s.recovery }
 
 // Tables lists the registered tables' schemas, sorted by name.
 func (s *Service) Tables() []catalog.Schema { return s.cat.Schemas() }
@@ -242,6 +335,7 @@ type Stmt struct {
 	plan     query.PlanNode
 	pipeline []exec.Operator
 	tables   []string // catalog tables the plan references
+	asOf     int64    // AS OF catalog version; -1 = current
 	cached   bool
 }
 
@@ -252,19 +346,29 @@ func (st *Stmt) SQL() string { return st.sql }
 func (st *Stmt) Explain() string { return query.RenderPlan(st.plan) }
 
 // cost estimates a statement's admission weight from the (public) row
-// counts of the catalog tables its plan references: one unit per
-// CostQuantum input rows, at least one. Tables dropped since Prepare
-// contribute nothing — the execution will fail fast on the snapshot
-// anyway.
-func (s *Service) cost(tables []string) int64 {
+// counts of the catalog tables its plan references at the execution's
+// pinned version: one unit per CostQuantum input rows, at least one.
+// Tables dropped since Prepare contribute nothing — the execution will
+// fail fast on the snapshot anyway.
+func (s *Service) cost(v *catalog.View, tables []string) int64 {
 	var rows int64
 	for _, name := range tables {
-		if sch, err := s.cat.Schema(name); err == nil {
+		if sch, err := v.Schema(name); err == nil {
 			rows += int64(sch.Rows)
 		}
 	}
 	w := (rows + CostQuantum - 1) / CostQuantum
 	return s.adm.clampWeight(w)
+}
+
+// viewAt resolves an AS OF version (-1 = pin the current version) to a
+// pinned catalog view. An unretained version yields a typed
+// *catalog.VersionError.
+func (s *Service) viewAt(asOf int64) (*catalog.View, error) {
+	if asOf < 0 {
+		return s.cat.Pin(), nil
+	}
+	return s.cat.At(uint64(asOf))
 }
 
 // Exec runs the prepared pipeline against a snapshot of the catalog
@@ -297,7 +401,14 @@ func (st *Stmt) Exec(ctx context.Context) (*query.Result, *query.PlanStats, erro
 			defer cancel()
 		}
 	}
-	weight := s.cost(st.tables)
+	// The view is pinned before admission: from here on this execution
+	// reads exactly one catalog version, no matter how long it queues
+	// or runs and no matter what writers do meanwhile.
+	view, err := s.viewAt(st.asOf)
+	if err != nil {
+		return nil, nil, err
+	}
+	weight := s.cost(view, st.tables)
 	start := time.Now()
 	if err := s.adm.acquire(ctx, weight); err != nil {
 		s.met.reject(isCancellation(err))
@@ -306,7 +417,7 @@ func (st *Stmt) Exec(ctx context.Context) (*query.Result, *query.PlanStats, erro
 	defer s.adm.release(weight)
 	s.met.begin()
 
-	res, ps, err := st.run(ctx)
+	res, ps, err := st.run(ctx, view)
 	d := time.Since(start)
 	switch {
 	case err == nil:
@@ -325,9 +436,10 @@ func isCancellation(err error) bool {
 	return errors.Is(err, query.ErrCanceled) || errors.Is(err, query.ErrDeadline)
 }
 
-// run snapshots the referenced tables and executes the pipeline.
-func (st *Stmt) run(ctx context.Context) (*query.Result, *query.PlanStats, error) {
-	tables, err := st.svc.cat.SnapshotTables(st.tables)
+// run snapshots the referenced tables from the pinned view and
+// executes the pipeline.
+func (st *Stmt) run(ctx context.Context, view *catalog.View) (*query.Result, *query.PlanStats, error) {
+	tables, err := view.SnapshotTables(st.tables)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -354,9 +466,6 @@ func (s *Service) Prepare(ctx context.Context, sql string, opts ...SessionOption
 			return nil, mapCtxErr(cause)
 		}
 	}
-	if s.cat.Len() == 0 {
-		return nil, catalog.ErrNoTables
-	}
 	eff := s.effective(opts)
 	key := planKey(sql, eff, s.cat.Version())
 
@@ -365,7 +474,7 @@ func (s *Service) Prepare(ctx context.Context, sql string, opts ...SessionOption
 		s.stats.Hits++
 		s.mu.Unlock()
 		return &Stmt{svc: s, sql: sql, opts: eff,
-			plan: ent.plan, pipeline: ent.pipeline, tables: ent.tables, cached: true}, nil
+			plan: ent.plan, pipeline: ent.pipeline, tables: ent.tables, asOf: ent.asOf, cached: true}, nil
 	}
 	s.mu.Unlock()
 
@@ -373,7 +482,21 @@ func (s *Service) Prepare(ctx context.Context, sql string, opts ...SessionOption
 	if err != nil {
 		return nil, err
 	}
-	plan, err := query.BuildPlan(q, s.cat.Has)
+	// AS OF resolves table existence (and later, snapshots) at the
+	// pinned historical version; the statement carries the version so
+	// every Exec of the cached plan reads the same point in time. The
+	// AS OF text is part of the SQL cache key, so time-travel plans
+	// never collide with current-version plans.
+	view, err := s.viewAt(q.AsOf)
+	if err != nil {
+		return nil, err
+	}
+	// Emptiness is judged at the pinned version, not the current one:
+	// AS OF must reach tables that have since all been dropped.
+	if view.Len() == 0 {
+		return nil, catalog.ErrNoTables
+	}
+	plan, err := query.BuildPlan(q, view.Has)
 	if err != nil {
 		return nil, err
 	}
@@ -387,9 +510,9 @@ func (s *Service) Prepare(ctx context.Context, sql string, opts ...SessionOption
 	// nothing, so they are neither hits nor misses.
 	s.mu.Lock()
 	s.stats.Misses++
-	s.stats.Evictions += uint64(s.cache.put(key, &planEntry{plan: plan, pipeline: pipeline, tables: tables}))
+	s.stats.Evictions += uint64(s.cache.put(key, &planEntry{plan: plan, pipeline: pipeline, tables: tables, asOf: q.AsOf}))
 	s.mu.Unlock()
-	return &Stmt{svc: s, sql: sql, opts: eff, plan: plan, pipeline: pipeline, tables: tables}, nil
+	return &Stmt{svc: s, sql: sql, opts: eff, plan: plan, pipeline: pipeline, tables: tables, asOf: q.AsOf}, nil
 }
 
 // Query prepares (or reuses a cached plan for) sql and executes it

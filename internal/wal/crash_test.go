@@ -1,0 +1,353 @@
+package wal
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"sync"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// This file is the crash-injection harness: it builds cmd/oservd,
+// drives it over HTTP with a write load, SIGKILLs it mid-load, then
+// restarts it on the same data directory and checks the durability
+// contract from the outside:
+//
+//   - every table whose last write was acknowledged before the kill
+//     comes back byte-identical (same rows, same trace hash for a
+//     deterministic query over it);
+//   - a table under write load at the kill comes back at SOME
+//     acknowledged version, at least as new as the last acknowledged
+//     write (fsync-before-ack means an acknowledged write survives).
+//
+// The same harness runs in CI's durability job; `go test` skips it in
+// -short mode since it builds a binary and forks processes.
+
+var addrRe = regexp.MustCompile(`listening on (\S+)`)
+
+// startServer launches an oservd binary on an ephemeral port with the
+// given data dir and returns the process and its base URL.
+func startServer(t *testing.T, bin, dataDir string, extra ...string) (*exec.Cmd, string) {
+	t.Helper()
+	args := append([]string{"-addr", "127.0.0.1:0", "-data-dir", dataDir, "-snapshot-every", "8"}, extra...)
+	cmd := exec.Command(bin, args...)
+	stderr, err := cmd.StderrPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		if cmd.Process != nil {
+			cmd.Process.Kill()
+			cmd.Wait()
+		}
+	})
+	addrCh := make(chan string, 1)
+	go func() {
+		sc := bufio.NewScanner(stderr)
+		for sc.Scan() {
+			if m := addrRe.FindStringSubmatch(sc.Text()); m != nil {
+				select {
+				case addrCh <- m[1]:
+				default:
+				}
+			}
+		}
+	}()
+	select {
+	case addr := <-addrCh:
+		return cmd, "http://" + addr
+	case <-time.After(10 * time.Second):
+		t.Fatal("oservd did not report a listening address within 10s")
+		return nil, ""
+	}
+}
+
+func postJSON(base, path string, body, out any) error {
+	b, err := json.Marshal(body)
+	if err != nil {
+		return err
+	}
+	resp, err := http.Post(base+path, "application/json", bytes.NewReader(b))
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode/100 != 2 {
+		var e struct {
+			Error string `json:"error"`
+		}
+		json.NewDecoder(resp.Body).Decode(&e)
+		return fmt.Errorf("%s %s: %s (%s)", path, resp.Status, e.Error, b[:min(len(b), 80)])
+	}
+	if out != nil {
+		return json.NewDecoder(resp.Body).Decode(out)
+	}
+	return nil
+}
+
+type wireRow struct {
+	Key  uint64 `json:"key"`
+	Data string `json:"data"`
+}
+
+type wireQueryResp struct {
+	Columns []string   `json:"columns"`
+	Rows    [][]string `json:"rows"`
+	Stats   *struct {
+		TraceHash string `json:"trace_hash"`
+	} `json:"stats"`
+}
+
+// readTable runs a deterministic full scan over name and returns the
+// rows plus the access-pattern digest of executing it.
+func readTable(base, name string) (rows [][]string, traceHash string, err error) {
+	var resp wireQueryResp
+	req := map[string]any{
+		"sql":        fmt.Sprintf("SELECT key, data FROM %s ORDER BY key", name),
+		"stats":      true,
+		"trace_hash": true,
+	}
+	if err := postJSON(base, "/query", req, &resp); err != nil {
+		return nil, "", err
+	}
+	if resp.Stats == nil || resp.Stats.TraceHash == "" {
+		return nil, "", fmt.Errorf("query over %s returned no trace hash", name)
+	}
+	return resp.Rows, resp.Stats.TraceHash, nil
+}
+
+func tableRows(n int, tag string, gen int) []wireRow {
+	rows := make([]wireRow, n)
+	for i := range rows {
+		rows[i] = wireRow{Key: uint64(i), Data: fmt.Sprintf("%s%d-%d", tag, gen, i%10)}
+	}
+	return rows
+}
+
+// TestCrashRecoveryEndToEnd is the kill -9 harness.
+func TestCrashRecoveryEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds a binary and forks processes; skipped in -short")
+	}
+	bin := filepath.Join(t.TempDir(), "oservd")
+	build := exec.Command("go", "build", "-o", bin, "oblivjoin/cmd/oservd")
+	build.Dir = moduleRoot(t)
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Skipf("cannot build oservd (no toolchain?): %v\n%s", err, out)
+	}
+	dataDir := t.TempDir()
+
+	cmd, base := startServer(t, bin, dataDir)
+
+	// Seed quiescent tables and record their acknowledged contents and
+	// trace hashes — the byte-identity references.
+	type ref struct {
+		rows [][]string
+		hash string
+	}
+	refs := map[string]ref{}
+	for i, name := range []string{"alpha", "beta", "gamma"} {
+		req := map[string]any{"name": name, "rows": tableRows(48+16*i, name[:1], 0)}
+		if err := postJSON(base, "/tables", req, nil); err != nil {
+			t.Fatal(err)
+		}
+		rows, hash, err := readTable(base, name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		refs[name] = ref{rows: rows, hash: hash}
+	}
+
+	// Hammer one "hot" table with versioned replaces; every 2xx reply
+	// is an acknowledged (fsynced) generation.
+	var mu sync.Mutex
+	lastAcked := 0
+	if err := postJSON(base, "/tables", map[string]any{"name": "hot", "rows": tableRows(32, "h", 0)}, nil); err != nil {
+		t.Fatal(err)
+	}
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for gen := 1; ; gen++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			req := map[string]any{"name": "hot", "rows": tableRows(32, "h", gen), "replace": true}
+			if err := postJSON(base, "/tables", req, nil); err != nil {
+				return // the kill landed; whatever was acked stands
+			}
+			mu.Lock()
+			lastAcked = gen
+			mu.Unlock()
+		}
+	}()
+
+	// Let some generations land, then kill -9 mid-load.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		mu.Lock()
+		acked := lastAcked
+		mu.Unlock()
+		if acked >= 5 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("write load made no progress within 5s")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if err := cmd.Process.Signal(syscall.SIGKILL); err != nil {
+		t.Fatal(err)
+	}
+	cmd.Wait()
+	close(stop)
+	wg.Wait()
+	mu.Lock()
+	acked := lastAcked
+	mu.Unlock()
+
+	// Restart on the same directory: quiescent tables byte-identical,
+	// hot table at an acknowledged-or-newer generation.
+	_, base2 := startServer(t, bin, dataDir)
+	for name, want := range refs {
+		rows, hash, err := readTable(base2, name)
+		if err != nil {
+			t.Fatalf("recovered %s: %v", name, err)
+		}
+		if !equalRows(rows, want.rows) {
+			t.Fatalf("recovered %s rows differ:\n got %v\nwant %v", name, rows, want.rows)
+		}
+		if hash != want.hash {
+			t.Fatalf("recovered %s trace hash = %s, want %s", name, hash, want.hash)
+		}
+	}
+	rows, _, err := readTable(base2, "hot")
+	if err != nil {
+		t.Fatalf("recovered hot: %v", err)
+	}
+	gen := hotGeneration(t, rows)
+	if gen < acked {
+		t.Fatalf("hot table recovered at generation %d, but generation %d was acknowledged before the kill", gen, acked)
+	}
+	if len(rows) != 32 {
+		t.Fatalf("hot table recovered with %d rows, want 32 (a whole generation)", len(rows))
+	}
+}
+
+// TestCrashRecoveryRepeated kills and restarts the same directory
+// several times in a row: recovery must be idempotent, not one-shot.
+func TestCrashRecoveryRepeated(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds a binary and forks processes; skipped in -short")
+	}
+	bin := filepath.Join(t.TempDir(), "oservd")
+	build := exec.Command("go", "build", "-o", bin, "oblivjoin/cmd/oservd")
+	build.Dir = moduleRoot(t)
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Skipf("cannot build oservd (no toolchain?): %v\n%s", err, out)
+	}
+	dataDir := t.TempDir()
+
+	var wantRows [][]string
+	var wantHash string
+	for round := 0; round < 3; round++ {
+		cmd, base := startServer(t, bin, dataDir)
+		if round == 0 {
+			if err := postJSON(base, "/tables", map[string]any{"name": "t", "rows": tableRows(64, "r", 0)}, nil); err != nil {
+				t.Fatal(err)
+			}
+			rows, hash, err := readTable(base, "t")
+			if err != nil {
+				t.Fatal(err)
+			}
+			wantRows, wantHash = rows, hash
+		} else {
+			rows, hash, err := readTable(base, "t")
+			if err != nil {
+				t.Fatalf("round %d: %v", round, err)
+			}
+			if !equalRows(rows, wantRows) || hash != wantHash {
+				t.Fatalf("round %d: recovered state diverged", round)
+			}
+		}
+		cmd.Process.Signal(syscall.SIGKILL)
+		cmd.Wait()
+	}
+}
+
+// hotGeneration extracts the generation stamp from the hot table's
+// payloads ("h<gen>-<i>") and checks all rows agree — replace is
+// atomic, so a recovered table is one whole generation, never a blend.
+func hotGeneration(t *testing.T, rows [][]string) int {
+	t.Helper()
+	gen := -1
+	for _, r := range rows {
+		if len(r) != 2 {
+			t.Fatalf("hot row = %v, want [key data]", r)
+		}
+		var g, i int
+		if _, err := fmt.Sscanf(r[1], "h%d-%d", &g, &i); err != nil {
+			t.Fatalf("hot payload %q: %v", r[1], err)
+		}
+		if gen == -1 {
+			gen = g
+		} else if g != gen {
+			t.Fatalf("hot table blends generations %d and %d — replace was not atomic", gen, g)
+		}
+	}
+	return gen
+}
+
+func equalRows(a, b [][]string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if strings.Join(a[i], "\x00") != strings.Join(b[i], "\x00") {
+			return false
+		}
+	}
+	return true
+}
+
+// moduleRoot walks up from the working directory to the go.mod.
+func moduleRoot(t *testing.T) string {
+	t.Helper()
+	dir, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			t.Fatal("go.mod not found above the test directory")
+		}
+		dir = parent
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

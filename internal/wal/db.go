@@ -1,0 +1,528 @@
+package wal
+
+import (
+	"crypto/rand"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+
+	"oblivjoin/internal/catalog"
+	"oblivjoin/internal/crypto"
+	"oblivjoin/internal/table"
+)
+
+// DB binds a catalog to a data directory: every mutation is appended
+// to the sealed WAL and fsynced before it is applied in memory
+// (log-then-apply), so any acknowledged mutation survives a crash.
+// Every SnapshotEvery commits — and on Close — the whole catalog is
+// checkpointed to a snapshot file and the WAL restarts empty.
+//
+// Layout of a data directory:
+//
+//	master.key          32-byte sealing key (0600; created on first open)
+//	snap-<v>.snap       catalog checkpoint at version v (atomic rename)
+//	wal-<v>.log         mutations applying over snapshot v
+//	clean               marker: last close was clean at the recorded version
+//
+// All mutations must go through the DB; mutating the bound catalog
+// directly would diverge memory from disk.
+type DB struct {
+	dir    string
+	cipher *crypto.Cipher
+	cat    *catalog.Catalog
+	every  int
+
+	mu     sync.Mutex
+	log    *Log
+	since  int // commits since the last snapshot
+	closed bool
+}
+
+// ErrClosed is returned for mutations after Close.
+var ErrClosed = errors.New("wal: durable store closed")
+
+// DefaultSnapshotEvery is the commit count between automatic
+// snapshots when Options.SnapshotEvery is zero.
+const DefaultSnapshotEvery = 256
+
+// Options configures Open.
+type Options struct {
+	// SnapshotEvery is the number of committed mutations between
+	// automatic snapshots. 0 means DefaultSnapshotEvery; negative
+	// disables automatic snapshots (Close and Checkpoint still write
+	// them).
+	SnapshotEvery int
+	// DiscardCorruptTail makes recovery truncate a WAL tail that fails
+	// its checksum or authentication — damage to once-acknowledged
+	// bytes — instead of returning the typed error. Torn tails
+	// (ErrTruncated) are always discarded; this extends that to
+	// corruption, losing the damaged suffix.
+	DiscardCorruptTail bool
+}
+
+// RecoveryInfo reports what Open found and did.
+type RecoveryInfo struct {
+	SnapshotVersion uint64     // version of the snapshot loaded (0 = none)
+	Replayed        int        // WAL records replayed over it
+	Version         uint64     // catalog version after recovery
+	Tables          int        // tables after recovery
+	CleanShutdown   bool       // previous process closed cleanly at Version
+	Tail            *TailError // non-nil: a damaged tail was discarded
+	DiscardedBytes  int64      // bytes dropped with that tail
+}
+
+const keyFile = "master.key"
+const cleanFile = "clean"
+
+func snapName(v uint64) string { return fmt.Sprintf("snap-%016x.snap", v) }
+func walName(v uint64) string  { return fmt.Sprintf("wal-%016x.log", v) }
+
+// loadOrCreateKey returns the directory's 32-byte sealing key,
+// generating and persisting one on first open.
+func loadOrCreateKey(path string) ([]byte, error) {
+	b, err := os.ReadFile(path)
+	if err == nil {
+		if len(b) != 32 {
+			return nil, fmt.Errorf("wal: master key %s: %d bytes, want 32", path, len(b))
+		}
+		return b, nil
+	}
+	if !errors.Is(err, os.ErrNotExist) {
+		return nil, err
+	}
+	key := make([]byte, 32)
+	if _, err := rand.Read(key); err != nil {
+		return nil, err
+	}
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_EXCL|os.O_WRONLY, 0o600)
+	if err != nil {
+		if errors.Is(err, os.ErrExist) {
+			return loadOrCreateKey(path) // lost a creation race; use the winner's key
+		}
+		return nil, err
+	}
+	if _, err := f.Write(key); err != nil {
+		f.Close()
+		return nil, err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return nil, err
+	}
+	if err := f.Close(); err != nil {
+		return nil, err
+	}
+	if err := syncDir(filepath.Dir(path)); err != nil {
+		return nil, err
+	}
+	return key, nil
+}
+
+// listSnapshots returns the versions of parseable snapshot files in
+// dir, ascending.
+func listSnapshots(dir string) ([]uint64, error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var out []uint64
+	for _, e := range ents {
+		name := e.Name()
+		if !strings.HasPrefix(name, "snap-") || !strings.HasSuffix(name, ".snap") {
+			continue
+		}
+		hex := strings.TrimSuffix(strings.TrimPrefix(name, "snap-"), ".snap")
+		v, perr := strconv.ParseUint(hex, 16, 64)
+		if perr != nil {
+			continue
+		}
+		out = append(out, v)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out, nil
+}
+
+// Open recovers the durable catalog state in dir into cat (which must
+// be freshly constructed and empty) and returns a DB bound to it. It
+// loads the newest snapshot, replays the WAL tail over it, truncates a
+// torn final record, and fails with a typed *TailError on checksum or
+// authentication damage (unless Options.DiscardCorruptTail).
+func Open(dir string, cat *catalog.Catalog, opts Options) (*DB, *RecoveryInfo, error) {
+	if err := os.MkdirAll(dir, 0o700); err != nil {
+		return nil, nil, err
+	}
+	key, err := loadOrCreateKey(filepath.Join(dir, keyFile))
+	if err != nil {
+		return nil, nil, err
+	}
+	cipher, err := crypto.New(key)
+	if err != nil {
+		return nil, nil, err
+	}
+
+	info := &RecoveryInfo{}
+	snaps, err := listSnapshots(dir)
+	if err != nil {
+		return nil, nil, err
+	}
+	var base uint64
+	if len(snaps) > 0 {
+		base = snaps[len(snaps)-1]
+		path := filepath.Join(dir, snapName(base))
+		ver, tables, err := ReadSnapshot(path, cipher)
+		if err != nil {
+			return nil, nil, err
+		}
+		if ver != base {
+			return nil, nil, &TailError{Path: path, Offset: 0, Index: 0,
+				Cause: fmt.Errorf("%w: header version %d but filename says %d", ErrFormat, ver, base)}
+		}
+		if err := cat.Load(tables, base); err != nil {
+			return nil, nil, err
+		}
+		info.SnapshotVersion = base
+	}
+
+	walPath := filepath.Join(dir, walName(base))
+	var log *Log
+	if _, serr := os.Stat(walPath); serr == nil {
+		replayIdx := 0
+		apply := func(rec Record) error {
+			want := cat.Version() + 1
+			if rec.Version != want {
+				return fmt.Errorf("%w: record version %d, want %d", ErrFormat, rec.Version, want)
+			}
+			var aerr error
+			switch rec.Op {
+			case OpRegister:
+				aerr = cat.Register(rec.Name, rec.Rows)
+			case OpReplace:
+				aerr = cat.Replace(rec.Name, rec.Rows)
+			case OpDrop:
+				aerr = cat.Drop(rec.Name)
+			default:
+				aerr = fmt.Errorf("%w: op %d", ErrFormat, rec.Op)
+			}
+			if aerr != nil {
+				return fmt.Errorf("%w: replaying %v %q: %v", ErrFormat, rec.Op, rec.Name, aerr)
+			}
+			replayIdx++
+			return nil
+		}
+		walBase, n, goodSize, tail, rerr := ReplayFile(walPath, cipher, apply)
+		if rerr != nil {
+			// A record decrypted and checksummed fine but cannot apply:
+			// the log disagrees with the snapshot. Surface it typed.
+			return nil, nil, &TailError{Path: walPath, Offset: goodSize, Index: n, Cause: rerr}
+		}
+		if tail == nil && walBase != base {
+			return nil, nil, &TailError{Path: walPath, Offset: 0, Index: 0,
+				Cause: fmt.Errorf("%w: log base %d but snapshot is %d", ErrFormat, walBase, base)}
+		}
+		info.Replayed = n
+		if tail != nil {
+			discard := errors.Is(tail, ErrTruncated) || opts.DiscardCorruptTail
+			if !discard {
+				return nil, nil, tail
+			}
+			st, _ := os.Stat(walPath)
+			if st != nil {
+				info.DiscardedBytes = st.Size() - goodSize
+			}
+			info.Tail = tail
+			if goodSize < headerLen {
+				// The header itself was torn: rewrite the log whole.
+				log, err = Create(walPath, cipher, base)
+			} else {
+				if err = os.Truncate(walPath, goodSize); err == nil {
+					log, err = openAppend(walPath, cipher, base, goodSize, n)
+				}
+			}
+			if err != nil {
+				return nil, nil, err
+			}
+			if err := log.Sync(); err != nil {
+				log.Close()
+				return nil, nil, err
+			}
+		} else {
+			log, err = openAppend(walPath, cipher, base, goodSize, n)
+			if err != nil {
+				return nil, nil, err
+			}
+		}
+	} else {
+		log, err = Create(walPath, cipher, base)
+		if err != nil {
+			return nil, nil, err
+		}
+		if err := syncDir(dir); err != nil {
+			log.Close()
+			return nil, nil, err
+		}
+	}
+
+	// Clean-shutdown marker: meaningful only for the shutdown that
+	// wrote it, so consume it either way.
+	if b, err := os.ReadFile(filepath.Join(dir, cleanFile)); err == nil {
+		if v, perr := strconv.ParseUint(strings.TrimSpace(string(b)), 16, 64); perr == nil {
+			info.CleanShutdown = v == cat.Version() && info.Tail == nil
+		}
+		os.Remove(filepath.Join(dir, cleanFile))
+	}
+
+	info.Version = cat.Version()
+	info.Tables = cat.Len()
+
+	db := &DB{dir: dir, cipher: cipher, cat: cat, every: opts.SnapshotEvery, log: log, since: log.Records()}
+	if db.every == 0 {
+		db.every = DefaultSnapshotEvery
+	}
+	db.cleanupObsolete(base)
+	return db, info, nil
+}
+
+// cleanupObsolete best-effort removes snapshots and logs older than
+// the live base, plus stale temp files.
+func (db *DB) cleanupObsolete(base uint64) {
+	ents, err := os.ReadDir(db.dir)
+	if err != nil {
+		return
+	}
+	for _, e := range ents {
+		name := e.Name()
+		if strings.HasSuffix(name, ".tmp") {
+			os.Remove(filepath.Join(db.dir, name))
+			continue
+		}
+		var v uint64
+		switch {
+		case strings.HasPrefix(name, "snap-") && strings.HasSuffix(name, ".snap"):
+			v, err = strconv.ParseUint(strings.TrimSuffix(strings.TrimPrefix(name, "snap-"), ".snap"), 16, 64)
+		case strings.HasPrefix(name, "wal-") && strings.HasSuffix(name, ".log"):
+			v, err = strconv.ParseUint(strings.TrimSuffix(strings.TrimPrefix(name, "wal-"), ".log"), 16, 64)
+		default:
+			continue
+		}
+		if err == nil && v < base {
+			os.Remove(filepath.Join(db.dir, name))
+		}
+	}
+}
+
+// Catalog returns the bound catalog.
+func (db *DB) Catalog() *catalog.Catalog { return db.cat }
+
+// Dir returns the data directory.
+func (db *DB) Dir() string { return db.dir }
+
+// commit appends rec (with the next catalog version), fsyncs, applies
+// apply, and snapshots when the automatic threshold is reached.
+// Callers hold db.mu and have validated that apply will succeed.
+func (db *DB) commit(rec Record, apply func() error) error {
+	rec.Version = db.cat.Version() + 1
+	if err := db.log.Append(rec); err != nil {
+		return fmt.Errorf("wal append: %w", err)
+	}
+	if err := db.log.Sync(); err != nil {
+		return fmt.Errorf("wal sync: %w", err)
+	}
+	if err := apply(); err != nil {
+		// The log now holds a record memory refused. Validation under
+		// db.mu makes this unreachable unless the catalog was mutated
+		// behind the DB's back.
+		return fmt.Errorf("wal: logged mutation failed to apply (catalog mutated directly?): %w", err)
+	}
+	db.since++
+	if db.every > 0 && db.since >= db.every {
+		return db.snapshotLocked()
+	}
+	return nil
+}
+
+// Register durably registers rows under name.
+func (db *DB) Register(name string, rows []table.Row) error {
+	name, err := catalog.Normalize(name)
+	if err != nil {
+		return err
+	}
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if db.closed {
+		return ErrClosed
+	}
+	if db.cat.Has(name) {
+		return &catalog.TableExistsError{Name: name}
+	}
+	return db.commit(Record{Op: OpRegister, Name: name, Rows: rows},
+		func() error { return db.cat.Register(name, rows) })
+}
+
+// Replace durably replaces (or creates) the table name.
+func (db *DB) Replace(name string, rows []table.Row) error {
+	name, err := catalog.Normalize(name)
+	if err != nil {
+		return err
+	}
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if db.closed {
+		return ErrClosed
+	}
+	return db.commit(Record{Op: OpReplace, Name: name, Rows: rows},
+		func() error { return db.cat.Replace(name, rows) })
+}
+
+// Drop durably removes the table name.
+func (db *DB) Drop(name string) error {
+	name, err := catalog.Normalize(name)
+	if err != nil {
+		return err
+	}
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if db.closed {
+		return ErrClosed
+	}
+	if !db.cat.Has(name) {
+		return &catalog.UnknownTableError{Name: name}
+	}
+	return db.commit(Record{Op: OpDrop, Name: name},
+		func() error { return db.cat.Drop(name) })
+}
+
+// Branch durably creates dst as a branch of src at version asOf (0 =
+// current). The log materializes the branched rows (replay needs no
+// history); the in-memory catalog aliases the immutable backing.
+func (db *DB) Branch(dst, src string, asOf uint64) error {
+	dst, err := catalog.Normalize(dst)
+	if err != nil {
+		return err
+	}
+	src, err = catalog.Normalize(src)
+	if err != nil {
+		return err
+	}
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if db.closed {
+		return ErrClosed
+	}
+	rows, err := db.cat.RowsAt(src, asOf)
+	if err != nil {
+		return err
+	}
+	if db.cat.Has(dst) {
+		return &catalog.TableExistsError{Name: dst}
+	}
+	return db.commit(Record{Op: OpRegister, Name: dst, Rows: rows},
+		func() error { return db.cat.Branch(dst, src, asOf) })
+}
+
+// RestoreTable durably rewinds name to its contents at version asOf.
+func (db *DB) RestoreTable(name string, asOf uint64) error {
+	name, err := catalog.Normalize(name)
+	if err != nil {
+		return err
+	}
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if db.closed {
+		return ErrClosed
+	}
+	rows, err := db.cat.RowsAt(name, asOf)
+	if err != nil {
+		return err
+	}
+	return db.commit(Record{Op: OpReplace, Name: name, Rows: rows},
+		func() error { return db.cat.RestoreTable(name, asOf) })
+}
+
+// snapshotLocked checkpoints the catalog: atomic snapshot at the
+// current version, fresh WAL based on it, obsolete files removed.
+func (db *DB) snapshotLocked() error {
+	ver := db.cat.Version()
+	if ver == db.log.Base() && db.log.Records() == 0 {
+		return nil // nothing since the last checkpoint
+	}
+	tables, err := db.cat.Snapshot()
+	if err != nil {
+		return err
+	}
+	if err := WriteSnapshot(filepath.Join(db.dir, snapName(ver)), db.cipher, ver, tables); err != nil {
+		return err
+	}
+	newLog, err := Create(filepath.Join(db.dir, walName(ver)), db.cipher, ver)
+	if err != nil {
+		return err
+	}
+	if err := syncDir(db.dir); err != nil {
+		newLog.Close()
+		return err
+	}
+	old := db.log
+	db.log = newLog
+	db.since = 0
+	old.Close()
+	db.cleanupObsolete(ver)
+	return nil
+}
+
+// Checkpoint forces a snapshot now.
+func (db *DB) Checkpoint() error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if db.closed {
+		return ErrClosed
+	}
+	return db.snapshotLocked()
+}
+
+// Close flushes everything — final snapshot if anything changed since
+// the last one, WAL fsync, clean-shutdown marker — and closes the DB.
+// Idempotent.
+func (db *DB) Close() error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if db.closed {
+		return nil
+	}
+	db.closed = true
+	var firstErr error
+	if err := db.snapshotLocked(); err != nil {
+		firstErr = err
+	}
+	if err := db.log.Sync(); err != nil && firstErr == nil {
+		firstErr = err
+	}
+	if err := db.log.Close(); err != nil && firstErr == nil {
+		firstErr = err
+	}
+	if firstErr == nil {
+		marker := []byte(strconv.FormatUint(db.cat.Version(), 16) + "\n")
+		if err := os.WriteFile(filepath.Join(db.dir, cleanFile), marker, 0o600); err != nil {
+			firstErr = err
+		} else if err := syncDir(db.dir); err != nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}
+
+// Abandon closes the underlying file without the final snapshot, sync
+// or clean marker — the programmatic equivalent of a crash, for tests
+// and benchmarks that measure recovery.
+func (db *DB) Abandon() error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if db.closed {
+		return nil
+	}
+	db.closed = true
+	return db.log.Close()
+}
