@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	oblivbench -exp table1|table2|table3|fig7|fig8|circuit|bench|sql|sealed|stream|shard|wal|all [flags]
+//	oblivbench -exp table1|table2|table3|fig7|fig8|circuit|bench|sql|sealed|stream|shard|wal|fault|chaos|all [flags]
 //
 //	-n int          input size for table1/table3 (default 4096 / 65536)
 //	-sizes list     comma-separated n values for fig8
@@ -19,12 +19,16 @@
 //	-shardset list  comma-separated shard counts for the shard experiment
 //	-walrows int    rows per commit for the wal experiment (default 64)
 //	-walcommits int fsynced commits in the wal experiment (default 192)
+//	-faultn int     query input size for the fault experiment (default 8192)
+//	-chaosrows int  table rows for the chaos experiment (default 256)
+//	-chaosseed int  fault-injection seed for the chaos experiment
 //	-json path      write bench results as JSON (default BENCH_join.json)
 //	-shardjson path write shard results as JSON (default BENCH_shard.json)
 //	-sqljson path   write sql results as JSON (default BENCH_sql.json)
 //	-sealedjson path write sealed results as JSON (default BENCH_sealed.json)
 //	-streamjson path write stream results as JSON (default BENCH_stream.json)
 //	-waljson path   write wal results as JSON (default BENCH_wal.json)
+//	-faultjson path write fault results as JSON (default BENCH_fault.json)
 //
 // bench (sequential vs parallel join wall times, tracing on, with a
 // BENCH_join.json perf record), sql (the same comparison for the SQL
@@ -33,6 +37,12 @@
 // time vs block-granular streaming peak memory, BENCH_stream.json) are
 // opt-in: they run only with an explicit -exp name, never under
 // -exp all.
+//
+// fault measures the fault-injection seam's fault-free overhead
+// (direct OS IO vs a disarmed injector on the WAL-commit and spill
+// paths, BENCH_fault.json); chaos drives a durable service through
+// seeded storage-fault schedules and exits non-zero on any
+// containment violation. Both are opt-in.
 //
 // Absolute timings depend on the host; the reproduction targets are the
 // orderings and growth shapes (see EXPERIMENTS.md).
@@ -49,7 +59,7 @@ import (
 )
 
 func main() {
-	which := flag.String("exp", "all", "experiment: table1, table2, table3, fig7, fig8, circuit, bench, sql, sealed, stream, shard, wal, all")
+	which := flag.String("exp", "all", "experiment: table1, table2, table3, fig7, fig8, circuit, bench, sql, sealed, stream, shard, wal, fault, chaos, all")
 	n := flag.Int("n", 0, "input size for table1/table3 (defaults: 4096, 65536)")
 	sizes := flag.String("sizes", "25000,50000,100000,200000", "comma-separated input sizes for fig8")
 	pgm := flag.String("pgm", "", "write Figure 7 as a PGM image to this path")
@@ -67,6 +77,10 @@ func main() {
 	walRows := flag.Int("walrows", 64, "rows per commit for the wal experiment")
 	walCommits := flag.Int("walcommits", 192, "fsynced commits in the wal experiment")
 	walJSONPath := flag.String("waljson", "BENCH_wal.json", "write wal results as JSON to this path (empty to skip)")
+	faultN := flag.Int("faultn", 8192, "query input size for the fault experiment")
+	faultJSONPath := flag.String("faultjson", "BENCH_fault.json", "write fault results as JSON to this path (empty to skip)")
+	chaosRows := flag.Int("chaosrows", 256, "table rows for the chaos experiment")
+	chaosSeed := flag.Uint64("chaosseed", 99, "fault-injection seed for the chaos experiment")
 	jsonPath := flag.String("json", "BENCH_join.json", "write bench results as JSON to this path (empty to skip)")
 	sqlJSONPath := flag.String("sqljson", "BENCH_sql.json", "write sql results as JSON to this path (empty to skip)")
 	sealedJSONPath := flag.String("sealedjson", "BENCH_sealed.json", "write sealed results as JSON to this path (empty to skip)")
@@ -88,7 +102,7 @@ func main() {
 	// bench is opt-in only: it is a perf experiment that writes
 	// BENCH_join.json to the working directory, not one of the paper's
 	// figures, so a bare `oblivbench` (-exp all) does not run it.
-	optIn := map[string]bool{"bench": true, "sql": true, "sealed": true, "stream": true, "shard": true, "wal": true}
+	optIn := map[string]bool{"bench": true, "sql": true, "sealed": true, "stream": true, "shard": true, "wal": true, "fault": true, "chaos": true}
 	run := func(name string, f func() error) {
 		if *which != name && (*which != "all" || optIn[name]) {
 			return
@@ -244,6 +258,34 @@ func main() {
 			fmt.Printf("(wal results written to %s)\n", *walJSONPath)
 		}
 		return nil
+	})
+	run("fault", func() error {
+		rows, commits, qn := *walRows, *walCommits, *faultN
+		if *short {
+			set := map[string]bool{}
+			flag.Visit(func(f *flag.Flag) { set[f.Name] = true })
+			if !set["walcommits"] {
+				commits = 64
+			}
+			if !set["faultn"] {
+				qn = 4096
+			}
+		}
+		results, err := exp.BenchFault(os.Stdout, rows, commits, qn)
+		if err != nil {
+			return err
+		}
+		if *faultJSONPath != "" {
+			if err := exp.WriteFaultBenchJSON(*faultJSONPath, results); err != nil {
+				return err
+			}
+			fmt.Printf("(fault results written to %s)\n", *faultJSONPath)
+		}
+		return nil
+	})
+	run("chaos", func() error {
+		_, err := exp.RunChaos(os.Stdout, *chaosRows, *chaosSeed)
+		return err
 	})
 	run("sql", func() error {
 		ns, err := parseSizes(*ssizes)

@@ -203,6 +203,40 @@ func main() {
 		log.Fatalf("oservd: listen: %v", err)
 	}
 	log.Printf("oservd: listening on %s", ln.Addr())
+
+	// Health watcher: log every state transition (ok ⇄ degraded ⇄
+	// read-only) so operators see degradation and recovery in the logs
+	// without polling /healthz themselves.
+	healthDone := make(chan struct{})
+	go func() {
+		last := eng.Health()
+		if last.State != "ok" {
+			log.Printf("oservd: health %s: %s", last.State, last.Cause)
+		}
+		tick := time.NewTicker(time.Second)
+		defer tick.Stop()
+		for {
+			select {
+			case <-healthDone:
+				return
+			case <-tick.C:
+			}
+			h := eng.Health()
+			if h.State == last.State && len(h.Quarantined) == len(last.Quarantined) {
+				continue
+			}
+			switch {
+			case h.State == "ok":
+				log.Printf("oservd: health recovered: ok")
+			case len(h.Quarantined) > 0:
+				log.Printf("oservd: health %s: %s (quarantined: %s)",
+					h.State, h.Cause, strings.Join(h.Quarantined, ", "))
+			default:
+				log.Printf("oservd: health %s: %s", h.State, h.Cause)
+			}
+			last = h
+		}
+	}()
 	srv := &http.Server{
 		Handler:           eng.Handler(),
 		ReadHeaderTimeout: 10 * time.Second,
@@ -236,6 +270,7 @@ func main() {
 	if err := srv.Serve(ln); !errors.Is(err, http.ErrServerClosed) {
 		log.Fatal(err)
 	}
+	close(healthDone)
 	<-done
 }
 

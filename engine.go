@@ -463,6 +463,17 @@ type ServiceStats = service.ServiceStats
 // Stats returns the engine's serving report.
 func (e *Engine) Stats() ServiceStats { return e.svc.Stats() }
 
+// Health is the engine's aggregate health report: the durable layer's
+// state machine (ok, degraded after a failed snapshot, read-only after
+// persistent write failure) joined with the catalog's quarantine set.
+type Health = service.Health
+
+// Health returns the engine's aggregate health. Degradation narrows
+// the write surface, never the read surface: a degraded or read-only
+// engine still serves queries against healthy tables, and a successful
+// Checkpoint restores full service once the underlying fault clears.
+func (e *Engine) Health() Health { return e.svc.Health() }
+
 // Shutdown stops admitting queries and drains the in-flight ones:
 // queued and newly arriving queries fail with ErrShuttingDown, and
 // Shutdown returns once the last executing query finishes — or with

@@ -6,6 +6,8 @@ import (
 	"oblivjoin/internal/catalog"
 	"oblivjoin/internal/query"
 	"oblivjoin/internal/service"
+	"oblivjoin/internal/table"
+	"oblivjoin/internal/wal"
 )
 
 // The engine's misuse errors are typed so callers can distinguish them
@@ -50,3 +52,29 @@ var ErrOverloaded = service.ErrOverloaded
 // ErrShuttingDown is wrapped by errors returned for queries arriving
 // after Shutdown began.
 var ErrShuttingDown = service.ErrShuttingDown
+
+// ErrSealedAuth is wrapped by errors returned when a sealed store
+// block fails authentication mid-query: the affected query fails with
+// this typed error, the table is quarantined, and concurrent queries
+// against healthy tables are unaffected.
+var ErrSealedAuth = table.ErrSealedAuth
+
+// ErrSpillIO is wrapped by errors returned when a sealed spill file
+// read or write fails mid-query (disk error, out of space). Like
+// ErrSealedAuth, it fails only the affected query.
+var ErrSpillIO = table.ErrSpillIO
+
+// ErrQuarantined is wrapped by errors returned for queries touching a
+// quarantined table — one whose sealed backing failed authentication.
+// Replace or Restore installs a fresh backing and lifts the mark.
+var ErrQuarantined = catalog.ErrQuarantined
+
+// QuarantinedError names the quarantined table and carries the
+// authentication failure that fenced it.
+type QuarantinedError = catalog.QuarantinedError
+
+// ErrReadOnly is wrapped by errors returned for mutations while the
+// durable store is in read-only degraded mode after persistent write
+// failure; reads keep serving, and a successful Checkpoint restores
+// write service.
+var ErrReadOnly = wal.ErrReadOnly

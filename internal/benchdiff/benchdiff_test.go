@@ -309,6 +309,7 @@ func TestAgainstCommittedBaseline(t *testing.T) {
 		{"BENCH_stream.json", 8},
 		{"BENCH_shard.json", 3},
 		{"BENCH_wal.json", 2},
+		{"BENCH_fault.json", 2},
 	} {
 		path := filepath.Join("..", "..", "BENCH_baseline", tc.name)
 		recs, err := Load(path)

@@ -86,17 +86,41 @@ func sharedPool() *workerPool {
 // calling goroutine; the rest go to pool workers, falling back to
 // inline execution when the pool is saturated so progress never waits
 // on a busy worker.
+//
+// A panic in any fn (a sealed-block auth failure or spill IO fault on
+// a parallel lane) is captured, every other fn still runs to the
+// barrier, and the first panic value is then re-raised on the calling
+// goroutine: no pool worker ever dies with an unrecovered panic taking
+// the process down, and the store is never left with lanes still
+// writing while the caller unwinds.
 func (p *workerPool) do(fns []func()) {
 	if len(fns) == 1 {
 		fns[0]()
 		return
 	}
-	var wg sync.WaitGroup
+	var (
+		wg    sync.WaitGroup
+		pmu   sync.Mutex
+		pval  any
+		pseen bool
+	)
+	guard := func(f func()) {
+		defer func() {
+			if r := recover(); r != nil {
+				pmu.Lock()
+				if !pseen {
+					pval, pseen = r, true
+				}
+				pmu.Unlock()
+			}
+		}()
+		f()
+	}
 	wg.Add(len(fns) - 1)
 	for _, f := range fns[1:] {
 		task := func() {
 			defer wg.Done()
-			f()
+			guard(f)
 		}
 		select {
 		case p.jobs <- task:
@@ -104,8 +128,11 @@ func (p *workerPool) do(fns []func()) {
 			task()
 		}
 	}
-	fns[0]()
+	guard(fns[0])
 	wg.Wait()
+	if pseen {
+		panic(pval)
+	}
 }
 
 // chunk is one canonically-cut unit of a round, in one of two forms.

@@ -93,6 +93,36 @@ func (e *VersionError) Error() string {
 // a catalog with no registered tables.
 var ErrNoTables = errors.New("catalog: no tables registered")
 
+// ErrQuarantined is the sentinel wrapped by every *QuarantinedError,
+// so callers can branch on the class with errors.Is without knowing
+// the table.
+var ErrQuarantined = errors.New("catalog: table quarantined")
+
+// QuarantinedError reports a read of a quarantined table: its sealed
+// backing failed authentication (or an operator quarantined it), so
+// queries against it are refused until Replace or RestoreTable
+// installs a fresh backing. errors.Is matches ErrQuarantined and the
+// recorded cause.
+type QuarantinedError struct {
+	Name  string
+	Cause error // the auth failure (or operator reason); may be nil
+}
+
+func (e *QuarantinedError) Error() string {
+	if e.Cause == nil {
+		return fmt.Sprintf("catalog: table %q quarantined", e.Name)
+	}
+	return fmt.Sprintf("catalog: table %q quarantined: %v", e.Name, e.Cause)
+}
+
+// Unwrap exposes the class sentinel and the cause to errors.Is/As.
+func (e *QuarantinedError) Unwrap() []error {
+	if e.Cause == nil {
+		return []error{ErrQuarantined}
+	}
+	return []error{ErrQuarantined, e.Cause}
+}
+
 // Normalize folds name to lower case and validates it against the
 // table-name grammar.
 func Normalize(name string) (string, error) {
@@ -145,13 +175,23 @@ type Catalog struct {
 	cipher *crypto.Cipher // non-nil: sealed backing stores
 	cur    *state
 	hist   []*state // ascending by version; last element == cur
-	keep   int      // history retention; <0 = unlimited
+
+	// Quarantine is operational state, not versioned data: it marks
+	// names whose sealed backing failed authentication, so repeated
+	// queries fail fast with a typed error instead of re-attempting
+	// decryption of known-bad ciphertext. It lives under its own
+	// mutex because the check sits on the lock-free View read path —
+	// a pinned view must not contend with catalog writers.
+	quarMu sync.Mutex
+	quar   map[string]error
+
+	keep int // history retention; <0 = unlimited
 }
 
 // New returns an empty catalog with plain in-process backing.
 func New() *Catalog {
 	st := &state{version: 0, tables: map[string]*stored{}}
-	return &Catalog{cur: st, hist: []*state{st}, keep: DefaultHistory}
+	return &Catalog{cur: st, hist: []*state{st}, quar: map[string]error{}, keep: DefaultHistory}
 }
 
 // NewSealed returns an empty catalog whose backing stores are AES-
@@ -235,6 +275,76 @@ func (c *Catalog) open(st *stored) ([]table.Row, error) {
 	return decodeRows(blob, st.n), nil
 }
 
+// openNamed is the quarantine-aware open used by snapshot reads: a
+// quarantined name fails fast without touching its backing, and an
+// authentication failure quarantines the name so every later read of
+// any version fails the same typed way until Replace or RestoreTable
+// installs a fresh backing.
+func (c *Catalog) openNamed(name string, st *stored) ([]table.Row, error) {
+	if cause, ok := c.QuarantineCause(name); ok {
+		return nil, &QuarantinedError{Name: name, Cause: cause}
+	}
+	rows, err := c.open(st)
+	if err != nil {
+		if errors.Is(err, crypto.ErrAuth) {
+			c.Quarantine(name, err)
+			return nil, &QuarantinedError{Name: name, Cause: err}
+		}
+		return nil, err
+	}
+	return rows, nil
+}
+
+// Quarantine marks name as refusing reads with the given cause. It is
+// normally invoked automatically when a sealed backing fails
+// authentication, but is exported so operators (and chaos tests) can
+// fence a table by hand. Quarantine is operational state: it is not a
+// catalog mutation and does not bump the version.
+func (c *Catalog) Quarantine(name string, cause error) {
+	n, err := Normalize(name)
+	if err != nil {
+		return
+	}
+	c.quarMu.Lock()
+	defer c.quarMu.Unlock()
+	if _, dup := c.quar[n]; !dup {
+		c.quar[n] = cause
+	}
+}
+
+// QuarantineCause reports whether name is quarantined and, when it is,
+// the recorded cause.
+func (c *Catalog) QuarantineCause(name string) (error, bool) {
+	n, err := Normalize(name)
+	if err != nil {
+		return nil, false
+	}
+	c.quarMu.Lock()
+	defer c.quarMu.Unlock()
+	cause, ok := c.quar[n]
+	return cause, ok
+}
+
+// Quarantined lists the quarantined table names, sorted.
+func (c *Catalog) Quarantined() []string {
+	c.quarMu.Lock()
+	defer c.quarMu.Unlock()
+	out := make([]string, 0, len(c.quar))
+	for name := range c.quar {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// unquarantine lifts the mark after a mutation installed a fresh
+// backing for name (Replace, RestoreTable, Drop, Load).
+func (c *Catalog) unquarantine(name string) {
+	c.quarMu.Lock()
+	defer c.quarMu.Unlock()
+	delete(c.quar, name)
+}
+
 // mutate installs a new version built by apply over a copy of the
 // current name→table map. apply returning an error abandons the new
 // version: the current version and the counter are left untouched.
@@ -285,10 +395,14 @@ func (c *Catalog) Replace(name string, rows []table.Row) error {
 		return err
 	}
 	st := c.store(rows)
-	return c.mutate(func(tables map[string]*stored) error {
+	err = c.mutate(func(tables map[string]*stored) error {
 		tables[name] = st
 		return nil
 	})
+	if err == nil {
+		c.unquarantine(name)
+	}
+	return err
 }
 
 // Drop removes the named table, returning *UnknownTableError when it
@@ -298,13 +412,17 @@ func (c *Catalog) Drop(name string) error {
 	if err != nil {
 		return err
 	}
-	return c.mutate(func(tables map[string]*stored) error {
+	err = c.mutate(func(tables map[string]*stored) error {
 		if _, ok := tables[name]; !ok {
 			return &UnknownTableError{Name: name}
 		}
 		delete(tables, name)
 		return nil
 	})
+	if err == nil {
+		c.unquarantine(name)
+	}
+	return err
 }
 
 // Branch makes the contents of table src — as of catalog version asOf,
@@ -374,6 +492,7 @@ func (c *Catalog) RestoreTable(name string, asOf uint64) error {
 	c.cur = ns
 	c.hist = append(c.hist, ns)
 	c.trimLocked()
+	c.unquarantine(name)
 	return nil
 }
 
@@ -391,10 +510,15 @@ func (c *Catalog) Load(tables map[string][]table.Row, version uint64) error {
 		built[n] = c.store(rows)
 	}
 	c.mu.Lock()
-	defer c.mu.Unlock()
 	st := &state{version: version, tables: built}
 	c.cur = st
 	c.hist = []*state{st}
+	c.mu.Unlock()
+	// Load installs entirely fresh backings (recovery from durable
+	// state), so any standing quarantine is stale.
+	c.quarMu.Lock()
+	c.quar = map[string]error{}
+	c.quarMu.Unlock()
 	return nil
 }
 
@@ -556,7 +680,7 @@ func (v *View) Schemas() []Schema {
 func (v *View) Snapshot() (map[string][]table.Row, error) {
 	out := make(map[string][]table.Row, len(v.st.tables))
 	for name, st := range v.st.tables {
-		rows, err := v.cat.open(st)
+		rows, err := v.cat.openNamed(name, st)
 		if err != nil {
 			return nil, err
 		}
@@ -577,7 +701,7 @@ func (v *View) SnapshotTables(names []string) (map[string][]table.Row, error) {
 		if !ok {
 			return nil, &UnknownTableError{Name: name}
 		}
-		rows, err := v.cat.open(st)
+		rows, err := v.cat.openNamed(name, st)
 		if err != nil {
 			return nil, err
 		}

@@ -210,3 +210,86 @@ func TestConcurrentUse(t *testing.T) {
 		t.Fatalf("Len = %d, want %d", got, want)
 	}
 }
+
+func TestQuarantineOnAuthFailure(t *testing.T) {
+	cipher, _, err := crypto.NewRandom()
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := NewSealed(cipher)
+	if err := c.Register("good", rows(3, "g")); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Register("bad", rows(3, "b")); err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt the sealed backing of one table in place — the in-memory
+	// analogue of ciphertext tampering.
+	c.cur.tables["bad"].sealed[4] ^= 0x01
+
+	_, err = c.SnapshotTables([]string{"bad"})
+	var q *QuarantinedError
+	if !errors.As(err, &q) || q.Name != "bad" {
+		t.Fatalf("tampered snapshot = %v, want *QuarantinedError{bad}", err)
+	}
+	if !errors.Is(err, ErrQuarantined) || !errors.Is(err, crypto.ErrAuth) {
+		t.Fatalf("error %v should wrap ErrQuarantined and crypto.ErrAuth", err)
+	}
+	// The mark persists: later reads fail fast even without touching
+	// the backing, and whole-catalog snapshots fail too.
+	if _, err := c.SnapshotTables([]string{"bad"}); !errors.Is(err, ErrQuarantined) {
+		t.Fatalf("second read = %v, want quarantined", err)
+	}
+	if _, err := c.Snapshot(); !errors.Is(err, ErrQuarantined) {
+		t.Fatalf("full snapshot = %v, want quarantined", err)
+	}
+	if got := c.Quarantined(); len(got) != 1 || got[0] != "bad" {
+		t.Fatalf("Quarantined() = %v, want [bad]", got)
+	}
+	// Healthy neighbors keep serving.
+	if _, err := c.SnapshotTables([]string{"good"}); err != nil {
+		t.Fatalf("healthy neighbor failed: %v", err)
+	}
+	// Replace installs a fresh backing and lifts the mark.
+	if err := c.Replace("bad", rows(2, "r")); err != nil {
+		t.Fatal(err)
+	}
+	snap, err := c.SnapshotTables([]string{"bad"})
+	if err != nil || len(snap["bad"]) != 2 {
+		t.Fatalf("post-replace read = %v, %v; want 2 rows", snap, err)
+	}
+	if got := c.Quarantined(); len(got) != 0 {
+		t.Fatalf("Quarantined() after Replace = %v, want empty", got)
+	}
+}
+
+func TestQuarantineManualAndRestore(t *testing.T) {
+	c := New()
+	if err := c.Register("t", rows(4, "t")); err != nil {
+		t.Fatal(err)
+	}
+	v1 := c.Version()
+	if err := c.Replace("t", rows(6, "u")); err != nil {
+		t.Fatal(err)
+	}
+	c.Quarantine("t", errors.New("operator fence"))
+	if _, err := c.SnapshotTables([]string{"t"}); !errors.Is(err, ErrQuarantined) {
+		t.Fatal("manual quarantine did not take")
+	}
+	// RestoreTable rewinds to a pre-corruption version and lifts the mark.
+	if err := c.RestoreTable("t", v1); err != nil {
+		t.Fatal(err)
+	}
+	snap, err := c.SnapshotTables([]string{"t"})
+	if err != nil || len(snap["t"]) != 4 {
+		t.Fatalf("post-restore read = %v, %v; want 4 rows", snap, err)
+	}
+	// Load (recovery) clears all quarantine marks.
+	c.Quarantine("t", errors.New("fence"))
+	if err := c.Load(map[string][]table.Row{"t": rows(1, "l")}, 9); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.Quarantined(); len(got) != 0 {
+		t.Fatalf("Quarantined() after Load = %v, want empty", got)
+	}
+}

@@ -1,0 +1,410 @@
+package exp
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"reflect"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"oblivjoin/internal/catalog"
+	"oblivjoin/internal/fault"
+	"oblivjoin/internal/query"
+	"oblivjoin/internal/service"
+	"oblivjoin/internal/table"
+	"oblivjoin/internal/wal"
+)
+
+// This file is the chaos harness behind `oblivbench -exp chaos` and
+// the fault-free overhead benchmark behind `-exp fault`.
+//
+// The chaos run drives a durable, admission-controlled Service with
+// concurrent query and write load while a seeded fault injector fails
+// the storage layer underneath it — EIO and ENOSPC on the WAL, failed
+// snapshots, persistent write failure — and asserts the containment
+// contract end to end: the service never crashes, every affected
+// operation fails with a typed error, unaffected concurrent queries
+// return bit-identical rows and trace hashes throughout, and after
+// the faults clear a successful checkpoint restores ok health with
+// state byte-identical across a recovery reopen.
+
+const chaosQuerySQL = "SELECT key, left.data, right.data FROM t1 JOIN t2 USING (key)"
+
+// ChaosResult summarizes one chaos run for the harness caller.
+type ChaosResult struct {
+	Injected     uint64 // faults the injector landed
+	TypedErrors  int    // operations that failed with typed errors
+	Queries      int    // queries served bit-identically during faults
+	HealthStates []string
+}
+
+// RunChaos executes the chaos scenario and returns an error on any
+// containment violation. All randomness is seeded: two runs with the
+// same seed inject the same faults.
+func RunChaos(w io.Writer, rows int, seed uint64) (*ChaosResult, error) {
+	fmt.Fprintf(w, "chaos — service under injected storage faults (rows=%d seed=%d)\n", rows, seed)
+
+	mkRows := func(salt int) []table.Row { return walRows(rows, salt) }
+
+	// Fault-free reference: the rows and trace hash every query during
+	// the chaos phases must reproduce bit-identically.
+	ref, err := service.New(service.Config{Defaults: query.Options{TraceHash: true, CollectStats: true}})
+	if err != nil {
+		return nil, err
+	}
+	for i, name := range []string{"t1", "t2"} {
+		if err := ref.Register(name, mkRows(i)); err != nil {
+			return nil, err
+		}
+	}
+	refRes, refPS, err := ref.Query(context.Background(), chaosQuerySQL)
+	if err != nil {
+		return nil, err
+	}
+	_ = ref.Shutdown(context.Background())
+	wantRows, wantHash := refRes.Rows, refPS.TraceHash
+
+	dir, err := os.MkdirTemp("", "oblivchaos")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(dir)
+
+	in := fault.NewInjector(nil, seed)
+	dataDir := filepath.Join(dir, "data")
+	s, err := service.New(service.Config{
+		Defaults:     query.Options{TraceHash: true, CollectStats: true},
+		DataDir:      dataDir,
+		FS:           in,
+		RetryBackoff: 100 * time.Microsecond,
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, name := range []string{"t1", "t2"} {
+		if err := s.Register(name, mkRows(i)); err != nil {
+			return nil, err
+		}
+	}
+
+	res := &ChaosResult{}
+	var typedErrs, okQueries atomic.Int64
+	note := func(phase string) {
+		h := s.Health()
+		res.HealthStates = append(res.HealthStates, string(h.State))
+		fmt.Fprintf(w, "  %-28s health=%-9s injected=%d\n", phase, h.State, in.Injected())
+	}
+	checkQuery := func(phase string) error {
+		qr, ps, err := s.Query(context.Background(), chaosQuerySQL)
+		if err != nil {
+			return fmt.Errorf("chaos: %s: query failed: %w", phase, err)
+		}
+		if !reflect.DeepEqual(qr.Rows, wantRows) || ps.TraceHash != wantHash {
+			return fmt.Errorf("chaos: %s: query result or trace hash diverged", phase)
+		}
+		okQueries.Add(1)
+		return nil
+	}
+	note("baseline")
+
+	// Phase 1 — persistent WAL write failure under concurrent load:
+	// writers must fail typed, readers must stay bit-identical, and the
+	// breaker must land in read-only.
+	in.Arm(fault.Rule{Op: fault.OpWrite, Path: "wal-", Err: fault.ENOSPC})
+	var wg sync.WaitGroup
+	errCh := make(chan error, 64)
+	for c := 0; c < 3; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			for i := 0; i < 6; i++ {
+				if err := s.Replace(fmt.Sprintf("scratch%d", c), mkRows(9)); err != nil {
+					if errors.Is(err, wal.ErrReadOnly) || fault.IsInjectable(err) {
+						errCh <- nil // typed, as required
+					} else {
+						errCh <- fmt.Errorf("chaos: writer got untyped error: %w", err)
+					}
+					typedErrs.Add(1)
+				}
+			}
+		}(c)
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 6; i++ {
+				errCh <- checkQuery("wal-fault")
+			}
+		}()
+	}
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		if err != nil {
+			return nil, err
+		}
+	}
+	if h := s.Health(); h.State != wal.HealthReadOnly {
+		return nil, fmt.Errorf("chaos: health after persistent WAL fault = %s, want read-only", h.State)
+	}
+	if err := s.Register("late", mkRows(7)); !errors.Is(err, wal.ErrReadOnly) {
+		return nil, fmt.Errorf("chaos: write while read-only = %v, want ErrReadOnly", err)
+	}
+	note("persistent wal fault")
+
+	// Phase 2 — faults clear; a successful checkpoint is the proof of
+	// recovery and restores write service.
+	in.Disarm()
+	if err := s.Checkpoint(); err != nil {
+		return nil, fmt.Errorf("chaos: checkpoint after faults cleared: %w", err)
+	}
+	if h := s.Health(); h.State != wal.HealthOK {
+		return nil, fmt.Errorf("chaos: health after checkpoint = %s, want ok", h.State)
+	}
+	if err := s.Register("late", mkRows(7)); err != nil {
+		return nil, fmt.Errorf("chaos: write after recovery: %w", err)
+	}
+	if err := checkQuery("recovered"); err != nil {
+		return nil, err
+	}
+	note("recovered")
+
+	// Phase 3 — snapshot failure degrades without failing commits.
+	in.Arm(fault.Rule{Op: fault.OpOpen, Path: "snap-", Err: fault.EIO})
+	if err := s.Checkpoint(); err == nil {
+		return nil, errors.New("chaos: checkpoint under snapshot fault succeeded")
+	}
+	if h := s.Health(); h.State != wal.HealthDegraded {
+		return nil, fmt.Errorf("chaos: health under snapshot fault = %s, want degraded", h.State)
+	}
+	if err := s.Replace("late", mkRows(8)); err != nil {
+		return nil, fmt.Errorf("chaos: commit while degraded: %w", err)
+	}
+	if err := checkQuery("degraded"); err != nil {
+		return nil, err
+	}
+	in.Disarm()
+	if err := s.Checkpoint(); err != nil {
+		return nil, fmt.Errorf("chaos: checkpoint after snapshot fault cleared: %w", err)
+	}
+	note("snapshot fault + recovery")
+
+	// Phase 4 — spill-file faults: a memory-budgeted sibling service
+	// (same injector) diverts intermediates to sealed spill files; a
+	// flipped ciphertext bit fails its query with ErrSealedAuth and a
+	// write error with ErrSpillIO — typed, process alive, and the main
+	// service's queries untouched throughout.
+	sp, err := service.New(service.Config{
+		Defaults: query.Options{TraceHash: true, CollectStats: true, MemBudget: 1},
+		FS:       in,
+	})
+	if err != nil {
+		return nil, err
+	}
+	defer sp.Shutdown(context.Background())
+	for i, name := range []string{"t1", "t2"} {
+		if err := sp.Register(name, mkRows(i)); err != nil {
+			return nil, err
+		}
+	}
+	in.Arm(fault.Rule{Op: fault.OpRead, Path: "oblivspill", FlipBit: true})
+	if _, _, err := sp.Query(context.Background(), chaosQuerySQL); !errors.Is(err, table.ErrSealedAuth) {
+		return nil, fmt.Errorf("chaos: tampered spill read = %v, want ErrSealedAuth", err)
+	}
+	typedErrs.Add(1)
+	in.Disarm()
+	in.Arm(fault.Rule{Op: fault.OpRead, Path: "oblivspill", Err: fault.EIO})
+	if _, _, err := sp.Query(context.Background(), chaosQuerySQL); !errors.Is(err, table.ErrSpillIO) {
+		return nil, fmt.Errorf("chaos: failed spill read = %v, want ErrSpillIO", err)
+	}
+	typedErrs.Add(1)
+	in.Disarm()
+	// An unwritable spill target at allocation time is contained the
+	// other way: the spiller falls back to resident memory and the
+	// query completes with spill counters flat.
+	in.Arm(fault.Rule{Op: fault.OpWrite, Path: "oblivspill", Err: fault.ENOSPC})
+	qrFB, psFB, err := sp.Query(context.Background(), chaosQuerySQL)
+	if err != nil {
+		return nil, fmt.Errorf("chaos: spill-alloc fallback query failed: %w", err)
+	}
+	if psFB.SpillBytes != 0 {
+		return nil, errors.New("chaos: spill-alloc fallback still spilled")
+	}
+	if !reflect.DeepEqual(qrFB.Rows, wantRows) || psFB.TraceHash != wantHash {
+		return nil, errors.New("chaos: spill-alloc fallback query diverged")
+	}
+	in.Disarm()
+	// Spill is trace-invariant: the recovered spilled query reproduces
+	// the in-memory reference bit for bit.
+	qr2, ps2, err := sp.Query(context.Background(), chaosQuerySQL)
+	if err != nil {
+		return nil, fmt.Errorf("chaos: spilled query after faults cleared: %w", err)
+	}
+	if !reflect.DeepEqual(qr2.Rows, wantRows) || ps2.TraceHash != wantHash {
+		return nil, errors.New("chaos: spilled query diverged from in-memory reference")
+	}
+	if ps2.SpillBytes == 0 {
+		return nil, errors.New("chaos: budgeted query did not spill — phase tested nothing")
+	}
+	if err := checkQuery("spill-fault neighbor"); err != nil {
+		return nil, err
+	}
+	note("spill faults contained")
+
+	// Phase 5 — quarantine: a fenced table fails typed; neighbors and
+	// its own Replace-based restoration are unaffected.
+	s.Catalog().Quarantine("t2", fault.EIO)
+	if _, _, err := s.Query(context.Background(), chaosQuerySQL); !errors.Is(err, catalog.ErrQuarantined) {
+		return nil, fmt.Errorf("chaos: query on quarantined table = %v, want ErrQuarantined", err)
+	}
+	if err := s.Replace("t2", mkRows(1)); err != nil {
+		return nil, fmt.Errorf("chaos: replace of quarantined table: %w", err)
+	}
+	if err := checkQuery("post-quarantine"); err != nil {
+		return nil, err
+	}
+	note("quarantine + restore")
+
+	// Phase 6 — byte-identical recovery across a reopen: shut down,
+	// reopen the same directory fault-free, re-run the reference query.
+	if err := s.Shutdown(context.Background()); err != nil {
+		return nil, fmt.Errorf("chaos: shutdown: %w", err)
+	}
+	s2, err := service.New(service.Config{
+		Defaults: query.Options{TraceHash: true, CollectStats: true},
+		DataDir:  dataDir,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("chaos: reopen after chaos: %w", err)
+	}
+	defer s2.Shutdown(context.Background())
+	qr, ps, err := s2.Query(context.Background(), chaosQuerySQL)
+	if err != nil {
+		return nil, fmt.Errorf("chaos: post-recovery query: %w", err)
+	}
+	if !reflect.DeepEqual(qr.Rows, wantRows) || ps.TraceHash != wantHash {
+		return nil, errors.New("chaos: post-recovery result or trace hash diverged")
+	}
+	res.TypedErrors = int(typedErrs.Load())
+	res.Queries = int(okQueries.Load())
+	res.Injected = in.Injected()
+	if res.Injected == 0 {
+		return nil, errors.New("chaos: no faults were injected — the run tested nothing")
+	}
+	fmt.Fprintf(w, "  contained: %d faults injected, %d typed errors, %d bit-identical queries\n",
+		res.Injected, res.TypedErrors, res.Queries)
+	return res, nil
+}
+
+// FaultBenchResult is one row of the seam-overhead benchmark: the same
+// workload run with direct OS file IO versus through a (disarmed)
+// fault injector. The pairs bound what the fault seam costs on the
+// fault-free path; WallNS and IOBytes are the gated perf metrics,
+// keyed by (scenario, n).
+type FaultBenchResult struct {
+	Scenario string `json:"scenario"`
+	N        int    `json:"n"`
+
+	WallNS  int64 `json:"wall_ns"`
+	IOBytes int64 `json:"io_bytes"`
+}
+
+// BenchFault measures the fault seam's fault-free overhead on the two
+// IO-heavy paths it intercepts: fsynced WAL commits and spill-backed
+// queries. rows is the table size per commit, commits the commit
+// count, queryN the input size of the spill-path query.
+func BenchFault(w io.Writer, rows, commits, queryN int) ([]FaultBenchResult, error) {
+	fmt.Fprintf(w, "fault seam — fault-free overhead (rows/commit=%d, commits=%d, query n=%d)\n", rows, commits, queryN)
+	fmt.Fprintf(w, "%-14s %8s %12s %14s\n", "scenario", "n", "wall", "io bytes")
+	var out []FaultBenchResult
+	report := func(r FaultBenchResult) {
+		fmt.Fprintf(w, "%-14s %8d %12s %14d\n",
+			r.Scenario, r.N, time.Duration(r.WallNS).Round(time.Microsecond), r.IOBytes)
+		out = append(out, r)
+	}
+
+	// Commit path: direct vs seamed. The injector is armed with
+	// nothing, so the delta is pure interface indirection + rule-match
+	// bookkeeping.
+	commitBench := func(scenario string, fs fault.FS) error {
+		dir, err := os.MkdirTemp("", "oblivfaultbench")
+		if err != nil {
+			return err
+		}
+		defer os.RemoveAll(dir)
+		db, _, err := wal.Open(dir, catalog.New(), wal.Options{SnapshotEvery: -1, FS: fs})
+		if err != nil {
+			return err
+		}
+		defer db.Abandon()
+		if err := db.Register("t", walRows(rows, 0)); err != nil {
+			return err
+		}
+		t0 := time.Now()
+		for i := 1; i <= commits; i++ {
+			if err := db.Replace("t", walRows(rows, i)); err != nil {
+				return err
+			}
+		}
+		wall := time.Since(t0)
+		size, err := walFileSize(dir)
+		if err != nil {
+			return err
+		}
+		report(FaultBenchResult{Scenario: scenario, N: rows, WallNS: wall.Nanoseconds(), IOBytes: size})
+		return nil
+	}
+	if err := commitBench("commit-direct", nil); err != nil {
+		return nil, err
+	}
+	if err := commitBench("commit-seam", fault.NewInjector(nil, 1)); err != nil {
+		return nil, err
+	}
+
+	// Spill path: a memory-budgeted query whose intermediates divert to
+	// sealed spill files, direct vs seamed.
+	queryBench := func(scenario string, fs fault.FS) error {
+		s, err := service.New(service.Config{Defaults: query.Options{
+			CollectStats: true,
+			MemBudget:    1 << 16,
+			SpillFS:      fs,
+		}})
+		if err != nil {
+			return err
+		}
+		defer s.Shutdown(context.Background())
+		for i, name := range []string{"t1", "t2"} {
+			if err := s.Register(name, walRows(queryN, i)); err != nil {
+				return err
+			}
+		}
+		t0 := time.Now()
+		_, ps, err := s.Query(context.Background(), chaosQuerySQL)
+		if err != nil {
+			return err
+		}
+		wall := time.Since(t0)
+		if ps.SpillBytes == 0 {
+			return errors.New("exp: fault: query did not spill — the seam was not exercised")
+		}
+		report(FaultBenchResult{Scenario: scenario, N: queryN, WallNS: wall.Nanoseconds(), IOBytes: ps.SpillBytes})
+		return nil
+	}
+	if err := queryBench("query-direct", nil); err != nil {
+		return nil, err
+	}
+	if err := queryBench("query-seam", fault.NewInjector(nil, 1)); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// WriteFaultBenchJSON writes the fault benchmark rows as indented JSON
+// to path.
+func WriteFaultBenchJSON(path string, results []FaultBenchResult) error {
+	return writeJSON(path, results)
+}

@@ -1,0 +1,46 @@
+package exp
+
+import (
+	"io"
+	"testing"
+)
+
+// TestRunChaosShort executes a miniature chaos run end to end: the
+// harness itself asserts the containment contract (typed errors only,
+// bit-identical queries, recovery to ok health) and returns an error
+// on any violation, so a nil error plus a non-trivial summary is the
+// whole check.
+func TestRunChaosShort(t *testing.T) {
+	res, err := RunChaos(io.Discard, 32, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Injected == 0 || res.TypedErrors == 0 || res.Queries == 0 {
+		t.Fatalf("chaos run exercised nothing: %+v", res)
+	}
+	// Determinism: the same seed injects the same faults.
+	res2, err := RunChaos(io.Discard, 32, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.Injected != res.Injected {
+		t.Fatalf("seeded runs diverged: %d vs %d faults", res.Injected, res2.Injected)
+	}
+}
+
+// TestBenchFaultShort runs the seam-overhead pairs at toy sizes and
+// sanity-checks the gated metrics are populated for all four rows.
+func TestBenchFaultShort(t *testing.T) {
+	results, err := BenchFault(io.Discard, 64, 4, 512)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 4 {
+		t.Fatalf("got %d records, want 4", len(results))
+	}
+	for _, r := range results {
+		if r.WallNS <= 0 || r.IOBytes <= 0 {
+			t.Errorf("%s: wall=%d io=%d", r.Scenario, r.WallNS, r.IOBytes)
+		}
+	}
+}

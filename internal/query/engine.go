@@ -8,6 +8,7 @@ import (
 
 	"oblivjoin/internal/catalog"
 	"oblivjoin/internal/crypto"
+	"oblivjoin/internal/fault"
 	"oblivjoin/internal/obliv"
 	"oblivjoin/internal/ops"
 	"oblivjoin/internal/query/exec"
@@ -66,6 +67,11 @@ type Options struct {
 	// SpillDir is where budget-diverted stores keep their sealed files
 	// ("" selects the system temp directory).
 	SpillDir string
+	// SpillFS is the filesystem seam spill files are created through
+	// (nil selects the real OS). A fault-injection hook for chaos
+	// testing; it does not shape plans, results or traces, so it is
+	// excluded from the plan-cache fingerprint.
+	SpillFS fault.FS
 	// Shards, when > 1, hash-partitions every join barrier into that
 	// many concurrently executed per-shard pipelines (internal/shard):
 	// rows route obliviously into partitions padded to a public size,

@@ -136,7 +136,7 @@ func allocStack(opts Options, cipher, sc *crypto.Cipher, rec trace.Recorder, bud
 	g := &table.Gauge{}
 	alloc = table.TrackedAlloc(alloc, g)
 	if budget > 0 {
-		spiller := table.NewSpiller(sp, sc, opts.SpillDir, blockUnit(opts), g)
+		spiller := table.NewSpillerFS(sp, sc, opts.SpillFS, opts.SpillDir, blockUnit(opts), g)
 		alloc = table.BudgetAlloc(alloc, spiller, g, budget, modeFootprint(opts))
 	}
 	return alloc, g
@@ -228,21 +228,38 @@ func run(ctx context.Context, opts Options, cipher *crypto.Cipher, tables map[st
 		if cause := ctx.Err(); cause != nil {
 			return nil, nil, ctxErr(cause)
 		}
-		// The oblivious operator stack has no error returns on its hot
-		// paths; cancellation surfaces as a core.Abort panic from a
-		// round barrier, recovered here — exactly once, on the
-		// goroutine that called run.
-		defer func() {
-			if r := recover(); r != nil {
-				ab, ok := r.(core.Abort)
-				if !ok {
-					panic(r)
-				}
-				res, ps = nil, nil
-				err = ctxErr(ab.Err)
-			}
-		}()
 	}
+	// The oblivious operator stack has no error returns on its hot
+	// paths; two kinds of failure surface as panics, both recovered
+	// here — exactly once, on the goroutine that called run:
+	//
+	//   - cancellation, a core.Abort panic from a round barrier, mapped
+	//     to ErrCanceled/ErrDeadline;
+	//   - storage faults, a *table.Fault panic from a sealed store or
+	//     spill file (auth failure or disk IO error), mapped to an
+	//     error wrapping table.ErrSealedAuth or table.ErrSpillIO.
+	//
+	// Either way the failure kills this query alone: the deferred
+	// gauge.ReleaseAll (installed below, so it runs first) has already
+	// reclaimed the run's scratch, and concurrent runs share nothing
+	// mutable with this one.
+	defer func() {
+		r := recover()
+		if r == nil {
+			return
+		}
+		if ab, ok := r.(core.Abort); ok {
+			res, ps = nil, nil
+			err = ctxErr(ab.Err)
+			return
+		}
+		if ferr, ok := table.AsFault(r); ok {
+			res, ps = nil, nil
+			err = fmt.Errorf("query: storage fault: %w", ferr)
+			return
+		}
+		panic(r)
+	}()
 
 	var (
 		rec     trace.Recorder

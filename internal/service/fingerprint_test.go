@@ -4,6 +4,7 @@ import (
 	"reflect"
 	"testing"
 
+	"oblivjoin/internal/fault"
 	"oblivjoin/internal/query"
 )
 
@@ -19,6 +20,9 @@ func TestFingerprintCoversEveryOption(t *testing.T) {
 	excluded := map[string]bool{
 		"CollectStats": true,
 		"TraceHash":    true,
+		// The spill filesystem seam injects faults; it never shapes the
+		// plan, the results or the trace.
+		"SpillFS": true,
 	}
 	base := query.Options{}
 	baseFP := fingerprint(base)
@@ -36,6 +40,14 @@ func TestFingerprintCoversEveryOption(t *testing.T) {
 			fv.SetUint(7)
 		case reflect.String:
 			fv.SetString("probe")
+		case reflect.Interface:
+			// Perturb with a non-nil injector so even excluded seam
+			// fields are verified not to leak into the fingerprint.
+			probe := reflect.ValueOf(fault.NewInjector(nil, 1))
+			if !probe.Type().AssignableTo(fv.Type()) {
+				t.Fatalf("query.Options.%s: no probe value assignable to %s", f.Name, fv.Type())
+			}
+			fv.Set(probe)
 		default:
 			t.Fatalf("query.Options.%s has kind %s: teach this test to perturb it", f.Name, fv.Kind())
 		}

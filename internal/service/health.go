@@ -1,0 +1,53 @@
+package service
+
+import (
+	"oblivjoin/internal/wal"
+)
+
+// This file is the service's health state machine — the aggregate view
+// a load balancer or operator polls. The service folds two independent
+// degradation signals into one state:
+//
+//   - the durable layer's health (wal.DB): persistent write failure
+//     trips it read-only, a failed automatic snapshot leaves it
+//     degraded with checkpoint debt;
+//   - the catalog's quarantine set: tables whose sealed backing failed
+//     authentication and refuse reads until restored or replaced.
+//
+// The worst signal wins: read-only > degraded > ok. Reads of healthy
+// tables keep serving in every state — degradation narrows the write
+// surface, never the read surface.
+
+// Health is the service's aggregate health report.
+type Health struct {
+	// State is ok, degraded or read-only (see wal.HealthState).
+	State wal.HealthState `json:"state"`
+	// Cause names the failure behind a non-ok state.
+	Cause string `json:"cause,omitempty"`
+	// Quarantined lists tables refusing reads after an authentication
+	// failure, sorted by name.
+	Quarantined []string `json:"quarantined,omitempty"`
+	// WALRetries counts commits that needed at least one append retry;
+	// SnapshotFailures counts failed automatic or forced snapshots.
+	WALRetries       uint64 `json:"wal_retries,omitempty"`
+	SnapshotFailures uint64 `json:"snapshot_failures,omitempty"`
+}
+
+// Health reports the service's aggregate health: the durable layer's
+// state machine joined with the catalog quarantine set. A memory-only
+// service is ok unless tables are quarantined.
+func (s *Service) Health() Health {
+	h := Health{State: wal.HealthOK, Quarantined: s.cat.Quarantined()}
+	if s.db != nil {
+		dh := s.db.Health()
+		h.State = dh.State
+		h.Cause = dh.Cause
+		h.WALRetries = dh.Retries
+		h.SnapshotFailures = dh.SnapshotFailures
+	}
+	if h.State == wal.HealthOK && len(h.Quarantined) > 0 {
+		h.State = wal.HealthDegraded
+		h.Cause = "tables quarantined: sealed backing failed authentication"
+	}
+	return h
+}

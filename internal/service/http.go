@@ -11,6 +11,7 @@ import (
 	"oblivjoin/internal/crypto"
 	"oblivjoin/internal/query"
 	"oblivjoin/internal/table"
+	"oblivjoin/internal/wal"
 )
 
 // This file is the traffic-facing JSON surface of the service — the
@@ -112,12 +113,17 @@ type RowJSON struct {
 	Data string `json:"data"`
 }
 
-// HealthResponse is the GET /healthz reply.
+// HealthResponse is the GET /healthz reply. Status mirrors the health
+// state machine (ok, degraded, read-only); the response is always 200
+// — /healthz is liveness, and a degraded daemon is still alive and
+// serving reads. Load balancers wanting to shed writes inspect Status.
 type HealthResponse struct {
-	Status    string     `json:"status"`
-	Tables    int        `json:"tables"`
-	Version   uint64     `json:"version"`
-	PlanCache CacheStats `json:"plan_cache"`
+	Status      string     `json:"status"`
+	Cause       string     `json:"cause,omitempty"`
+	Quarantined []string   `json:"quarantined,omitempty"`
+	Tables      int        `json:"tables"`
+	Version     uint64     `json:"version"`
+	PlanCache   CacheStats `json:"plan_cache"`
 }
 
 // NewHandler returns the HTTP handler serving s.
@@ -197,11 +203,14 @@ func NewHandler(s *Service) http.Handler {
 	})
 
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		h := s.Health()
 		writeJSON(w, http.StatusOK, HealthResponse{
-			Status:    "ok",
-			Tables:    s.cat.Len(),
-			Version:   s.cat.Version(),
-			PlanCache: s.CacheStats(),
+			Status:      string(h.State),
+			Cause:       h.Cause,
+			Quarantined: h.Quarantined,
+			Tables:      s.cat.Len(),
+			Version:     s.cat.Version(),
+			PlanCache:   s.CacheStats(),
 		})
 	})
 
@@ -262,7 +271,17 @@ func errStatus(err error) int {
 	var exists *catalog.TableExistsError
 	var version *catalog.VersionError
 	switch {
-	case errors.Is(err, crypto.ErrAuth), errors.Is(err, query.ErrInternal):
+	// Quarantine outranks the generic auth-failure 500: the error
+	// wraps crypto.ErrAuth, but it names a fenced table the client can
+	// act on (restore or replace it), so it is a 409, not a 500.
+	case errors.Is(err, catalog.ErrQuarantined):
+		return http.StatusConflict
+	// A read-only store refuses the write but will take it again after
+	// an operator restores disk health — retryable, hence 503.
+	case errors.Is(err, wal.ErrReadOnly):
+		return http.StatusServiceUnavailable
+	case errors.Is(err, crypto.ErrAuth), errors.Is(err, query.ErrInternal),
+		errors.Is(err, table.ErrSealedAuth), errors.Is(err, table.ErrSpillIO):
 		return http.StatusInternalServerError
 	case errors.Is(err, ErrOverloaded), errors.Is(err, ErrShuttingDown),
 		errors.Is(err, query.ErrDeadline):

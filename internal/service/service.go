@@ -36,6 +36,7 @@ import (
 
 	"oblivjoin/internal/catalog"
 	"oblivjoin/internal/crypto"
+	"oblivjoin/internal/fault"
 	"oblivjoin/internal/query"
 	"oblivjoin/internal/query/exec"
 	"oblivjoin/internal/table"
@@ -88,6 +89,15 @@ type Config struct {
 	// for AS OF reads; 0 means catalog.DefaultHistory, negative means
 	// unlimited.
 	History int
+	// FS is the filesystem seam the durable layer and spill files go
+	// through (nil selects the real OS) — the fault-injection hook for
+	// chaos testing. It is threaded to the WAL, snapshots, recovery
+	// reads and, when Defaults.SpillFS is unset, query spill files.
+	FS fault.FS
+	// RetryAppend and RetryBackoff tune the WAL's transient-failure
+	// retry loop (see wal.Options); zero values select the defaults.
+	RetryAppend  int
+	RetryBackoff time.Duration
 }
 
 // Service is a concurrent oblivious query service: a shared catalog,
@@ -127,10 +137,18 @@ func New(cfg Config) (*Service, error) {
 	if cfg.History != 0 {
 		cat.SetHistory(cfg.History)
 	}
+	if cfg.Defaults.SpillFS == nil {
+		cfg.Defaults.SpillFS = cfg.FS
+	}
 	var db *wal.DB
 	var rec *wal.RecoveryInfo
 	if cfg.DataDir != "" {
-		db, rec, err = wal.Open(cfg.DataDir, cat, wal.Options{SnapshotEvery: cfg.SnapshotEvery})
+		db, rec, err = wal.Open(cfg.DataDir, cat, wal.Options{
+			SnapshotEvery: cfg.SnapshotEvery,
+			FS:            cfg.FS,
+			RetryAppend:   cfg.RetryAppend,
+			RetryBackoff:  cfg.RetryBackoff,
+		})
 		if err != nil {
 			return nil, err
 		}

@@ -164,6 +164,9 @@ type ServiceStats struct {
 	GoroutineHWM int `json:"goroutine_hwm"`
 	// ShuttingDown reports that Shutdown has begun.
 	ShuttingDown bool `json:"shutting_down"`
+	// Health is the aggregate health state machine: durable-layer
+	// degradation joined with the catalog quarantine set (health.go).
+	Health Health `json:"health"`
 }
 
 // Stats reports the service's admission and latency counters.
@@ -197,5 +200,6 @@ func (s *Service) Stats() ServiceStats {
 		P99NS:          p99,
 		GoroutineHWM:   m.hwm,
 		ShuttingDown:   closed,
+		Health:         s.Health(),
 	}
 }

@@ -102,7 +102,9 @@ func (e *BlockEncrypted) Block() int { return e.st.b }
 
 // Get decrypts the block holding entry i and returns the entry. A
 // failed authentication means the untrusted server tampered with
-// memory; that is fatal, so Get panics.
+// memory; that is fatal for the run, so Get unwinds with a typed
+// *Fault panic (ErrSealedAuth) that the query runner converts to an
+// error at its boundary.
 func (e *BlockEncrypted) Get(i int) Entry {
 	e.ev.Get(i)
 	st := e.st
@@ -113,7 +115,7 @@ func (e *BlockEncrypted) Get(i int) Entry {
 	err := st.cipher.Open(plain, st.block(k))
 	st.locks[k].Unlock()
 	if err != nil {
-		panic("table: block authentication failed: " + err.Error())
+		authFault("block", err)
 	}
 	off := (i - k*st.b) * EncodedSize
 	return DecodeEntry(plain[off : off+EncodedSize])
@@ -135,7 +137,7 @@ func (e *BlockEncrypted) Set(i int, v Entry) {
 	}
 	st.locks[k].Unlock()
 	if err != nil {
-		panic("table: block authentication failed: " + err.Error())
+		authFault("block", err)
 	}
 }
 
@@ -168,7 +170,7 @@ func (e *BlockEncrypted) GetRange(lo int, dst []Entry) {
 	err := st.cipher.OpenRange(plain, st.ct[k0*st.unit:(k1+1)*st.unit], st.pt)
 	st.unlockSpan(k0, k1)
 	if err != nil {
-		panic("table: block authentication failed: " + err.Error())
+		authFault("block", err)
 	}
 	base := (lo - k0*st.b) * EncodedSize
 	for j := range dst {
@@ -203,7 +205,7 @@ func (e *BlockEncrypted) SetRange(lo int, src []Entry) {
 	}
 	st.unlockSpan(k0, k1)
 	if err != nil {
-		panic("table: block authentication failed: " + err.Error())
+		authFault("block", err)
 	}
 }
 

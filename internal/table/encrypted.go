@@ -65,13 +65,14 @@ func (e *Encrypted) Len() int { return e.ev.Len() }
 func (e *Encrypted) rec(i int) []byte { return e.ct[i*SealedSize : (i+1)*SealedSize] }
 
 // Get decrypts entry i. A failed authentication means the untrusted
-// server tampered with memory; that is a fatal integrity violation, not
-// a recoverable condition, so Get panics.
+// server tampered with memory; that is a fatal integrity violation for
+// the run, so Get unwinds with a typed *Fault panic (ErrSealedAuth)
+// recovered at the query runner's boundary.
 func (e *Encrypted) Get(i int) Entry {
 	e.ev.Get(i)
 	var buf [EncodedSize]byte
 	if err := e.cipher.Open(buf[:], e.rec(i)); err != nil {
-		panic("table: entry authentication failed: " + err.Error())
+		authFault("entry", err)
 	}
 	return DecodeEntry(buf[:])
 }
@@ -120,7 +121,7 @@ func (e *Encrypted) GetRange(lo int, dst []Entry) {
 	p, plain := getBuf(len(dst) * EncodedSize)
 	defer putBuf(p)
 	if err := e.cipher.OpenRange(plain, e.ct[lo*SealedSize:(lo+len(dst))*SealedSize], EncodedSize); err != nil {
-		panic("table: entry authentication failed: " + err.Error())
+		authFault("entry", err)
 	}
 	for k := range dst {
 		dst[k] = DecodeEntry(plain[k*EncodedSize : (k+1)*EncodedSize])

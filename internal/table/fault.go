@@ -1,0 +1,56 @@
+package table
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Typed storage-fault sentinels. Auth failures and spill IO errors on
+// the oblivious hot path cannot be returned through the Store
+// interface (its methods have no error results — by design, so the
+// data-oblivious inner loops stay branch-free), so they unwind as a
+// *Fault panic instead of a raw string. The query runner recovers the
+// *Fault at its boundary and returns the wrapped error, which
+// errors.Is-matches one of these sentinels: a tampered block or a
+// failed spill disk kills one query, not the process.
+var (
+	// ErrSealedAuth: a sealed block or entry failed authentication —
+	// the untrusted memory or spill file was tampered with.
+	ErrSealedAuth = errors.New("table: sealed data authentication failed")
+
+	// ErrSpillIO: reading or writing a spill file failed (EIO, ENOSPC,
+	// short write, ...).
+	ErrSpillIO = errors.New("table: spill file I/O failed")
+)
+
+// Fault is the panic payload carrying a typed storage fault across the
+// error-free Store interface. Only the query runner's boundary recover
+// (and the worker pool's panic barrier) should see it.
+type Fault struct {
+	Err error
+}
+
+func (f *Fault) Error() string { return f.Err.Error() }
+func (f *Fault) Unwrap() error { return f.Err }
+
+// authFault unwinds a sealed-data authentication failure. Both the
+// sentinel and the cause stay errors.Is-matchable.
+func authFault(what string, err error) {
+	panic(&Fault{Err: fmt.Errorf("%w: %s: %w", ErrSealedAuth, what, err)})
+}
+
+// ioFault unwinds a spill-file IO failure, keeping the underlying
+// errno (EIO, ENOSPC, ...) matchable through the wrap.
+func ioFault(op string, err error) {
+	panic(&Fault{Err: fmt.Errorf("%w: %s: %w", ErrSpillIO, op, err)})
+}
+
+// AsFault returns the typed error carried by a recovered panic value,
+// or (nil, false) when r is not a storage fault. Recover boundaries
+// use it to translate the panic back into an error result.
+func AsFault(r any) (error, bool) {
+	if f, ok := r.(*Fault); ok {
+		return f.Err, true
+	}
+	return nil, false
+}

@@ -1,10 +1,10 @@
 package table
 
 import (
-	"os"
 	"sync"
 
 	"oblivjoin/internal/crypto"
+	"oblivjoin/internal/fault"
 	"oblivjoin/internal/memory"
 	"oblivjoin/internal/trace"
 )
@@ -21,8 +21,9 @@ import (
 // I/O uses ReadAt/WriteAt under the same ascending per-block mutexes as
 // BlockEncrypted, so parallel lanes over disjoint entry ranges compose.
 // A file error is fatal for the run, like an authentication failure,
-// and panics; the file is removed by the cleanup hook registered with
-// the run's Gauge (or by Remove).
+// and unwinds as a typed *Fault panic (ErrSpillIO) that the query
+// runner converts to an error; the file is removed by the cleanup hook
+// registered with the run's Gauge (or by Remove).
 type Spill struct {
 	ev *memory.Array[struct{}] // per-entry trace/cost emitter
 	st *spillState
@@ -31,7 +32,8 @@ type Spill struct {
 // spillState is the storage shared by a Spill and its shards.
 type spillState struct {
 	cipher *crypto.Cipher
-	f      *os.File
+	fs     fault.FS
+	f      fault.File
 	path   string
 	b      int // entries per block
 	n      int // logical entries
@@ -42,22 +44,20 @@ type spillState struct {
 	once   sync.Once // guards file close+remove
 }
 
-func (st *spillState) ioPanic(op string, err error) {
-	panic("table: spill " + op + " failed: " + err.Error())
+// readBlocks reads sealed blocks [k0, k1] into ct. The caller faults
+// on the returned error only after releasing the span's locks —
+// unwinding with a block mutex held would strand every later access
+// to that block behind a lock nobody can release.
+func (st *spillState) readBlocks(ct []byte, k0, k1 int) error {
+	_, err := st.f.ReadAt(ct[:(k1-k0+1)*st.unit], int64(k0)*int64(st.unit))
+	return err
 }
 
-// readBlocks reads sealed blocks [k0, k1] into ct.
-func (st *spillState) readBlocks(ct []byte, k0, k1 int) {
-	if _, err := st.f.ReadAt(ct[:(k1-k0+1)*st.unit], int64(k0)*int64(st.unit)); err != nil {
-		st.ioPanic("read", err)
-	}
-}
-
-// writeBlocks writes sealed blocks [k0, k1] from ct.
-func (st *spillState) writeBlocks(ct []byte, k0, k1 int) {
-	if _, err := st.f.WriteAt(ct[:(k1-k0+1)*st.unit], int64(k0)*int64(st.unit)); err != nil {
-		st.ioPanic("write", err)
-	}
+// writeBlocks writes sealed blocks [k0, k1] from ct; same unlock-
+// before-fault contract as readBlocks.
+func (st *spillState) writeBlocks(ct []byte, k0, k1 int) error {
+	_, err := st.f.WriteAt(ct[:(k1-k0+1)*st.unit], int64(k0)*int64(st.unit))
+	return err
 }
 
 // NewSpill allocates a spill store of n null entries in s, sealed under
@@ -67,16 +67,24 @@ func (st *spillState) writeBlocks(ct []byte, k0, k1 int) {
 // initialized to a valid ciphertext of zero entries and initialization
 // bypasses the trace.
 func NewSpill(s *memory.Space, c *crypto.Cipher, dir string, n, b int) (*Spill, error) {
+	return NewSpillFS(s, c, nil, dir, n, b)
+}
+
+// NewSpillFS is NewSpill over an explicit filesystem seam (nil selects
+// the real OS) — the fault-injection entry point.
+func NewSpillFS(s *memory.Space, c *crypto.Cipher, fsys fault.FS, dir string, n, b int) (*Spill, error) {
 	if b <= 0 {
 		b = DefaultSealedBlock
 	}
-	f, err := os.CreateTemp(dir, "oblivspill-*.seal")
+	fsys = fault.Or(fsys)
+	f, err := fsys.CreateTemp(dir, "oblivspill-*.seal")
 	if err != nil {
 		return nil, err
 	}
 	nb := (n + b - 1) / b
 	st := &spillState{
 		cipher: c,
+		fs:     fsys,
 		f:      f,
 		path:   f.Name(),
 		b:      b,
@@ -123,7 +131,7 @@ func (e *Spill) Remove() { e.st.Remove() }
 func (st *spillState) Remove() {
 	st.once.Do(func() {
 		st.f.Close()
-		os.Remove(st.path)
+		st.fs.Remove(st.path)
 	})
 }
 
@@ -137,11 +145,17 @@ func (e *Spill) Get(i int) Entry {
 	cp, ct := getBuf(st.unit)
 	defer putBuf(cp)
 	st.locks[k].Lock()
-	st.readBlocks(ct, k, k)
-	err := st.cipher.Open(plain, ct[:st.unit])
+	var err error
+	ioErr := st.readBlocks(ct, k, k)
+	if ioErr == nil {
+		err = st.cipher.Open(plain, ct[:st.unit])
+	}
 	st.locks[k].Unlock()
+	if ioErr != nil {
+		ioFault("read", ioErr)
+	}
 	if err != nil {
-		panic("table: block authentication failed: " + err.Error())
+		authFault("block", err)
 	}
 	off := (i - k*st.b) * EncodedSize
 	return DecodeEntry(plain[off : off+EncodedSize])
@@ -158,16 +172,24 @@ func (e *Spill) Set(i int, v Entry) {
 	cp, ct := getBuf(st.unit)
 	defer putBuf(cp)
 	st.locks[k].Lock()
-	st.readBlocks(ct, k, k)
-	err := st.cipher.Open(plain, ct[:st.unit])
-	if err == nil {
-		v.Encode(plain[(i-k*st.b)*EncodedSize : (i-k*st.b+1)*EncodedSize])
-		st.cipher.Seal(ct[:st.unit], plain)
-		st.writeBlocks(ct, k, k)
+	var err error
+	ioOp := "read"
+	ioErr := st.readBlocks(ct, k, k)
+	if ioErr == nil {
+		err = st.cipher.Open(plain, ct[:st.unit])
+		if err == nil {
+			v.Encode(plain[(i-k*st.b)*EncodedSize : (i-k*st.b+1)*EncodedSize])
+			st.cipher.Seal(ct[:st.unit], plain)
+			ioOp = "write"
+			ioErr = st.writeBlocks(ct, k, k)
+		}
 	}
 	st.locks[k].Unlock()
+	if ioErr != nil {
+		ioFault(ioOp, ioErr)
+	}
 	if err != nil {
-		panic("table: block authentication failed: " + err.Error())
+		authFault("block", err)
 	}
 }
 
@@ -198,11 +220,17 @@ func (e *Spill) GetRange(lo int, dst []Entry) {
 	cp, ct := getBuf((k1 - k0 + 1) * st.unit)
 	defer putBuf(cp)
 	st.lockSpan(k0, k1)
-	st.readBlocks(ct, k0, k1)
-	err := st.cipher.OpenRange(plain, ct[:(k1-k0+1)*st.unit], st.pt)
+	var err error
+	ioErr := st.readBlocks(ct, k0, k1)
+	if ioErr == nil {
+		err = st.cipher.OpenRange(plain, ct[:(k1-k0+1)*st.unit], st.pt)
+	}
 	st.unlockSpan(k0, k1)
+	if ioErr != nil {
+		ioFault("read", ioErr)
+	}
 	if err != nil {
-		panic("table: block authentication failed: " + err.Error())
+		authFault("block", err)
 	}
 	base := (lo - k0*st.b) * EncodedSize
 	for j := range dst {
@@ -227,45 +255,57 @@ func (e *Spill) SetRange(lo int, src []Entry) {
 	cp, ct := getBuf((k1 - k0 + 1) * st.unit)
 	defer putBuf(cp)
 	st.lockSpan(k0, k1)
-	err := st.fillBoundaries(plain, ct, lo, hi, k0, k1)
-	if err == nil {
+	ioOp := "read"
+	ioErr, err := st.fillBoundaries(plain, ct, lo, hi, k0, k1)
+	if ioErr == nil && err == nil {
 		base := (lo - k0*st.b) * EncodedSize
 		for j := range src {
 			src[j].Encode(plain[base+j*EncodedSize : base+(j+1)*EncodedSize])
 		}
 		st.cipher.SealRange(ct[:(k1-k0+1)*st.unit], plain, st.pt)
-		st.writeBlocks(ct, k0, k1)
+		ioOp = "write"
+		ioErr = st.writeBlocks(ct, k0, k1)
 	}
 	st.unlockSpan(k0, k1)
+	if ioErr != nil {
+		ioFault(ioOp, ioErr)
+	}
 	if err != nil {
-		panic("table: block authentication failed: " + err.Error())
+		authFault("block", err)
 	}
 }
 
 // fillBoundaries prepares the plaintext staging buffer for a write of
 // [lo, hi) spanning blocks [k0, k1], reading partially covered boundary
 // blocks back from disk. Callers hold the span's locks; ct is scratch
-// of at least one unit.
-func (st *spillState) fillBoundaries(plain, ct []byte, lo, hi, k0, k1 int) error {
+// of at least one unit. IO and authentication failures come back as
+// separate errors so the caller can fault with the right sentinel
+// after unlocking.
+func (st *spillState) fillBoundaries(plain, ct []byte, lo, hi, k0, k1 int) (ioErr, authErr error) {
 	headPartial := lo%st.b != 0
 	if headPartial {
-		st.readBlocks(ct, k0, k0)
-		if err := st.cipher.Open(plain[:st.pt], ct[:st.unit]); err != nil {
-			return err
+		if ioErr = st.readBlocks(ct, k0, k0); ioErr != nil {
+			return
+		}
+		if authErr = st.cipher.Open(plain[:st.pt], ct[:st.unit]); authErr != nil {
+			return
 		}
 	}
 	if hi%st.b == 0 || (k1 == k0 && headPartial) {
-		return nil
+		return
 	}
 	tail := plain[(k1-k0)*st.pt : (k1-k0+1)*st.pt]
 	if hi < st.n {
-		st.readBlocks(ct, k1, k1)
-		return st.cipher.Open(tail, ct[:st.unit])
+		if ioErr = st.readBlocks(ct, k1, k1); ioErr != nil {
+			return
+		}
+		authErr = st.cipher.Open(tail, ct[:st.unit])
+		return
 	}
 	// hi == n: everything past it in block k1 is padding — zero entries
 	// by construction — so stage zeros instead of reading back.
 	clear(tail[(hi-k1*st.b)*EncodedSize:])
-	return nil
+	return
 }
 
 // Traced reports whether accesses to the spilled storage are recorded.
@@ -291,6 +331,7 @@ func (e *Spill) Shard(rec trace.Recorder) any {
 type Spiller struct {
 	space  *memory.Space
 	cipher *crypto.Cipher
+	fs     fault.FS
 	dir    string
 	block  int
 	gauge  *Gauge
@@ -299,10 +340,16 @@ type Spiller struct {
 // NewSpiller returns a Spiller sealing blocks of b entries under c into
 // dir ("" selects the system temp directory).
 func NewSpiller(s *memory.Space, c *crypto.Cipher, dir string, b int, g *Gauge) *Spiller {
+	return NewSpillerFS(s, c, nil, dir, b, g)
+}
+
+// NewSpillerFS is NewSpiller over an explicit filesystem seam (nil
+// selects the real OS) — the fault-injection entry point.
+func NewSpillerFS(s *memory.Space, c *crypto.Cipher, fsys fault.FS, dir string, b int, g *Gauge) *Spiller {
 	if b <= 0 {
 		b = DefaultSealedBlock
 	}
-	return &Spiller{space: s, cipher: c, dir: dir, block: b, gauge: g}
+	return &Spiller{space: s, cipher: c, fs: fault.Or(fsys), dir: dir, block: b, gauge: g}
 }
 
 // Alloc allocates an n-entry spill store, registering its cleanup with
@@ -310,7 +357,7 @@ func NewSpiller(s *memory.Space, c *crypto.Cipher, dir string, b int, g *Gauge) 
 // the tracked heap footprint is zero; the on-disk bytes are recorded as
 // spill statistics.
 func (sp *Spiller) Alloc(n int) (Store, error) {
-	st, err := NewSpill(sp.space, sp.cipher, sp.dir, n, sp.block)
+	st, err := NewSpillFS(sp.space, sp.cipher, sp.fs, sp.dir, n, sp.block)
 	if err != nil {
 		return nil, err
 	}

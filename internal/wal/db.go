@@ -10,9 +10,11 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"time"
 
 	"oblivjoin/internal/catalog"
 	"oblivjoin/internal/crypto"
+	"oblivjoin/internal/fault"
 	"oblivjoin/internal/table"
 )
 
@@ -32,23 +34,52 @@ import (
 // All mutations must go through the DB; mutating the bound catalog
 // directly would diverge memory from disk.
 type DB struct {
-	dir    string
-	cipher *crypto.Cipher
-	cat    *catalog.Catalog
-	every  int
+	dir     string
+	cipher  *crypto.Cipher
+	cat     *catalog.Catalog
+	every   int
+	fs      fault.FS
+	retries int
+	backoff time.Duration
 
 	mu     sync.Mutex
 	log    *Log
 	since  int // commits since the last snapshot
 	closed bool
+
+	// Degradation state. A transient append/sync failure is retried
+	// with backoff; exhausting the retries trips the read-only breaker
+	// (mutations refused with ErrReadOnly, reads unaffected). A failed
+	// automatic snapshot degrades the store — the commit it rode on is
+	// already durable in the log, so it is acknowledged, and the
+	// checkpoint debt is carried until a Checkpoint succeeds.
+	readOnly  bool
+	roCause   error
+	snapErr   error  // last failed automatic snapshot (nil = none pending)
+	retried   uint64 // transient append/sync retries performed
+	snapFails uint64 // automatic snapshot failures
 }
 
 // ErrClosed is returned for mutations after Close.
 var ErrClosed = errors.New("wal: durable store closed")
 
+// ErrReadOnly is returned for mutations while the store is circuit-
+// broken into read-only degraded mode after a persistent write
+// failure. Reads keep serving from memory; a successful Checkpoint
+// (after the underlying fault clears) re-enters normal operation.
+var ErrReadOnly = errors.New("wal: store is read-only (degraded)")
+
 // DefaultSnapshotEvery is the commit count between automatic
 // snapshots when Options.SnapshotEvery is zero.
 const DefaultSnapshotEvery = 256
+
+// DefaultRetryAppend is the bounded retry count for transient WAL
+// append/sync failures when Options.RetryAppend is zero.
+const DefaultRetryAppend = 3
+
+// DefaultRetryBackoff is the initial retry backoff when
+// Options.RetryBackoff is zero; it doubles per attempt.
+const DefaultRetryBackoff = time.Millisecond
 
 // Options configures Open.
 type Options struct {
@@ -63,6 +94,16 @@ type Options struct {
 	// (ErrTruncated) are always discarded; this extends that to
 	// corruption, losing the damaged suffix.
 	DiscardCorruptTail bool
+	// FS is the filesystem seam all WAL, snapshot and recovery IO goes
+	// through (nil selects the real OS) — the fault-injection hook.
+	FS fault.FS
+	// RetryAppend bounds the retries of a transiently failing WAL
+	// append/sync before the read-only breaker trips. 0 means
+	// DefaultRetryAppend; negative disables retries.
+	RetryAppend int
+	// RetryBackoff is the initial backoff between those retries,
+	// doubling per attempt. 0 means DefaultRetryBackoff.
+	RetryBackoff time.Duration
 }
 
 // RecoveryInfo reports what Open found and did.
@@ -153,6 +194,7 @@ func listSnapshots(dir string) ([]uint64, error) {
 // torn final record, and fails with a typed *TailError on checksum or
 // authentication damage (unless Options.DiscardCorruptTail).
 func Open(dir string, cat *catalog.Catalog, opts Options) (*DB, *RecoveryInfo, error) {
+	fsys := fault.Or(opts.FS)
 	if err := os.MkdirAll(dir, 0o700); err != nil {
 		return nil, nil, err
 	}
@@ -174,7 +216,7 @@ func Open(dir string, cat *catalog.Catalog, opts Options) (*DB, *RecoveryInfo, e
 	if len(snaps) > 0 {
 		base = snaps[len(snaps)-1]
 		path := filepath.Join(dir, snapName(base))
-		ver, tables, err := ReadSnapshot(path, cipher)
+		ver, tables, err := ReadSnapshotFS(fsys, path, cipher)
 		if err != nil {
 			return nil, nil, err
 		}
@@ -214,7 +256,7 @@ func Open(dir string, cat *catalog.Catalog, opts Options) (*DB, *RecoveryInfo, e
 			replayIdx++
 			return nil
 		}
-		walBase, n, goodSize, tail, rerr := ReplayFile(walPath, cipher, apply)
+		walBase, n, goodSize, tail, rerr := ReplayFileFS(fsys, walPath, cipher, apply)
 		if rerr != nil {
 			// A record decrypted and checksummed fine but cannot apply:
 			// the log disagrees with the snapshot. Surface it typed.
@@ -237,10 +279,10 @@ func Open(dir string, cat *catalog.Catalog, opts Options) (*DB, *RecoveryInfo, e
 			info.Tail = tail
 			if goodSize < headerLen {
 				// The header itself was torn: rewrite the log whole.
-				log, err = Create(walPath, cipher, base)
+				log, err = CreateFS(fsys, walPath, cipher, base)
 			} else {
-				if err = os.Truncate(walPath, goodSize); err == nil {
-					log, err = openAppend(walPath, cipher, base, goodSize, n)
+				if err = fsys.Truncate(walPath, goodSize); err == nil {
+					log, err = openAppend(fsys, walPath, cipher, base, goodSize, n)
 				}
 			}
 			if err != nil {
@@ -251,13 +293,13 @@ func Open(dir string, cat *catalog.Catalog, opts Options) (*DB, *RecoveryInfo, e
 				return nil, nil, err
 			}
 		} else {
-			log, err = openAppend(walPath, cipher, base, goodSize, n)
+			log, err = openAppend(fsys, walPath, cipher, base, goodSize, n)
 			if err != nil {
 				return nil, nil, err
 			}
 		}
 	} else {
-		log, err = Create(walPath, cipher, base)
+		log, err = CreateFS(fsys, walPath, cipher, base)
 		if err != nil {
 			return nil, nil, err
 		}
@@ -279,9 +321,21 @@ func Open(dir string, cat *catalog.Catalog, opts Options) (*DB, *RecoveryInfo, e
 	info.Version = cat.Version()
 	info.Tables = cat.Len()
 
-	db := &DB{dir: dir, cipher: cipher, cat: cat, every: opts.SnapshotEvery, log: log, since: log.Records()}
+	db := &DB{
+		dir: dir, cipher: cipher, cat: cat, every: opts.SnapshotEvery,
+		fs: fsys, retries: opts.RetryAppend, backoff: opts.RetryBackoff,
+		log: log, since: log.Records(),
+	}
 	if db.every == 0 {
 		db.every = DefaultSnapshotEvery
+	}
+	if db.retries == 0 {
+		db.retries = DefaultRetryAppend
+	} else if db.retries < 0 {
+		db.retries = 0
+	}
+	if db.backoff <= 0 {
+		db.backoff = DefaultRetryBackoff
 	}
 	db.cleanupObsolete(base)
 	return db, info, nil
@@ -324,13 +378,41 @@ func (db *DB) Dir() string { return db.dir }
 // commit appends rec (with the next catalog version), fsyncs, applies
 // apply, and snapshots when the automatic threshold is reached.
 // Callers hold db.mu and have validated that apply will succeed.
+//
+// Failure handling: a failed append or sync is rolled back (the log
+// truncated to its pre-commit length, so no partial or unsynced frame
+// survives) and retried up to db.retries times with doubling backoff.
+// Exhausting the retries — or failing to roll back — trips the
+// read-only breaker: this and every subsequent mutation fail with an
+// error wrapping ErrReadOnly until a Checkpoint succeeds. A failed
+// automatic snapshot does NOT fail the commit (the mutation is already
+// durable and applied); it degrades the store and the checkpoint debt
+// is carried forward.
 func (db *DB) commit(rec Record, apply func() error) error {
-	rec.Version = db.cat.Version() + 1
-	if err := db.log.Append(rec); err != nil {
-		return fmt.Errorf("wal append: %w", err)
+	if db.readOnly {
+		return fmt.Errorf("%w: %w", ErrReadOnly, db.roCause)
 	}
-	if err := db.log.Sync(); err != nil {
-		return fmt.Errorf("wal sync: %w", err)
+	rec.Version = db.cat.Version() + 1
+	preSize, preN := db.log.Size(), db.log.Records()
+	backoff := db.backoff
+	for attempt := 0; ; attempt++ {
+		err := db.appendSync(rec)
+		if err == nil {
+			break
+		}
+		if rerr := db.log.RollbackTo(preSize, preN); rerr != nil {
+			db.readOnly = true
+			db.roCause = fmt.Errorf("%w (rollback also failed: %v)", err, rerr)
+			return fmt.Errorf("%w: %w", ErrReadOnly, db.roCause)
+		}
+		if attempt >= db.retries {
+			db.readOnly = true
+			db.roCause = err
+			return fmt.Errorf("%w: %w", ErrReadOnly, err)
+		}
+		db.retried++
+		time.Sleep(backoff)
+		backoff *= 2
 	}
 	if err := apply(); err != nil {
 		// The log now holds a record memory refused. Validation under
@@ -340,7 +422,26 @@ func (db *DB) commit(rec Record, apply func() error) error {
 	}
 	db.since++
 	if db.every > 0 && db.since >= db.every {
-		return db.snapshotLocked()
+		if serr := db.snapshotLocked(); serr != nil {
+			// The commit is durable and applied; the missed checkpoint
+			// degrades the store instead of failing an acknowledged
+			// mutation. Recovery replays the longer WAL.
+			db.snapErr = serr
+			db.snapFails++
+		} else {
+			db.snapErr = nil
+		}
+	}
+	return nil
+}
+
+// appendSync is one append+fsync attempt.
+func (db *DB) appendSync(rec Record) error {
+	if err := db.log.Append(rec); err != nil {
+		return fmt.Errorf("wal append: %w", err)
+	}
+	if err := db.log.Sync(); err != nil {
+		return fmt.Errorf("wal sync: %w", err)
 	}
 	return nil
 }
@@ -447,17 +548,20 @@ func (db *DB) RestoreTable(name string, asOf uint64) error {
 // current version, fresh WAL based on it, obsolete files removed.
 func (db *DB) snapshotLocked() error {
 	ver := db.cat.Version()
-	if ver == db.log.Base() && db.log.Records() == 0 {
+	if !db.readOnly && db.snapErr == nil && ver == db.log.Base() && db.log.Records() == 0 {
 		return nil // nothing since the last checkpoint
 	}
+	// While read-only or carrying checkpoint debt the shortcut is
+	// skipped: a checkpoint must actually write — snapshot, fresh WAL,
+	// dir fsync — to prove the directory is healthy again.
 	tables, err := db.cat.Snapshot()
 	if err != nil {
 		return err
 	}
-	if err := WriteSnapshot(filepath.Join(db.dir, snapName(ver)), db.cipher, ver, tables); err != nil {
+	if err := WriteSnapshotFS(db.fs, filepath.Join(db.dir, snapName(ver)), db.cipher, ver, tables); err != nil {
 		return err
 	}
-	newLog, err := Create(filepath.Join(db.dir, walName(ver)), db.cipher, ver)
+	newLog, err := CreateFS(db.fs, filepath.Join(db.dir, walName(ver)), db.cipher, ver)
 	if err != nil {
 		return err
 	}
@@ -473,19 +577,77 @@ func (db *DB) snapshotLocked() error {
 	return nil
 }
 
-// Checkpoint forces a snapshot now.
+// Checkpoint forces a snapshot now. A successful checkpoint is also
+// the recovery path out of degradation: it clears pending snapshot
+// debt and re-opens a read-only store for writes — the snapshot, the
+// fresh WAL and the directory fsync all succeeding is the proof that
+// the underlying fault has cleared.
 func (db *DB) Checkpoint() error {
 	db.mu.Lock()
 	defer db.mu.Unlock()
 	if db.closed {
 		return ErrClosed
 	}
-	return db.snapshotLocked()
+	if err := db.snapshotLocked(); err != nil {
+		db.snapErr = err
+		db.snapFails++
+		return err
+	}
+	db.snapErr = nil
+	db.readOnly = false
+	db.roCause = nil
+	return nil
+}
+
+// CloseError reports a dirty shutdown with each failed step kept
+// distinct, so operators can tell a failed final snapshot from a
+// failed WAL sync from a failed file close when the clean marker is
+// absent. errors.Is matches any of the wrapped causes.
+type CloseError struct {
+	SnapshotErr error // the final snapshot failed (WAL still holds the tail)
+	SyncErr     error // the final WAL fsync failed (recent commits may be lost)
+	CloseErr    error // closing the log file failed
+	MarkerErr   error // writing or fsyncing the clean marker failed
+}
+
+func (e *CloseError) Error() string {
+	parts := make([]string, 0, 4)
+	if e.SnapshotErr != nil {
+		parts = append(parts, fmt.Sprintf("final snapshot: %v", e.SnapshotErr))
+	}
+	if e.SyncErr != nil {
+		parts = append(parts, fmt.Sprintf("wal sync: %v", e.SyncErr))
+	}
+	if e.CloseErr != nil {
+		parts = append(parts, fmt.Sprintf("log close: %v", e.CloseErr))
+	}
+	if e.MarkerErr != nil {
+		parts = append(parts, fmt.Sprintf("clean marker: %v", e.MarkerErr))
+	}
+	return "wal: dirty shutdown: " + strings.Join(parts, "; ")
+}
+
+// Unwrap exposes every non-nil cause to errors.Is/As.
+func (e *CloseError) Unwrap() []error {
+	var errs []error
+	for _, err := range []error{e.SnapshotErr, e.SyncErr, e.CloseErr, e.MarkerErr} {
+		if err != nil {
+			errs = append(errs, err)
+		}
+	}
+	return errs
+}
+
+func (e *CloseError) any() bool {
+	return e.SnapshotErr != nil || e.SyncErr != nil || e.CloseErr != nil || e.MarkerErr != nil
 }
 
 // Close flushes everything — final snapshot if anything changed since
 // the last one, WAL fsync, clean-shutdown marker — and closes the DB.
-// Idempotent.
+// Idempotent. A failure returns a *CloseError reporting each failed
+// step distinctly; the WAL sync and file close are still attempted
+// after a failed snapshot (the log tail is then the durable truth),
+// and the clean marker is only written when everything else succeeded.
 func (db *DB) Close() error {
 	db.mu.Lock()
 	defer db.mu.Unlock()
@@ -493,25 +655,65 @@ func (db *DB) Close() error {
 		return nil
 	}
 	db.closed = true
-	var firstErr error
-	if err := db.snapshotLocked(); err != nil {
-		firstErr = err
-	}
-	if err := db.log.Sync(); err != nil && firstErr == nil {
-		firstErr = err
-	}
-	if err := db.log.Close(); err != nil && firstErr == nil {
-		firstErr = err
-	}
-	if firstErr == nil {
+	ce := &CloseError{}
+	ce.SnapshotErr = db.snapshotLocked()
+	ce.SyncErr = db.log.Sync()
+	ce.CloseErr = db.log.Close()
+	if !ce.any() {
 		marker := []byte(strconv.FormatUint(db.cat.Version(), 16) + "\n")
 		if err := os.WriteFile(filepath.Join(db.dir, cleanFile), marker, 0o600); err != nil {
-			firstErr = err
+			ce.MarkerErr = err
 		} else if err := syncDir(db.dir); err != nil {
-			firstErr = err
+			ce.MarkerErr = err
 		}
 	}
-	return firstErr
+	if ce.any() {
+		return ce
+	}
+	return nil
+}
+
+// HealthState classifies the durable store's degradation level.
+type HealthState string
+
+const (
+	// HealthOK: normal operation.
+	HealthOK HealthState = "ok"
+	// HealthDegraded: commits succeed but checkpoint debt is pending —
+	// an automatic snapshot failed and recovery would replay a longer
+	// WAL than the snapshot cadence intends.
+	HealthDegraded HealthState = "degraded"
+	// HealthReadOnly: the read-only breaker is tripped — mutations are
+	// refused with ErrReadOnly until a Checkpoint succeeds.
+	HealthReadOnly HealthState = "read-only"
+)
+
+// Health reports the store's degradation state machine: ok → degraded
+// (failed automatic snapshot, commits still durable) → read-only
+// (persistent append/sync failure, mutations refused), with the cause
+// and the fault counters. A successful Checkpoint transitions back to
+// ok.
+type Health struct {
+	State            HealthState
+	Cause            string // "" when ok
+	Retries          uint64 // transient append/sync retries performed
+	SnapshotFailures uint64 // automatic snapshot failures
+}
+
+// Health returns the store's current health.
+func (db *DB) Health() Health {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	h := Health{State: HealthOK, Retries: db.retried, SnapshotFailures: db.snapFails}
+	switch {
+	case db.readOnly:
+		h.State = HealthReadOnly
+		h.Cause = db.roCause.Error()
+	case db.snapErr != nil:
+		h.State = HealthDegraded
+		h.Cause = db.snapErr.Error()
+	}
+	return h
 }
 
 // Abandon closes the underlying file without the final snapshot, sync

@@ -1,0 +1,223 @@
+package wal
+
+import (
+	"errors"
+	"reflect"
+	"testing"
+	"time"
+
+	"oblivjoin/internal/catalog"
+	"oblivjoin/internal/fault"
+)
+
+// fastOpts keeps the retry loop quick under test.
+func fastOpts(in *fault.Injector) Options {
+	return Options{FS: in, RetryBackoff: 50 * time.Microsecond}
+}
+
+// TestCommitRetriesTransientAppend: one injected EIO on the WAL append
+// path is absorbed by the retry loop — the commit succeeds, the data
+// is durable, and the health counters record the retry.
+func TestCommitRetriesTransientAppend(t *testing.T) {
+	in := fault.NewInjector(nil, 3)
+	dir := t.TempDir()
+	db, _, err := Open(dir, catalog.New(), fastOpts(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	in.Arm(fault.Rule{Op: fault.OpWrite, Path: "wal-", Count: 1, Err: fault.EIO})
+	if err := db.Register("users", mkRows(t, 20, 'u')); err != nil {
+		t.Fatalf("transient fault not retried: %v", err)
+	}
+	h := db.Health()
+	if h.State != HealthOK || h.Retries == 0 {
+		t.Fatalf("health = %+v, want ok with retries recorded", h)
+	}
+	want := snapshotOf(t, db)
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// The retried commit — not the rolled-back partial frame — is what
+	// recovery replays.
+	db2, info := openDB(t, dir, Options{})
+	defer db2.Close()
+	if !info.CleanShutdown {
+		t.Fatalf("recovery info = %+v, want clean shutdown", info)
+	}
+	if got := snapshotOf(t, db2); !reflect.DeepEqual(got, want) {
+		t.Fatal("recovered state differs from committed state")
+	}
+}
+
+// TestPersistentWriteFailureTripsReadOnly: exhausting the retries trips
+// the breaker — mutations fail typed, reads keep serving — and a
+// successful Checkpoint after the fault clears restores write service.
+func TestPersistentWriteFailureTripsReadOnly(t *testing.T) {
+	in := fault.NewInjector(nil, 3)
+	dir := t.TempDir()
+	db, _, err := Open(dir, catalog.New(), fastOpts(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	if err := db.Register("users", mkRows(t, 20, 'u')); err != nil {
+		t.Fatal(err)
+	}
+	in.Arm(fault.Rule{Op: fault.OpWrite, Path: "wal-", Err: fault.ENOSPC})
+	err = db.Register("orders", mkRows(t, 10, 'o'))
+	if !errors.Is(err, ErrReadOnly) || !errors.Is(err, fault.ENOSPC) {
+		t.Fatalf("persistent fault = %v, want ErrReadOnly wrapping ENOSPC", err)
+	}
+	if h := db.Health(); h.State != HealthReadOnly || h.Cause == "" {
+		t.Fatalf("health = %+v, want read-only with cause", h)
+	}
+	// The breaker fails fast without touching the disk again.
+	before := in.Injected()
+	if err := db.Replace("users", nil); !errors.Is(err, ErrReadOnly) {
+		t.Fatalf("second mutation = %v, want ErrReadOnly", err)
+	}
+	if in.Injected() != before {
+		t.Fatal("read-only mutation still reached the disk")
+	}
+	// Reads keep serving the pre-fault state.
+	snap := snapshotOf(t, db)
+	if len(snap["users"]) != 20 {
+		t.Fatalf("read under read-only = %d rows, want 20", len(snap["users"]))
+	}
+	// A checkpoint attempted while the fault persists must fail and
+	// leave the breaker tripped.
+	if err := db.Checkpoint(); err == nil {
+		t.Fatal("Checkpoint under persistent fault succeeded")
+	}
+	if h := db.Health(); h.State != HealthReadOnly {
+		t.Fatalf("health after failed checkpoint = %+v", h)
+	}
+	// Fault clears; the checkpoint's snapshot + fresh WAL + dir fsync
+	// succeeding is the proof the disk is healthy again.
+	in.Disarm()
+	if err := db.Checkpoint(); err != nil {
+		t.Fatalf("Checkpoint after fault cleared: %v", err)
+	}
+	if h := db.Health(); h.State != HealthOK {
+		t.Fatalf("health after recovery = %+v, want ok", h)
+	}
+	if err := db.Register("orders", mkRows(t, 10, 'o')); err != nil {
+		t.Fatalf("write after recovery: %v", err)
+	}
+}
+
+// TestSnapshotFailureDegrades: a failed automatic snapshot must not
+// fail the commit it rode on — the mutation is already durable — but
+// leaves the store degraded until a checkpoint succeeds.
+func TestSnapshotFailureDegrades(t *testing.T) {
+	in := fault.NewInjector(nil, 3)
+	dir := t.TempDir()
+	db, _, err := Open(dir, catalog.New(), Options{FS: in, SnapshotEvery: 1, RetryBackoff: 50 * time.Microsecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	in.Arm(fault.Rule{Op: fault.OpOpen, Path: "snap-", Err: fault.EIO})
+	if err := db.Register("users", mkRows(t, 20, 'u')); err != nil {
+		t.Fatalf("commit failed on snapshot fault: %v", err)
+	}
+	h := db.Health()
+	if h.State != HealthDegraded || h.SnapshotFailures == 0 {
+		t.Fatalf("health = %+v, want degraded with snapshot failures", h)
+	}
+	// Degraded is not read-only: commits still land (and re-attempt the
+	// snapshot, which keeps failing).
+	if err := db.Register("orders", mkRows(t, 5, 'o')); err != nil {
+		t.Fatalf("commit while degraded: %v", err)
+	}
+	in.Disarm()
+	if err := db.Checkpoint(); err != nil {
+		t.Fatalf("Checkpoint after fault cleared: %v", err)
+	}
+	if h := db.Health(); h.State != HealthOK {
+		t.Fatalf("health after checkpoint = %+v, want ok", h)
+	}
+}
+
+// TestCloseErrorDistinguishesSteps: a dirty shutdown names which step
+// failed — a failed final snapshot is reported distinctly from a
+// failed WAL sync.
+func TestCloseErrorDistinguishesSteps(t *testing.T) {
+	t.Run("snapshot", func(t *testing.T) {
+		in := fault.NewInjector(nil, 3)
+		db, _, err := Open(t.TempDir(), catalog.New(), fastOpts(in))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := db.Register("users", mkRows(t, 8, 'u')); err != nil {
+			t.Fatal(err)
+		}
+		in.Arm(fault.Rule{Op: fault.OpOpen, Path: "snap-", Err: fault.EIO})
+		err = db.Close()
+		var ce *CloseError
+		if !errors.As(err, &ce) {
+			t.Fatalf("Close = %v, want *CloseError", err)
+		}
+		if ce.SnapshotErr == nil || ce.SyncErr != nil || ce.CloseErr != nil {
+			t.Fatalf("CloseError = %+v, want only SnapshotErr set", ce)
+		}
+		if !errors.Is(err, fault.EIO) {
+			t.Fatalf("CloseError %v does not unwrap to EIO", err)
+		}
+	})
+	t.Run("sync", func(t *testing.T) {
+		in := fault.NewInjector(nil, 3)
+		db, _, err := Open(t.TempDir(), catalog.New(), fastOpts(in))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := db.Register("users", mkRows(t, 8, 'u')); err != nil {
+			t.Fatal(err)
+		}
+		// Checkpoint first so Close's snapshot step is a no-op (nothing
+		// committed since) and the failure is isolated to the WAL fsync.
+		if err := db.Checkpoint(); err != nil {
+			t.Fatal(err)
+		}
+		in.Arm(fault.Rule{Op: fault.OpSync, Path: "wal-", Err: fault.EIO})
+		err = db.Close()
+		var ce *CloseError
+		if !errors.As(err, &ce) {
+			t.Fatalf("Close = %v, want *CloseError", err)
+		}
+		if ce.SyncErr == nil || ce.SnapshotErr != nil {
+			t.Fatalf("CloseError = %+v, want only SyncErr set", ce)
+		}
+	})
+}
+
+// TestRecoveryReadFaults: injected failures on the recovery read path
+// (snapshot read, WAL replay) surface as opening errors, never panics.
+func TestRecoveryReadFaults(t *testing.T) {
+	dir := t.TempDir()
+	db, _, err := Open(dir, catalog.New(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Register("users", mkRows(t, 8, 'u')); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+	in := fault.NewInjector(nil, 3)
+	in.Arm(fault.Rule{Op: fault.OpRead, Path: "snap-", Err: fault.EIO})
+	if _, _, err := Open(dir, catalog.New(), Options{FS: in}); !errors.Is(err, fault.EIO) {
+		t.Fatalf("recovery under EIO = %v, want EIO", err)
+	}
+	// With the fault cleared the directory opens fine.
+	in.Disarm()
+	db2, info, err := Open(dir, catalog.New(), Options{FS: in})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db2.Close()
+	if info.Tables != 1 {
+		t.Fatalf("recovered %d tables, want 1", info.Tables)
+	}
+}

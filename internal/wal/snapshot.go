@@ -8,6 +8,7 @@ import (
 	"sort"
 
 	"oblivjoin/internal/crypto"
+	"oblivjoin/internal/fault"
 	"oblivjoin/internal/table"
 )
 
@@ -22,6 +23,13 @@ import (
 // Tables are written in sorted name order so snapshots of equal states
 // are written deterministically.
 func WriteSnapshot(path string, cipher *crypto.Cipher, version uint64, tables map[string][]table.Row) error {
+	return WriteSnapshotFS(nil, path, cipher, version, tables)
+}
+
+// WriteSnapshotFS is WriteSnapshot over an explicit filesystem seam
+// (nil selects the real OS) — the fault-injection entry point.
+func WriteSnapshotFS(fsys fault.FS, path string, cipher *crypto.Cipher, version uint64, tables map[string][]table.Row) error {
+	fsys = fault.Or(fsys)
 	names := make([]string, 0, len(tables))
 	for name := range tables {
 		names = append(names, name)
@@ -29,11 +37,11 @@ func WriteSnapshot(path string, cipher *crypto.Cipher, version uint64, tables ma
 	sort.Strings(names)
 
 	tmp := path + ".tmp"
-	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o600)
+	f, err := fsys.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o600)
 	if err != nil {
 		return err
 	}
-	defer os.Remove(tmp) // no-op after the rename succeeds
+	defer fsys.Remove(tmp) // no-op after the rename succeeds
 	if err := writeHeader(f, snapMagic, version); err != nil {
 		f.Close()
 		return err
@@ -59,7 +67,7 @@ func WriteSnapshot(path string, cipher *crypto.Cipher, version uint64, tables ma
 	if err := f.Close(); err != nil {
 		return err
 	}
-	if err := os.Rename(tmp, path); err != nil {
+	if err := fsys.Rename(tmp, path); err != nil {
 		return err
 	}
 	return syncDir(filepath.Dir(path))
@@ -70,7 +78,14 @@ func WriteSnapshot(path string, cipher *crypto.Cipher, version uint64, tables ma
 // including truncation — is real corruption and surfaces as a typed
 // *TailError, never as silent partial data.
 func ReadSnapshot(path string, cipher *crypto.Cipher) (uint64, map[string][]table.Row, error) {
-	data, err := os.ReadFile(path)
+	return ReadSnapshotFS(nil, path, cipher)
+}
+
+// ReadSnapshotFS is ReadSnapshot over an explicit filesystem seam (nil
+// selects the real OS) — the recovery-read fault-injection entry
+// point.
+func ReadSnapshotFS(fsys fault.FS, path string, cipher *crypto.Cipher) (uint64, map[string][]table.Row, error) {
+	data, err := fault.Or(fsys).ReadFile(path)
 	if err != nil {
 		return 0, nil, err
 	}

@@ -30,6 +30,7 @@ import (
 	"os"
 
 	"oblivjoin/internal/crypto"
+	"oblivjoin/internal/fault"
 	"oblivjoin/internal/table"
 )
 
@@ -245,7 +246,7 @@ func decodeFrame(cipher *crypto.Cipher, data []byte, off int) (rec Record, next 
 	return rec, off + frameHdr + bodyLen, nil
 }
 
-func writeHeader(f *os.File, magic string, base uint64) error {
+func writeHeader(f fault.File, magic string, base uint64) error {
 	hdr := make([]byte, headerLen)
 	copy(hdr, magic)
 	binary.LittleEndian.PutUint64(hdr[8:], base)
@@ -270,7 +271,8 @@ func parseHeader(path, magic string, data []byte) (uint64, error) {
 // returns.
 type Log struct {
 	path string
-	f    *os.File
+	fs   fault.FS
+	f    fault.File
 	base uint64
 	n    int
 	size int64
@@ -281,7 +283,14 @@ type Log struct {
 // Create creates (or truncates) a WAL at path with the given base
 // version and fsyncs the header, so an empty log is itself durable.
 func Create(path string, cipher *crypto.Cipher, base uint64) (*Log, error) {
-	f, err := os.OpenFile(path, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o600)
+	return CreateFS(nil, path, cipher, base)
+}
+
+// CreateFS is Create over an explicit filesystem seam (nil selects the
+// real OS) — the fault-injection entry point.
+func CreateFS(fsys fault.FS, path string, cipher *crypto.Cipher, base uint64) (*Log, error) {
+	fsys = fault.Or(fsys)
+	f, err := fsys.OpenFile(path, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o600)
 	if err != nil {
 		return nil, err
 	}
@@ -293,18 +302,19 @@ func Create(path string, cipher *crypto.Cipher, base uint64) (*Log, error) {
 		f.Close()
 		return nil, err
 	}
-	return &Log{path: path, f: f, base: base, size: headerLen, ciph: cipher}, nil
+	return &Log{path: path, fs: fsys, f: f, base: base, size: headerLen, ciph: cipher}, nil
 }
 
 // openAppend reopens an existing, already-validated WAL for appending.
 // size must be the validated length (replay's goodSize) and n the
 // number of valid records.
-func openAppend(path string, cipher *crypto.Cipher, base uint64, size int64, n int) (*Log, error) {
-	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o600)
+func openAppend(fsys fault.FS, path string, cipher *crypto.Cipher, base uint64, size int64, n int) (*Log, error) {
+	fsys = fault.Or(fsys)
+	f, err := fsys.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o600)
 	if err != nil {
 		return nil, err
 	}
-	return &Log{path: path, f: f, base: base, size: size, n: n, buf: nil, ciph: cipher}, nil
+	return &Log{path: path, fs: fsys, f: f, base: base, size: size, n: n, buf: nil, ciph: cipher}, nil
 }
 
 // Append writes one framed record (unsynced; call Sync to commit).
@@ -324,6 +334,20 @@ func (l *Log) Append(rec Record) error {
 
 // Sync fsyncs all appended records to stable storage.
 func (l *Log) Sync() error { return l.f.Sync() }
+
+// RollbackTo rewinds the log to a prior (size, records) point captured
+// before a failed commit: the file is truncated — discarding a partial
+// frame from a short write, or a fully written but never fsynced
+// record — so a retry never duplicates or corrupts records. The file
+// stays open in append mode; subsequent writes continue at the
+// truncated end.
+func (l *Log) RollbackTo(size int64, n int) error {
+	if err := l.fs.Truncate(l.path, size); err != nil {
+		return err
+	}
+	l.size, l.n = size, n
+	return nil
+}
 
 // Close closes the file (without a final Sync; callers sync first).
 func (l *Log) Close() error { return l.f.Close() }
@@ -345,7 +369,14 @@ func (l *Log) Base() uint64 { return l.base }
 // going) and ErrChecksum/ErrFormat/crypto.ErrAuth for damage to bytes
 // that were once acknowledged. An error from fn aborts the replay.
 func ReplayFile(path string, cipher *crypto.Cipher, fn func(Record) error) (base uint64, n int, goodSize int64, tail *TailError, err error) {
-	data, err := os.ReadFile(path)
+	return ReplayFileFS(nil, path, cipher, fn)
+}
+
+// ReplayFileFS is ReplayFile over an explicit filesystem seam (nil
+// selects the real OS) — the recovery-read fault-injection entry
+// point.
+func ReplayFileFS(fsys fault.FS, path string, cipher *crypto.Cipher, fn func(Record) error) (base uint64, n int, goodSize int64, tail *TailError, err error) {
+	data, err := fault.Or(fsys).ReadFile(path)
 	if err != nil {
 		return 0, 0, 0, nil, err
 	}

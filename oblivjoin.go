@@ -220,11 +220,32 @@ type Result struct {
 	SimulatedTime time.Duration
 }
 
-// Join computes the equi-join of left and right under opts.
-func Join(left, right *Table, opts *Options) (*Result, error) {
+// Join computes the equi-join of left and right under opts. Caller
+// errors — nil tables, an unknown algorithm — return typed errors,
+// never panic; a sealed store failing authentication mid-join
+// surfaces as an error wrapping ErrSealedAuth.
+func Join(left, right *Table, opts *Options) (retRes *Result, retErr error) {
+	if left == nil || right == nil {
+		return nil, ErrNilTable
+	}
 	if opts == nil {
 		opts = &Options{}
 	}
+	// The oblivious hot path reports integrity faults by panicking with
+	// a typed *table.Fault (store accessors return no error by design —
+	// see internal/table). Contain it here, at the public boundary, the
+	// same way query.Run does for the SQL path.
+	defer func() {
+		r := recover()
+		if r == nil {
+			return
+		}
+		if ferr, ok := table.AsFault(r); ok {
+			retRes, retErr = nil, fmt.Errorf("oblivjoin: storage fault: %w", ferr)
+			return
+		}
+		panic(r)
+	}()
 	var rec trace.Recorder
 	var hasher *trace.Hasher
 	if opts.TraceHash {
@@ -325,6 +346,9 @@ func Join(left, right *Table, opts *Options) (*Result, error) {
 // without materializing the result (the first stage of the paper's §3.4
 // two-circuit decomposition).
 func OutputSize(left, right *Table) int {
+	if left == nil || right == nil {
+		return 0 // a nil side joins like an empty one
+	}
 	sp := memory.NewSpace(nil, nil)
 	return core.OutputSize(&core.Config{Alloc: table.PlainAlloc(sp)}, left.rows, right.rows)
 }
