@@ -3,13 +3,14 @@
 //
 // Usage:
 //
-//	oblivbench -exp table1|table2|table3|fig7|fig8|circuit|bench|sql|sealed|stream|shard|wal|fault|chaos|all [flags]
+//	oblivbench -exp table1|table2|table3|fig7|fig8|circuit|bench|sql|planner|sealed|stream|shard|wal|fault|chaos|all [flags]
 //
 //	-n int          input size for table1/table3 (default 4096 / 65536)
 //	-sizes list     comma-separated n values for fig8
 //	-pgm path       also write Figure 7 as a PGM image
 //	-bsizes list    comma-separated n values for the bench experiment
 //	-ssizes list    comma-separated n values for the sql experiment
+//	-pscales list   catalog scale factors for the planner experiment
 //	-zsizes list    comma-separated n values for the sealed experiment
 //	-tsizes list    comma-separated n values for the stream experiment
 //	-workers int    parallel lanes for bench/sql/sealed/stream (0 = GOMAXPROCS)
@@ -32,7 +33,9 @@
 //
 // bench (sequential vs parallel join wall times, tracing on, with a
 // BENCH_join.json perf record), sql (the same comparison for the SQL
-// plan pipeline, BENCH_sql.json), sealed (plain vs per-entry sealed
+// plan pipeline plus the planner's written-versus-greedy comparator
+// records, BENCH_sql.json; planner prints just the comparator table
+// without touching the JSON), sealed (plain vs per-entry sealed
 // vs block-sealed storage, BENCH_sealed.json) and stream (stage-at-a-
 // time vs block-granular streaming peak memory, BENCH_stream.json) are
 // opt-in: they run only with an explicit -exp name, never under
@@ -59,13 +62,14 @@ import (
 )
 
 func main() {
-	which := flag.String("exp", "all", "experiment: table1, table2, table3, fig7, fig8, circuit, bench, sql, sealed, stream, shard, wal, fault, chaos, all")
+	which := flag.String("exp", "all", "experiment: table1, table2, table3, fig7, fig8, circuit, bench, sql, planner, sealed, stream, shard, wal, fault, chaos, all")
 	n := flag.Int("n", 0, "input size for table1/table3 (defaults: 4096, 65536)")
 	sizes := flag.String("sizes", "25000,50000,100000,200000", "comma-separated input sizes for fig8")
 	pgm := flag.String("pgm", "", "write Figure 7 as a PGM image to this path")
 	nlCap := flag.Int("nlcap", 2048, "largest n for the quadratic nested-loop baseline")
 	bsizes := flag.String("bsizes", "16384,65536,131072", "comma-separated input sizes for bench")
 	ssizes := flag.String("ssizes", "4096,16384,65536", "comma-separated input sizes for sql")
+	pscales := flag.String("pscales", "1,2", "comma-separated catalog scale factors for the planner experiment")
 	zsizes := flag.String("zsizes", "4096,16384", "comma-separated input sizes for sealed")
 	tsizes := flag.String("tsizes", "16384,65536", "comma-separated input sizes for stream")
 	workers := flag.Int("workers", 0, "parallel lanes for bench/sql/sealed/stream (0 = GOMAXPROCS)")
@@ -102,7 +106,7 @@ func main() {
 	// bench is opt-in only: it is a perf experiment that writes
 	// BENCH_join.json to the working directory, not one of the paper's
 	// figures, so a bare `oblivbench` (-exp all) does not run it.
-	optIn := map[string]bool{"bench": true, "sql": true, "sealed": true, "stream": true, "shard": true, "wal": true, "fault": true, "chaos": true}
+	optIn := map[string]bool{"bench": true, "sql": true, "planner": true, "sealed": true, "stream": true, "shard": true, "wal": true, "fault": true, "chaos": true}
 	run := func(name string, f func() error) {
 		if *which != name && (*which != "all" || optIn[name]) {
 			return
@@ -296,12 +300,29 @@ func main() {
 		if err != nil {
 			return err
 		}
+		fmt.Println()
+		scales, err := parseSizes(*pscales)
+		if err != nil {
+			return err
+		}
+		planner, err := exp.BenchPlanner(os.Stdout, scales)
+		if err != nil {
+			return err
+		}
 		if *sqlJSONPath != "" {
-			if err := exp.WriteSQLBenchJSON(*sqlJSONPath, results); err != nil {
+			if err := exp.WriteSQLBenchJSON(*sqlJSONPath, results, planner); err != nil {
 				return err
 			}
 			fmt.Printf("(sql results written to %s)\n", *sqlJSONPath)
 		}
 		return nil
+	})
+	run("planner", func() error {
+		scales, err := parseSizes(*pscales)
+		if err != nil {
+			return err
+		}
+		_, err = exp.BenchPlanner(os.Stdout, scales)
+		return err
 	})
 }

@@ -110,6 +110,8 @@ func main() {
 	dataDir := flag.String("data-dir", "", "durable catalog directory: sealed WAL + snapshots, recovered on boot (empty = memory-only)")
 	snapshotEvery := flag.Int("snapshot-every", 0, "commits between automatic snapshots (0 = default 256, <0 disables)")
 	history := flag.Int("history", 0, "retained catalog versions for AS OF reads (0 = default 64, <0 unlimited)")
+	costPlan := flag.Bool("cost-plan", false, "enable the cost-aware planner: greedy join ordering and predicate pushdown from public cardinalities")
+	replanFactor := flag.Float64("replan-factor", 0, "replan when observed comparator cost diverges from the model by this factor (> 1 arms; implies stats)")
 	flag.Var(&csvs, "csv", "register a CSV file as a table: name=path (repeatable)")
 	flag.Parse()
 
@@ -164,6 +166,12 @@ func main() {
 	}
 	if *history != 0 {
 		opts = append(opts, oblivjoin.WithHistory(*history))
+	}
+	if *costPlan {
+		opts = append(opts, oblivjoin.WithCostPlan())
+	}
+	if *replanFactor > 1 {
+		opts = append(opts, oblivjoin.WithReplanFactor(*replanFactor))
 	}
 	eng, err := oblivjoin.OpenEngine(opts...)
 	if err != nil {

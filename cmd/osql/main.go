@@ -61,6 +61,8 @@ func main() {
 	shards := flag.Int("shards", 0, "hash-partition each join across this many concurrent shard pipelines (<= 1 unsharded)")
 	dataDir := flag.String("data-dir", "", "durable catalog directory (sealed WAL + snapshots): query persisted tables, including AS OF versions")
 	replace := flag.Bool("replace", false, "-t overwrites an existing durable table instead of failing")
+	costPlan := flag.Bool("cost-plan", false, "enable the cost-aware planner: greedy join ordering and predicate pushdown from public cardinalities")
+	replanFactor := flag.Float64("replan-factor", 0, "replan when observed comparator cost diverges from the model by this factor (> 1 arms; implies -stats)")
 	flag.Parse()
 
 	if flag.NArg() == 0 || (len(tables) == 0 && *dataDir == "") {
@@ -106,6 +108,12 @@ func main() {
 	if *dataDir != "" {
 		opts = append(opts, oblivjoin.WithDataDir(*dataDir))
 	}
+	if *costPlan {
+		opts = append(opts, oblivjoin.WithCostPlan())
+	}
+	if *replanFactor > 1 {
+		opts = append(opts, oblivjoin.WithReplanFactor(*replanFactor))
+	}
 	eng, err := oblivjoin.OpenEngine(opts...)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "osql: %v\n", err)
@@ -138,7 +146,10 @@ func main() {
 	}
 
 	if *explain {
-		plan, err := eng.Explain(sql)
+		// EXPLAIN prints the plan and its modeled cost: exact comparator
+		// counts, route ops and padded footprints from public
+		// cardinalities, without executing anything.
+		plan, err := eng.ExplainCost(sql)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "osql: %v\n", err)
 			os.Exit(1)
@@ -146,7 +157,12 @@ func main() {
 		fmt.Println(plan)
 		return
 	}
-	res, err := eng.Query(sql)
+	stmt, err := eng.Prepare(sql)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "osql: %v\n", err)
+		os.Exit(1)
+	}
+	res, ps, err := stmt.ExecStats()
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "osql: %v\n", err)
 		os.Exit(1)
@@ -155,8 +171,12 @@ func main() {
 	for _, row := range res.Rows {
 		fmt.Println(strings.Join(row, ","))
 	}
-	if st := eng.LastStats(); st != nil && (*stats || *traceHash) {
-		fmt.Fprintln(os.Stderr, st)
+	if ps != nil && (*stats || *traceHash || *replanFactor > 1) {
+		fmt.Fprintln(os.Stderr, ps)
+		if m := stmt.Model(); m != nil {
+			fmt.Fprintf(os.Stderr, "comparators: modeled %d, observed %d\n",
+				m.Comparators, ps.Comparators)
+		}
 	}
 }
 

@@ -138,6 +138,31 @@ func WithShards(n int) EngineOption {
 	return func(c *service.Config) { c.Defaults.Shards = n }
 }
 
+// WithCostPlan enables the cost-aware planner: JOIN ... USING chains
+// are greedily ordered by modeled comparator count, the WHERE filter
+// is pushed below semijoins, and every multi-join plan ends in a
+// canonicalizing stage that makes any join order produce identical
+// output bytes. The ordering decision reads only public cardinalities
+// (table row counts and, with WithReplanFactor, observed join output
+// sizes — public by the paper's design), never table contents: two
+// databases with equal public sizes always run the identical plan with
+// the identical access-pattern trace. Off by default; default plans
+// and result bytes are exactly those of previous releases.
+func WithCostPlan() EngineOption {
+	return func(c *service.Config) { c.Defaults.CostPlan = true }
+}
+
+// WithReplanFactor arms adaptive replanning: every execution compares
+// its observed comparator count against the plan's modeled cost, and
+// when they diverge by more than factor (in either direction) the
+// engine records the observed join output sizes, evicts the cached
+// plan, and re-plans the next Prepare with the observed sizes fed into
+// the cost model. Each cached plan replans at most once per catalog
+// version. Values ≤ 1 disarm the hook. Implies WithStats.
+func WithReplanFactor(factor float64) EngineOption {
+	return func(c *service.Config) { c.ReplanFactor = factor }
+}
+
 // WithMergeExchange selects Batcher's odd-even merge-exchange sorting
 // network instead of the bitonic default.
 func WithMergeExchange() EngineOption {
@@ -353,6 +378,25 @@ func (e *Engine) Explain(sql string) (string, error) {
 	return e.svc.Explain(sql)
 }
 
+// ExplainCost is Explain plus the modeled cost table: per-stage exact
+// comparator counts, route ops, modeled row counts and padded store
+// footprints, all computed from public cardinalities without executing
+// anything. Compare against PlanStats for modeled-vs-observed cost.
+func (e *Engine) ExplainCost(sql string) (string, error) {
+	st, err := e.svc.Prepare(context.Background(), sql)
+	if err != nil {
+		return "", err
+	}
+	return st.ExplainCost(), nil
+}
+
+// PlanCostReport is a plan's modeled cost: per-stage and total
+// comparator counts, route ops, modeled cardinalities and padded store
+// footprints, computed from public metadata only. Comparator totals
+// are exact — equal to the executed counts — whenever no stage's size
+// rests on an estimate.
+type PlanCostReport = query.PlanCostReport
+
 // Stmt is a prepared statement: parsed, planned and lowered once, then
 // executable any number of times — including concurrently from many
 // goroutines, each execution with its own isolated context. Results
@@ -361,6 +405,9 @@ type Stmt struct {
 	eng   *Engine
 	inner *service.Stmt
 }
+
+// Model returns the statement's modeled cost report.
+func (s *Stmt) Model() *PlanCostReport { return s.inner.Model() }
 
 // Prepare parses and plans sql once against the current catalog,
 // consulting the engine's plan cache. The returned statement is safe

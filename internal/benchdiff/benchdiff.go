@@ -7,8 +7,10 @@
 // the sealed-block granularity, plus the query text for SQL records —
 // and regress when a gated metric exceeds the baseline by more than
 // the threshold ratio. Every JSON field ending in "_ns" (wall times,
-// latency percentiles) or "_bytes" (the deterministic peak/total
-// allocation gauges) is a gated metric, so new benchmark families
+// latency percentiles), "_bytes" (the deterministic peak/total
+// allocation gauges) or "_comparators" (exact oblivious comparator
+// counts, the data-independent cost the paper optimises) is a gated
+// metric, so new benchmark families
 // (BENCH_sealed.json's plain/sealed/block columns, BENCH_stream.json's
 // peak-memory columns, say) are covered without touching the gate.
 // Benchmarks present in the baseline but missing from the fresh run
@@ -41,13 +43,14 @@ type Record struct {
 	Shards   int
 	// Metrics holds every gated field of the record: "*_ns" metrics
 	// keyed by the metric name with the suffix stripped
-	// ("sequential_ns" → "sequential"), and "*_bytes" metrics keyed by
-	// their full name ("peak_bytes") so reports stay unit-aware.
+	// ("sequential_ns" → "sequential"), and "*_bytes" / "*_comparators"
+	// metrics keyed by their full name ("peak_bytes",
+	// "written_comparators") so reports stay unit-aware.
 	Metrics map[string]int64
 }
 
-// UnmarshalJSON collects the key fields and every *_ns and *_bytes
-// metric.
+// UnmarshalJSON collects the key fields and every *_ns, *_bytes and
+// *_comparators metric.
 func (r *Record) UnmarshalJSON(data []byte) error {
 	var raw map[string]json.RawMessage
 	if err := json.Unmarshal(data, &raw); err != nil {
@@ -87,7 +90,7 @@ func (r *Record) UnmarshalJSON(data []byte) error {
 		switch {
 		case strings.HasSuffix(k, "_ns"):
 			name = strings.TrimSuffix(k, "_ns")
-		case strings.HasSuffix(k, "_bytes"):
+		case strings.HasSuffix(k, "_bytes"), strings.HasSuffix(k, "_comparators"):
 			name = k
 		default:
 			continue
@@ -156,8 +159,13 @@ type Regression struct {
 }
 
 func (r Regression) String() string {
-	if strings.HasSuffix(strings.TrimSuffix(r.Metric, " (missing)"), "_bytes") {
+	name := strings.TrimSuffix(r.Metric, " (missing)")
+	if strings.HasSuffix(name, "_bytes") {
 		return fmt.Sprintf("%s %s: %.2fx baseline (%d B -> %d B)",
+			r.Key, r.Metric, r.Ratio, r.BaselineNS, r.FreshNS)
+	}
+	if strings.HasSuffix(name, "_comparators") {
+		return fmt.Sprintf("%s %s: %.2fx baseline (%d -> %d comparators)",
 			r.Key, r.Metric, r.Ratio, r.BaselineNS, r.FreshNS)
 	}
 	return fmt.Sprintf("%s %s: %.2fx baseline (%.3fms -> %.3fms)",

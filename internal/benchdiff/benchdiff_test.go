@@ -207,6 +207,36 @@ func TestBytesMetricsGate(t *testing.T) {
 	}
 }
 
+// TestComparatorMetricsGate: planner records carry exact comparator
+// counts under "*_comparators" fields; they gate like any wall-time
+// metric and render as plain counts, not milliseconds.
+func TestComparatorMetricsGate(t *testing.T) {
+	body := `[
+  {"n": 4096, "query": "4-way fan-out chain",
+   "written_comparators": 2000000, "greedy_comparators": 1200000,
+   "written_ns": 900000, "greedy_ns": 700000}
+]`
+	baseline, err := Read(strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(baseline[0].Metrics); got != 4 {
+		t.Fatalf("decoded %d metrics, want 4: %+v", got, baseline[0].Metrics)
+	}
+	fresh, _ := Read(strings.NewReader(body))
+	if rep := Compare(baseline, fresh, 1.25); rep.Failed() || rep.Compared != 4 {
+		t.Fatalf("self-compare: %+v", rep)
+	}
+	fresh[0].Metrics["greedy_comparators"] = 1_800_000 // +50%
+	rep := Compare(baseline, fresh, 1.25)
+	if len(rep.Regressions) != 1 || rep.Regressions[0].Metric != "greedy_comparators" {
+		t.Fatalf("comparator regression not flagged: %+v", rep)
+	}
+	if s := rep.Regressions[0].String(); !strings.Contains(s, "comparators)") || strings.Contains(s, "ms)") {
+		t.Fatalf("comparator regression rendered in the wrong unit: %q", s)
+	}
+}
+
 // TestServiceRecordsKeyOnScenario: the load records' latency
 // percentiles gate keyed on (scenario, clients, workers) — the same
 // scenario at a different concurrency is a different benchmark, and a
@@ -300,16 +330,18 @@ func TestShardRecordsKeyOnShards(t *testing.T) {
 func TestAgainstCommittedBaseline(t *testing.T) {
 	for _, tc := range []struct {
 		name    string
-		metrics int // gated metrics per record (wall times + bytes)
+		metrics []int // allowed gated-metric counts per record — a file
+		// may mix families (BENCH_sql.json: sql rows carry 4, planner
+		// comparator rows carry 5)
 	}{
-		{"BENCH_join.json", 2},
-		{"BENCH_sql.json", 2},
-		{"BENCH_sealed.json", 6},
-		{"BENCH_service.json", 4},
-		{"BENCH_stream.json", 8},
-		{"BENCH_shard.json", 3},
-		{"BENCH_wal.json", 2},
-		{"BENCH_fault.json", 2},
+		{"BENCH_join.json", []int{2}},
+		{"BENCH_sql.json", []int{4, 5}},
+		{"BENCH_sealed.json", []int{6}},
+		{"BENCH_service.json", []int{4}},
+		{"BENCH_stream.json", []int{8}},
+		{"BENCH_shard.json", []int{3}},
+		{"BENCH_wal.json", []int{2}},
+		{"BENCH_fault.json", []int{2}},
 	} {
 		path := filepath.Join("..", "..", "BENCH_baseline", tc.name)
 		recs, err := Load(path)
@@ -319,17 +351,23 @@ func TestAgainstCommittedBaseline(t *testing.T) {
 		if len(recs) == 0 {
 			t.Fatalf("committed baseline %s is empty", tc.name)
 		}
+		total := 0
 		for _, r := range recs {
 			for name, ns := range r.Metrics {
 				if ns <= 0 {
 					t.Fatalf("committed baseline %s has empty wall time %s: %+v", tc.name, name, r)
 				}
 			}
-			if len(r.Metrics) != tc.metrics {
-				t.Fatalf("committed baseline %s carries %d metrics, want %d: %+v", tc.name, len(r.Metrics), tc.metrics, r)
+			total += len(r.Metrics)
+			ok := false
+			for _, want := range tc.metrics {
+				ok = ok || len(r.Metrics) == want
+			}
+			if !ok {
+				t.Fatalf("committed baseline %s carries %d metrics, want one of %v: %+v", tc.name, len(r.Metrics), tc.metrics, r)
 			}
 		}
-		if rep := Compare(recs, recs, 1.25); rep.Failed() || rep.Compared != tc.metrics*len(recs) {
+		if rep := Compare(recs, recs, 1.25); rep.Failed() || rep.Compared != total {
 			t.Fatalf("baseline self-compare: %+v", rep)
 		}
 	}

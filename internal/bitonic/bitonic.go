@@ -94,6 +94,21 @@ func MergeExchangeSort[T any](a Array[T], less LessFunc[T], swap CondSwapFunc[T]
 	MergeExchangeSortParallel(a, less, swap, st, 1)
 }
 
+// MergeExchangeComparators returns the exact number of
+// compare–exchanges Batcher's merge-exchange network performs on an
+// input of length n, by enumerating the same round schedule the
+// executor runs. Together with Comparators this gives the planner an
+// exact, content-independent cost model for either network.
+func MergeExchangeComparators(n int) uint64 {
+	var c uint64
+	mergeExchangeRounds(n, func(segs []Segment) {
+		for _, s := range segs {
+			c += uint64(s.Cnt)
+		}
+	})
+	return c
+}
+
 // Comparators returns the exact number of compare–exchanges the bitonic
 // network performs on an input of length n; useful for cross-checking
 // Table 3's analytic counts without running a sort.

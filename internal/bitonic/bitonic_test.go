@@ -177,6 +177,19 @@ func TestComparatorsAsymptotic(t *testing.T) {
 	}
 }
 
+func TestMergeExchangeComparatorsMatchCount(t *testing.T) {
+	for _, n := range []int{1, 2, 3, 5, 8, 13, 16, 31, 64, 100, 1000} {
+		var st Stats
+		sp := memory.NewSpace(nil, nil)
+		data := make([]uint64, n)
+		MergeExchangeSort(memory.FromSlice(sp, data, 8), lessU64, swapU64, &st)
+		if want := MergeExchangeComparators(n); st.CompareExchanges != want {
+			t.Fatalf("n=%d: counted %d compare-exchanges, MergeExchangeComparators says %d",
+				n, st.CompareExchanges, want)
+		}
+	}
+}
+
 func TestMergeExchangeFewerComparators(t *testing.T) {
 	n := 1024
 	var bit, me Stats

@@ -219,6 +219,32 @@ func (c *Config) SortStore(st table.Store, less bitonic.LessFunc[table.Entry], b
 	bitonic.SortParallelCheck[table.Entry](st, less, table.CondSwapEntry, bs, w, check)
 }
 
+// pairArray adapts a plain KeyedPair slice to the sorting networks'
+// Array interface. Pair relations travel between operators as plain
+// slices (their per-element access pattern is already fixed by the
+// networks' schedules), so no store allocation is involved.
+type pairArray []table.KeyedPair
+
+func (p pairArray) Len() int                     { return len(p) }
+func (p pairArray) Get(i int) table.KeyedPair    { return p[i] }
+func (p pairArray) Set(i int, v table.KeyedPair) { p[i] = v }
+
+// SortPairs runs the configured sorting network over a KeyedPair slice
+// in place, at the configured parallelism, with cancellation probes at
+// the round barriers. Comparator counts land in bs (nil to skip). The
+// canonicalize stage of a reordered join chain sorts through this, so
+// its network choice, parallelism and instrumentation match the rest of
+// the pipeline.
+func (c *Config) SortPairs(pairs []table.KeyedPair, less bitonic.LessFunc[table.KeyedPair], bs *bitonic.Stats) {
+	w := c.workerCount()
+	check := c.checkFn()
+	if c.Net == MergeExchange {
+		bitonic.MergeExchangeSortParallelCheck[table.KeyedPair](pairArray(pairs), less, table.CondSwapKeyedPair, bs, w, check)
+		return
+	}
+	bitonic.SortParallelCheck[table.KeyedPair](pairArray(pairs), less, table.CondSwapKeyedPair, bs, w, check)
+}
+
 func (c *Config) stats() *Stats {
 	if c.Stats != nil {
 		return c.Stats

@@ -1,0 +1,106 @@
+package docscheck
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// repoRoot walks up from the test's working directory to go.mod.
+func repoRoot(t *testing.T) string {
+	t.Helper()
+	dir, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			t.Fatal("go.mod not found above test directory")
+		}
+		dir = parent
+	}
+}
+
+// TestRepoDocsLinks is the CI markdown gate: every relative link in
+// the repo's own docs resolves, including heading fragments.
+func TestRepoDocsLinks(t *testing.T) {
+	problems, err := Check(repoRoot(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range problems {
+		t.Error(p)
+	}
+}
+
+// TestDocsCovered: the checker must actually see the documentation
+// layer — if ARCHITECTURE.md or PLANNING.md moved without updating
+// Docs, the gate would silently stop covering them.
+func TestDocsCovered(t *testing.T) {
+	files, err := Docs(repoRoot(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]bool{
+		"README.md":                              false,
+		filepath.Join("docs", "ARCHITECTURE.md"): false,
+		filepath.Join("docs", "PLANNING.md"):     false,
+	}
+	for _, f := range files {
+		if _, ok := want[f]; ok {
+			want[f] = true
+		}
+	}
+	for f, seen := range want {
+		if !seen {
+			t.Errorf("%s not covered by the docs link check", f)
+		}
+	}
+}
+
+func TestAnchor(t *testing.T) {
+	cases := map[string]string{
+		"Cost-aware planning":                      "cost-aware-planning",
+		"Greedy join ordering, and why it is safe": "greedy-join-ordering-and-why-it-is-safe",
+		"EXPLAIN":                              "explain",
+		"Why a cost model can be *exact* here": "why-a-cost-model-can-be-exact-here",
+		"SQL engine: plan IR and operators":    "sql-engine-plan-ir-and-operators",
+	}
+	for in, want := range cases {
+		if got := Anchor(in); got != want {
+			t.Errorf("Anchor(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+// TestBrokenLinkDetected: the checker must flag a dangling relative
+// link and a dangling fragment, not just pass whatever exists today.
+func TestBrokenLinkDetected(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.MkdirAll(filepath.Join(dir, "docs"), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	readme := "# Top\n[gone](docs/NOPE.md)\n[frag](docs/REAL.md#missing-heading)\n[ok](docs/REAL.md#real)\n"
+	if err := os.WriteFile(filepath.Join(dir, "README.md"), []byte(readme), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "docs", "REAL.md"), []byte("# Real\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range []string{"CHANGES.md", "ROADMAP.md"} {
+		if err := os.WriteFile(filepath.Join(dir, f), []byte("# x\n"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	problems, err := Check(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(problems) != 2 {
+		t.Fatalf("got %d problems, want 2 (dangling file + dangling fragment): %v", len(problems), problems)
+	}
+}

@@ -130,9 +130,18 @@ func WriteBenchJSON(path string, results []JoinBenchResult) error {
 	return writeJSON(path, results)
 }
 
-// WriteSQLBenchJSON writes the SQL benchmark rows as indented JSON.
-func WriteSQLBenchJSON(path string, results []SQLBenchResult) error {
-	return writeJSON(path, results)
+// WriteSQLBenchJSON writes the SQL benchmark rows followed by the
+// planner comparator rows as one indented JSON array; benchdiff keys
+// the two families apart by query text.
+func WriteSQLBenchJSON(path string, results []SQLBenchResult, planner []PlannerBenchResult) error {
+	rows := make([]any, 0, len(results)+len(planner))
+	for _, r := range results {
+		rows = append(rows, r)
+	}
+	for _, r := range planner {
+		rows = append(rows, r)
+	}
+	return writeJSON(path, rows)
 }
 
 func writeJSON(path string, v any) error {

@@ -1,0 +1,173 @@
+package exp
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"time"
+
+	"oblivjoin/internal/query"
+	"oblivjoin/internal/table"
+)
+
+// PlannerBenchResult is one row of the planner benchmark: the exact
+// comparator count of a skewed join chain executed in written order
+// versus greedy cost-based order, with the modeled count the greedy
+// planner optimised. Comparator counts are data-independent functions
+// of the (public) table sizes, so these records are bit-reproducible
+// across hosts and benchdiff gates them like wall times. The two runs
+// must produce the same result rows — the greedy plan's canonicalize
+// stage restores the written-order payload layout — or the benchmark
+// errors out.
+type PlannerBenchResult struct {
+	N     int    `json:"n"`
+	Query string `json:"query"`
+	Rows  int    `json:"rows"`
+	// WrittenComparators counts compare–exchanges when joins execute
+	// in the order the query wrote them; GreedyComparators when the
+	// cost planner reorders them. Ratio = written / greedy.
+	WrittenComparators int64   `json:"written_comparators"`
+	GreedyComparators  int64   `json:"greedy_comparators"`
+	Ratio              float64 `json:"comparator_ratio"`
+	// ModeledComparators is the greedy plan's predicted count — an
+	// underestimate on fan-out joins (the model assumes foreign-key
+	// joins until replan feedback corrects it).
+	ModeledComparators int64  `json:"modeled_comparators"`
+	WrittenNS          int64  `json:"written_ns"`
+	GreedyNS           int64  `json:"greedy_ns"`
+	WrittenOrder       string `json:"written_order"`
+	GreedyOrder        string `json:"greedy_order"`
+}
+
+// plannerQueries are skewed chains where written order is wasteful:
+// the query lists the fan-out tables first and the tiny selective
+// table last, so executing as written materialises the blow-up before
+// shrinking it. The greedy planner joins the small tables first.
+var plannerQueries = []string{
+	"SELECT key, left.data, right.data FROM t1 JOIN t2 USING (key) JOIN t4 USING (key)",
+	"SELECT key, left.data, right.data FROM t1 JOIN t2 USING (key) JOIN t3 USING (key) JOIN t4 USING (key)",
+}
+
+// plannerCatalog builds the skewed star: t1 has 256·scale distinct
+// keys, t2 and t3 fan each key out 8×, and t4 keeps only the first
+// 16·scale keys. Payloads stay short (tag + one digit) so a 4-way
+// chain's escaped concatenation fits the fixed data width.
+func plannerCatalog(scale int) map[string][]table.Row {
+	keys := 256 * scale
+	mk := func(n, mod int, tag byte) []table.Row {
+		rows := make([]table.Row, n)
+		for i := range rows {
+			rows[i] = table.Row{J: uint64(i % mod), D: table.MustData(fmt.Sprintf("%c%d", tag, i%10))}
+		}
+		return rows
+	}
+	return map[string][]table.Row{
+		"t1": mk(keys, keys, 'a'),
+		"t2": mk(8*keys, keys, 'b'),
+		"t3": mk(8*keys, keys, 'c'),
+		"t4": mk(16*scale, 16*scale, 'd'),
+	}
+}
+
+// BenchPlanner runs each skewed chain in written order and under the
+// cost planner, cross-checks that both orders produce the same rows,
+// and reports the comparator saving. scales multiply the base catalog
+// (256/2048/2048/16 rows).
+func BenchPlanner(w io.Writer, scales []int) ([]PlannerBenchResult, error) {
+	fmt.Fprintln(w, "Planner benchmark — written versus greedy join order (exact comparator counts)")
+	fmt.Fprintf(w, "%8s %-24s %8s %14s %14s %7s\n", "n", "chain", "rows", "written", "greedy", "ratio")
+	var out []PlannerBenchResult
+	for _, scale := range scales {
+		catalog := plannerCatalog(scale)
+		for _, src := range plannerQueries {
+			run := func(costPlan bool) (*query.Result, *query.PlanStats, *query.PlanCostReport, time.Duration, error) {
+				eng := query.NewEngineWith(query.Options{CostPlan: costPlan, CollectStats: true})
+				for name, rows := range catalog {
+					if err := eng.Register(name, rows); err != nil {
+						return nil, nil, nil, 0, err
+					}
+				}
+				rep, err := eng.PlanCost(src)
+				if err != nil {
+					return nil, nil, nil, 0, err
+				}
+				start := time.Now()
+				res, err := eng.Query(src)
+				if err != nil {
+					return nil, nil, nil, 0, err
+				}
+				return res, eng.LastStats(), rep, time.Since(start), nil
+			}
+			wrRes, wrStats, _, wrT, err := run(false)
+			if err != nil {
+				return nil, fmt.Errorf("exp: planner bench scale=%d written: %w", scale, err)
+			}
+			grRes, grStats, grRep, grT, err := run(true)
+			if err != nil {
+				return nil, fmt.Errorf("exp: planner bench scale=%d greedy: %w", scale, err)
+			}
+			// The orders differ but the rows must not: the greedy
+			// plan's canonicalize stage restores the written payload
+			// layout, so the sorted row sets are byte-identical.
+			if canonRows(wrRes) != canonRows(grRes) {
+				return nil, fmt.Errorf("exp: greedy plan changed the result of %q at scale %d", src, scale)
+			}
+			n := 8 * 256 * scale // the fan-out tables dominate
+			r := PlannerBenchResult{
+				N: n, Query: src, Rows: len(wrRes.Rows),
+				WrittenComparators: int64(wrStats.Comparators),
+				GreedyComparators:  int64(grStats.Comparators),
+				ModeledComparators: int64(grRep.Comparators),
+				WrittenNS:          wrT.Nanoseconds(),
+				GreedyNS:           grT.Nanoseconds(),
+				WrittenOrder:       joinOrder(src, false, catalog),
+				GreedyOrder:        joinOrder(src, true, catalog),
+			}
+			if r.GreedyComparators > 0 {
+				r.Ratio = float64(r.WrittenComparators) / float64(r.GreedyComparators)
+			}
+			chain := fmt.Sprintf("%d-way %s", strings.Count(src, "JOIN")+1, r.GreedyOrder)
+			fmt.Fprintf(w, "%8d %-24s %8d %14d %14d %6.2fx\n", n, chain, r.Rows,
+				r.WrittenComparators, r.GreedyComparators, r.Ratio)
+			out = append(out, r)
+		}
+	}
+	return out, nil
+}
+
+// canonRows renders a result's rows sorted into one comparable string.
+func canonRows(res *query.Result) string {
+	rows := make([]string, len(res.Rows))
+	for i, r := range res.Rows {
+		rows[i] = strings.Join(r, ",")
+	}
+	sort.Strings(rows)
+	return strings.Join(rows, "\n")
+}
+
+// joinOrder reads the join sequence out of the plan's cost report:
+// the scanned base table followed by each oblivious-join stage's
+// operand, e.g. "t1⋈t4⋈t2⋈t3".
+func joinOrder(src string, costPlan bool, catalog map[string][]table.Row) string {
+	eng := query.NewEngineWith(query.Options{CostPlan: costPlan})
+	for name, rows := range catalog {
+		if err := eng.Register(name, rows); err != nil {
+			return ""
+		}
+	}
+	rep, err := eng.PlanCost(src)
+	if err != nil {
+		return ""
+	}
+	var parts []string
+	for _, st := range rep.Stages {
+		if t, ok := strings.CutPrefix(st.Op, "scan("); ok {
+			parts = append(parts, strings.TrimSuffix(strings.Fields(t)[0], ")"))
+		}
+		if t, ok := strings.CutPrefix(st.Op, "oblivious-join("); ok {
+			parts = append(parts, strings.TrimSuffix(t, ")"))
+		}
+	}
+	return strings.Join(parts, "⋈")
+}

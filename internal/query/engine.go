@@ -80,6 +80,15 @@ type Options struct {
 	// shard count; the composed trace hash is a deterministic function
 	// of (sizes, Shards, store mode). ≤ 1 selects the unsharded path.
 	Shards int
+	// CostPlan enables the cost-aware planner (internal/query/cost.go):
+	// JOIN ... USING chains are greedily ordered by modeled comparator
+	// count, the WHERE filter is pushed below semijoins, and every
+	// multi-join plan ends in a canonicalizing Restore stage so any
+	// ordering choice produces identical output bytes. The ordering
+	// decision reads only public cardinalities — never table contents.
+	// Off by default: default plans and result bytes are exactly those
+	// of previous releases.
+	CostPlan bool
 }
 
 // PlanStats is the per-query execution report: one entry per physical
@@ -215,6 +224,37 @@ func (e *Engine) Explain(src string) (string, error) {
 		return "", err
 	}
 	return RenderPlan(plan), nil
+}
+
+// PlanCost parses and plans the statement and returns the modeled cost
+// report — exact comparator counts, route ops and padded store
+// footprints per stage, computed from public cardinalities alone.
+func (e *Engine) PlanCost(src string) (*PlanCostReport, error) {
+	q, err := Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	plan, err := e.plan(q)
+	if err != nil {
+		return nil, err
+	}
+	return ComputePlanCost(plan, tablesCard(e.tables), e.opts), nil
+}
+
+// ExplainCost renders the plan together with its modeled cost table —
+// the EXPLAIN form of the cost-aware planner. Like Explain, it
+// executes nothing and reads no table contents.
+func (e *Engine) ExplainCost(src string) (string, error) {
+	q, err := Parse(src)
+	if err != nil {
+		return "", err
+	}
+	plan, err := e.plan(q)
+	if err != nil {
+		return "", err
+	}
+	rep := ComputePlanCost(plan, tablesCard(e.tables), e.opts)
+	return RenderPlan(plan) + "\n\n" + RenderPlanCost(rep), nil
 }
 
 // LastStats returns the PlanStats of the most recent successful Query,

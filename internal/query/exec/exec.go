@@ -253,24 +253,33 @@ const RekeySep = "+"
 // of §7 that makes oblivious joins chainable. A combined payload
 // exceeding the fixed public width is an error (widths are public
 // constants; growing them is a schema decision, not a runtime one).
-type Rekey struct{}
+//
+// Payload segments are escape-encoded (see encodeSegment) so an
+// accumulated payload splits unambiguously at its separators — the
+// Restore stage of a reordered join chain depends on this. First marks
+// the chain's first rekey, whose left side is a raw scan payload that
+// still needs encoding; later rekeys receive an already-encoded
+// accumulation on the left. Payloads free of '+' and '\' encode as
+// themselves, so the common case concatenates exactly as before.
+type Rekey struct{ First bool }
 
 // Name implements Operator.
 func (Rekey) Name() string { return "rekey" }
 
 // Run implements Operator.
-func (Rekey) Run(ctx *Context, in Relation) (Relation, error) {
+func (r Rekey) Run(ctx *Context, in Relation) (Relation, error) {
 	rows := make([]table.Row, len(in.Pairs))
 	for i, p := range in.Pairs {
 		if i%probeEvery == 0 {
 			probe(ctx)
 		}
-		joined := table.DataString(p.D1) + RekeySep + table.DataString(p.D2)
-		d, err := table.MakeData(joined)
+		d1 := table.DataString(p.D1)
+		if r.First {
+			d1 = encodeSegment(d1)
+		}
+		d, err := rekeyJoin(d1, table.DataString(p.D2))
 		if err != nil {
-			return Relation{}, fmt.Errorf(
-				"query: intermediate join payload %q exceeds %d bytes; project fewer columns or shorten payloads",
-				joined, table.DataLen)
+			return Relation{}, err
 		}
 		rows[i] = table.Row{J: p.J, D: d}
 	}

@@ -1,0 +1,69 @@
+package exec
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func TestSegmentCodecRoundTrip(t *testing.T) {
+	for _, s := range []string{
+		"", "a", "abc", "a+b", "+", "++", `\`, `\\`, `\+`, `a\+b+c\`,
+	} {
+		enc := encodeSegment(s)
+		if strings.ContainsAny(stripEscapes(enc), RekeySep) {
+			t.Errorf("encodeSegment(%q) = %q leaves an unescaped separator", s, enc)
+		}
+		if got := decodeSegment(enc); got != s {
+			t.Errorf("decode(encode(%q)) = %q", s, got)
+		}
+	}
+}
+
+// stripEscapes removes escape pairs, leaving only unescaped bytes.
+func stripEscapes(s string) string {
+	var b strings.Builder
+	for i := 0; i < len(s); i++ {
+		if s[i] == rekeyEscape && i+1 < len(s) {
+			i++
+			continue
+		}
+		b.WriteByte(s[i])
+	}
+	return b.String()
+}
+
+func TestSplitEncoded(t *testing.T) {
+	segs := []string{"a+1", `b\2`, "", "+x"}
+	var enc []string
+	for _, s := range segs {
+		enc = append(enc, encodeSegment(s))
+	}
+	joined := strings.Join(enc, RekeySep)
+	got := splitEncoded(joined)
+	if !reflect.DeepEqual(got, enc) {
+		t.Fatalf("splitEncoded(%q) = %q, want %q", joined, got, enc)
+	}
+	for i, e := range got {
+		if d := decodeSegment(e); d != segs[i] {
+			t.Errorf("segment %d decodes to %q, want %q", i, d, segs[i])
+		}
+	}
+}
+
+func TestCleanPayloadEncodesAsItself(t *testing.T) {
+	for _, s := range []string{"", "alice", "a b c", "123"} {
+		if enc := encodeSegment(s); enc != s {
+			t.Errorf("encodeSegment(%q) = %q, want unchanged", s, enc)
+		}
+	}
+}
+
+func TestRestoreName(t *testing.T) {
+	if got := (Restore{Perm: []int{0, 1, 2}}).Name(); got != "canonicalize(j,d1,d2)" {
+		t.Errorf("identity name = %q", got)
+	}
+	if got := (Restore{Perm: []int{0, 2, 1}}).Name(); !strings.Contains(got, "restore[0 2 1]") {
+		t.Errorf("permuted name = %q", got)
+	}
+}

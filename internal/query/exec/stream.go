@@ -1,8 +1,6 @@
 package exec
 
 import (
-	"fmt"
-
 	"oblivjoin/internal/core"
 	"oblivjoin/internal/ops"
 	"oblivjoin/internal/table"
@@ -204,15 +202,18 @@ func loadStoreRange(st table.Store, lo int, dst []table.Entry) {
 type rekeySource struct {
 	ctx     *Context
 	pairs   []table.KeyedPair
+	first   bool
 	pos     int
 	rows    []table.Row
 	onClose func()
 }
 
-// NewRekeySource wraps keyed join output as a row stream. onClose
-// (optional) runs once on close or full drain, discharging the pairs.
-func NewRekeySource(ctx *Context, pairs []table.KeyedPair, onClose func()) RowSource {
-	return &rekeySource{ctx: ctx, pairs: pairs, onClose: onClose}
+// NewRekeySource wraps keyed join output as a row stream, applying the
+// same segment encoding as Rekey (first marks the chain's first rekey,
+// whose left side is a raw payload). onClose (optional) runs once on
+// close or full drain, discharging the pairs.
+func NewRekeySource(ctx *Context, pairs []table.KeyedPair, first bool, onClose func()) RowSource {
+	return &rekeySource{ctx: ctx, pairs: pairs, first: first, onClose: onClose}
 }
 
 func (s *rekeySource) Len() int { return len(s.pairs) }
@@ -228,12 +229,13 @@ func (s *rekeySource) Next() (Batch, error) {
 	}
 	n := min(len(s.rows), len(s.pairs)-s.pos)
 	for i, p := range s.pairs[s.pos : s.pos+n] {
-		joined := table.DataString(p.D1) + RekeySep + table.DataString(p.D2)
-		d, err := table.MakeData(joined)
+		d1 := table.DataString(p.D1)
+		if s.first {
+			d1 = encodeSegment(d1)
+		}
+		d, err := rekeyJoin(d1, table.DataString(p.D2))
 		if err != nil {
-			return nil, fmt.Errorf(
-				"query: intermediate join payload %q exceeds %d bytes; project fewer columns or shorten payloads",
-				joined, table.DataLen)
+			return nil, err
 		}
 		s.rows[i] = table.Row{J: p.J, D: d}
 	}

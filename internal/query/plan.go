@@ -2,6 +2,7 @@ package query
 
 import (
 	"fmt"
+	"sort"
 	"strings"
 
 	"oblivjoin/internal/catalog"
@@ -25,8 +26,15 @@ type PlanNode interface {
 	Describe() string
 }
 
-// ScanNode reads a registered table.
-type ScanNode struct{ Table string }
+// ScanNode reads a registered table. Cols, set by the cost-aware
+// planner, annotates which columns downstream stages actually consume
+// ("key" when every payload byte is dead). Rows are fixed-width, so
+// the annotation changes no access pattern — it documents, in EXPLAIN
+// and in the cost report, that the payload contributes nothing.
+type ScanNode struct {
+	Table string
+	Cols  string
+}
 
 // SemijoinNode keeps rows whose key appears in Table (IN-subquery).
 type SemijoinNode struct {
@@ -47,8 +55,26 @@ type JoinNode struct {
 }
 
 // RekeyNode re-packages keyed join output as a plain relation so the
-// chain's next join can consume it (§7 composition).
-type RekeyNode struct{ In PlanNode }
+// chain's next join can consume it (§7 composition). First marks the
+// chain's first rekey: it escape-encodes the raw left payload before
+// accumulation (later rekeys receive an already-encoded accumulation),
+// so a Restore stage can split the accumulated payload unambiguously
+// even when payloads contain the separator byte.
+type RekeyNode struct {
+	In    PlanNode
+	First bool
+}
+
+// RestoreNode finalizes a cost-planned multi-way join chain: it maps
+// the executed join order's payload layout back onto the written order
+// and canonically sorts the output, making reordered and written-order
+// plans byte-identical (see exec.Restore). Perm maps written table
+// slots onto execution slots; the identity permutation canonicalizes
+// without rewriting.
+type RestoreNode struct {
+	In   PlanNode
+	Perm []int
+}
 
 // JoinAggNode is the §7 fast path: COUNT/SUM aggregation over a join
 // computed from group dimensions without materializing the join.
@@ -93,6 +119,7 @@ func (n SemijoinNode) Input() PlanNode { return n.In }
 func (n FilterNode) Input() PlanNode   { return n.In }
 func (n JoinNode) Input() PlanNode     { return n.In }
 func (n RekeyNode) Input() PlanNode    { return n.In }
+func (n RestoreNode) Input() PlanNode  { return n.In }
 func (n JoinAggNode) Input() PlanNode  { return n.In }
 func (n GroupByNode) Input() PlanNode  { return n.In }
 func (n DistinctNode) Input() PlanNode { return n.In }
@@ -103,11 +130,17 @@ func (n ProjectNode) Input() PlanNode  { return n.In }
 // Describe implements PlanNode. The labels intentionally match the
 // Name() of the physical operator each node lowers to, so EXPLAIN and
 // PlanStats speak the same language.
-func (n ScanNode) Describe() string     { return exec.Scan{Table: n.Table}.Name() }
+func (n ScanNode) Describe() string {
+	if n.Cols != "" {
+		return fmt.Sprintf("scan(%s cols=%s)", n.Table, n.Cols)
+	}
+	return exec.Scan{Table: n.Table}.Name()
+}
 func (n SemijoinNode) Describe() string { return exec.Semijoin{Table: n.Table}.Name() }
 func (FilterNode) Describe() string     { return exec.Filter{}.Name() }
 func (n JoinNode) Describe() string     { return exec.Join{Table: n.Table}.Name() }
 func (RekeyNode) Describe() string      { return exec.Rekey{}.Name() }
+func (n RestoreNode) Describe() string  { return exec.Restore{Perm: n.Perm}.Name() }
 func (n JoinAggNode) Describe() string {
 	return exec.JoinAggregate{Table: n.Table, Sum: n.Sum}.Name()
 }
@@ -149,6 +182,27 @@ func PlanTables(n PlanNode) []string {
 	return names
 }
 
+// JoinChain returns the plan's base scan table and the joined tables
+// in execution order — the chain identity the service layer's
+// adaptive-feedback channel keys observed join output sizes by.
+func JoinChain(n PlanNode) (from string, joins []string) {
+	var walk func(PlanNode)
+	walk = func(n PlanNode) {
+		if n == nil {
+			return
+		}
+		walk(n.Input())
+		switch v := n.(type) {
+		case ScanNode:
+			from = v.Table
+		case JoinNode:
+			joins = append(joins, v.Table)
+		}
+	}
+	walk(n)
+	return from, joins
+}
+
 // RenderPlan walks the tree leaf-to-root and joins the stage labels —
 // the EXPLAIN form.
 func RenderPlan(n PlanNode) string {
@@ -172,28 +226,86 @@ func (e *Engine) plan(q *Query) (PlanNode, error) {
 		// is a service-layer feature over the MVCC catalog.
 		return nil, fmt.Errorf("query: AS OF requires the versioned catalog of the service engine")
 	}
-	return BuildPlan(q, func(name string) bool { _, ok := e.tables[name]; return ok })
+	has := func(name string) bool { _, ok := e.tables[name]; return ok }
+	if e.opts.CostPlan {
+		return BuildPlanCfg(q, has, PlanConfig{
+			CostPlan: true,
+			Card:     tablesCard(e.tables),
+			Opts:     e.opts,
+		})
+	}
+	return BuildPlan(q, has)
+}
+
+// PlanConfig configures the cost-aware planner. The zero value is the
+// default planner: written join order, no pushdown, no Restore stage —
+// plans and result bytes exactly as previous releases produced them.
+type PlanConfig struct {
+	// CostPlan enables cost-based join ordering and predicate pushdown.
+	// Every ≥3-table plain join chain then ends in a Restore stage, so
+	// any ordering choice yields the same canonical output bytes.
+	CostPlan bool
+	// NoReorder keeps the written join order while still planning in
+	// cost mode (pushdown + Restore canonicalization). This is the
+	// byte-identity baseline the planner tests and the benchmark
+	// compare the greedy order against.
+	NoReorder bool
+	// Card supplies the public cardinalities the ordering decision
+	// consumes. Nil plans as if every table were empty (deterministic,
+	// but orders nothing usefully).
+	Card Card
+	// Opts selects the sorting network and store mode the cost model
+	// prices with.
+	Opts Options
+}
+
+func (pc PlanConfig) card() Card {
+	if pc.Card == nil {
+		return StaticCard{}
+	}
+	return pc.Card
 }
 
 // BuildPlan builds the logical plan for q against a catalog known only
-// through its table-existence predicate. Every referenced table is
-// resolved here, so planning (and therefore Explain) reports unknown
-// tables — as *catalog.UnknownTableError — without touching any data.
+// through its table-existence predicate, with the default planner.
 func BuildPlan(q *Query, has func(string) bool) (PlanNode, error) {
+	return BuildPlanCfg(q, has, PlanConfig{})
+}
+
+// BuildPlanCfg builds the logical plan for q against a catalog known
+// only through its table-existence predicate. Every referenced table
+// is resolved here, so planning (and therefore Explain) reports
+// unknown tables — as *catalog.UnknownTableError — without touching
+// any data.
+//
+// With pc.CostPlan set the planner additionally consults pc.Card —
+// public row counts and (optionally) observed join output sizes, never
+// table contents — to greedily order JOIN ... USING chains, push the
+// filter below the semijoins, order semijoins by sub-table size, and
+// annotate scans with the columns downstream stages consume. The plan
+// remains a pure function of (query, catalog, cardinalities, options):
+// two databases with equal public sizes always yield the identical
+// plan.
+func BuildPlanCfg(q *Query, has func(string) bool, pc PlanConfig) (PlanNode, error) {
 	if !has(q.From) {
 		return nil, &catalog.UnknownTableError{Name: q.From}
 	}
-	var n PlanNode = ScanNode{Table: q.From}
+	scan := ScanNode{Table: q.From}
+	if pc.CostPlan && !scanNeedsData(q) {
+		scan.Cols = "key"
+	}
+	var n PlanNode = scan
 
 	// Split WHERE into top-level conjuncts; IN-subqueries become
 	// semijoins, the rest compiles to one branch-free predicate.
+	var semis []string
 	var predConjuncts []Expr
 	for _, c := range conjuncts(q.Where) {
 		if in, ok := c.(In); ok {
 			if !has(in.Table) {
 				return nil, &catalog.UnknownTableError{Name: in.Table}
 			}
-			n = SemijoinNode{In: n, Table: in.Table}
+			semis = append(semis, in.Table)
 			continue
 		}
 		if containsIn(c) {
@@ -201,7 +313,24 @@ func BuildPlan(q *Query, has func(string) bool) (PlanNode, error) {
 		}
 		predConjuncts = append(predConjuncts, c)
 	}
-	if len(predConjuncts) > 0 {
+	pred := len(predConjuncts) > 0
+	if pc.CostPlan {
+		// Pushdown: the filter (a comparator-free scan over key bits)
+		// runs first, shrinking every semijoin's sort; semijoins then
+		// run smallest sub-table first. Both rewrites are byte-safe:
+		// filter and semijoin predicates read only public key structure,
+		// and each semijoin re-sorts its survivors into (key, data)
+		// order, so the surviving row sequence is order-independent.
+		if pred {
+			n = FilterNode{In: n, Pred: andAll(predConjuncts)}
+			pred = false
+		}
+		semis = orderSemis(semis, pc.card())
+	}
+	for _, t := range semis {
+		n = SemijoinNode{In: n, Table: t}
+	}
+	if pred {
 		n = FilterNode{In: n, Pred: andAll(predConjuncts)}
 	}
 
@@ -222,18 +351,47 @@ func BuildPlan(q *Query, has func(string) bool) (PlanNode, error) {
 	case q.Joined() && q.GroupBy:
 		// All but the last join materialize and re-key; the last one
 		// runs as the §7 aggregation fast path — COUNT and SUM need the
-		// group dimensions, never the m-row expansion.
-		for _, t := range q.Joins[:len(q.Joins)-1] {
+		// group dimensions, never the m-row expansion. The fast path
+		// pins the written order even in cost mode: its SUM payloads
+		// parse positionally, so reordering would change aggregate
+		// inputs, not just layout.
+		for i, t := range q.Joins[:len(q.Joins)-1] {
 			n = JoinNode{In: n, Table: t}
-			n = RekeyNode{In: n}
+			n = RekeyNode{In: n, First: i == 0}
 		}
 		n = JoinAggNode{In: n, Table: q.Joins[len(q.Joins)-1], Sum: needValue}
 	case q.Joined():
-		for i, t := range q.Joins {
+		joins := q.Joins
+		var perm []int
+		if pc.CostPlan && len(q.Joins) >= 2 {
+			var chosen []int
+			if pc.NoReorder {
+				chosen = make([]int, len(q.Joins))
+				for i := range chosen {
+					chosen[i] = i
+				}
+			} else {
+				chosen = greedyJoins(q.From, q.Joins, pc.card(), newCostModel(pc.Opts))
+			}
+			joins = make([]string, len(chosen))
+			for pos, idx := range chosen {
+				joins[pos] = q.Joins[idx]
+			}
+			// Restore.Perm maps written table slots (From = slot 0,
+			// q.Joins[i] = slot i+1) onto execution slots.
+			perm = make([]int, len(q.Joins)+1)
+			for pos, idx := range chosen {
+				perm[idx+1] = pos + 1
+			}
+		}
+		for i, t := range joins {
 			if i > 0 {
-				n = RekeyNode{In: n}
+				n = RekeyNode{In: n, First: i == 1}
 			}
 			n = JoinNode{In: n, Table: t}
+		}
+		if perm != nil {
+			n = RestoreNode{In: n, Perm: perm}
 		}
 		if q.OrderBy {
 			// Join output is already key-ordered (S1 is sorted by
@@ -253,6 +411,101 @@ func BuildPlan(q *Query, has func(string) bool) (PlanNode, error) {
 		n = LimitNode{In: n, N: q.Limit}
 	}
 	return ProjectNode{In: n, Items: expandStar(q)}, nil
+}
+
+// scanNeedsData reports whether any downstream stage reads the scanned
+// payload bytes. Joins materialize payloads, DISTINCT dedups whole
+// rows, and value aggregates/plain payload columns read them directly;
+// COUNT and key-only selections touch keys alone (filter predicates
+// are always key-only).
+func scanNeedsData(q *Query) bool {
+	if q.Joined() || q.Distinct {
+		return true
+	}
+	for _, it := range q.Select {
+		switch {
+		case it.Agg == AggSum || it.Agg == AggMin || it.Agg == AggMax:
+			return true
+		case it.Agg == AggNone && it.Col != ColKey:
+			return true
+		}
+	}
+	return false
+}
+
+// orderSemis orders semijoin sub-tables by ascending public row count
+// (appearance order on ties). Each semijoin sorts n+s elements, so
+// running cheap shrinking semijoins first can only reduce later sorts.
+func orderSemis(semis []string, card Card) []string {
+	if len(semis) < 2 {
+		return semis
+	}
+	type st struct {
+		t    string
+		rows int
+		idx  int
+	}
+	ordered := make([]st, len(semis))
+	for i, t := range semis {
+		rows, _ := card.Rows(t)
+		ordered[i] = st{t: t, rows: rows, idx: i}
+	}
+	sort.Slice(ordered, func(a, b int) bool {
+		if ordered[a].rows != ordered[b].rows {
+			return ordered[a].rows < ordered[b].rows
+		}
+		return ordered[a].idx < ordered[b].idx
+	})
+	out := make([]string, len(semis))
+	for i, s := range ordered {
+		out[i] = s.t
+	}
+	return out
+}
+
+// greedyJoins picks the execution order of a JOIN ... USING chain: at
+// each step it joins the accumulated left side with the remaining
+// table whose modeled join is cheapest. The decision reads only public
+// cardinalities (and optional public observed join sizes), so the
+// order — like the rest of the plan — is content-independent. Ties
+// break deterministically on (comparators, store bytes, written
+// position). Returns the chosen q.Joins indices in execution order.
+func greedyJoins(from string, joins []string, card Card, cm *costModel) []int {
+	cur, _ := card.Rows(from)
+	left := []string{from}
+	remaining := make([]int, len(joins))
+	for i := range remaining {
+		remaining[i] = i
+	}
+	chosen := make([]int, 0, len(joins))
+	for len(remaining) > 0 {
+		best := -1
+		var bestComp uint64
+		var bestBytes int64
+		bestM := 0
+		for _, idx := range remaining {
+			nr, _ := card.Rows(joins[idx])
+			m, fed := card.JoinRows(left, joins[idx])
+			if !fed {
+				m = estJoinRows(cur, nr)
+			}
+			comp, _, bytes := cm.join(cur, nr, m)
+			if best == -1 || comp < bestComp ||
+				(comp == bestComp && (bytes < bestBytes || (bytes == bestBytes && idx < best))) {
+				best, bestComp, bestBytes, bestM = idx, comp, bytes, m
+			}
+		}
+		chosen = append(chosen, best)
+		for i, idx := range remaining {
+			if idx == best {
+				remaining = append(remaining[:i], remaining[i+1:]...)
+				break
+			}
+		}
+		cur = bestM
+		left = append(left, joins[best])
+	}
+	return chosen
 }
 
 // LowerPlan maps a logical plan onto its physical operator pipeline.
@@ -282,7 +535,9 @@ func lower(n PlanNode) ([]exec.Operator, error) {
 	case JoinNode:
 		op = exec.Join{Table: v.Table}
 	case RekeyNode:
-		op = exec.Rekey{}
+		op = exec.Rekey{First: v.First}
+	case RestoreNode:
+		op = exec.Restore{Perm: v.Perm}
 	case JoinAggNode:
 		op = exec.JoinAggregate{Table: v.Table, Sum: v.Sum}
 	case GroupByNode:

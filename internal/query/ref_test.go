@@ -58,6 +58,19 @@ type refRow struct {
 	right string // last joined payload ("" before any join)
 }
 
+// refEncode mirrors the rekey payload escape encoding independently of
+// the engine: '\' → `\\`, '+' → `\+`.
+func refEncode(s string) string {
+	var b strings.Builder
+	for i := 0; i < len(s); i++ {
+		if s[i] == '\\' || s[i] == '+' {
+			b.WriteByte('\\')
+		}
+		b.WriteByte(s[i])
+	}
+	return b.String()
+}
+
 // refQuery evaluates q naively. It returns the output rows as strings
 // (matching the engine's stringification) without LIMIT applied —
 // callers compare multisets.
@@ -98,14 +111,21 @@ func refQuery(tables map[string][]table.Row, q *Query) ([][]string, error) {
 		rows = kept
 	}
 
-	// Join chain: nested loops, collapsing payloads like exec.Rekey.
+	// Join chain: nested loops, collapsing payloads like exec.Rekey —
+	// including its escape encoding: the first accumulation escapes the
+	// raw left payload, every accumulation escapes the incoming right
+	// payload, and later accumulations extend the already-encoded left.
 	joined := false
-	for _, t := range q.Joins {
+	for ji, t := range q.Joins {
 		var out []refRow
 		for _, l := range rows {
 			payload := l.left
 			if joined {
-				payload = l.left + "+" + l.right
+				left := l.left
+				if ji == 1 {
+					left = refEncode(left)
+				}
+				payload = left + "+" + refEncode(l.right)
 			}
 			for _, r := range tables[t] {
 				if l.k == r.J {

@@ -443,7 +443,7 @@ func (d *streamDriver) step(op exec.Operator) error {
 			g, charge := d.g, d.relCharge
 			pairs := d.rel.Pairs
 			d.rel, d.relCharge = exec.Relation{}, 0
-			d.setSource(exec.NewRekeySource(d.ectx, pairs, func() { g.Discharge(charge) }))
+			d.setSource(exec.NewRekeySource(d.ectx, pairs, o.First, func() { g.Discharge(charge) }))
 			return nil
 		}
 		return d.runLegacy(op)

@@ -58,6 +58,25 @@
 // branch-free predicates evaluated on every row, joins run the paper's
 // algorithm, IN-subqueries become oblivious semijoins, and GROUP BY
 // becomes the oblivious aggregation.
+//
+// # Cost-aware planning
+//
+// Because every oblivious operator executes a fixed schedule
+// determined by its public input/output sizes, the plan's cost is an
+// exact closed form, not an estimate: ComputePlanCost prices each
+// stage in compare–exchanges, routing hops and padded store bytes
+// from the catalog cardinalities alone (cost.go), and RenderPlanCost
+// prints the table EXPLAIN shows. Options.CostPlan turns on the
+// cost-aware planner: BuildPlanCfg greedily orders JOIN chains by
+// modeled comparator count, pushes predicates and semijoins toward
+// the scans, and appends a restore stage so a reordered chain's rows
+// are byte-identical to the written order's. Plans remain a pure
+// function of the query text and public cardinalities — the Card
+// interface is planning's only window onto the catalog — so
+// reordering reveals nothing the sizes do not already reveal. The
+// service layer feeds observed join sizes back through Card when
+// PlanStats diverge from the model (adaptive replanning); see
+// docs/PLANNING.md at the repository root for the full model.
 package query
 
 import (

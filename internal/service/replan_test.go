@@ -1,0 +1,150 @@
+package service
+
+import (
+	"context"
+	"fmt"
+	"testing"
+
+	"oblivjoin/internal/query"
+	"oblivjoin/internal/table"
+)
+
+// fanoutCatalog registers a join input whose output size the planner's
+// foreign-key estimator badly underestimates: t1 has 16 distinct keys,
+// t2 fans every key out 16× (256 rows), so the join yields 256 rows
+// where the model guesses 16.
+func fanoutCatalog(t *testing.T, svc *Service) {
+	t.Helper()
+	t1 := make([]table.Row, 16)
+	for i := range t1 {
+		t1[i] = table.Row{J: uint64(i), D: table.MustData(fmt.Sprintf("a%d", i))}
+	}
+	t2 := make([]table.Row, 256)
+	for i := range t2 {
+		t2[i] = table.Row{J: uint64(i % 16), D: table.MustData(fmt.Sprintf("b%d", i))}
+	}
+	if err := svc.Register("t1", t1); err != nil {
+		t.Fatal(err)
+	}
+	if err := svc.Register("t2", t2); err != nil {
+		t.Fatal(err)
+	}
+}
+
+const fanoutJoin = "SELECT key, left.data, right.data FROM t1 JOIN t2 USING (key)"
+
+// TestReplanFiresExactlyOnce: an execution whose observed comparator
+// count diverges from the model beyond ReplanFactor evicts the cached
+// plan and records join-size feedback — exactly once per plan. The
+// re-prepared plan's model absorbs the observed sizes and matches the
+// next execution exactly.
+func TestReplanFiresExactlyOnce(t *testing.T) {
+	svc, err := New(Config{
+		Defaults:     query.Options{CostPlan: true},
+		ReplanFactor: 1.2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fanoutCatalog(t, svc)
+	ctx := context.Background()
+
+	st1, err := svc.Prepare(ctx, fanoutJoin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st1.Model() == nil {
+		t.Fatal("prepared statement carries no cost model")
+	}
+	res1, ps1, err := st1.Exec(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res1.Rows) != 256 {
+		t.Fatalf("join returned %d rows, want 256", len(res1.Rows))
+	}
+	if ps1.Comparators <= st1.Model().Comparators {
+		t.Fatalf("fixture does not diverge: observed %d <= modeled %d",
+			ps1.Comparators, st1.Model().Comparators)
+	}
+	if got := svc.CacheStats().Replans; got != 1 {
+		t.Fatalf("Replans after divergent exec = %d, want 1", got)
+	}
+
+	// Re-executing the stale statement must not fire the hook again.
+	if _, _, err := st1.Exec(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if got := svc.CacheStats().Replans; got != 1 {
+		t.Fatalf("Replans after re-exec of stale stmt = %d, want 1", got)
+	}
+
+	// The eviction forces a fresh plan; its model absorbs the observed
+	// join size and matches the next execution exactly.
+	before := svc.CacheStats()
+	st2, err := svc.Prepare(ctx, fanoutJoin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if svc.CacheStats().Misses != before.Misses+1 {
+		t.Fatal("re-prepare after replan was served the evicted plan")
+	}
+	res2, ps2, err := st2.Exec(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ps2.Comparators != st2.Model().Comparators {
+		t.Errorf("fed-back model = %d comparators, observed = %d",
+			st2.Model().Comparators, ps2.Comparators)
+	}
+	if got := svc.CacheStats().Replans; got != 1 {
+		t.Fatalf("Replans after converged exec = %d, want 1", got)
+	}
+	if got, want := rowsKey(res2), rowsKey(res1); got != want {
+		t.Error("replanned statement changed the result")
+	}
+
+	// Third prepare is a clean cache hit on the corrected plan.
+	st3, err := svc.Prepare(ctx, fanoutJoin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hits := svc.CacheStats().Hits
+	if hits == 0 {
+		t.Error("corrected plan not cached")
+	}
+	if _, _, err := st3.Exec(ctx); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func rowsKey(res *query.Result) string {
+	return fmt.Sprintf("%v", res.Rows)
+}
+
+// TestReplanOffByDefault: without ReplanFactor the hook never fires,
+// even on wildly divergent executions.
+func TestReplanOffByDefault(t *testing.T) {
+	svc, err := New(Config{Defaults: query.Options{CostPlan: true, CollectStats: true}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fanoutCatalog(t, svc)
+	ctx := context.Background()
+	if _, _, err := svc.Query(ctx, fanoutJoin); err != nil {
+		t.Fatal(err)
+	}
+	if got := svc.CacheStats().Replans; got != 0 {
+		t.Fatalf("Replans = %d with hook disarmed, want 0", got)
+	}
+}
+
+// TestCostPlanFingerprinted: flipping CostPlan must never reuse a
+// default-planner cached plan.
+func TestCostPlanFingerprinted(t *testing.T) {
+	a := fingerprint(query.Options{})
+	b := fingerprint(query.Options{CostPlan: true})
+	if a == b {
+		t.Fatal("CostPlan not part of the plan-cache fingerprint")
+	}
+}

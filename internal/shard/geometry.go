@@ -46,6 +46,12 @@ func capFor(n, s int) int {
 	return base + base/8 + 32
 }
 
+// CapFor exposes the padded per-shard capacity to the planner's cost
+// model: a sharded join of (n1, n2) executes s joins of capacity
+// (CapFor(n1, s), CapFor(n2, s)) when the hash balance holds. Both
+// inputs are public, so the capacity is too.
+func CapFor(n, s int) int { return capFor(n, s) }
+
 // chainFor is the deterministic fallback chain of candidate shard
 // counts: s, ⌈s/2⌉, …, 1. Every overflowing candidate hands off to the
 // next; 1 always fits (capFor(n, 1) = n).
